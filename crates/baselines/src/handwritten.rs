@@ -1,0 +1,480 @@
+//! Hand-written dataflow programs — the Appendix B "expert Spark" versions
+//! of every Figure 3 benchmark, written directly against the engine.
+//!
+//! Inputs are the same `(key, value)` datasets the DIABLO versions consume
+//! (the key is ignored where Spark would use a raw `RDD[T]`).
+
+use std::sync::Arc;
+
+use diablo_dataflow::Dataset;
+use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Projects the value side of `(key, value)` rows (the `RDD[T]` view).
+fn values(d: &Dataset) -> Result<Dataset> {
+    d.map(|row| Ok(key_value(row)?.1))
+}
+
+fn add(a: &Value, b: &Value) -> Result<Value> {
+    BinOp::Add.apply(a, b)
+}
+
+/// Conditional Sum: `V.filter(_ < 100).reduce(_ + _)`.
+pub fn conditional_sum(v: &Dataset) -> Result<Value> {
+    let vals = values(v)?;
+    let filtered = vals.filter(|x| Ok(x.as_double().is_some_and(|d| d < 100.0)))?;
+    Ok(filtered.reduce(add)?.unwrap_or(Value::Double(0.0)))
+}
+
+/// Equal: `V.map(_ == x).reduce(_ && _)`.
+pub fn equal(v: &Dataset, x: &Value) -> Result<Value> {
+    let x = x.clone();
+    let eqs = values(v)?.map(move |w| Ok(Value::Bool(*w == x)))?;
+    Ok(eqs
+        .reduce(|a, b| BinOp::And.apply(a, b))?
+        .unwrap_or(Value::Bool(true)))
+}
+
+/// String Match: does any element equal one of the three keys?
+pub fn string_match(words: &Dataset) -> Result<Value> {
+    let hits = values(words)?.map(|w| {
+        let s = w.as_str().unwrap_or("");
+        Ok(Value::Bool(s == "key1" || s == "key2" || s == "key3"))
+    })?;
+    Ok(hits
+        .reduce(|a, b| BinOp::Or.apply(a, b))?
+        .unwrap_or(Value::Bool(false)))
+}
+
+/// Word Count: `words.map((_, 1)).reduceByKey(_ + _)`.
+pub fn word_count(words: &Dataset) -> Result<Dataset> {
+    let pairs = values(words)?.map(|w| Ok(Value::pair(w.clone(), Value::Long(1))))?;
+    pairs.reduce_by_key(add)
+}
+
+/// Histogram: `P.map(_.c).countByValue()` per RGB component.
+pub fn histogram(p: &Dataset) -> Result<(Dataset, Dataset, Dataset)> {
+    let count_component = |field: &'static str| -> Result<Dataset> {
+        let keyed = values(p)?.map(move |pix| {
+            let c = pix
+                .field(field)
+                .ok_or_else(|| RuntimeError::new("pixel field"))?
+                .clone();
+            Ok(Value::pair(c, Value::Long(1)))
+        })?;
+        keyed.reduce_by_key(add)
+    };
+    Ok((
+        count_component("red")?,
+        count_component("green")?,
+        count_component("blue")?,
+    ))
+}
+
+/// Linear Regression: the two-pass mean/moment computation of Appendix B.
+/// Returns `(intercept, slope)`.
+#[allow(clippy::type_complexity)]
+pub fn linear_regression(p: &Dataset, n: i64) -> Result<(f64, f64)> {
+    let pts = values(p)?;
+    let sum_of = |f: Box<dyn Fn(&Value) -> Result<Value> + Sync>| -> Result<f64> {
+        let mapped = pts.map(move |v| f(v))?;
+        Ok(mapped
+            .reduce(add)?
+            .and_then(|v| v.as_double())
+            .unwrap_or(0.0))
+    };
+    let x = |v: &Value| v.field("_1").and_then(Value::as_double).unwrap_or(0.0);
+    let y = |v: &Value| v.field("_2").and_then(Value::as_double).unwrap_or(0.0);
+    let x_bar = sum_of(Box::new(move |v| Ok(Value::Double(x(v)))))? / n as f64;
+    let y_bar = sum_of(Box::new(move |v| Ok(Value::Double(y(v)))))? / n as f64;
+    let xx_bar = sum_of(Box::new(move |v| {
+        Ok(Value::Double((x(v) - x_bar) * (x(v) - x_bar)))
+    }))?;
+    let xy_bar = sum_of(Box::new(move |v| {
+        Ok(Value::Double((x(v) - x_bar) * (y(v) - y_bar)))
+    }))?;
+    let slope = xy_bar / xx_bar;
+    let intercept = y_bar - slope * x_bar;
+    Ok((intercept, slope))
+}
+
+/// Group-By: `V.map(v => (v.K, v.A)).reduceByKey(_ + _)`.
+pub fn group_by(v: &Dataset) -> Result<Dataset> {
+    let keyed = values(v)?.map(|r| {
+        let k = r.field("K").ok_or_else(|| RuntimeError::new("K field"))?.clone();
+        let a = r.field("A").ok_or_else(|| RuntimeError::new("A field"))?.clone();
+        Ok(Value::pair(k, a))
+    })?;
+    keyed.reduce_by_key(add)
+}
+
+/// Matrix Addition: `M.join(N).mapValues(m + n)`.
+pub fn matrix_addition(m: &Dataset, n: &Dataset) -> Result<Dataset> {
+    let joined = m.join(n)?;
+    joined.map(|row| {
+        let (k, mn) = key_value(row)?;
+        let fields = mn.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+        Ok(Value::pair(k, add(&fields[0], &fields[1])?))
+    })
+}
+
+/// Matrix Multiplication: the Appendix B map/join/map/reduceByKey plan.
+pub fn matrix_multiplication(m: &Dataset, n: &Dataset) -> Result<Dataset> {
+    // M: ((i, j), m) → (j, (i, m))
+    let left = m.map(|row| {
+        let (k, v) = key_value(row)?;
+        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("matrix key"))?;
+        Ok(Value::pair(ij[1].clone(), Value::pair(ij[0].clone(), v)))
+    })?;
+    // N: ((i, j), n) → (i, (j, n))
+    let right = n.map(|row| {
+        let (k, v) = key_value(row)?;
+        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("matrix key"))?;
+        Ok(Value::pair(ij[0].clone(), Value::pair(ij[1].clone(), v)))
+    })?;
+    // join on k → ((i, j), m * n) → reduceByKey(+)
+    let products = left.join(&right)?.map(|row| {
+        let (_, pair) = key_value(row)?;
+        let sides = pair.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+        let (im, jn) = (
+            sides[0].as_tuple().ok_or_else(|| RuntimeError::new("left side"))?,
+            sides[1].as_tuple().ok_or_else(|| RuntimeError::new("right side"))?,
+        );
+        Ok(Value::pair(
+            Value::pair(im[0].clone(), jn[0].clone()),
+            BinOp::Mul.apply(&im[1], &jn[1])?,
+        ))
+    })?;
+    products.reduce_by_key(add)
+}
+
+/// PageRank: `links.join(ranks).flatMap(contributions).reduceByKey(+)` with
+/// the damping update, per Appendix B.
+pub fn pagerank(e: &Dataset, vertices: i64, num_steps: usize) -> Result<Dataset> {
+    // links: i → bag of destinations (cached across iterations).
+    let src_dst = e.map(|row| {
+        let (k, _) = key_value(row)?;
+        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("edge key"))?;
+        Ok(Value::pair(ij[0].clone(), ij[1].clone()))
+    })?;
+    let links = src_dst.group_by_key()?;
+    let init = 1.0 / vertices as f64;
+    let mut ranks = links.map(move |row| {
+        let (k, _) = key_value(row)?;
+        Ok(Value::pair(k, Value::Double(init)))
+    })?;
+    for _ in 0..num_steps {
+        let contribs = links.join(&ranks)?.flat_map(|row| {
+            let (_, pair) = key_value(row)?;
+            let sides = pair.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+            let urls = sides[0]
+                .as_bag()
+                .ok_or_else(|| RuntimeError::new("links bag"))?;
+            let rank = sides[1]
+                .as_double()
+                .ok_or_else(|| RuntimeError::new("rank"))?;
+            let share = rank / urls.len() as f64;
+            Ok(urls
+                .iter()
+                .map(|u| Value::pair(u.clone(), Value::Double(share)))
+                .collect())
+        })?;
+        let summed = contribs.reduce_by_key(add)?;
+        let nv = vertices as f64;
+        ranks = summed.map(move |row| {
+            let (k, v) = key_value(row)?;
+            let r = v.as_double().unwrap_or(0.0);
+            Ok(Value::pair(k, Value::Double(0.15 / nv + 0.85 * r)))
+        })?;
+    }
+    Ok(ranks)
+}
+
+/// K-Means: broadcast the centroids, assign each point with a local argmin,
+/// reduce per-centroid sums, recompute — the cheap plan of Appendix B.
+/// Returns the final centroids.
+pub fn kmeans(points: &Dataset, initial: &[(f64, f64)], num_steps: usize) -> Result<Vec<(f64, f64)>> {
+    let pts = values(points)?;
+    let mut centroids: Arc<Vec<(f64, f64)>> = Arc::new(initial.to_vec());
+    for _ in 0..num_steps {
+        let cents = Arc::clone(&centroids);
+        // Note: a real Spark run would broadcast `cents`; sharing the Arc
+        // plays the same role. The shuffle carries only per-centroid sums.
+        let assigned = pts.map(move |p| {
+            let xy = p.as_tuple().ok_or_else(|| RuntimeError::new("point"))?;
+            let (x, y) = (
+                xy[0].as_double().unwrap_or(0.0),
+                xy[1].as_double().unwrap_or(0.0),
+            );
+            let mut best = 0usize;
+            let mut best_d = f64::MAX;
+            for (i, (cx, cy)) in cents.iter().enumerate() {
+                let d = (x - cx) * (x - cx) + (y - cy) * (y - cy);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            Ok(Value::pair(
+                Value::Long(best as i64),
+                Value::tuple(vec![Value::Double(x), Value::Double(y), Value::Long(1)]),
+            ))
+        })?;
+        let sums = assigned.reduce_by_key(add)?;
+        let mut next = centroids.as_ref().clone();
+        for row in sums.collect() {
+            let (k, acc) = key_value(&row)?;
+            let idx = k.as_long().unwrap_or(0) as usize;
+            let f = acc.as_tuple().ok_or_else(|| RuntimeError::new("acc"))?;
+            let cnt = f[2].as_double().unwrap_or(1.0);
+            next[idx] = (
+                f[0].as_double().unwrap_or(0.0) / cnt,
+                f[1].as_double().unwrap_or(0.0) / cnt,
+            );
+        }
+        centroids = Arc::new(next);
+    }
+    Ok(centroids.as_ref().clone())
+}
+
+/// Transposes a sparse matrix dataset.
+fn transpose(x: &Dataset) -> Result<Dataset> {
+    x.map(|row| {
+        let (k, v) = key_value(row)?;
+        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("matrix key"))?;
+        Ok(Value::pair(Value::pair(ij[1].clone(), ij[0].clone()), v))
+    })
+}
+
+/// Element-wise join combine: `op(f, x, y) = x.join(y).mapValues(f)`.
+fn elementwise(
+    f: impl Fn(&Value, &Value) -> Result<Value> + Sync,
+    x: &Dataset,
+    y: &Dataset,
+) -> Result<Dataset> {
+    x.join(y)?.map(move |row| {
+        let (k, ab) = key_value(row)?;
+        let s = ab.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+        Ok(Value::pair(k, f(&s[0], &s[1])?))
+    })
+}
+
+fn scale(x: &Dataset, c: f64) -> Result<Dataset> {
+    x.map(move |row| {
+        let (k, v) = key_value(row)?;
+        Ok(Value::pair(k, BinOp::Mul.apply(&v, &Value::Double(c))?))
+    })
+}
+
+/// Matrix Factorization: the Appendix B plan built from `multiply`,
+/// `transpose` and element-wise joins. Returns `(P, Q)` after `num_steps`.
+pub fn matrix_factorization(
+    r: &Dataset,
+    p0: &Dataset,
+    q0: &Dataset,
+    num_steps: usize,
+    a: f64,
+    b: f64,
+) -> Result<(Dataset, Dataset)> {
+    let mut p = p0.clone();
+    let mut q = q0.clone();
+    for _ in 0..num_steps {
+        let pq = matrix_multiplication(&p, &q)?;
+        let e = elementwise(|x, y| BinOp::Sub.apply(x, y), r, &pq)?;
+        let p_new = elementwise(
+            |x, y| BinOp::Add.apply(x, y),
+            &p,
+            &scale(
+                &elementwise(
+                    |x, y| BinOp::Sub.apply(x, y),
+                    &scale(&matrix_multiplication(&e, &transpose(&q)?)?, 2.0)?,
+                    &scale(&p, b)?,
+                )?,
+                a,
+            )?,
+        )?;
+        let q_new = elementwise(
+            |x, y| BinOp::Add.apply(x, y),
+            &q,
+            &scale(
+                &elementwise(
+                    |x, y| BinOp::Sub.apply(x, y),
+                    &transpose(&scale(&matrix_multiplication(&transpose(&e)?, &p)?, 2.0)?)?,
+                    &scale(&q, b)?,
+                )?,
+                a,
+            )?,
+        )?;
+        p = p_new;
+        q = q_new;
+    }
+    Ok((p, q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_dataflow::Context;
+
+    fn ctx() -> Context {
+        Context::new(4, 8)
+    }
+
+    fn doubles(ctx: &Context, vals: &[f64]) -> Dataset {
+        ctx.from_vec(
+            vals.iter()
+                .enumerate()
+                .map(|(i, &v)| Value::pair(Value::Long(i as i64), Value::Double(v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn conditional_sum_filters_and_sums() {
+        let ctx = ctx();
+        let v = doubles(&ctx, &[5.0, 250.0, 7.5]);
+        assert_eq!(conditional_sum(&v).unwrap(), Value::Double(12.5));
+    }
+
+    #[test]
+    fn equal_detects_mismatch() {
+        let ctx = ctx();
+        let rows = vec![
+            Value::pair(Value::Long(0), Value::str("a")),
+            Value::pair(Value::Long(1), Value::str("b")),
+        ];
+        let v = ctx.from_vec(rows);
+        assert_eq!(equal(&v, &Value::str("a")).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn word_count_counts() {
+        let ctx = ctx();
+        let words: Vec<Value> = ["a", "b", "a"]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Value::pair(Value::Long(i as i64), Value::str(w)))
+            .collect();
+        let d = ctx.from_vec(words);
+        let counts = word_count(&d).unwrap().collect_sorted();
+        assert_eq!(
+            counts,
+            vec![
+                Value::pair(Value::str("a"), Value::Long(2)),
+                Value::pair(Value::str("b"), Value::Long(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn matrix_multiplication_small() {
+        let ctx = ctx();
+        let mk = |es: &[(i64, i64, f64)]| {
+            ctx.from_vec(
+                es.iter()
+                    .map(|&(i, j, v)| {
+                        Value::pair(
+                            Value::pair(Value::Long(i), Value::Long(j)),
+                            Value::Double(v),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let m = mk(&[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]);
+        let n = mk(&[(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)]);
+        let r = matrix_multiplication(&m, &n).unwrap().collect_sorted();
+        let want = mk(&[(0, 0, 19.0), (0, 1, 22.0), (1, 0, 43.0), (1, 1, 50.0)]).collect_sorted();
+        assert_eq!(r, want);
+    }
+
+    #[test]
+    fn kmeans_converges_to_square_centers() {
+        let ctx = ctx();
+        let points = ctx.from_vec(diablo_workloads::generators::kmeans_points(2000, 2, 3));
+        let initial: Vec<(f64, f64)> = vec![(1.2, 1.2), (1.2, 3.2), (3.2, 1.2), (3.2, 3.2)];
+        let out = kmeans(&points, &initial, 3).unwrap();
+        for (i, (x, y)) in out.iter().enumerate() {
+            let want = (
+                (i / 2) as f64 * 2.0 + 1.5,
+                (i % 2) as f64 * 2.0 + 1.5,
+            );
+            assert!(
+                (x - want.0).abs() < 0.2 && (y - want.1).abs() < 0.2,
+                "centroid {i}: ({x}, {y}) vs {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pagerank_ranks_sum_reasonably() {
+        let ctx = ctx();
+        let e = ctx.from_vec(diablo_workloads::rmat::pagerank_graph(50, 4));
+        let ranks = pagerank(&e, 50, 3).unwrap();
+        let total: f64 = ranks
+            .collect()
+            .iter()
+            .map(|r| key_value(r).unwrap().1.as_double().unwrap())
+            .sum();
+        assert!(total > 0.5 && total < 1.5, "total rank {total}");
+    }
+
+    #[test]
+    fn matrix_factorization_reduces_error() {
+        let ctx = ctx();
+        let r = ctx.from_vec(diablo_workloads::generators::sparse_matrix(10, 0.3, 5));
+        let p0 = ctx.from_vec(diablo_workloads::generators::factor_matrix(10, 2, 6));
+        let q0 = ctx.from_vec(diablo_workloads::generators::factor_matrix(2, 10, 7));
+        let err_of = |p: &Dataset, q: &Dataset| -> f64 {
+            let pq = matrix_multiplication(p, q).unwrap();
+            let e = elementwise(|x, y| BinOp::Sub.apply(x, y), &r, &pq).unwrap();
+            e.collect()
+                .iter()
+                .map(|row| {
+                    let v = key_value(row).unwrap().1.as_double().unwrap();
+                    v * v
+                })
+                .sum()
+        };
+        let before = err_of(&p0, &q0);
+        let (p, q) = matrix_factorization(&r, &p0, &q0, 5, 0.01, 0.02).unwrap();
+        let after = err_of(&p, &q);
+        assert!(after < before, "gradient descent reduces error: {before} → {after}");
+    }
+
+    #[test]
+    fn histogram_components_sum_to_n() {
+        let ctx = ctx();
+        let p = ctx.from_vec(diablo_workloads::generators::random_pixels(500, 8));
+        let (r, g, b) = histogram(&p).unwrap();
+        for d in [r, g, b] {
+            let total: i64 = d
+                .collect()
+                .iter()
+                .map(|row| key_value(row).unwrap().1.as_long().unwrap())
+                .sum();
+            assert_eq!(total, 500);
+        }
+    }
+
+    #[test]
+    fn linear_regression_recovers_line() {
+        let ctx = ctx();
+        // y = 2x + 1 exactly.
+        let pts: Vec<Value> = (0..100)
+            .map(|i| {
+                let x = i as f64;
+                Value::pair(
+                    Value::Long(i),
+                    Value::pair(Value::Double(x), Value::Double(2.0 * x + 1.0)),
+                )
+            })
+            .collect();
+        let d = ctx.from_vec(pts);
+        let (intercept, slope) = linear_regression(&d, 100).unwrap();
+        assert!((slope - 2.0).abs() < 1e-9);
+        assert!((intercept - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,69 @@
+//! Dataflow-engine micro-benchmarks: the cost of the primitive DISC
+//! operations every translated plan is built from.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use diablo_dataflow::Context;
+use diablo_runtime::{BinOp, Value};
+
+fn pairs(ctx: &Context, n: usize, keys: i64) -> diablo_dataflow::Dataset {
+    ctx.from_vec(
+        (0..n)
+            .map(|i| Value::pair(Value::Long(i as i64 % keys), Value::Long(1)))
+            .collect(),
+    )
+}
+
+fn engine(c: &mut Criterion) {
+    let ctx = Context::default_parallel();
+    let n = 100_000;
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+
+    let data = pairs(&ctx, n, 1_000);
+    g.bench_function("map", |b| {
+        b.iter(|| data.map(|v| Ok(v.clone())).expect("map"))
+    });
+    g.bench_function("filter", |b| {
+        b.iter(|| {
+            data.filter(|v| {
+                Ok(diablo_runtime::array::key_value(v)
+                    .map(|(k, _)| k.as_long().unwrap_or(0) % 2 == 0)
+                    .unwrap_or(false))
+            })
+            .expect("filter")
+        })
+    });
+    g.bench_function("reduce", |b| {
+        b.iter(|| {
+            data.map(|v| Ok(diablo_runtime::array::key_value(v).expect("kv").1))
+                .expect("map")
+                .reduce(|a, b| BinOp::Add.apply(a, b))
+                .expect("reduce")
+        })
+    });
+    g.bench_function("reduce_by_key", |b| {
+        b.iter(|| data.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).expect("rbk"))
+    });
+    g.bench_function("group_by_key", |b| {
+        b.iter(|| data.group_by_key().expect("gbk"))
+    });
+
+    let right = pairs(&ctx, 1_000, 1_000);
+    let left = pairs(&ctx, 10_000, 1_000);
+    g.bench_function("join_10k_x_1k", |b| {
+        b.iter(|| left.join(&right).expect("join"))
+    });
+    g.bench_function("merge_combining", |b| {
+        b.iter(|| {
+            left.merge(&right, Some(|a: &Value, b: &Value| BinOp::Add.apply(a, b)))
+                .expect("merge")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, engine);
+criterion_main!(benches);

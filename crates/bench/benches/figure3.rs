@@ -1,0 +1,54 @@
+//! Figure 3 micro-benchmarks: DIABLO-generated vs hand-written plans at a
+//! fixed input size, one group per panel (A-L).
+//!
+//! The harness binary (`cargo run -p diablo-bench --bin harness -- fig3a`)
+//! produces the full size sweeps; these benches give statistically robust
+//! single-size comparisons.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use diablo_bench::{run_diablo, run_handwritten, session_for};
+use diablo_dataflow::Context;
+use diablo_workloads as wl;
+use diablo_workloads::Workload;
+
+fn panel(c: &mut Criterion, id: &str, w: &Workload) {
+    let ctx = Context::default_parallel();
+    let mut g = c.benchmark_group(format!("figure3/{id}"));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    let compiled = diablo_core::compile(w.source).expect("compiles");
+    g.bench_function("diablo", |b| {
+        b.iter(|| {
+            let mut s = session_for(w, &ctx);
+            s.run(&compiled).expect("runs");
+        })
+    });
+    g.bench_function("handwritten", |b| {
+        b.iter(|| {
+            run_handwritten(w, &ctx).expect("handwritten");
+        })
+    });
+    g.finish();
+    // Touch the helpers so panels stay comparable with the harness.
+    let _ = run_diablo(w, &ctx);
+}
+
+fn figure3(c: &mut Criterion) {
+    panel(c, "a_conditional_sum", &wl::conditional_sum(50_000, 1));
+    panel(c, "b_equal", &wl::equal(50_000, 2));
+    panel(c, "c_string_match", &wl::string_match(50_000, 3));
+    panel(c, "d_word_count", &wl::word_count(50_000, 4));
+    panel(c, "e_histogram", &wl::histogram(20_000, 5));
+    panel(c, "f_linear_regression", &wl::linear_regression(20_000, 6));
+    panel(c, "g_group_by", &wl::group_by(50_000, 7));
+    panel(c, "h_matrix_addition", &wl::matrix_addition(60, 8));
+    panel(c, "i_matrix_multiplication", &wl::matrix_multiplication(24, 9));
+    panel(c, "j_pagerank", &wl::pagerank(150, 2, 10));
+    panel(c, "k_kmeans", &wl::kmeans(2_000, 10, 1, 11));
+    panel(c, "l_matrix_factorization", &wl::matrix_factorization(20, 2, 1, 12));
+}
+
+criterion_group!(benches, figure3);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §5 ablation: sparse DIABLO matrix multiplication vs the packed (tiled)
+//! path, with and without the pack/unpack conversion layer the paper's
+//! fusion removes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use diablo_bench::session_for;
+use diablo_dataflow::Context;
+use diablo_runtime::TiledMatrix;
+use diablo_workloads as wl;
+
+fn tiles(c: &mut Criterion) {
+    let ctx = Context::default_parallel();
+    let d = 48usize;
+    let w = wl::matrix_multiplication(d, 7);
+    let compiled = diablo_core::compile(w.source).expect("compiles");
+    let m_rows = w.collections[0].1.clone();
+    let n_rows = w.collections[1].1.clone();
+
+    let mut g = c.benchmark_group("tiles/matrix_multiplication_48");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+
+    g.bench_function("sparse_diablo", |b| {
+        b.iter(|| {
+            let mut s = session_for(&w, &ctx);
+            s.run(&compiled).expect("runs");
+        })
+    });
+
+    let tm = TiledMatrix::pack_values(8, 8, &m_rows).expect("pack");
+    let tn = TiledMatrix::pack_values(8, 8, &n_rows).expect("pack");
+    g.bench_function("tiled_kernel", |b| b.iter(|| tm.multiply(&tn)));
+
+    g.bench_function("tiled_with_pack_unpack", |b| {
+        b.iter(|| {
+            let tm = TiledMatrix::pack_values(8, 8, &m_rows).expect("pack");
+            let tn = TiledMatrix::pack_values(8, 8, &n_rows).expect("pack");
+            tm.multiply(&tn).unpack_values()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, tiles);
+criterion_main!(benches);

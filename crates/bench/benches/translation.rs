@@ -1,0 +1,60 @@
+//! Table 1 micro-benchmarks: translation time per translator.
+//!
+//! DIABLO's compositional translation is measured on every benchmark
+//! program; the MOLD-like template search and the Casper-like synthesizer
+//! are measured on representative programs (they are orders of magnitude
+//! slower, so only a few keep the bench runtime sane).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use diablo_baselines::casper_like::casper_translate_with_budget;
+use diablo_baselines::mold_translate;
+use diablo_workloads as wl;
+
+fn bench_diablo_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/diablo");
+    g.sample_size(20);
+    for (name, src) in wl::programs::all_programs() {
+        g.bench_function(name, |b| {
+            b.iter(|| diablo_core::compile(black_box(src)).expect("compiles"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mold_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/mold_like");
+    g.sample_size(10);
+    for name in ["Sum", "Word Count", "Linear Regression", "Matrix Multiplication"] {
+        let src = wl::programs::all_programs()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .expect("known program")
+            .1;
+        g.bench_function(name, |b| b.iter(|| mold_translate(black_box(src)).expect("translates")));
+    }
+    g.finish();
+}
+
+fn bench_casper_translate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1/casper_like");
+    g.sample_size(10);
+    let sum = wl::sum(1_000, 3);
+    g.bench_function("Sum", |b| {
+        b.iter(|| casper_translate_with_budget(black_box(&sum), 300_000).expect("synthesizes"))
+    });
+    let wc = wl::word_count(1_000, 4);
+    g.bench_function("Word Count", |b| {
+        b.iter(|| casper_translate_with_budget(black_box(&wc), 300_000).expect("synthesizes"))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_diablo_translate,
+    bench_mold_translate,
+    bench_casper_translate
+);
+criterion_main!(benches);

@@ -1,0 +1,263 @@
+//! The benchmark harness: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! harness table1           # Table 1: translator times (DIABLO vs MOLD-like vs Casper-like)
+//! harness table2           # Table 2: parallel (engine) vs sequential (interpreter)
+//! harness fig3a .. fig3l   # Figure 3 panels: DIABLO vs hand-written (vs Casper) across sizes
+//! harness tiles            # §5 ablation: sparse vs tiled matrix multiplication
+//! harness all              # everything (used to fill EXPERIMENTS.md)
+//! ```
+//!
+//! Sizes are laptop-scale; see DESIGN.md for the scale substitution. Set
+//! `DIABLO_SCALE` (default 1) to grow every sweep.
+
+use std::time::{Duration, Instant};
+
+use diablo_baselines::casper_like::casper_translate_with_budget;
+use diablo_baselines::mold_translate;
+use diablo_bench::{
+    compile_time, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs,
+    time_once,
+};
+use diablo_dataflow::Context;
+use diablo_runtime::TiledMatrix;
+use diablo_workloads as wl;
+use diablo_workloads::Workload;
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match cmd.as_str() {
+        "table1" => table1(),
+        "table2" => table2(),
+        "tiles" => tiles(),
+        "all" => {
+            table1();
+            table2();
+            for panel in PANELS {
+                fig3(panel.0);
+            }
+            tiles();
+        }
+        other if other.starts_with("fig3") => {
+            let letter = other.trim_start_matches("fig3");
+            fig3(letter);
+        }
+        other => {
+            eprintln!("unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn scale() -> usize {
+    std::env::var("DIABLO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}
+
+// ------------------------------------------------------------------ Table 1
+
+/// Table 1: translation time per program for the three translators.
+fn table1() {
+    println!("== Table 1: compilation time (seconds) =====================================");
+    println!(
+        "{:<24} {:>12} {:>14} {:>14}",
+        "test program", "DIABLO", "MOLD-like", "Casper-like"
+    );
+    let n = 2_000;
+    let entries: Vec<(Workload, bool)> = vec![
+        (wl::average(n, 1), true),
+        (wl::conditional_count(n, 2), true),
+        (wl::conditional_sum(n, 3), true),
+        (wl::count(n, 4), true),
+        (wl::equal(n, 5), true),
+        (wl::equal_frequency(n, 6), true),
+        (wl::string_match(n, 7), true),
+        (wl::sum(n, 8), true),
+        (wl::word_count(n, 9), true),
+        (wl::histogram(n, 10), true),
+        (wl::matrix_multiplication(10, 11), false),
+        (wl::linear_regression(n, 12), true),
+        (wl::kmeans(400, 3, 1, 13), false),
+        (wl::pca(n, 14), true),
+        (wl::pagerank(40, 1, 15), false),
+        (wl::matrix_factorization(10, 2, 1, 16), false),
+    ];
+    for (w, try_casper) in &entries {
+        let diablo = compile_time(w);
+        let (mold, tm) = time_once(|| mold_translate(w.source));
+        let mold_cell = match mold {
+            Ok(_) => secs(tm),
+            Err(_) => "fail".to_string(),
+        };
+        let casper_cell = if *try_casper {
+            let (c, tc) = time_once(|| casper_translate_with_budget(w, 300_000));
+            match c {
+                Ok(_) => secs(tc),
+                Err(e) if e.contains("budget") || e.contains("no candidate") => {
+                    format!("fail({})", secs(tc))
+                }
+                Err(_) => "fail".to_string(),
+            }
+        } else {
+            "fail".to_string()
+        };
+        println!(
+            "{:<24} {:>12} {:>14} {:>14}",
+            w.name,
+            secs(diablo),
+            mold_cell,
+            casper_cell
+        );
+    }
+    println!();
+}
+
+// ------------------------------------------------------------------ Table 2
+
+/// Table 2: parallel (engine) vs sequential (interpreter) evaluation.
+fn table2() {
+    println!("== Table 2: parallel (par) vs sequential (seq) evaluation (seconds) ========");
+    println!(
+        "{:<24} {:>10} {:>12} {:>10} {:>10}",
+        "test program", "count", "size (MB)", "par", "seq"
+    );
+    let ctx = Context::default_parallel();
+    let s = 20 * scale();
+    let workloads = vec![
+        wl::conditional_sum(50_000 * s, 1),
+        wl::equal(50_000 * s, 2),
+        wl::string_match(50_000 * s, 3),
+        wl::word_count(20_000 * s, 4),
+        wl::histogram(20_000 * s, 5),
+        wl::linear_regression(20_000 * s, 6),
+        wl::group_by(20_000 * s, 7),
+        wl::matrix_addition(16 * s, 8),
+        wl::matrix_multiplication(3 * s, 9),
+        wl::pagerank(20 * s, 2, 10),
+        wl::kmeans(2_000 * s, 3, 1, 11),
+        wl::matrix_factorization(2 * s, 2, 1, 12),
+    ];
+    for w in workloads {
+        let par = run_diablo(&w, &ctx);
+        let seq = run_interp(&w);
+        println!(
+            "{:<24} {:>10} {:>12} {:>10} {:>10}",
+            w.name,
+            w.input_rows(),
+            mb(w.input_bytes()),
+            secs(par),
+            secs(seq)
+        );
+    }
+    println!();
+}
+
+// ----------------------------------------------------------------- Figure 3
+
+type Maker = fn(usize, u64) -> Workload;
+
+/// Panel id, display title, workload maker, base size, whether the Casper
+/// line exists in the paper's panel.
+const PANELS: &[(&str, &str, Maker, usize, bool)] = &[
+    ("a", "Conditional Sum", |n, s| wl::conditional_sum(n, s), 40_000, true),
+    ("b", "Equal", |n, s| wl::equal(n, s), 40_000, true),
+    ("c", "String Match", |n, s| wl::string_match(n, s), 40_000, true),
+    ("d", "Word Count", |n, s| wl::word_count(n, s), 40_000, true),
+    ("e", "Histogram", |n, s| wl::histogram(n, s), 40_000, false),
+    ("f", "Linear Regression", |n, s| wl::linear_regression(n, s), 40_000, false),
+    ("g", "Group By", |n, s| wl::group_by(n, s), 40_000, false),
+    ("h", "Matrix Addition", |n, s| wl::matrix_addition(n, s), 60, false),
+    ("i", "Matrix Multiplication", |n, s| wl::matrix_multiplication(n, s), 30, false),
+    ("j", "PageRank", |n, s| wl::pagerank(n, 2, s), 150, false),
+    ("k", "KMeans Clustering", |n, s| wl::kmeans(n, 10, 1, s), 4_000, false),
+    ("l", "Matrix Factorization", |n, s| wl::matrix_factorization(n, 2, 1, s), 30, false),
+];
+
+/// One Figure 3 panel: a size sweep comparing DIABLO against the
+/// hand-written program (and a Casper summary where the paper plots one).
+fn fig3(letter: &str) {
+    let Some((_, title, maker, base, casper)) = PANELS.iter().find(|p| p.0 == letter) else {
+        eprintln!("unknown panel fig3{letter}");
+        std::process::exit(2);
+    };
+    println!(
+        "== Figure 3{}: {title} ====================================",
+        letter.to_uppercase()
+    );
+    let header = if *casper {
+        format!(
+            "{:>12} {:>12} {:>14} {:>12}",
+            "size (MB)", "DIABLO", "hand-written", "Casper"
+        )
+    } else {
+        format!("{:>12} {:>12} {:>14}", "size (MB)", "DIABLO", "hand-written")
+    };
+    println!("{header}");
+    let ctx = Context::default_parallel();
+    let s = scale();
+    // The Casper summary is synthesized once, on the smallest size.
+    let casper_prog = if *casper {
+        casper_translate_with_budget(&maker(base / 5, 100), 300_000).ok()
+    } else {
+        None
+    };
+    for step in 1..=5usize {
+        let n = base * step * s;
+        let w = maker(n, 100 + step as u64);
+        let diablo = run_diablo(&w, &ctx);
+        let hand = run_handwritten(&w, &ctx).expect("handwritten");
+        let mut line = format!(
+            "{:>12} {:>12} {:>14}",
+            mb(w.input_bytes()),
+            secs(diablo),
+            secs(hand)
+        );
+        if let Some(prog) = &casper_prog {
+            let t = run_casper_program(prog, &w, &ctx).expect("casper run");
+            line = format!("{line} {:>12}", secs(t));
+        }
+        println!("{line}");
+    }
+    println!();
+}
+
+// ------------------------------------------------------------- §5 ablation
+
+/// §5 ablation: sparse matrix multiplication (the DIABLO plan) vs the
+/// packed/tiled path with dense tile kernels and the no-shuffle merge.
+fn tiles() {
+    println!("== §5 ablation: sparse vs tiled matrix multiplication =====================");
+    println!(
+        "{:>6} {:>14} {:>14} {:>16}",
+        "d", "sparse (s)", "tiled (s)", "tiled+pack (s)"
+    );
+    let ctx = Context::default_parallel();
+    let s = scale();
+    for &d in &[20usize * s, 40 * s, 60 * s, 80 * s] {
+        let w = wl::matrix_multiplication(d, 7);
+        let sparse = run_diablo(&w, &ctx);
+        // Tiled path: dense 8×8 tiles, dense inner kernels.
+        let m_rows = &w.collections[0].1;
+        let n_rows = &w.collections[1].1;
+        let tm = TiledMatrix::pack_values(8, 8, m_rows).expect("pack M");
+        let tn = TiledMatrix::pack_values(8, 8, n_rows).expect("pack N");
+        let (_, tiled) = time_once(|| tm.multiply(&tn));
+        // Including pack/unpack conversion (the layer §5 fuses away).
+        let start = Instant::now();
+        let tm2 = TiledMatrix::pack_values(8, 8, m_rows).expect("pack M");
+        let tn2 = TiledMatrix::pack_values(8, 8, n_rows).expect("pack N");
+        let prod = tm2.multiply(&tn2);
+        let _ = prod.unpack_values();
+        let with_pack: Duration = start.elapsed();
+        println!(
+            "{:>6} {:>14} {:>14} {:>16}",
+            d,
+            secs(sparse),
+            secs(tiled),
+            secs(with_pack)
+        );
+    }
+    println!();
+}

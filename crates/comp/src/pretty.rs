@@ -1,0 +1,119 @@
+//! Pretty printer for the comprehension calculus, matching the paper's
+//! notation: `{ e | p ← X, let v = e, pred, group by k }`.
+
+use crate::ir::{CExpr, Comprehension, Pattern, Qual};
+
+/// Pretty-prints a comprehension expression.
+pub fn pretty_cexpr(e: &CExpr) -> String {
+    match e {
+        CExpr::Var(v) => v.clone(),
+        CExpr::Const(v) => v.to_string(),
+        CExpr::Bin(op, a, b) => format!("({} {} {})", pretty_cexpr(a), op.symbol(), pretty_cexpr(b)),
+        CExpr::Un(op, a) => match op {
+            diablo_runtime::UnOp::Neg => format!("(-{})", pretty_cexpr(a)),
+            diablo_runtime::UnOp::Not => format!("(!{})", pretty_cexpr(a)),
+        },
+        CExpr::Call(f, args) => {
+            let args = args.iter().map(pretty_cexpr).collect::<Vec<_>>().join(", ");
+            format!("{}({args})", f.name())
+        }
+        CExpr::Tuple(fs) => {
+            let fs = fs.iter().map(pretty_cexpr).collect::<Vec<_>>().join(", ");
+            format!("({fs})")
+        }
+        CExpr::Record(fs) => {
+            let fs = fs
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", pretty_cexpr(e)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("<| {fs} |>")
+        }
+        CExpr::Proj(e, f) => format!("{}.{f}", pretty_cexpr(e)),
+        CExpr::Comp(c) => pretty_comp(c),
+        CExpr::Agg(op, e) => format!("{}/{}", op.op.symbol(), pretty_cexpr(e)),
+        CExpr::Merge { left, right, combine } => match combine {
+            None => format!("({} ⊳ {})", pretty_cexpr(left), pretty_cexpr(right)),
+            Some(op) => format!("({} ⊳[{}] {})", pretty_cexpr(left), op.symbol(), pretty_cexpr(right)),
+        },
+        CExpr::Range(lo, hi) => format!("range({}, {})", pretty_cexpr(lo), pretty_cexpr(hi)),
+    }
+}
+
+/// Pretty-prints a comprehension.
+pub fn pretty_comp(c: &Comprehension) -> String {
+    if c.quals.is_empty() {
+        return format!("{{ {} }}", pretty_cexpr(&c.head));
+    }
+    let quals = c
+        .quals
+        .iter()
+        .map(pretty_qual)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{ {} | {quals} }}", pretty_cexpr(&c.head))
+}
+
+/// Pretty-prints a qualifier.
+pub fn pretty_qual(q: &Qual) -> String {
+    match q {
+        Qual::Gen(p, e) => format!("{} <- {}", pretty_pattern(p), pretty_cexpr(e)),
+        Qual::Let(p, e) => format!("let {} = {}", pretty_pattern(p), pretty_cexpr(e)),
+        Qual::Pred(e) => pretty_cexpr(e),
+        Qual::GroupBy(p, e) => format!("group by {} : {}", pretty_pattern(p), pretty_cexpr(e)),
+    }
+}
+
+/// Pretty-prints a pattern.
+pub fn pretty_pattern(p: &Pattern) -> String {
+    match p {
+        Pattern::Var(v) => v.clone(),
+        Pattern::Tuple(ps) => {
+            let ps = ps.iter().map(pretty_pattern).collect::<Vec<_>>().join(", ");
+            format!("({ps})")
+        }
+        Pattern::Wild => "_".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_runtime::{AggOp, BinOp};
+
+    #[test]
+    fn prints_the_intro_comprehension() {
+        // { (k, +/v) | (i, k, v) ← A, group by k }
+        let c = Comprehension::new(
+            CExpr::pair(
+                CExpr::var("k"),
+                CExpr::Agg(AggOp::new(BinOp::Add).unwrap(), Box::new(CExpr::var("v"))),
+            ),
+            vec![
+                Qual::Gen(
+                    Pattern::Tuple(vec![
+                        Pattern::var("i"),
+                        Pattern::var("k"),
+                        Pattern::var("v"),
+                    ]),
+                    CExpr::var("A"),
+                ),
+                Qual::GroupBy(Pattern::var("k"), CExpr::var("k")),
+            ],
+        );
+        assert_eq!(
+            pretty_comp(&c),
+            "{ (k, +/v) | (i, k, v) <- A, group by k : k }"
+        );
+    }
+
+    #[test]
+    fn prints_merges_and_ranges() {
+        let e = CExpr::Merge {
+            left: Box::new(CExpr::var("V")),
+            right: Box::new(CExpr::Range(Box::new(CExpr::long(1)), Box::new(CExpr::long(9)))),
+            combine: Some(BinOp::Add),
+        };
+        assert_eq!(pretty_cexpr(&e), "(V ⊳[+] range(1, 9))");
+    }
+}

@@ -1,0 +1,675 @@
+//! Dependence analysis and the parallelization restrictions of §3.2.
+//!
+//! For every statement `s` inside a for-loop the analysis computes the
+//! readers R⟦s⟧, writers W⟦s⟧, and aggregators A⟦s⟧ (the L-values read,
+//! written, and incremented). A for-loop is *affine* (Definition 3.1), and
+//! therefore parallelizable, when:
+//!
+//! 1. the destination of every non-incremental update is affine — its
+//!    indexes are affine expressions covering all enclosing loop indexes,
+//!    so each iteration writes a distinct location;
+//! 2. no two statements have overlapping aggregate/write → read
+//!    dependencies, except
+//!    * (a) a write followed by a read of the *same* L-value, and
+//!    * (b) an increment followed by a read of the same L-value, provided
+//!      the read destination is affine and
+//!      `context(s1) ∩ context(s2) = indexes(d)`.
+//!
+//! Two soundness patches beyond the paper's text (documented in DESIGN.md):
+//! write/aggregate and aggregate/aggregate conflicts on the *same array at
+//! different locations* are also rejected (loop fission would reorder
+//! them), and reads of a sub-location (`d.A` after writing `d`) are treated
+//! as reads of `d` for the exceptions.
+
+use std::collections::HashSet;
+
+use diablo_lang::ast::{Expr, Lhs, Stmt};
+use diablo_lang::lexer::Span;
+use diablo_lang::types::TypedProgram;
+use diablo_lang::LangError;
+use diablo_runtime::BinOp;
+
+/// Result alias: analysis failures are front-end errors with spans.
+pub type Result<T> = std::result::Result<T, LangError>;
+
+/// What a leaf statement does to its destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Write,
+    Aggregate(BinOp),
+}
+
+/// One leaf update event collected from a loop body.
+#[derive(Debug, Clone)]
+struct Event {
+    /// Traversal order within the loop.
+    order: usize,
+    /// Enclosing loop indexes, outermost first.
+    context: Vec<String>,
+    /// The destination L-value.
+    dest: Lhs,
+    /// Write or aggregate.
+    kind: Kind,
+    /// Everything the statement reads: RHS destinations, destination index
+    /// expressions, and enclosing if-conditions.
+    reads: Vec<Lhs>,
+    /// Source location for diagnostics.
+    span: Span,
+}
+
+/// Checks the whole program: every maximal for-loop must satisfy
+/// Definition 3.1. Returns `Ok(())` or the first violation.
+pub fn check_restrictions(tp: &TypedProgram) -> Result<()> {
+    for s in &tp.program.body {
+        check_stmt(s, tp)?;
+    }
+    Ok(())
+}
+
+fn check_stmt(s: &Stmt, tp: &TypedProgram) -> Result<()> {
+    match s {
+        Stmt::For { .. } | Stmt::ForIn { .. } => check_loop(s, tp),
+        Stmt::While { body, .. } => check_stmt(body, tp),
+        Stmt::If { then_branch, else_branch, .. } => {
+            check_stmt(then_branch, tp)?;
+            if let Some(e) = else_branch {
+                check_stmt(e, tp)?;
+            }
+            Ok(())
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                check_stmt(s, tp)?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Checks one maximal for-loop.
+fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram) -> Result<()> {
+    let mut events = Vec::new();
+    let mut order = 0usize;
+    collect_events(
+        loop_stmt,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut events,
+        &mut order,
+        tp,
+    )?;
+
+    // Restriction 1: non-incremental destinations must be affine.
+    for ev in &events {
+        if ev.kind == Kind::Write && !affine(&ev.dest, &ev.context, tp) {
+            return Err(LangError::new(
+                format!(
+                    "destination `{}` of a non-incremental update is not affine: its indexes \
+                     must be affine expressions covering all enclosing loop indexes {:?} \
+                     (Definition 3.1, restriction 1)",
+                    diablo_lang::pretty::pretty_lhs(&ev.dest),
+                    ev.context
+                ),
+                ev.span,
+            ));
+        }
+    }
+
+    // Restriction 2: dependence pairs.
+    for s1 in &events {
+        for s2 in &events {
+            // (A ∪ W)(s1) × R(s2)
+            for d2 in &s2.reads {
+                if !overlap(&s1.dest, d2) {
+                    continue;
+                }
+                let precedes = s1.order < s2.order;
+                let same_loc = contains(&s1.dest, d2);
+                let ok = match s1.kind {
+                    // Exception (a): write then read of the same location.
+                    Kind::Write => same_loc && precedes,
+                    // Exception (b): increment then read of the same
+                    // location, affine, with the context condition.
+                    Kind::Aggregate(_) => {
+                        let ctx1: HashSet<&String> = s1.context.iter().collect();
+                        let ctx2: HashSet<&String> = s2.context.iter().collect();
+                        let inter: HashSet<&String> =
+                            ctx1.intersection(&ctx2).copied().collect();
+                        let idx = indexes(&s1.dest, tp);
+                        let idx: HashSet<&String> = idx.iter().collect();
+                        same_loc
+                            && precedes
+                            && affine(d2, &s2.context, tp)
+                            && inter == idx
+                    }
+                };
+                if !ok {
+                    return Err(LangError::new(
+                        format!(
+                            "loop-carried dependence: `{}` is {} and `{}` is read in the same \
+                             loop (Definition 3.1, restriction 2)",
+                            diablo_lang::pretty::pretty_lhs(&s1.dest),
+                            match s1.kind {
+                                Kind::Write => "written",
+                                Kind::Aggregate(_) => "incremented",
+                            },
+                            diablo_lang::pretty::pretty_lhs(d2),
+                        ),
+                        s2.span,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Soundness patch: write/aggregate and mixed-operator aggregate pairs
+    // on the same array must target the same location.
+    for s1 in &events {
+        for s2 in &events {
+            if s1.order >= s2.order || !overlap(&s1.dest, &s2.dest) {
+                continue;
+            }
+            match (s1.kind, s2.kind) {
+                (Kind::Write, Kind::Write) => {
+                    // Both affine by restriction 1; distinct statements
+                    // writing overlapping arrays at different locations
+                    // would be order-dependent.
+                    if s1.dest != s2.dest {
+                        return Err(LangError::new(
+                            format!(
+                                "two non-incremental updates write the array `{}` at \
+                                 different locations in the same loop",
+                                s1.dest.base_var()
+                            ),
+                            s2.span,
+                        ));
+                    }
+                }
+                (Kind::Write, Kind::Aggregate(_)) | (Kind::Aggregate(_), Kind::Write) => {
+                    if s1.dest != s2.dest {
+                        return Err(LangError::new(
+                            format!(
+                                "array `{}` is both written and incremented at different \
+                                 locations in the same loop",
+                                s1.dest.base_var()
+                            ),
+                            s2.span,
+                        ));
+                    }
+                }
+                (Kind::Aggregate(op1), Kind::Aggregate(op2)) => {
+                    if op1 != op2 && s1.dest != s2.dest {
+                        return Err(LangError::new(
+                            format!(
+                                "array `{}` is incremented with different operators at \
+                                 different locations in the same loop",
+                                s1.dest.base_var()
+                            ),
+                            s2.span,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collects leaf update events from a loop body.
+///
+/// `context` accumulates loop indexes; `conds` accumulates enclosing
+/// if-conditions (their reads belong to every nested statement).
+#[allow(clippy::only_used_in_recursion)]
+fn collect_events(
+    s: &Stmt,
+    context: &mut Vec<String>,
+    conds: &mut Vec<Expr>,
+    events: &mut Vec<Event>,
+    order: &mut usize,
+    tp: &TypedProgram,
+) -> Result<()> {
+    match s {
+        Stmt::Assign { dest, value, span } | Stmt::Incr { dest, value, span, .. } => {
+            let kind = match s {
+                Stmt::Incr { op, .. } => Kind::Aggregate(*op),
+                _ => Kind::Write,
+            };
+            let mut reads = Vec::new();
+            value.destinations(&mut reads);
+            for e in dest.index_exprs() {
+                e.destinations(&mut reads);
+            }
+            for c in conds.iter() {
+                c.destinations(&mut reads);
+            }
+            events.push(Event {
+                order: *order,
+                context: context.clone(),
+                dest: dest.clone(),
+                kind,
+                reads,
+                span: *span,
+            });
+            *order += 1;
+            Ok(())
+        }
+        Stmt::Decl { name, span, .. } => Err(LangError::new(
+            format!("`var {name}` declarations cannot appear inside for-loops"),
+            *span,
+        )),
+        Stmt::For { var, lo, hi, body, span } => {
+            // Bound expressions are evaluated per enclosing iteration; their
+            // reads matter for the dependence pairs, so record them as a
+            // pseudo-read via the condition mechanism.
+            let _ = span;
+            let bound_reads = Expr::Bin(
+                diablo_runtime::BinOp::Add,
+                Box::new(lo.clone()),
+                Box::new(hi.clone()),
+            );
+            conds.push(bound_reads);
+            context.push(var.clone());
+            collect_events(body, context, conds, events, order, tp)?;
+            context.pop();
+            conds.pop();
+            Ok(())
+        }
+        Stmt::ForIn { var, source, body, span } => {
+            let _ = span;
+            conds.push(source.clone());
+            // The element variable is a value, not a position: it cannot
+            // serve as an affine index. Push a synthetic index name that no
+            // destination can mention, so non-incremental updates inside
+            // for-in loops are rejected unless they do not depend on the
+            // iteration at all.
+            context.push(format!("{var}@pos"));
+            collect_events(body, context, conds, events, order, tp)?;
+            context.pop();
+            conds.pop();
+            Ok(())
+        }
+        Stmt::While { span, .. } => Err(LangError::new(
+            "while-loops inside for-loops make the loop sequential, which this \
+             implementation does not support (the paper sequentializes such loops)",
+            *span,
+        )),
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            conds.push(cond.clone());
+            collect_events(then_branch, context, conds, events, order, tp)?;
+            if let Some(e) = else_branch {
+                collect_events(e, context, conds, events, order, tp)?;
+            }
+            conds.pop();
+            Ok(())
+        }
+        Stmt::Block(ss) => {
+            for s in ss {
+                collect_events(s, context, conds, events, order, tp)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Two L-values overlap when they may denote the same memory (§3.2).
+pub fn overlap(d1: &Lhs, d2: &Lhs) -> bool {
+    match (d1, d2) {
+        (Lhs::Var(a), Lhs::Var(b)) => a == b,
+        (Lhs::Proj(a, f), Lhs::Proj(b, g)) => f == g && overlap(a, b),
+        (Lhs::Index(a, _), Lhs::Index(b, _)) => a == b,
+        // Mixed shapes: conservative — same base variable overlaps.
+        _ => d1.base_var() == d2.base_var(),
+    }
+}
+
+/// `d2` reads the same location as `d1` when it is `d1` itself or a
+/// projection out of it.
+fn contains(d1: &Lhs, d2: &Lhs) -> bool {
+    if d1 == d2 {
+        return true;
+    }
+    match d2 {
+        Lhs::Proj(base, _) => contains(d1, base),
+        _ => false,
+    }
+}
+
+/// The loop indexes appearing anywhere in the destination's indexes.
+pub fn indexes(d: &Lhs, tp: &TypedProgram) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for e in d.index_exprs() {
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        for v in vars {
+            if tp.is_loop_var(&v) {
+                out.insert(v);
+            }
+        }
+    }
+    out
+}
+
+/// `affine(d, s)` of §3.2: the destination denotes a distinct location for
+/// each combination of the enclosing loop indexes.
+pub fn affine(d: &Lhs, context: &[String], tp: &TypedProgram) -> bool {
+    match d {
+        Lhs::Var(_) => context.is_empty(),
+        Lhs::Proj(base, _) => affine(base, context, tp),
+        Lhs::Index(_, idxs) => {
+            let mut used: HashSet<String> = HashSet::new();
+            for e in idxs {
+                match affine_expr(e, tp) {
+                    Some(vars) => used.extend(vars),
+                    None => return false,
+                }
+            }
+            context.iter().all(|c| used.contains(c))
+        }
+    }
+}
+
+/// If `e` is an affine expression `c0 + c1*i1 + ... + ck*ik` over loop
+/// indexes, returns the set of loop indexes it uses; otherwise `None`.
+/// Loop-invariant scalar variables count as constants.
+pub fn affine_expr(e: &Expr, tp: &TypedProgram) -> Option<HashSet<String>> {
+    use diablo_runtime::BinOp::*;
+    match e {
+        Expr::Const(_) => Some(HashSet::new()),
+        Expr::Dest(Lhs::Var(v)) => {
+            if tp.is_loop_var(v) {
+                Some(HashSet::from([v.clone()]))
+            } else if tp.is_collection(v) {
+                None
+            } else {
+                Some(HashSet::new()) // loop-invariant scalar
+            }
+        }
+        Expr::Dest(_) => None, // array reads / projections are not affine
+        Expr::Un(diablo_runtime::UnOp::Neg, a) => affine_expr(a, tp),
+        Expr::Bin(Add | Sub, a, b) => {
+            let x = affine_expr(a, tp)?;
+            let y = affine_expr(b, tp)?;
+            Some(x.union(&y).cloned().collect())
+        }
+        Expr::Bin(Mul, a, b) => {
+            let x = affine_expr(a, tp)?;
+            let y = affine_expr(b, tp)?;
+            // Linear only if one factor is index-free.
+            if x.is_empty() {
+                Some(y)
+            } else if y.is_empty() {
+                Some(x)
+            } else {
+                None
+            }
+        }
+        Expr::Bin(Div | Mod, a, b) => {
+            // i / c and i % c are not injective; only index-free divisions
+            // count as constants.
+            let x = affine_expr(a, tp)?;
+            let y = affine_expr(b, tp)?;
+            (x.is_empty() && y.is_empty()).then(HashSet::new)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_lang::{parse, typecheck};
+
+    fn analyzed(src: &str) -> Result<()> {
+        let tp = typecheck(parse(src)?)?;
+        check_restrictions(&tp)
+    }
+
+    #[test]
+    fn accepts_matrix_multiplication() {
+        let src = r#"
+            input M: matrix[double];
+            input N: matrix[double];
+            input d: long;
+            var R: matrix[double] = matrix();
+            for i = 0, d-1 do
+              for j = 0, d-1 do {
+                R[i, j] := 0.0;
+                for k = 0, d-1 do
+                  R[i, j] += M[i, k] * N[k, j];
+              };
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_stencil_recurrence() {
+        // for i do V[i] := (V[i-1] + V[i+1]) / 2 — V read and written (§3.2).
+        let src = r#"
+            input V: vector[double];
+            input n: long;
+            for i = 1, n-2 do
+              V[i] := (V[i-1] + V[i+1]) / 2.0;
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("dependence"), "{err}");
+    }
+
+    #[test]
+    fn accepts_two_pass_stencil_rewrite() {
+        // The paper's rewrite: copy into V2 first, then read V2.
+        let src = r#"
+            input V: vector[double];
+            input n: long;
+            var V2: vector[double] = vector();
+            for i = 0, n-1 do V2[i] := V[i];
+            for i = 1, n-2 do V[i] := (V2[i-1] + V2[i+1]) / 2.0;
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_scalar_temporary_in_loop() {
+        // for i do { n := V[i]; W[i] := n } — n is not affine (§3.2).
+        let src = r#"
+            input V: vector[double];
+            var n: double = 0.0;
+            var W: vector[double] = vector();
+            for i = 0, 9 do {
+                n := V[i];
+                W[i] := n + 1.0;
+            };
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("not affine"), "{err}");
+    }
+
+    #[test]
+    fn accepts_vectorized_temporary() {
+        // The paper's fix: n becomes a vector n[i].
+        let src = r#"
+            input V: vector[double];
+            var n: vector[double] = vector();
+            var W: vector[double] = vector();
+            for i = 0, 9 do {
+                n[i] := V[i];
+                W[i] := n[i] + 1.0;
+            };
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn accepts_increment_then_read_per_paper_example() {
+        // for i { for j { V[i] += 1 }; W[i] := V[i] } — exception (b).
+        let src = r#"
+            var V: vector[long] = vector();
+            var W: vector[long] = vector();
+            for i = 0, 9 do {
+                for j = 0, 9 do V[i] += 1;
+                W[i] := V[i];
+            };
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_increment_read_violating_context_condition() {
+        // M[i, j] := V[i] inside the j-loop: contexts intersect at {i, j}
+        // but indexes(V[i]) = {i} — violates exception (b).
+        let src = r#"
+            var V: vector[long] = vector();
+            var M: matrix[long] = matrix();
+            for i = 0, 9 do
+                for j = 0, 9 do {
+                    V[i] += 1;
+                    M[i, j] := V[i];
+                };
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("dependence"), "{err}");
+    }
+
+    #[test]
+    fn rejects_scalar_destination_under_loop() {
+        // pq := 0.0 inside the loops of matrix factorization (§3.2).
+        let src = r#"
+            input R: matrix[double];
+            var pq: double = 0.0;
+            for i = 0, 9 do
+              for j = 0, 9 do
+                pq := 0.0;
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("not affine"), "{err}");
+    }
+
+    #[test]
+    fn accepts_group_by_style_increment() {
+        // Arbitrary destination index is fine for increments.
+        let src = r#"
+            input V: vector[<|K: long, D: long|>];
+            var C: vector[long] = vector();
+            for i = 0, 99 do C[V[i].K] += V[i].D;
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_increment_of_array_read_in_same_loop() {
+        // V[W[i]] += V[i]: V is both incremented (at an arbitrary index)
+        // and read.
+        let src = r#"
+            input W: vector[long];
+            var V: vector[long] = vector();
+            for i = 0, 9 do V[W[i]] += V[i];
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("dependence"), "{err}");
+    }
+
+    #[test]
+    fn rejects_write_and_increment_at_different_locations() {
+        let src = r#"
+            var V: vector[long] = vector();
+            for i = 0, 9 do {
+                V[i] := 0;
+                V[i+1] += 1;
+            };
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("different locations"), "{err}");
+    }
+
+    #[test]
+    fn accepts_zero_then_accumulate() {
+        let src = r#"
+            var V: vector[long] = vector();
+            for i = 0, 9 do {
+                V[i] := 0;
+                V[i] += 1;
+            };
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn rejects_while_inside_for() {
+        let src = r#"
+            var V: vector[long] = vector();
+            var k: long = 0;
+            for i = 0, 9 do
+                while (k < 3) k += 1;
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("while"), "{err}");
+    }
+
+    #[test]
+    fn affine_expressions() {
+        let src = r#"
+            input n: long;
+            input V: vector[long];
+            var W: vector[long] = vector();
+            for i = 0, 9 do W[2*i + n] := V[i];
+        "#;
+        analyzed(src).unwrap();
+        // i*i is not affine.
+        let bad = r#"
+            input V: vector[long];
+            var W: vector[long] = vector();
+            for i = 0, 9 do W[i*i] := V[i];
+        "#;
+        assert!(analyzed(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_non_affine_write_in_for_in() {
+        // A non-incremental update keyed on the element value may collide.
+        let src = r#"
+            input V: vector[long];
+            var W: vector[long] = vector();
+            for v in V do W[v] := 1;
+        "#;
+        let err = analyzed(src).unwrap_err();
+        assert!(err.message.contains("not affine"), "{err}");
+    }
+
+    #[test]
+    fn accepts_increment_in_for_in() {
+        let src = r#"
+            input V: vector[long];
+            var W: vector[long] = vector();
+            for v in V do W[v] += 1;
+        "#;
+        analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn accepts_matrix_factorization_shape() {
+        // The rectified §3.2 program with pq and error as matrices.
+        let src = r#"
+            input R: matrix[double];
+            input P0: matrix[double];
+            input Q0: matrix[double];
+            input n: long; input m: long; input l: long;
+            input a: double; input b: double;
+            var P: matrix[double] = matrix();
+            var Q: matrix[double] = matrix();
+            var pq: matrix[double] = matrix();
+            var err: matrix[double] = matrix();
+            for i = 0, n-1 do
+              for j = 0, m-1 do {
+                pq[i, j] := 0.0;
+                for k = 0, l-1 do
+                  pq[i, j] += P0[i, k] * Q0[k, j];
+                err[i, j] := R[i, j] - pq[i, j];
+                for k = 0, l-1 do {
+                  P[i, k] += a * (2.0 * err[i, j] * Q0[k, j] - b * P0[i, k]);
+                  Q[k, j] += a * (2.0 * err[i, j] * P0[i, k] - b * Q0[k, j]);
+                };
+              };
+        "#;
+        analyzed(src).unwrap();
+    }
+}

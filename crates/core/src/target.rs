@@ -1,0 +1,81 @@
+//! The target code of the translation (§3.8).
+//!
+//! ```text
+//! c ::= v := e          assignment (scalar or whole-array, in bulk)
+//!     | while(e, c)     sequential loop
+//!     | [c1, ..., cn]   code block
+//! ```
+//!
+//! An assignment to a *scalar* variable receives a bag expression of type
+//! `{t}`: the driver extracts the single element (an empty bag leaves the
+//! variable unchanged — the sparse "missing element" semantics). An
+//! assignment to an *array* variable replaces the whole array with a new
+//! one, usually a merge `V ⊳ x`.
+
+use diablo_comp::CExpr;
+use diablo_lang::Type;
+
+/// One statement of the target language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TStmt {
+    /// `name := value` — `value` is a comprehension-calculus expression.
+    Assign {
+        /// Destination variable.
+        name: String,
+        /// Bag-valued expression for scalars; array-valued for collections.
+        value: CExpr,
+        /// True when `name` holds a collection (executed on the engine);
+        /// false for scalars (the bag's single element is extracted).
+        collection: bool,
+    },
+    /// `while(cond, body)` — `cond` is a bag expression whose single
+    /// element must be a boolean.
+    While {
+        /// Loop condition (lifted to a bag, per E⟦·⟧).
+        cond: CExpr,
+        /// Loop body.
+        body: Vec<TStmt>,
+    },
+}
+
+/// A compiled program: target statements plus the metadata the driver
+/// needs to bind inputs and read results.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Target statements in execution order.
+    pub stmts: Vec<TStmt>,
+    /// Declared inputs `(name, type)`.
+    pub inputs: Vec<(String, Type)>,
+    /// The type of every program variable.
+    pub var_types: std::collections::HashMap<String, Type>,
+}
+
+impl CompiledProgram {
+    /// True if the named variable holds a collection.
+    pub fn is_collection(&self, name: &str) -> bool {
+        self.var_types.get(name).is_some_and(Type::is_collection)
+    }
+
+    /// Names of all collection-typed variables.
+    pub fn collection_names(&self) -> std::collections::HashSet<String> {
+        self.var_types
+            .iter()
+            .filter(|(_, t)| t.is_collection())
+            .map(|(n, _)| n.clone())
+            .collect()
+    }
+
+    /// Total number of target statements (recursing into while bodies).
+    pub fn statement_count(&self) -> usize {
+        fn count(stmts: &[TStmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    TStmt::Assign { .. } => 1,
+                    TStmt::While { body, .. } => 1 + count(body),
+                })
+                .sum()
+        }
+        count(&self.stmts)
+    }
+}

@@ -1,0 +1,705 @@
+//! The partitioned [`Dataset`] and its operators.
+//!
+//! Rows are [`Value`]s. Keyed operators (`reduce_by_key`, `group_by_key`,
+//! `cogroup`, `join`, `merge`) expect rows shaped as `(key, value)` pairs —
+//! exactly the sparse-array representation of §3.4 — and hash-partition
+//! rows by key before the reduction stage, which is the engine's shuffle.
+//!
+//! All operators are eager and deterministic: a shuffle distributes rows by
+//! key hash, and output order within a partition follows (source partition,
+//! source position) order, so repeated runs produce identical results.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use diablo_runtime::{array::key_value, size::slice_size, RuntimeError, Value};
+
+use crate::pool::run_stage;
+use crate::Context;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// An immutable, partitioned bag of rows.
+#[derive(Clone)]
+pub struct Dataset {
+    ctx: Context,
+    parts: Arc<Vec<Vec<Value>>>,
+}
+
+fn key_hash(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+impl Dataset {
+    /// Builds a dataset by chunking `rows` into the context's partitions.
+    pub fn from_vec(ctx: Context, rows: Vec<Value>) -> Dataset {
+        let p = ctx.partitions();
+        let chunk = rows.len().div_ceil(p).max(1);
+        let mut parts: Vec<Vec<Value>> = Vec::with_capacity(p);
+        let mut it = rows.into_iter();
+        for _ in 0..p {
+            let part: Vec<Value> = it.by_ref().take(chunk).collect();
+            parts.push(part);
+        }
+        Dataset { ctx, parts: Arc::new(parts) }
+    }
+
+    /// Builds the dataset `{lo, ..., hi}` of longs, range-partitioned.
+    pub fn range(ctx: Context, lo: i64, hi: i64) -> Dataset {
+        let p = ctx.partitions() as i64;
+        let n = (hi - lo + 1).max(0);
+        let chunk = (n + p - 1) / p.max(1);
+        let mut parts = Vec::with_capacity(p as usize);
+        for i in 0..p {
+            let start = lo + i * chunk;
+            let end = (start + chunk - 1).min(hi);
+            if start > hi {
+                parts.push(Vec::new());
+            } else {
+                parts.push((start..=end).map(Value::Long).collect());
+            }
+        }
+        Dataset { ctx, parts: Arc::new(parts) }
+    }
+
+    /// Rebuilds a dataset from explicit partitions (internal).
+    fn from_parts(ctx: Context, parts: Vec<Vec<Value>>) -> Dataset {
+        Dataset { ctx, parts: Arc::new(parts) }
+    }
+
+    /// The engine context this dataset belongs to.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Number of rows.
+    pub fn count(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// Estimated serialized size of all rows, in bytes (sampled).
+    pub fn estimated_bytes(&self) -> u64 {
+        estimate_bytes(&self.parts)
+    }
+
+    /// Materializes all rows in partition order.
+    pub fn collect(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.count());
+        for p in self.parts.iter() {
+            out.extend(p.iter().cloned());
+        }
+        out
+    }
+
+    /// Materializes all rows sorted (for deterministic comparisons).
+    pub fn collect_sorted(&self) -> Vec<Value> {
+        let mut rows = self.collect();
+        rows.sort();
+        rows
+    }
+
+    /// Shares the whole dataset with every task — Spark's broadcast.
+    pub fn broadcast(&self) -> Arc<Vec<Value>> {
+        let rows = self.collect();
+        self.ctx.stats().record_broadcast(rows.len() as u64);
+        Arc::new(rows)
+    }
+
+    // ------------------------------------------------------------- narrow
+
+    /// Applies `f` to every row.
+    pub fn map<F>(&self, f: F) -> Result<Dataset>
+    where
+        F: Fn(&Value) -> Result<Value> + Sync,
+    {
+        self.ctx.next_stage();
+        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
+            part.iter().map(&f).collect::<Result<Vec<_>>>()
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// Applies `f` to every row, flattening the results.
+    pub fn flat_map<F>(&self, f: F) -> Result<Dataset>
+    where
+        F: Fn(&Value) -> Result<Vec<Value>> + Sync,
+    {
+        self.ctx.next_stage();
+        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
+            let mut out = Vec::with_capacity(part.len());
+            for row in part {
+                out.extend(f(row)?);
+            }
+            Ok(out)
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// Keeps the rows satisfying `f`.
+    pub fn filter<F>(&self, f: F) -> Result<Dataset>
+    where
+        F: Fn(&Value) -> Result<bool> + Sync,
+    {
+        self.ctx.next_stage();
+        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
+            let mut out = Vec::with_capacity(part.len());
+            for row in part {
+                if f(row)? {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// Partition-at-a-time transformation (Spark's `mapPartitions`).
+    pub fn map_partitions<F>(&self, f: F) -> Result<Dataset>
+    where
+        F: Fn(&[Value]) -> Result<Vec<Value>> + Sync,
+    {
+        self.ctx.next_stage();
+        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| f(part))?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// Bag union (no dedup), preserving partition count.
+    pub fn union(&self, other: &Dataset) -> Dataset {
+        self.ctx.next_stage();
+        let mut parts: Vec<Vec<Value>> = self.parts.as_ref().clone();
+        let n = parts.len();
+        for (i, p) in other.parts.iter().enumerate() {
+            parts[i % n].extend(p.iter().cloned());
+        }
+        Dataset::from_parts(self.ctx.clone(), parts)
+    }
+
+    /// Total reduction with a binary combiner: per-partition folds followed
+    /// by a fold over partial results (Spark's `reduce`). Returns `None` on
+    /// an empty dataset.
+    pub fn reduce<F>(&self, f: F) -> Result<Option<Value>>
+    where
+        F: Fn(&Value, &Value) -> Result<Value> + Sync,
+    {
+        self.ctx.next_stage();
+        let partials = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
+            let mut acc: Option<Value> = None;
+            for row in part {
+                acc = Some(match acc {
+                    None => row.clone(),
+                    Some(a) => f(&a, row)?,
+                });
+            }
+            Ok(acc)
+        })?;
+        let mut acc: Option<Value> = None;
+        for p in partials.into_iter().flatten() {
+            acc = Some(match acc {
+                None => p,
+                Some(a) => f(&a, &p)?,
+            });
+        }
+        Ok(acc)
+    }
+
+    // ------------------------------------------------------------ shuffles
+
+    /// Hash-partitions `(key, value)` rows by key — the raw shuffle.
+    /// Returns per-destination buckets with deterministic row order.
+    fn shuffle(&self) -> Result<Vec<Vec<Value>>> {
+        let p = self.ctx.partitions();
+        // Each source partition scatters into p buckets in parallel.
+        let scattered = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
+            let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+            for row in part {
+                let (k, _) = key_value(row)?;
+                let b = (key_hash(&k) % p as u64) as usize;
+                buckets[b].push(row.clone());
+            }
+            Ok(buckets)
+        })?;
+        // Gather: destination bucket b receives from sources in order.
+        let mut dest: Vec<Vec<Value>> = vec![Vec::new(); p];
+        let mut moved_rows = 0u64;
+        for src in scattered {
+            for (b, rows) in src.into_iter().enumerate() {
+                moved_rows += rows.len() as u64;
+                dest[b].extend(rows);
+            }
+        }
+        let bytes = estimate_bytes(&dest);
+        self.ctx.stats().record_shuffle(moved_rows, bytes);
+        Ok(dest)
+    }
+
+    /// Re-partitions `(key, value)` rows by key hash.
+    pub fn partition_by_key(&self) -> Result<Dataset> {
+        self.ctx.next_stage();
+        let dest = self.shuffle()?;
+        Ok(Dataset::from_parts(self.ctx.clone(), dest))
+    }
+
+    /// `reduceByKey`: combines values of equal keys with `f`, using
+    /// map-side combining before the shuffle. Rows must be `(key, value)`
+    /// pairs; the output has one `(key, combined)` row per distinct key.
+    pub fn reduce_by_key<F>(&self, f: F) -> Result<Dataset>
+    where
+        F: Fn(&Value, &Value) -> Result<Value> + Sync,
+    {
+        self.ctx.next_stage();
+        // Map-side combine.
+        let combined = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
+            let mut acc: HashMap<Value, Value> = HashMap::new();
+            let mut order: Vec<Value> = Vec::new();
+            for row in part {
+                let (k, v) = key_value(row)?;
+                match acc.get_mut(&k) {
+                    Some(cur) => *cur = f(cur, &v)?,
+                    None => {
+                        order.push(k.clone());
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            Ok(order
+                .into_iter()
+                .map(|k| {
+                    let v = acc.remove(&k).expect("combined");
+                    Value::pair(k, v)
+                })
+                .collect::<Vec<_>>())
+        })?;
+        let pre = Dataset::from_parts(self.ctx.clone(), combined);
+        // Shuffle the partials and reduce each bucket.
+        let dest = pre.shuffle()?;
+        let parts = run_stage(self.ctx.workers(), &dest, |_, bucket: &Vec<Value>| {
+            let mut acc: HashMap<Value, Value> = HashMap::new();
+            let mut order: Vec<Value> = Vec::new();
+            for row in bucket {
+                let (k, v) = key_value(row)?;
+                match acc.get_mut(&k) {
+                    Some(cur) => *cur = f(cur, &v)?,
+                    None => {
+                        order.push(k.clone());
+                        acc.insert(k, v);
+                    }
+                }
+            }
+            Ok(order
+                .into_iter()
+                .map(|k| {
+                    let v = acc.remove(&k).expect("reduced");
+                    Value::pair(k, v)
+                })
+                .collect::<Vec<_>>())
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// `groupByKey`: shuffles `(key, value)` rows and produces one
+    /// `(key, bag-of-values)` row per distinct key.
+    pub fn group_by_key(&self) -> Result<Dataset> {
+        self.ctx.next_stage();
+        let dest = self.shuffle()?;
+        let parts = run_stage(self.ctx.workers(), &dest, |_, bucket: &Vec<Value>| {
+            let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+            let mut order: Vec<Value> = Vec::new();
+            for row in bucket {
+                let (k, v) = key_value(row)?;
+                match groups.get_mut(&k) {
+                    Some(g) => g.push(v),
+                    None => {
+                        order.push(k.clone());
+                        groups.insert(k, vec![v]);
+                    }
+                }
+            }
+            Ok(order
+                .into_iter()
+                .map(|k| {
+                    let vs = groups.remove(&k).expect("grouped");
+                    Value::pair(k, Value::bag(vs))
+                })
+                .collect::<Vec<_>>())
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// `cogroup`: for each key present on either side, produces
+    /// `(key, (left-bag, right-bag))`.
+    pub fn cogroup(&self, other: &Dataset) -> Result<Dataset> {
+        self.ctx.next_stage();
+        let left = self.shuffle()?;
+        let right = other.shuffle()?;
+        let pairs: Vec<(Vec<Value>, Vec<Value>)> = left.into_iter().zip(right).collect();
+        let parts = run_stage(self.ctx.workers(), &pairs, |_, (l, r)| {
+            let mut groups: HashMap<Value, (Vec<Value>, Vec<Value>)> = HashMap::new();
+            let mut order: Vec<Value> = Vec::new();
+            for row in l {
+                let (k, v) = key_value(row)?;
+                match groups.get_mut(&k) {
+                    Some(g) => g.0.push(v),
+                    None => {
+                        order.push(k.clone());
+                        groups.insert(k, (vec![v], Vec::new()));
+                    }
+                }
+            }
+            for row in r {
+                let (k, v) = key_value(row)?;
+                match groups.get_mut(&k) {
+                    Some(g) => g.1.push(v),
+                    None => {
+                        order.push(k.clone());
+                        groups.insert(k, (Vec::new(), vec![v]));
+                    }
+                }
+            }
+            Ok(order
+                .into_iter()
+                .map(|k| {
+                    let (lv, rv) = groups.remove(&k).expect("cogrouped");
+                    Value::pair(k, Value::pair(Value::bag(lv), Value::bag(rv)))
+                })
+                .collect::<Vec<_>>())
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// Inner equi-join on `(key, value)` rows: produces
+    /// `(key, (left, right))` for every matching pair.
+    pub fn join(&self, other: &Dataset) -> Result<Dataset> {
+        let co = self.cogroup(other)?;
+        co.flat_map(|row| {
+            let (k, bags) = key_value(row)?;
+            let fields = bags
+                .as_tuple()
+                .ok_or_else(|| RuntimeError::new("cogroup row shape"))?;
+            let (Some(ls), Some(rs)) = (fields[0].as_bag(), fields[1].as_bag()) else {
+                return Err(RuntimeError::new("cogroup bags"));
+            };
+            let mut out = Vec::with_capacity(ls.len() * rs.len());
+            for l in ls {
+                for r in rs {
+                    out.push(Value::pair(k.clone(), Value::pair(l.clone(), r.clone())));
+                }
+            }
+            Ok(out)
+        })
+    }
+
+    /// The array merge `self ⊳ updates` (§3.4), implemented as a cogroup.
+    ///
+    /// With `combine = None`, colliding keys take the update value
+    /// (right-biased, the paper's `⊳`). With `combine = Some(f)`, colliding
+    /// keys become `f(old, new)` — the merge form used for incremental
+    /// updates `d ⊕= e` (§3.7); duplicate update keys are also combined
+    /// with `f` first.
+    pub fn merge<F>(&self, updates: &Dataset, combine: Option<F>) -> Result<Dataset>
+    where
+        F: Fn(&Value, &Value) -> Result<Value> + Sync,
+    {
+        self.ctx.next_stage();
+        let old = self.shuffle()?;
+        let new = updates.shuffle()?;
+        let pairs: Vec<(Vec<Value>, Vec<Value>)> = old.into_iter().zip(new).collect();
+        let combine = &combine;
+        let parts = run_stage(self.ctx.workers(), &pairs, |_, (olds, news)| {
+            // Old side: arrays have unique keys; keep the last if not.
+            let mut slots: HashMap<Value, Value> = HashMap::with_capacity(olds.len());
+            let mut order: Vec<Value> = Vec::with_capacity(olds.len());
+            for row in olds {
+                let (k, v) = key_value(row)?;
+                if slots.insert(k.clone(), v).is_none() {
+                    order.push(k);
+                }
+            }
+            for row in news {
+                let (k, v) = key_value(row)?;
+                match slots.get_mut(&k) {
+                    Some(cur) => {
+                        *cur = match combine {
+                            Some(f) => f(cur, &v)?,
+                            None => v,
+                        };
+                    }
+                    None => {
+                        order.push(k.clone());
+                        slots.insert(k, v);
+                    }
+                }
+            }
+            Ok(order
+                .into_iter()
+                .map(|k| {
+                    let v = slots.remove(&k).expect("merged");
+                    Value::pair(k, v)
+                })
+                .collect::<Vec<_>>())
+        })?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+
+    /// Pairwise partition zip (Spark's `zipPartitions`) — requires equal
+    /// partition counts; used by the tiled-matrix path (§5), which keeps
+    /// operand tilings aligned to avoid shuffles.
+    pub fn zip_partitions<F>(&self, other: &Dataset, f: F) -> Result<Dataset>
+    where
+        F: Fn(&[Value], &[Value]) -> Result<Vec<Value>> + Sync,
+    {
+        if self.parts.len() != other.parts.len() {
+            return Err(RuntimeError::new(
+                "zip_partitions requires equal partition counts",
+            ));
+        }
+        self.ctx.next_stage();
+        let pairs: Vec<(&Vec<Value>, &Vec<Value>)> =
+            self.parts.iter().zip(other.parts.iter()).collect();
+        let parts = run_stage(self.ctx.workers(), &pairs, |_, (a, b)| f(a, b))?;
+        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+    }
+}
+
+impl std::fmt::Debug for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dataset")
+            .field("partitions", &self.parts.len())
+            .field("rows", &self.count())
+            .finish()
+    }
+}
+
+/// Sampled byte estimate: measure up to 32 rows per partition and scale.
+fn estimate_bytes(parts: &[Vec<Value>]) -> u64 {
+    let mut total = 0u64;
+    for p in parts {
+        if p.is_empty() {
+            continue;
+        }
+        let sample_n = p.len().min(32);
+        let sample: u64 = slice_size(&p[..sample_n]) as u64;
+        total += sample * p.len() as u64 / sample_n as u64;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_runtime::BinOp;
+
+    fn ctx() -> Context {
+        Context::new(4, 8)
+    }
+
+    fn pairs(ctx: &Context, entries: &[(i64, i64)]) -> Dataset {
+        ctx.from_vec(
+            entries
+                .iter()
+                .map(|&(k, v)| Value::pair(Value::Long(k), Value::Long(v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn map_filter_flat_map() {
+        let ctx = ctx();
+        let d = ctx.range(1, 100);
+        let doubled = d.map(|v| BinOp::Mul.apply(v, &Value::Long(2))).unwrap();
+        assert_eq!(doubled.count(), 100);
+        let evens = d
+            .filter(|v| Ok(v.as_long().unwrap() % 2 == 0))
+            .unwrap();
+        assert_eq!(evens.count(), 50);
+        let dup = d.flat_map(|v| Ok(vec![v.clone(), v.clone()])).unwrap();
+        assert_eq!(dup.count(), 200);
+    }
+
+    #[test]
+    fn range_covers_inclusive_bounds() {
+        let ctx = ctx();
+        let d = ctx.range(5, 9);
+        assert_eq!(
+            d.collect_sorted(),
+            (5..=9).map(Value::Long).collect::<Vec<_>>()
+        );
+        assert_eq!(ctx.range(3, 2).count(), 0, "empty range");
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let ctx = ctx();
+        let d = ctx.range(1, 1000);
+        let sum = d.reduce(|a, b| BinOp::Add.apply(a, b)).unwrap().unwrap();
+        assert_eq!(sum, Value::Long(500500));
+        assert_eq!(ctx.empty().reduce(|a, b| BinOp::Add.apply(a, b)).unwrap(), None);
+    }
+
+    #[test]
+    fn reduce_by_key_combines_across_partitions() {
+        let ctx = ctx();
+        let entries: Vec<(i64, i64)> = (0..1000).map(|i| (i % 10, 1)).collect();
+        let d = pairs(&ctx, &entries);
+        let before = ctx.stats().snapshot();
+        let r = d.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).unwrap();
+        let after = ctx.stats().snapshot().since(&before);
+        let mut rows = r.collect_sorted();
+        rows.sort();
+        assert_eq!(rows.len(), 10);
+        for row in rows {
+            let (_, v) = key_value(&row).unwrap();
+            assert_eq!(v, Value::Long(100));
+        }
+        // Map-side combining means at most partitions × keys rows shuffle.
+        assert!(
+            after.shuffled_records <= (8 * 10) as u64,
+            "combiner limits shuffle: {after:?}"
+        );
+    }
+
+    #[test]
+    fn group_by_key_collects_bags() {
+        let ctx = ctx();
+        let d = pairs(&ctx, &[(1, 10), (2, 20), (1, 30)]);
+        let g = d.group_by_key().unwrap();
+        let rows = g.collect_sorted();
+        assert_eq!(rows.len(), 2);
+        let (k, bag) = key_value(&rows[0]).unwrap();
+        assert_eq!(k, Value::Long(1));
+        let mut items = bag.as_bag().unwrap().to_vec();
+        items.sort();
+        assert_eq!(items, vec![Value::Long(10), Value::Long(30)]);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let ctx = ctx();
+        let l = pairs(&ctx, &[(1, 10), (2, 20), (3, 30)]);
+        let r = pairs(&ctx, &[(2, 200), (3, 300), (4, 400)]);
+        let j = l.join(&r).unwrap();
+        let mut rows = j.collect_sorted();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                Value::pair(Value::Long(2), Value::pair(Value::Long(20), Value::Long(200))),
+                Value::pair(Value::Long(3), Value::pair(Value::Long(30), Value::Long(300))),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_duplicates_produce_cross_products() {
+        let ctx = ctx();
+        let l = pairs(&ctx, &[(1, 10), (1, 11)]);
+        let r = pairs(&ctx, &[(1, 100), (1, 101)]);
+        assert_eq!(l.join(&r).unwrap().count(), 4);
+    }
+
+    #[test]
+    fn merge_replaces_and_combines() {
+        let ctx = ctx();
+        let old = pairs(&ctx, &[(1, 10), (2, 20)]);
+        let upd = pairs(&ctx, &[(2, 5), (3, 30)]);
+        let replaced = old
+            .merge(&upd, None::<fn(&Value, &Value) -> Result<Value>>)
+            .unwrap();
+        assert_eq!(
+            replaced.collect_sorted(),
+            vec![
+                Value::pair(Value::Long(1), Value::Long(10)),
+                Value::pair(Value::Long(2), Value::Long(5)),
+                Value::pair(Value::Long(3), Value::Long(30)),
+            ]
+        );
+        let combined = old
+            .merge(&upd, Some(|a: &Value, b: &Value| BinOp::Add.apply(a, b)))
+            .unwrap();
+        assert_eq!(
+            combined.collect_sorted(),
+            vec![
+                Value::pair(Value::Long(1), Value::Long(10)),
+                Value::pair(Value::Long(2), Value::Long(25)),
+                Value::pair(Value::Long(3), Value::Long(30)),
+            ]
+        );
+    }
+
+    #[test]
+    fn cogroup_covers_one_sided_keys() {
+        let ctx = ctx();
+        let l = pairs(&ctx, &[(1, 10)]);
+        let r = pairs(&ctx, &[(2, 20)]);
+        let co = l.cogroup(&r).unwrap();
+        let rows = co.collect_sorted();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn union_keeps_duplicates() {
+        let ctx = ctx();
+        let a = pairs(&ctx, &[(1, 1)]);
+        let b = pairs(&ctx, &[(1, 1)]);
+        assert_eq!(a.union(&b).count(), 2);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        let ctx = ctx();
+        let d = ctx.range(0, 100);
+        let err = d.map(|v| {
+            if v.as_long() == Some(50) {
+                Err(RuntimeError::new("boom"))
+            } else {
+                Ok(v.clone())
+            }
+        });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn zip_partitions_pairs_up() {
+        let ctx = Context::new(2, 4);
+        let a = ctx.from_vec((0..8).map(Value::Long).collect());
+        let b = ctx.from_vec((100..108).map(Value::Long).collect());
+        let z = a
+            .zip_partitions(&b, |xs, ys| {
+                xs
+                    .iter()
+                    .zip(ys)
+                    .map(|(x, y)| BinOp::Add.apply(x, y))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .unwrap();
+        assert_eq!(z.count(), 8);
+        let sum = z.reduce(|a, b| BinOp::Add.apply(a, b)).unwrap().unwrap();
+        assert_eq!(sum, Value::Long((0..8).sum::<i64>() + (100..108).sum::<i64>()));
+    }
+
+    #[test]
+    fn broadcast_counts_in_stats() {
+        let ctx = ctx();
+        let d = ctx.range(0, 9);
+        let before = ctx.stats().snapshot();
+        let b = d.broadcast();
+        assert_eq!(b.len(), 10);
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(after.broadcasts, 1);
+        assert_eq!(after.broadcast_records, 10);
+    }
+
+    #[test]
+    fn shuffle_determinism() {
+        let ctx = ctx();
+        let entries: Vec<(i64, i64)> = (0..500).map(|i| (i % 37, i)).collect();
+        let d = pairs(&ctx, &entries);
+        let a = d.group_by_key().unwrap().collect();
+        let b = d.group_by_key().unwrap().collect();
+        assert_eq!(a, b, "repeated shuffles are deterministic");
+    }
+}

@@ -1,0 +1,142 @@
+//! # diablo-dataflow
+//!
+//! A from-scratch, multi-threaded, partitioned data-parallel engine — the
+//! substitute for Apache Spark in this reproduction (the paper's evaluation
+//! platform, §6). It is deliberately shaped like Spark's core:
+//!
+//! * a [`Dataset`] is an immutable bag of rows split into hash partitions;
+//! * *narrow* operations (`map`, `filter`, `flat_map`) run per partition on
+//!   a worker pool with no data movement;
+//! * *shuffle* operations (`group_by_key`, `reduce_by_key`, `cogroup`,
+//!   `join`, and the array-merge `⊳`) physically re-bucket rows by key hash
+//!   before the next stage, exactly where Spark would exchange data across
+//!   executors;
+//! * `reduce_by_key` performs map-side combining (Spark's combiner), which
+//!   is what makes the Word-Count/Histogram/Group-By shapes of Figure 3
+//!   come out right;
+//! * broadcasts materialize a dataset on "all workers" (here: one shared
+//!   `Arc`), mirroring Spark's broadcast variables used by the hand-written
+//!   K-Means baseline.
+//!
+//! [`Stats`] counts stages, shuffled records and bytes, so benchmarks can
+//! report data-movement differences between DIABLO plans and hand-written
+//! plans, not just wall-clock time.
+
+mod dataset;
+mod pool;
+mod stats;
+
+pub use dataset::Dataset;
+pub use stats::{Stats, StatsSnapshot};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use diablo_runtime::Value;
+
+/// Handle to the engine: worker count, partition count, and run statistics.
+///
+/// Cheap to clone; all clones share the same statistics.
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+struct ContextInner {
+    workers: usize,
+    partitions: usize,
+    stats: Stats,
+    stage_counter: AtomicUsize,
+}
+
+impl Context {
+    /// Creates a context with `workers` threads and `partitions` hash
+    /// partitions per dataset.
+    pub fn new(workers: usize, partitions: usize) -> Context {
+        assert!(workers > 0, "need at least one worker");
+        assert!(partitions > 0, "need at least one partition");
+        Context {
+            inner: Arc::new(ContextInner {
+                workers,
+                partitions,
+                stats: Stats::default(),
+                stage_counter: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// A context sized to the machine: one worker per available core and
+    /// two partitions per worker.
+    pub fn default_parallel() -> Context {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Context::new(workers, workers * 2)
+    }
+
+    /// A single-threaded context (used to isolate engine overhead from
+    /// parallelism in benchmarks).
+    pub fn sequential() -> Context {
+        Context::new(1, 1)
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.workers
+    }
+
+    /// Number of partitions per dataset.
+    pub fn partitions(&self) -> usize {
+        self.inner.partitions
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.inner.stats
+    }
+
+    pub(crate) fn next_stage(&self) {
+        self.inner.stage_counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.record_stage();
+    }
+
+    /// Creates a dataset from a vector of rows, chunk-partitioned.
+    pub fn from_vec(&self, rows: Vec<Value>) -> Dataset {
+        Dataset::from_vec(self.clone(), rows)
+    }
+
+    /// Creates a dataset of longs `lo..=hi`, range-partitioned.
+    pub fn range(&self, lo: i64, hi: i64) -> Dataset {
+        Dataset::range(self.clone(), lo, hi)
+    }
+
+    /// Creates an empty dataset.
+    pub fn empty(&self) -> Dataset {
+        Dataset::from_vec(self.clone(), Vec::new())
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("workers", &self.inner.workers)
+            .field("partitions", &self.inner.partitions)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_reports_shape() {
+        let ctx = Context::new(3, 7);
+        assert_eq!(ctx.workers(), 3);
+        assert_eq!(ctx.partitions(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = Context::new(0, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Per-stage parallel execution over partitions.
+//!
+//! Each engine stage calls [`run_stage`] with a per-partition task; the
+//! pool spawns up to `workers` scoped threads that pull partition indexes
+//! off a shared atomic counter (simple self-scheduling, which balances
+//! skewed partitions well).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// Runs `task` once per input partition on up to `workers` threads and
+/// returns the outputs in partition order. Errors short-circuit: the first
+/// error (by partition index) is returned.
+pub fn run_stage<T, R, E, F>(workers: usize, inputs: &[T], task: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let n = inputs.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let threads = workers.min(n);
+    if threads <= 1 {
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, t)| task(i, t))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<Result<R, E>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = task(i, &inputs[i]);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    let mut collected = Vec::with_capacity(n);
+    for slot in results.into_inner() {
+        match slot.expect("every partition processed") {
+            Ok(r) => collected.push(r),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(collected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processes_all_partitions_in_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        let out = run_stage::<_, _, (), _>(8, &inputs, |i, &x| {
+            assert_eq!(i, x);
+            Ok(x * 2)
+        })
+        .unwrap();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn propagates_errors() {
+        let inputs: Vec<usize> = (0..10).collect();
+        let err = run_stage(4, &inputs, |_, &x| if x == 7 { Err("boom") } else { Ok(x) });
+        assert_eq!(err, Err("boom"));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out = run_stage::<usize, usize, (), _>(4, &[], |_, &x| Ok(x)).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let inputs = vec![1, 2, 3];
+        let out = run_stage::<_, _, (), _>(1, &inputs, |_, &x| Ok(x + 1)).unwrap();
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

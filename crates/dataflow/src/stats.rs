@@ -1,0 +1,125 @@
+//! Engine run statistics: stages, shuffles, broadcast sizes.
+//!
+//! The paper's evaluation reasons about *data shuffling* as the dominant
+//! cost of DISC programs (§1: "all data exchanges across compute nodes are
+//! done in a controlled way using DISC operations"). These counters let the
+//! benchmark harness report how much each plan shuffles, which explains the
+//! Figure 3 gaps (e.g. DIABLO's K-Means shuffles the whole point set while
+//! the hand-written version shuffles only centroid-sized partials).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, thread-safe counters for one engine context.
+#[derive(Debug, Default)]
+pub struct Stats {
+    stages: AtomicU64,
+    shuffles: AtomicU64,
+    shuffled_records: AtomicU64,
+    shuffled_bytes: AtomicU64,
+    broadcasts: AtomicU64,
+    broadcast_records: AtomicU64,
+}
+
+impl Stats {
+    pub(crate) fn record_stage(&self) {
+        self.stages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_shuffle(&self, records: u64, bytes: u64) {
+        self.shuffles.fetch_add(1, Ordering::Relaxed);
+        self.shuffled_records.fetch_add(records, Ordering::Relaxed);
+        self.shuffled_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_broadcast(&self, records: u64) {
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        self.broadcast_records.fetch_add(records, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            stages: self.stages.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
+            shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
+            broadcasts: self.broadcasts.load(Ordering::Relaxed),
+            broadcast_records: self.broadcast_records.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&self) {
+        self.stages.store(0, Ordering::Relaxed);
+        self.shuffles.store(0, Ordering::Relaxed);
+        self.shuffled_records.store(0, Ordering::Relaxed);
+        self.shuffled_bytes.store(0, Ordering::Relaxed);
+        self.broadcasts.store(0, Ordering::Relaxed);
+        self.broadcast_records.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Number of executed stages (each operator invocation is one stage).
+    pub stages: u64,
+    /// Number of shuffle exchanges.
+    pub shuffles: u64,
+    /// Total rows moved across partitions by shuffles.
+    pub shuffled_records: u64,
+    /// Estimated bytes moved by shuffles.
+    pub shuffled_bytes: u64,
+    /// Number of broadcasts.
+    pub broadcasts: u64,
+    /// Total rows broadcast.
+    pub broadcast_records: u64,
+}
+
+impl StatsSnapshot {
+    /// Difference of two snapshots (self - earlier).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            stages: self.stages - earlier.stages,
+            shuffles: self.shuffles - earlier.shuffles,
+            shuffled_records: self.shuffled_records - earlier.shuffled_records,
+            shuffled_bytes: self.shuffled_bytes - earlier.shuffled_bytes,
+            broadcasts: self.broadcasts - earlier.broadcasts,
+            broadcast_records: self.broadcast_records - earlier.broadcast_records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let s = Stats::default();
+        s.record_stage();
+        s.record_shuffle(100, 800);
+        s.record_shuffle(50, 400);
+        s.record_broadcast(7);
+        let snap = s.snapshot();
+        assert_eq!(snap.stages, 1);
+        assert_eq!(snap.shuffles, 2);
+        assert_eq!(snap.shuffled_records, 150);
+        assert_eq!(snap.shuffled_bytes, 1200);
+        assert_eq!(snap.broadcasts, 1);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = Stats::default();
+        s.record_shuffle(10, 80);
+        let a = s.snapshot();
+        s.record_shuffle(5, 40);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.shuffles, 1);
+        assert_eq!(d.shuffled_records, 5);
+    }
+}

@@ -1,0 +1,686 @@
+//! Compiles a comprehension into a pipeline of engine stages.
+//!
+//! The pipeline carries *environment rows*: each row is a tuple of the
+//! values of the comprehension variables bound so far, with a [`Layout`]
+//! mapping variable names to tuple positions. Qualifiers become stages:
+//!
+//! | qualifier                        | stage                              |
+//! |----------------------------------|------------------------------------|
+//! | first `p ← Array`                | partitioned scan                   |
+//! | later `p ← Array` + `x == e(p)`  | hash join (predicates consumed)    |
+//! | later `p ← Array` (no link)      | broadcast nested loop              |
+//! | `p ← range(lo, hi)`              | range source / per-row expansion   |
+//! | `let p = e`                      | map (extend row)                   |
+//! | condition                        | filter                             |
+//! | `group by` (aggregations only)   | reduceByKey with map-side combine  |
+//! | `group by` (general)             | groupByKey (bags in rows)          |
+//! | head                             | final map                          |
+//!
+//! Anything before the first distributed source is evaluated on the
+//! driver; a comprehension with no distributed source at all is evaluated
+//! locally and parallelized as a literal dataset.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use diablo_comp::ir::{CExpr, Comprehension, Pattern, Qual};
+use diablo_comp::Env;
+use diablo_dataflow::Dataset;
+use diablo_runtime::{BinOp, RuntimeError, Value};
+
+use crate::local::{eval_local, local_comp};
+use crate::rexpr::{agg_col_name, compile, rewrite_aggs, Layout, RExpr};
+use crate::{Result, Session};
+
+/// Runs a comprehension, producing a dataset of its head values.
+pub fn run_comp(c: &Comprehension, sess: &Session) -> Result<Dataset> {
+    let globals = Arc::new(sess.globals());
+    let mut pipe: Option<Pipe> = None;
+    // Driver-side bindings accumulated before the first distributed source.
+    let mut local_vars: Vec<String> = Vec::new();
+    let mut locals: Vec<Env> = vec![Env::new()];
+    let mut consumed: HashSet<usize> = HashSet::new();
+    // Remaining qualifiers / head may be rewritten by aggregate pushdown.
+    let mut quals: Vec<Qual> = c.quals.clone();
+    let mut head: CExpr = (*c.head).clone();
+
+    let mut i = 0;
+    while i < quals.len() {
+        if consumed.contains(&i) {
+            i += 1;
+            continue;
+        }
+        let q = quals[i].clone();
+        match q {
+            Qual::Let(p, e) => match &mut pipe {
+                Some(pipe) => pipe.extend_let(&p, &e, &globals)?,
+                None => {
+                    for env in &mut locals {
+                        let v = eval_local(&e, env, sess)?;
+                        bind_into(&p, &v, env)?;
+                    }
+                    local_vars.extend(p.var_list());
+                }
+            },
+            Qual::Pred(e) => match &mut pipe {
+                Some(pipe) => pipe.filter(&e, &globals)?,
+                None => {
+                    let mut next = Vec::with_capacity(locals.len());
+                    for env in locals {
+                        match eval_local(&e, &env, sess)?.as_bool() {
+                            Some(true) => next.push(env),
+                            Some(false) => {}
+                            None => {
+                                return Err(RuntimeError::new("condition must be boolean"))
+                            }
+                        }
+                    }
+                    locals = next;
+                    if locals.is_empty() {
+                        return Ok(sess.context().empty());
+                    }
+                }
+            },
+            Qual::Gen(p, dom) => {
+                // Classify the generator domain.
+                let source: GenSource = classify(&dom, sess)?;
+                match (&mut pipe, source) {
+                    (None, GenSource::Data(data)) => {
+                        pipe = Some(Pipe::source(
+                            data,
+                            &p,
+                            &local_vars,
+                            &locals,
+                            sess,
+                        )?);
+                    }
+                    (None, GenSource::Range(lo, hi)) => {
+                        if locals.len() != 1 {
+                            // Multiple driver rows feeding a range source:
+                            // fall back to local evaluation of the rest.
+                            return finish_locally(&quals[i..], &head, &locals, &local_vars, sess);
+                        }
+                        let env = &locals[0];
+                        let lo = eval_local(&lo, env, sess)?
+                            .as_long()
+                            .ok_or_else(|| RuntimeError::new("range bound must be long"))?;
+                        let hi = eval_local(&hi, env, sess)?
+                            .as_long()
+                            .ok_or_else(|| RuntimeError::new("range bound must be long"))?;
+                        let data = sess.context().range(lo, hi);
+                        pipe = Some(Pipe::source(data, &p, &local_vars, &locals, sess)?);
+                    }
+                    (None, GenSource::Local) => {
+                        let mut next = Vec::new();
+                        for env in &locals {
+                            let d = eval_local(&dom, env, sess)?;
+                            let items = d.as_bag().ok_or_else(|| {
+                                RuntimeError::new("generator domain must be a bag")
+                            })?;
+                            for item in items {
+                                let mut e2 = env.clone();
+                                bind_into(&p, item, &mut e2)?;
+                                next.push(e2);
+                            }
+                        }
+                        locals = next;
+                        local_vars.extend(p.var_list());
+                        if locals.is_empty() {
+                            return Ok(sess.context().empty());
+                        }
+                    }
+                    (Some(pipe), GenSource::Data(data)) => {
+                        // Join detection: equality predicates between the
+                        // current row variables and the new pattern.
+                        let keys = find_join_keys(&quals, i, &p, pipe, &globals, &mut consumed);
+                        if keys.is_empty() {
+                            pipe.broadcast_product(&data, &p)?;
+                        } else {
+                            pipe.hash_join(&data, &p, &keys, &globals)?;
+                        }
+                    }
+                    (Some(pipe), GenSource::Range(lo, hi)) => {
+                        pipe.expand_range(&p, &lo, &hi, &globals)?;
+                    }
+                    (Some(pipe), GenSource::Local) => {
+                        pipe.expand_bag(&p, &dom, &globals)?;
+                    }
+                }
+            }
+            Qual::GroupBy(p, key) => {
+                let Some(cur) = pipe.take() else {
+                    return finish_locally(&quals[i..], &head, &locals, &local_vars, sess);
+                };
+                let (next, rewritten) = cur.group_by(&p, &key, &quals[i + 1..], &head, &globals)?;
+                pipe = Some(next);
+                if let Some((new_tail, new_head)) = rewritten {
+                    // Aggregate pushdown rewrote the remaining program.
+                    quals.truncate(i + 1);
+                    quals.extend(new_tail);
+                    head = new_head;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    match pipe {
+        Some(pipe) => pipe.finish(&head, &globals),
+        None => {
+            // Fully local comprehension: evaluate and parallelize.
+            let mut rows = Vec::new();
+            for env in &locals {
+                rows.push(eval_local(&head, env, sess)?);
+            }
+            Ok(sess.context().from_vec(rows))
+        }
+    }
+}
+
+/// Evaluates the remaining qualifiers and head entirely on the driver.
+///
+/// Variables bound on the driver so far are re-materialized as let
+/// qualifiers so that a group-by in the tail lifts them to bags, exactly
+/// as it would have lifted the original qualifiers.
+fn finish_locally(
+    tail: &[Qual],
+    head: &CExpr,
+    locals: &[Env],
+    local_vars: &[String],
+    sess: &Session,
+) -> Result<Dataset> {
+    let mut rows = Vec::new();
+    for env in locals {
+        let mut quals: Vec<Qual> = Vec::with_capacity(local_vars.len() + tail.len());
+        for v in local_vars {
+            let val = env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| RuntimeError::new(format!("missing driver binding `{v}`")))?;
+            quals.push(Qual::Let(Pattern::Var(v.clone()), CExpr::Const(val)));
+        }
+        quals.extend(tail.iter().cloned());
+        let comp = Comprehension::new(head.clone(), quals);
+        rows.extend(local_comp(&comp, &Env::new(), sess)?);
+    }
+    Ok(sess.context().from_vec(rows))
+}
+
+enum GenSource {
+    /// A distributed dataset (array variable or nested distributed comp).
+    Data(Dataset),
+    /// A for-loop iteration space.
+    Range(CExpr, CExpr),
+    /// Anything driver-side.
+    Local,
+}
+
+fn classify(dom: &CExpr, sess: &Session) -> Result<GenSource> {
+    match dom {
+        CExpr::Var(name) if sess.is_dataset(name) => Ok(GenSource::Data(
+            sess.dataset(name).expect("checked").clone(),
+        )),
+        CExpr::Range(lo, hi) => Ok(GenSource::Range((**lo).clone(), (**hi).clone())),
+        CExpr::Comp(inner) if sess.datasets_mentioned(dom) => {
+            Ok(GenSource::Data(run_comp(inner, sess)?))
+        }
+        CExpr::Merge { .. } if sess.datasets_mentioned(dom) => {
+            Ok(GenSource::Data(sess.eval_collection(dom)?))
+        }
+        _ => Ok(GenSource::Local),
+    }
+}
+
+fn bind_into(p: &Pattern, v: &Value, env: &mut Env) -> Result<()> {
+    let mut binds = Vec::new();
+    if !p.bind(v, &mut binds) {
+        return Err(RuntimeError::new(format!("pattern {p:?} does not match {v}")));
+    }
+    for (n, val) in binds {
+        env.insert(n, val);
+    }
+    Ok(())
+}
+
+/// A join key pair: left expression (over current rows) and right
+/// expression (over the new generator's pattern variables).
+struct JoinKey {
+    left: CExpr,
+    right: CExpr,
+}
+
+/// Scans the predicates following generator `gen_idx` (up to the next
+/// generator or group-by) for equalities linking current row variables to
+/// the new pattern variables. Matching predicates are consumed.
+fn find_join_keys(
+    quals: &[Qual],
+    gen_idx: usize,
+    p: &Pattern,
+    pipe: &Pipe,
+    globals: &Arc<Env>,
+    consumed: &mut HashSet<usize>,
+) -> Vec<JoinKey> {
+    let pat_vars: HashSet<String> = p.var_list().into_iter().collect();
+    let row_vars: HashSet<String> = pipe.layout.cols.iter().cloned().collect();
+    let mut keys = Vec::new();
+    for (j, q) in quals.iter().enumerate().skip(gen_idx + 1) {
+        match q {
+            Qual::Pred(CExpr::Bin(BinOp::Eq, a, b)) => {
+                let side = |e: &CExpr| -> Option<bool> {
+                    // true: row side; false: pattern side.
+                    let fv = e.free_vars();
+                    let local: Vec<&String> =
+                        fv.iter().filter(|v| !globals.contains_key(*v)).collect();
+                    if local.iter().all(|v| row_vars.contains(*v)) && !local.is_empty() {
+                        Some(true)
+                    } else if local.iter().all(|v| pat_vars.contains(*v)) && !local.is_empty() {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                };
+                match (side(a), side(b)) {
+                    (Some(true), Some(false)) => {
+                        keys.push(JoinKey { left: (**a).clone(), right: (**b).clone() });
+                        consumed.insert(j);
+                    }
+                    (Some(false), Some(true)) => {
+                        keys.push(JoinKey { left: (**b).clone(), right: (**a).clone() });
+                        consumed.insert(j);
+                    }
+                    _ => {}
+                }
+            }
+            Qual::Pred(_) => {}
+            _ => break, // next generator / let / group-by ends the window
+        }
+    }
+    keys
+}
+
+/// A pipeline in flight: distributed env rows plus their layout.
+struct Pipe {
+    data: Dataset,
+    layout: Layout,
+}
+
+impl Pipe {
+    /// Starts a pipeline from a dataset source, crossing in the
+    /// driver-side bindings accumulated so far.
+    fn source(
+        data: Dataset,
+        p: &Pattern,
+        local_vars: &[String],
+        locals: &[Env],
+        _sess: &Session,
+    ) -> Result<Pipe> {
+        let mut cols: Vec<String> = local_vars.to_vec();
+        cols.extend(p.var_list());
+        let layout = Layout::new(cols);
+        let p = p.clone();
+        let local_rows: Vec<Vec<Value>> = locals
+            .iter()
+            .map(|env| {
+                local_vars
+                    .iter()
+                    .map(|v| env.get(v).cloned().unwrap_or(Value::Unit))
+                    .collect()
+            })
+            .collect();
+        // Fast path: one driver environment with no extra columns — one
+        // output row per input row, no per-row Vec-of-Vecs.
+        let rows = if local_rows.len() == 1 && local_rows[0].is_empty() {
+            data.map(move |raw| {
+                let mut row = Vec::with_capacity(4);
+                if !p.bind_values(raw, &mut row) {
+                    return Err(RuntimeError::new(format!(
+                        "pattern {p:?} does not match source row {raw}"
+                    )));
+                }
+                Ok(Value::tuple(row))
+            })?
+        } else {
+            data.flat_map(move |raw| {
+                let mut out = Vec::with_capacity(local_rows.len());
+                for base in &local_rows {
+                    let mut binds = Vec::new();
+                    if !p.bind_values(raw, &mut binds) {
+                        return Err(RuntimeError::new(format!(
+                            "pattern {p:?} does not match source row {raw}"
+                        )));
+                    }
+                    let mut row = base.clone();
+                    row.extend(binds);
+                    out.push(Value::tuple(row));
+                }
+                Ok(out)
+            })?
+        };
+        Ok(Pipe { data: rows, layout })
+    }
+
+    /// `let p = e` as a map stage.
+    fn extend_let(&mut self, p: &Pattern, e: &CExpr, globals: &Arc<Env>) -> Result<()> {
+        let r = compile(e, &self.layout, globals)?;
+        let p_owned = p.clone();
+        let new_data = self.data.map(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            let v = r.eval(fields)?;
+            let mut out = fields.to_vec();
+            if !p_owned.bind_values(&v, &mut out) {
+                return Err(RuntimeError::new(format!(
+                    "let pattern {p_owned:?} mismatch on {v}"
+                )));
+            }
+            Ok(Value::tuple(out))
+        })?;
+        self.data = new_data;
+        for v in p_vars(p.clone()) {
+            self.layout.push(v);
+        }
+        Ok(())
+    }
+
+    /// A condition as a filter stage.
+    fn filter(&mut self, e: &CExpr, globals: &Arc<Env>) -> Result<()> {
+        let r = compile(e, &self.layout, globals)?;
+        self.data = self.data.filter(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            match r.eval(fields)?.as_bool() {
+                Some(b) => Ok(b),
+                None => Err(RuntimeError::new("condition must be boolean")),
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Joins a new dataset generator through equality keys.
+    fn hash_join(
+        &mut self,
+        data: &Dataset,
+        p: &Pattern,
+        keys: &[JoinKey],
+        globals: &Arc<Env>,
+    ) -> Result<()> {
+        // Left side: (key, row).
+        let lkeys = keys
+            .iter()
+            .map(|k| compile(&k.left, &self.layout, globals))
+            .collect::<Result<Vec<_>>>()?;
+        let left = self.data.map(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            let key = eval_key(&lkeys, fields)?;
+            Ok(Value::pair(key, row.clone()))
+        })?;
+        // Right side: (key, raw), keys computed over the pattern binding.
+        let pat_layout = Layout::new(p.var_list());
+        let rkeys = keys
+            .iter()
+            .map(|k| compile(&k.right, &pat_layout, globals))
+            .collect::<Result<Vec<_>>>()?;
+        let p_owned = p.clone();
+        let right = data.map(move |raw| {
+            let mut pat_row = Vec::with_capacity(4);
+            if !p_owned.bind_values(raw, &mut pat_row) {
+                return Err(RuntimeError::new(format!(
+                    "pattern {p_owned:?} does not match row {raw}"
+                )));
+            }
+            let key = eval_key(&rkeys, &pat_row)?;
+            Ok(Value::pair(key, raw.clone()))
+        })?;
+        let joined = left.join(&right)?;
+        // (key, (left_row, raw)) → extended env row.
+        let p_owned = p.clone();
+        let new_data = joined.map(move |kv| {
+            let (_, pair) = diablo_runtime::array::key_value(kv)?;
+            let fields = pair.as_tuple().expect("join pair");
+            let mut out = fields[0].as_tuple().expect("env row").to_vec();
+            if !p_owned.bind_values(&fields[1], &mut out) {
+                return Err(RuntimeError::new("join pattern mismatch"));
+            }
+            Ok(Value::tuple(out))
+        })?;
+        self.data = new_data;
+        for v in p_vars(p.clone()) {
+            self.layout.push(v);
+        }
+        Ok(())
+    }
+
+    /// Crosses the rows with a broadcast copy of the dataset (no join key).
+    fn broadcast_product(&mut self, data: &Dataset, p: &Pattern) -> Result<()> {
+        let items = data.broadcast();
+        let p_owned = p.clone();
+        let new_data = self.data.flat_map(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            let mut out = Vec::with_capacity(items.len());
+            for item in items.iter() {
+                let mut r = fields.to_vec();
+                if !p_owned.bind_values(item, &mut r) {
+                    return Err(RuntimeError::new("broadcast pattern mismatch"));
+                }
+                out.push(Value::tuple(r));
+            }
+            Ok(out)
+        })?;
+        self.data = new_data;
+        for v in p_vars(p.clone()) {
+            self.layout.push(v);
+        }
+        Ok(())
+    }
+
+    /// Expands a per-row integer range.
+    fn expand_range(&mut self, p: &Pattern, lo: &CExpr, hi: &CExpr, globals: &Arc<Env>) -> Result<()> {
+        let rlo = compile(lo, &self.layout, globals)?;
+        let rhi = compile(hi, &self.layout, globals)?;
+        let p_owned = p.clone();
+        let new_data = self.data.flat_map(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            let lo = rlo
+                .eval(fields)?
+                .as_long()
+                .ok_or_else(|| RuntimeError::new("range bound must be long"))?;
+            let hi = rhi
+                .eval(fields)?
+                .as_long()
+                .ok_or_else(|| RuntimeError::new("range bound must be long"))?;
+            let mut out = Vec::with_capacity((hi - lo + 1).max(0) as usize);
+            for i in lo..=hi {
+                let mut r = fields.to_vec();
+                if !p_owned.bind_values(&Value::Long(i), &mut r) {
+                    return Err(RuntimeError::new("range pattern mismatch"));
+                }
+                out.push(Value::tuple(r));
+            }
+            Ok(out)
+        })?;
+        self.data = new_data;
+        for v in p_vars(p.clone()) {
+            self.layout.push(v);
+        }
+        Ok(())
+    }
+
+    /// Expands a per-row bag-valued domain (e.g. a lifted bag column).
+    fn expand_bag(&mut self, p: &Pattern, dom: &CExpr, globals: &Arc<Env>) -> Result<()> {
+        let r = compile(dom, &self.layout, globals)?;
+        let p_owned = p.clone();
+        let new_data = self.data.flat_map(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            let bag = r.eval(fields)?;
+            let items = bag
+                .as_bag()
+                .ok_or_else(|| RuntimeError::new("generator domain must be a bag"))?
+                .to_vec();
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                let mut rr = fields.to_vec();
+                if !p_owned.bind_values(&item, &mut rr) {
+                    return Err(RuntimeError::new("generator pattern mismatch"));
+                }
+                out.push(Value::tuple(rr));
+            }
+            Ok(out)
+        })?;
+        self.data = new_data;
+        for v in p_vars(p.clone()) {
+            self.layout.push(v);
+        }
+        Ok(())
+    }
+
+    /// The group-by stage. Tries aggregate pushdown (reduceByKey) first;
+    /// falls back to groupByKey with lifted bags. Returns the new pipe and,
+    /// when pushdown succeeded, the rewritten remaining qualifiers + head.
+    #[allow(clippy::type_complexity)]
+    fn group_by(
+        self,
+        p: &Pattern,
+        key: &CExpr,
+        tail: &[Qual],
+        head: &CExpr,
+        globals: &Arc<Env>,
+    ) -> Result<(Pipe, Option<(Vec<Qual>, CExpr)>)> {
+        let key_vars = p.var_list();
+        let lifted: Vec<String> = self
+            .layout
+            .cols
+            .iter()
+            .filter(|c| !key_vars.contains(c))
+            .cloned()
+            .collect();
+        let lifted_set: HashMap<String, ()> =
+            lifted.iter().map(|v| (v.clone(), ())).collect();
+
+        // Attempt aggregate pushdown: rewrite all downstream expressions.
+        let mut found: Vec<(BinOp, String)> = Vec::new();
+        let rewritten_tail: Option<Vec<Qual>> = tail
+            .iter()
+            .map(|q| match q {
+                Qual::Gen(p, e) => {
+                    Some(Qual::Gen(p.clone(), rewrite_aggs(e, &lifted_set, &mut found)?))
+                }
+                Qual::Let(p, e) => {
+                    Some(Qual::Let(p.clone(), rewrite_aggs(e, &lifted_set, &mut found)?))
+                }
+                Qual::Pred(e) => Some(Qual::Pred(rewrite_aggs(e, &lifted_set, &mut found)?)),
+                Qual::GroupBy(p, e) => {
+                    Some(Qual::GroupBy(p.clone(), rewrite_aggs(e, &lifted_set, &mut found)?))
+                }
+            })
+            .collect();
+        let rewritten_head = rewrite_aggs(head, &lifted_set, &mut found);
+
+        let rkey = compile(key, &self.layout, globals)?;
+
+        if let (Some(new_tail), Some(new_head)) = (rewritten_tail, rewritten_head) {
+            // reduceByKey: shuffle (key, (inputs...)) with elementwise ops.
+            let inputs: Vec<RExpr> = found
+                .iter()
+                .map(|(_, col)| {
+                    let idx = self
+                        .layout
+                        .index_of(col)
+                        .ok_or_else(|| RuntimeError::new(format!("missing column `{col}`")))?;
+                    Ok(RExpr::Col(idx))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            let keyed = self.data.map(move |row| {
+                let fields = row.as_tuple().expect("env row");
+                let key = rkey.eval(fields)?;
+                let vals = inputs
+                    .iter()
+                    .map(|r| r.eval(fields))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Value::pair(key, Value::tuple(vals)))
+            })?;
+            let ops: Vec<BinOp> = found.iter().map(|(op, _)| *op).collect();
+            let ops2 = ops.clone();
+            let reduced = keyed.reduce_by_key(move |a, b| {
+                let (xs, ys) = (a.as_tuple().expect("aggs"), b.as_tuple().expect("aggs"));
+                let vals = ops2
+                    .iter()
+                    .zip(xs.iter().zip(ys))
+                    .map(|(op, (x, y))| op.apply(x, y))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Value::tuple(vals))
+            })?;
+            // Rows become: key pattern vars + $agg columns.
+            let mut cols = key_vars.clone();
+            for idx in 0..found.len() {
+                cols.push(agg_col_name(idx));
+            }
+            let p_owned = p.clone();
+            let data = reduced.map(move |kv| {
+                let (k, aggs) = diablo_runtime::array::key_value(kv)?;
+                let mut row: Vec<Value> = Vec::with_capacity(4);
+                if !p_owned.bind_values(&k, &mut row) {
+                    return Err(RuntimeError::new("group-by key pattern mismatch"));
+                }
+                row.extend(aggs.as_tuple().expect("agg tuple").iter().cloned());
+                Ok(Value::tuple(row))
+            })?;
+            return Ok((
+                Pipe { data, layout: Layout::new(cols) },
+                Some((new_tail, new_head)),
+            ));
+        }
+
+        // General groupByKey: lift every non-key column to a bag.
+        let lifted_idx: Vec<usize> = lifted
+            .iter()
+            .map(|c| self.layout.index_of(c).expect("lifted column"))
+            .collect();
+        let lifted_idx2 = lifted_idx.clone();
+        let keyed = self.data.map(move |row| {
+            let fields = row.as_tuple().expect("env row");
+            let key = rkey.eval(fields)?;
+            let vals: Vec<Value> = lifted_idx2.iter().map(|&i| fields[i].clone()).collect();
+            Ok(Value::pair(key, Value::tuple(vals)))
+        })?;
+        let grouped = keyed.group_by_key()?;
+        let p_owned = p.clone();
+        let nlifted = lifted.len();
+        let data = grouped.map(move |kv| {
+            let (k, bag) = diablo_runtime::array::key_value(kv)?;
+            let mut row: Vec<Value> = Vec::with_capacity(4);
+            if !p_owned.bind_values(&k, &mut row) {
+                return Err(RuntimeError::new("group-by key pattern mismatch"));
+            }
+            let members = bag.as_bag().expect("group bag");
+            for pos in 0..nlifted {
+                let col: Vec<Value> = members
+                    .iter()
+                    .map(|m| m.as_tuple().expect("member tuple")[pos].clone())
+                    .collect();
+                row.push(Value::bag(col));
+            }
+            Ok(Value::tuple(row))
+        })?;
+        let mut cols = key_vars;
+        cols.extend(lifted);
+        Ok((Pipe { data, layout: Layout::new(cols) }, None))
+    }
+
+    /// The final head map.
+    fn finish(self, head: &CExpr, globals: &Arc<Env>) -> Result<Dataset> {
+        let r = compile(head, &self.layout, globals)?;
+        self.data.map(move |row| r.eval(row.as_tuple().expect("env row")))
+    }
+}
+
+fn p_vars(p: Pattern) -> Vec<String> {
+    p.var_list()
+}
+
+fn eval_key(keys: &[RExpr], row: &[Value]) -> Result<Value> {
+    if keys.len() == 1 {
+        keys[0].eval(row)
+    } else {
+        Ok(Value::tuple(
+            keys.iter().map(|k| k.eval(row)).collect::<Result<Vec<_>>>()?,
+        ))
+    }
+}

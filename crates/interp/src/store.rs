@@ -1,0 +1,162 @@
+//! The interpreter's mutable store: variable name → scalar or collection.
+//!
+//! Collections are hash maps keyed by [`Value`], which is exactly the
+//! key-value-map view of sparse arrays in §3.4 — only materialized instead
+//! of bag-shaped.
+
+use std::collections::HashMap;
+
+use diablo_runtime::{RuntimeError, Value};
+
+use crate::Result;
+
+/// A store cell: either a scalar value or a sparse collection.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// A scalar variable.
+    Scalar(Value),
+    /// A sparse array / map, keyed by index value.
+    Collection(HashMap<Value, Value>),
+}
+
+/// The interpreter store.
+#[derive(Debug, Default)]
+pub struct Store {
+    cells: HashMap<String, Cell>,
+}
+
+impl Store {
+    /// Reads a cell.
+    pub fn get(&self, name: &str) -> Option<&Cell> {
+        self.cells.get(name)
+    }
+
+    /// Binds a scalar.
+    pub fn set_scalar(&mut self, name: &str, v: Value) {
+        self.cells.insert(name.to_string(), Cell::Scalar(v));
+    }
+
+    /// Binds an empty collection.
+    pub fn set_empty_collection(&mut self, name: &str) {
+        self.cells
+            .insert(name.to_string(), Cell::Collection(HashMap::new()));
+    }
+
+    /// Binds a collection from `(key, value)` pairs; later duplicates win.
+    pub fn set_collection_pairs(&mut self, name: &str, pairs: Vec<Value>) -> Result<()> {
+        let mut map = HashMap::with_capacity(pairs.len());
+        for p in pairs {
+            let (k, v) = diablo_runtime::array::key_value(&p)?;
+            map.insert(k, v);
+        }
+        self.cells.insert(name.to_string(), Cell::Collection(map));
+        Ok(())
+    }
+
+    /// Removes a binding (used for loop indexes going out of scope).
+    pub fn remove(&mut self, name: &str) {
+        self.cells.remove(name);
+    }
+
+    /// Looks up a key in a collection. `Ok(None)` is the sparse "missing
+    /// element" case.
+    pub fn lookup(&self, name: &str, key: &Value) -> Result<Option<Value>> {
+        match self.cells.get(name) {
+            Some(Cell::Collection(map)) => Ok(map.get(key).cloned()),
+            Some(Cell::Scalar(_)) => Err(RuntimeError::new(format!(
+                "scalar `{name}` cannot be indexed"
+            ))),
+            None => Err(RuntimeError::new(format!("undefined variable `{name}`"))),
+        }
+    }
+
+    /// Inserts or overwrites a key in a collection. Writing through an
+    /// undeclared name is an error (declarations create collections).
+    pub fn insert(&mut self, name: &str, key: Value, v: Value) -> Result<()> {
+        match self.cells.get_mut(name) {
+            Some(Cell::Collection(map)) => {
+                map.insert(key, v);
+                Ok(())
+            }
+            Some(Cell::Scalar(_)) => Err(RuntimeError::new(format!(
+                "scalar `{name}` cannot be indexed"
+            ))),
+            None => Err(RuntimeError::new(format!("undefined variable `{name}`"))),
+        }
+    }
+
+    /// The values of a collection in ascending key order (deterministic
+    /// traversal order for `for v in e`).
+    pub fn collection_values_sorted(&self, name: &str) -> Result<Vec<Value>> {
+        match self.cells.get(name) {
+            Some(Cell::Collection(map)) => {
+                let mut entries: Vec<(&Value, &Value)> = map.iter().collect();
+                entries.sort_by(|a, b| a.0.cmp(b.0));
+                Ok(entries.into_iter().map(|(_, v)| v.clone()).collect())
+            }
+            Some(Cell::Scalar(_)) => Err(RuntimeError::new(format!(
+                "scalar `{name}` is not a collection"
+            ))),
+            None => Err(RuntimeError::new(format!("undefined variable `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collection_round_trip() {
+        let mut store = Store::default();
+        store.set_empty_collection("V");
+        store.insert("V", Value::Long(3), Value::Double(1.5)).unwrap();
+        assert_eq!(
+            store.lookup("V", &Value::Long(3)).unwrap(),
+            Some(Value::Double(1.5))
+        );
+        assert_eq!(store.lookup("V", &Value::Long(4)).unwrap(), None);
+    }
+
+    #[test]
+    fn scalar_misuse_errors() {
+        let mut store = Store::default();
+        store.set_scalar("x", Value::Long(1));
+        assert!(store.lookup("x", &Value::Long(0)).is_err());
+        assert!(store.insert("x", Value::Long(0), Value::Long(1)).is_err());
+        assert!(store.collection_values_sorted("x").is_err());
+    }
+
+    #[test]
+    fn values_come_out_in_key_order() {
+        let mut store = Store::default();
+        store
+            .set_collection_pairs(
+                "V",
+                vec![
+                    Value::pair(Value::Long(5), Value::str("b")),
+                    Value::pair(Value::Long(1), Value::str("a")),
+                ],
+            )
+            .unwrap();
+        assert_eq!(
+            store.collection_values_sorted("V").unwrap(),
+            vec![Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn duplicate_input_keys_take_latest() {
+        let mut store = Store::default();
+        store
+            .set_collection_pairs(
+                "V",
+                vec![
+                    Value::pair(Value::Long(1), Value::Long(10)),
+                    Value::pair(Value::Long(1), Value::Long(20)),
+                ],
+            )
+            .unwrap();
+        assert_eq!(store.lookup("V", &Value::Long(1)).unwrap(), Some(Value::Long(20)));
+    }
+}

@@ -1,0 +1,266 @@
+//! Abstract syntax of the loop-based language (paper Fig. 1).
+//!
+//! The grammar distinguishes *destinations* (L-values) `d`, *expressions*
+//! `e`, and *statements* `s`. Incremental updates `d ⊕= e` are kept separate
+//! from plain assignments `d := e` because the whole translation scheme
+//! hinges on that distinction (§3.5).
+
+use diablo_runtime::{BinOp, Func, UnOp};
+
+use crate::lexer::Span;
+use crate::types::Type;
+
+/// A constant literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer literal.
+    Long(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// Boolean literal.
+    Bool(bool),
+    /// String literal.
+    Str(String),
+}
+
+/// A destination (L-value), per Fig. 1:
+/// `d ::= v | d.A | v[e1, ..., en]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lhs {
+    /// A variable.
+    Var(String),
+    /// A record projection `d.A` (or tuple projection `d._1`).
+    Proj(Box<Lhs>, String),
+    /// Array indexing `v[e1, ..., en]`. The grammar restricts the base of an
+    /// index to a variable (no nested arrays).
+    Index(String, Vec<Expr>),
+}
+
+impl Lhs {
+    /// The root variable name of this destination.
+    pub fn base_var(&self) -> &str {
+        match self {
+            Lhs::Var(v) => v,
+            Lhs::Proj(d, _) => d.base_var(),
+            Lhs::Index(v, _) => v,
+        }
+    }
+
+    /// All index expressions appearing in the destination.
+    pub fn index_exprs(&self) -> Vec<&Expr> {
+        match self {
+            Lhs::Var(_) => Vec::new(),
+            Lhs::Proj(d, _) => d.index_exprs(),
+            Lhs::Index(_, es) => es.iter().collect(),
+        }
+    }
+}
+
+/// An expression, per Fig. 1 (with builtin function calls as a convenience).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A destination read (variable, projection, or array access).
+    Dest(Lhs),
+    /// A constant.
+    Const(Const),
+    /// A binary operation `e1 ⋆ e2`.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// A unary operation.
+    Un(UnOp, Box<Expr>),
+    /// A builtin function call, e.g. `sqrt(x)`.
+    Call(Func, Vec<Expr>),
+    /// Tuple construction `(e1, ..., en)`.
+    Tuple(Vec<Expr>),
+    /// Record construction `<| A1 = e1, ..., An = en |>`.
+    Record(Vec<(String, Expr)>),
+}
+
+impl Expr {
+    /// Convenience constructor for a variable read.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Dest(Lhs::Var(name.into()))
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn long(n: i64) -> Expr {
+        Expr::Const(Const::Long(n))
+    }
+
+    /// Collects every variable name read by the expression (both scalar
+    /// reads and the base names of array accesses), pre-order.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Dest(d) => d.free_vars(out),
+            Expr::Const(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Un(_, a) => a.free_vars(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.free_vars(out);
+                }
+            }
+            Expr::Tuple(fields) => {
+                for f in fields {
+                    f.free_vars(out);
+                }
+            }
+            Expr::Record(fields) => {
+                for (_, f) in fields {
+                    f.free_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Collects every destination (L-value) read inside the expression —
+    /// the readers set R⟦e⟧ of §3.2.
+    pub fn destinations(&self, out: &mut Vec<Lhs>) {
+        match self {
+            Expr::Dest(d) => {
+                out.push(d.clone());
+                for e in d.index_exprs() {
+                    e.destinations(out);
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Bin(_, a, b) => {
+                a.destinations(out);
+                b.destinations(out);
+            }
+            Expr::Un(_, a) => a.destinations(out),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.destinations(out);
+                }
+            }
+            Expr::Tuple(fields) => {
+                for f in fields {
+                    f.destinations(out);
+                }
+            }
+            Expr::Record(fields) => {
+                for (_, f) in fields {
+                    f.destinations(out);
+                }
+            }
+        }
+    }
+}
+
+impl Lhs {
+    /// Collects variable names read by this destination when used as an
+    /// expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Lhs::Var(v) => out.push(v.clone()),
+            Lhs::Proj(d, _) => d.free_vars(out),
+            Lhs::Index(v, es) => {
+                out.push(v.clone());
+                for e in es {
+                    e.free_vars(out);
+                }
+            }
+        }
+    }
+}
+
+/// A statement, per Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Incremental update `d ⊕= e` for a commutative `⊕`.
+    Incr { dest: Lhs, op: BinOp, value: Expr, span: Span },
+    /// Plain assignment `d := e`.
+    Assign { dest: Lhs, value: Expr, span: Span },
+    /// Variable declaration `var v: t = e`. Not allowed inside for-loops.
+    Decl { name: String, ty: Type, init: DeclInit, span: Span },
+    /// Range iteration `for v = e1, e2 do s` (inclusive bounds).
+    For { var: String, lo: Expr, hi: Expr, body: Box<Stmt>, span: Span },
+    /// Collection traversal `for v in e do s`; `v` ranges over the *values*
+    /// of the collection (rule (15e)).
+    ForIn { var: String, source: Expr, body: Box<Stmt>, span: Span },
+    /// While loop (always sequential).
+    While { cond: Expr, body: Box<Stmt>, span: Span },
+    /// Conditional.
+    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>>, span: Span },
+    /// Statement block `{ s1; ...; sn }`.
+    Block(Vec<Stmt>),
+}
+
+impl Stmt {
+    /// The source span of the statement (blocks report their first child).
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Incr { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::Decl { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::ForIn { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::If { span, .. } => *span,
+            Stmt::Block(ss) => ss.first().map_or(Span::SYNTH, Stmt::span),
+        }
+    }
+}
+
+/// Initializer of a `var` declaration: either a scalar expression or an
+/// empty collection constructor (`vector()`, `matrix()`, `map()`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeclInit {
+    /// A scalar initializer expression.
+    Expr(Expr),
+    /// An empty collection of the declared type.
+    EmptyCollection,
+}
+
+/// A whole program: `input` declarations for free variables bound by the
+/// driver, followed by statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Input bindings `(name, type)` the driver must provide.
+    pub inputs: Vec<(String, Type)>,
+    /// The program body.
+    pub body: Vec<Stmt>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_var_walks_through_projections() {
+        let d = Lhs::Proj(
+            Box::new(Lhs::Index("A".into(), vec![Expr::var("i")])),
+            "K".into(),
+        );
+        assert_eq!(d.base_var(), "A");
+        assert_eq!(d.index_exprs().len(), 1);
+    }
+
+    #[test]
+    fn free_vars_of_nested_expression() {
+        // V[W[i]] reads V, W, i.
+        let e = Expr::Dest(Lhs::Index(
+            "V".into(),
+            vec![Expr::Dest(Lhs::Index("W".into(), vec![Expr::var("i")]))],
+        ));
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["V".to_string(), "W".to_string(), "i".to_string()]);
+    }
+
+    #[test]
+    fn destinations_include_nested_reads() {
+        // n * C[i] reads n and C[i] (and i through the index).
+        let e = Expr::Bin(
+            diablo_runtime::BinOp::Mul,
+            Box::new(Expr::var("n")),
+            Box::new(Expr::Dest(Lhs::Index("C".into(), vec![Expr::var("i")]))),
+        );
+        let mut ds = Vec::new();
+        e.destinations(&mut ds);
+        assert_eq!(ds.len(), 3); // n, C[i], i
+    }
+}

@@ -1,0 +1,75 @@
+//! # diablo-lang
+//!
+//! The loop-based source language of the paper (Fig. 1): an imperative
+//! language with scalar variables, sparse vectors / matrices / key-value
+//! maps, `for` loops over integer ranges and collections, `while` loops,
+//! conditionals, plain assignments `d := e` and incremental updates
+//! `d ⊕= e` for commutative `⊕`.
+//!
+//! This crate is the front half of the DIABLO pipeline:
+//!
+//! * [`lexer`] — hand-written lexer with source positions;
+//! * [`ast`] — the abstract syntax tree mirroring the paper's grammar;
+//! * [`parser`] — recursive-descent parser, including the desugaring of
+//!   `d := d ⊕ e` into `d ⊕= e` for commutative `⊕`;
+//! * [`types`] — the type language (`vector[t]`, `matrix[t]`,
+//!   `map[k, v]`, tuples, records) and the type checker, which also
+//!   renames loop indexes so every `for` has a distinct index variable
+//!   (required by the dependence analysis of §3.2);
+//! * [`pretty`] — a pretty printer producing parseable source.
+//!
+//! ## Surface syntax
+//!
+//! ```text
+//! input M: matrix[double];      // free variables bound by the driver
+//! input n: long;
+//! var R: matrix[double] = matrix();
+//! for i = 0, n-1 do
+//!   for j = 0, n-1 do {
+//!     R[i, j] := 0.0;
+//!     for k = 0, n-1 do
+//!       R[i, j] += M[i, k] * N[k, j];
+//!   };
+//! ```
+//!
+//! Records are written `<| A = e, B = e |>` and record/tuple projection is
+//! `e.A` / `e._1`.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod types;
+
+pub use ast::{Const, Expr, Lhs, Program, Stmt};
+pub use lexer::{Lexer, Span, Token, TokenKind};
+pub use parser::parse;
+pub use pretty::pretty_program;
+pub use types::{typecheck, Type, TypedProgram};
+
+/// A front-end error (lexing, parsing, or type checking) with a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl LangError {
+    /// Creates an error at the given span.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Self { message: message.into(), span }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.span.line, self.span.col, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Result alias for front-end operations.
+pub type Result<T> = std::result::Result<T, LangError>;

@@ -1,0 +1,754 @@
+//! Recursive-descent parser for the loop-based language.
+//!
+//! Besides building the AST, the parser performs one desugaring required by
+//! the paper's classification of updates (§3.5): a plain assignment
+//! `d := d ⊕ e` (or `d := e ⊕ d`) for a *commutative* `⊕` is recognized as
+//! the incremental update `d ⊕= e`. This is how programs written in the
+//! style of Appendix B (e.g. `eq := eq && v == x`) are admitted.
+
+use diablo_runtime::{BinOp, Func, UnOp};
+
+use crate::ast::{Const, DeclInit, Expr, Lhs, Program, Stmt};
+use crate::lexer::{Lexer, Span, Token, TokenKind};
+use crate::types::Type;
+use crate::{LangError, Result};
+
+/// Parses a whole program.
+pub fn parse(src: &str) -> Result<Program> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+/// Parses a single expression (used by tests and the REPL-style examples).
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek_kind() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.peek_kind() == kind {
+            Ok(self.bump())
+        } else {
+            Err(LangError::new(
+                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            other => Err(LangError::new(
+                format!("expected an identifier, found {}", other.describe()),
+                self.span(),
+            )),
+        }
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek_kind(), TokenKind::Ident(s) if s == name)
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.at_ident(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, name: &str) -> Result<()> {
+        if self.eat_ident(name) {
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("expected `{name}`, found {}", self.peek_kind().describe()),
+                self.span(),
+            ))
+        }
+    }
+
+    // ---------------------------------------------------------- program
+
+    fn program(&mut self) -> Result<Program> {
+        let mut inputs = Vec::new();
+        while self.at_ident("input") {
+            self.bump();
+            let name = self.ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.ty()?;
+            self.expect(&TokenKind::Semi)?;
+            inputs.push((name, ty));
+        }
+        let mut body = Vec::new();
+        while self.peek_kind() != &TokenKind::Eof {
+            if self.eat(&TokenKind::Semi) {
+                continue; // tolerate stray semicolons
+            }
+            body.push(self.stmt()?);
+        }
+        Ok(Program { inputs, body })
+    }
+
+    // ---------------------------------------------------------- types
+
+    fn ty(&mut self) -> Result<Type> {
+        let span = self.span();
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "bool" => Ok(Type::Bool),
+                    "long" | "int" => Ok(Type::Long),
+                    "double" | "float" => Ok(Type::Double),
+                    "string" => Ok(Type::Str),
+                    "vector" => {
+                        self.expect(&TokenKind::LBracket)?;
+                        let t = self.ty()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Type::Vector(Box::new(t)))
+                    }
+                    "matrix" => {
+                        self.expect(&TokenKind::LBracket)?;
+                        let t = self.ty()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Type::Matrix(Box::new(t)))
+                    }
+                    "map" => {
+                        self.expect(&TokenKind::LBracket)?;
+                        let k = self.ty()?;
+                        self.expect(&TokenKind::Comma)?;
+                        let v = self.ty()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        Ok(Type::Map(Box::new(k), Box::new(v)))
+                    }
+                    other => Err(LangError::new(format!("unknown type `{other}`"), span)),
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let mut fields = vec![self.ty()?];
+                while self.eat(&TokenKind::Comma) {
+                    fields.push(self.ty()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                if fields.len() < 2 {
+                    return Err(LangError::new("tuple types need at least two fields", span));
+                }
+                Ok(Type::Tuple(fields))
+            }
+            TokenKind::RecOpen => {
+                self.bump();
+                let mut fields = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Colon)?;
+                    let t = self.ty()?;
+                    fields.push((name, t));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RecClose)?;
+                Ok(Type::Record(fields))
+            }
+            other => Err(LangError::new(format!("expected a type, found {}", other.describe()), span)),
+        }
+    }
+
+    // ---------------------------------------------------------- statements
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        if self.at_ident("var") {
+            return self.decl();
+        }
+        if self.at_ident("for") {
+            return self.for_stmt();
+        }
+        if self.at_ident("while") {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            let body = self.stmt()?;
+            return Ok(Stmt::While { cond, body: Box::new(body), span });
+        }
+        if self.at_ident("if") {
+            self.bump();
+            self.expect(&TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(&TokenKind::RParen)?;
+            let then_branch = Box::new(self.stmt()?);
+            let else_branch = if self.at_ident("else") {
+                self.bump();
+                Some(Box::new(self.stmt()?))
+            } else {
+                None
+            };
+            return Ok(Stmt::If { cond, then_branch, else_branch, span });
+        }
+        if self.peek_kind() == &TokenKind::LBrace {
+            self.bump();
+            let mut stmts = Vec::new();
+            while self.peek_kind() != &TokenKind::RBrace {
+                if self.eat(&TokenKind::Semi) {
+                    continue;
+                }
+                stmts.push(self.stmt()?);
+            }
+            self.expect(&TokenKind::RBrace)?;
+            self.eat(&TokenKind::Semi); // tolerate `};`
+            return Ok(Stmt::Block(stmts));
+        }
+        // Assignment or incremental update.
+        let dest = self.lhs()?;
+        let tok = self.bump();
+        let stmt = match tok.kind {
+            TokenKind::Assign => {
+                let value = self.expr()?;
+                desugar_assign(dest, value, span)
+            }
+            TokenKind::PlusAssign => Stmt::Incr { dest, op: BinOp::Add, value: self.expr()?, span },
+            TokenKind::StarAssign => Stmt::Incr { dest, op: BinOp::Mul, value: self.expr()?, span },
+            TokenKind::CaretAssign => {
+                Stmt::Incr { dest, op: BinOp::ArgMin, value: self.expr()?, span }
+            }
+            TokenKind::AndAssign => Stmt::Incr { dest, op: BinOp::And, value: self.expr()?, span },
+            TokenKind::OrAssign => Stmt::Incr { dest, op: BinOp::Or, value: self.expr()?, span },
+            other => {
+                return Err(LangError::new(
+                    format!("expected an assignment operator, found {}", other.describe()),
+                    tok.span,
+                ))
+            }
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(stmt)
+    }
+
+    fn decl(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        self.expect_ident("var")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&TokenKind::Eq)?;
+        // Empty-collection constructors: vector(), matrix(), map().
+        let init = if (self.at_ident("vector") || self.at_ident("matrix") || self.at_ident("map"))
+            && self.tokens.get(self.pos + 1).map(|t| &t.kind) == Some(&TokenKind::LParen)
+            && self.tokens.get(self.pos + 2).map(|t| &t.kind) == Some(&TokenKind::RParen)
+        {
+            self.bump();
+            self.bump();
+            self.bump();
+            DeclInit::EmptyCollection
+        } else {
+            DeclInit::Expr(self.expr()?)
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::Decl { name, ty, init, span })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        self.expect_ident("for")?;
+        let var = self.ident()?;
+        if self.eat_ident("in") {
+            let source = self.expr()?;
+            self.expect_ident("do")?;
+            let body = self.stmt()?;
+            return Ok(Stmt::ForIn { var, source, body: Box::new(body), span });
+        }
+        self.expect(&TokenKind::Eq)?;
+        let lo = self.expr()?;
+        self.expect(&TokenKind::Comma)?;
+        let hi = self.expr()?;
+        self.expect_ident("do")?;
+        let body = self.stmt()?;
+        Ok(Stmt::For { var, lo, hi, body: Box::new(body), span })
+    }
+
+    // ---------------------------------------------------------- L-values
+
+    fn lhs(&mut self) -> Result<Lhs> {
+        let span = self.span();
+        let name = self.ident()?;
+        let mut d = if self.eat(&TokenKind::LBracket) {
+            let mut idxs = vec![self.expr()?];
+            while self.eat(&TokenKind::Comma) {
+                idxs.push(self.expr()?);
+            }
+            self.expect(&TokenKind::RBracket)?;
+            Lhs::Index(name, idxs)
+        } else {
+            Lhs::Var(name)
+        };
+        while self.eat(&TokenKind::Dot) {
+            let field = self.ident()?;
+            d = Lhs::Proj(Box::new(d), field);
+        }
+        if self.peek_kind() == &TokenKind::LBracket {
+            return Err(LangError::new(
+                "nested array indexing is not allowed (arrays of arrays are excluded, §3.1)",
+                span,
+            ));
+        }
+        Ok(d)
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    /// `expr := and_expr (('||') and_expr)*`
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            e = Expr::Bin(BinOp::Or, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            e = Expr::Bin(BinOp::And, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let e = self.add_expr()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            TokenKind::Less => Some(BinOp::Lt),
+            TokenKind::LessEq => Some(BinOp::Le),
+            TokenKind::Greater => Some(BinOp::Gt),
+            TokenKind::GreaterEq => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(e), Box::new(rhs)))
+        } else {
+            Ok(e)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                TokenKind::Caret => BinOp::ArgMin,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary_expr()?;
+            // Fold negation of literals so `-1` is a constant.
+            return Ok(match e {
+                Expr::Const(Const::Long(n)) => Expr::Const(Const::Long(-n)),
+                Expr::Const(Const::Double(x)) => Expr::Const(Const::Double(-x)),
+                other => Expr::Un(UnOp::Neg, Box::new(other)),
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr> {
+        let span = self.span();
+        let mut e = self.primary_expr()?;
+        while self.eat(&TokenKind::Dot) {
+            let field = self.ident()?;
+            // The grammar only projects destinations (Fig. 1).
+            e = match e {
+                Expr::Dest(d) => Expr::Dest(Lhs::Proj(Box::new(d), field)),
+                _ => {
+                    return Err(LangError::new(
+                        "projection `.A` is only allowed on variables and array accesses",
+                        span,
+                    ))
+                }
+            };
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let span = self.span();
+        match self.peek_kind().clone() {
+            TokenKind::Long(n) => {
+                self.bump();
+                Ok(Expr::Const(Const::Long(n)))
+            }
+            TokenKind::Double(x) => {
+                self.bump();
+                Ok(Expr::Const(Const::Double(x)))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Const(Const::Str(s)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let mut fields = vec![self.expr()?];
+                while self.eat(&TokenKind::Comma) {
+                    fields.push(self.expr()?);
+                }
+                self.expect(&TokenKind::RParen)?;
+                if fields.len() == 1 {
+                    Ok(fields.pop().expect("one field"))
+                } else {
+                    Ok(Expr::Tuple(fields))
+                }
+            }
+            TokenKind::RecOpen => {
+                self.bump();
+                let mut fields = Vec::new();
+                loop {
+                    let name = self.ident()?;
+                    self.expect(&TokenKind::Eq)?;
+                    let e = self.expr()?;
+                    fields.push((name, e));
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&TokenKind::RecClose)?;
+                Ok(Expr::Record(fields))
+            }
+            TokenKind::Ident(name) => {
+                match name.as_str() {
+                    "true" => {
+                        self.bump();
+                        return Ok(Expr::Const(Const::Bool(true)));
+                    }
+                    "false" => {
+                        self.bump();
+                        return Ok(Expr::Const(Const::Bool(false)));
+                    }
+                    _ => {}
+                }
+                self.bump();
+                if self.peek_kind() == &TokenKind::LParen {
+                    return self.call_expr(name, span);
+                }
+                if self.eat(&TokenKind::LBracket) {
+                    let mut idxs = vec![self.expr()?];
+                    while self.eat(&TokenKind::Comma) {
+                        idxs.push(self.expr()?);
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    if self.peek_kind() == &TokenKind::LBracket {
+                        return Err(LangError::new(
+                            "nested array indexing is not allowed (arrays of arrays are excluded, §3.1)",
+                            span,
+                        ));
+                    }
+                    return Ok(Expr::Dest(Lhs::Index(name, idxs)));
+                }
+                Ok(Expr::var(name))
+            }
+            other => Err(LangError::new(
+                format!("expected an expression, found {}", other.describe()),
+                span,
+            )),
+        }
+    }
+
+    fn call_expr(&mut self, name: String, span: Span) -> Result<Expr> {
+        self.expect(&TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if self.peek_kind() != &TokenKind::RParen {
+            args.push(self.expr()?);
+            while self.eat(&TokenKind::Comma) {
+                args.push(self.expr()?);
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        // `min`/`max` are binary operators in call syntax.
+        match name.as_str() {
+            "min" | "max" if args.len() == 2 => {
+                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                let mut it = args.into_iter();
+                let a = it.next().expect("two args");
+                let b = it.next().expect("two args");
+                return Ok(Expr::Bin(op, Box::new(a), Box::new(b)));
+            }
+            _ => {}
+        }
+        match Func::by_name(&name) {
+            Some(f) => Ok(Expr::Call(f, args)),
+            None => Err(LangError::new(format!("unknown function `{name}`"), span)),
+        }
+    }
+}
+
+/// Desugars `d := d ⊕ e` / `d := e ⊕ d` into `d ⊕= e` when `⊕` is
+/// commutative; other assignments stay plain.
+fn desugar_assign(dest: Lhs, value: Expr, span: Span) -> Stmt {
+    if let Expr::Bin(op, lhs, rhs) = &value {
+        if op.is_commutative() {
+            if matches!(lhs.as_ref(), Expr::Dest(d) if *d == dest) {
+                return Stmt::Incr { dest, op: *op, value: (**rhs).clone(), span };
+            }
+            if matches!(rhs.as_ref(), Expr::Dest(d) if *d == dest) {
+                return Stmt::Incr { dest, op: *op, value: (**lhs).clone(), span };
+            }
+        }
+    }
+    Stmt::Assign { dest, value, span }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_inputs_and_decls() {
+        let p = parse(
+            r#"
+            input M: matrix[double];
+            input n: long;
+            var R: matrix[double] = matrix();
+            var s: double = 0.0;
+        "#,
+        )
+        .unwrap();
+        assert_eq!(p.inputs.len(), 2);
+        assert_eq!(p.body.len(), 2);
+        assert!(matches!(
+            &p.body[0],
+            Stmt::Decl { init: DeclInit::EmptyCollection, .. }
+        ));
+    }
+
+    #[test]
+    fn parses_matrix_multiplication_shape() {
+        let p = parse(
+            r#"
+            input M: matrix[double];
+            input N: matrix[double];
+            input d: long;
+            var R: matrix[double] = matrix();
+            for i = 0, d-1 do
+              for j = 0, d-1 do {
+                R[i, j] := 0.0;
+                for k = 0, d-1 do
+                  R[i, j] += M[i, k] * N[k, j];
+              };
+        "#,
+        )
+        .unwrap();
+        let Stmt::For { body, .. } = &p.body[1] else { panic!("outer for") };
+        let Stmt::For { body, .. } = body.as_ref() else { panic!("inner for") };
+        let Stmt::Block(ss) = body.as_ref() else { panic!("block") };
+        assert_eq!(ss.len(), 2);
+        assert!(matches!(&ss[1], Stmt::For { body, .. }
+            if matches!(body.as_ref(), Stmt::Incr { op: BinOp::Add, .. })));
+    }
+
+    #[test]
+    fn desugars_commutative_self_assignment() {
+        let p = parse(
+            r#"
+            input V: vector[double];
+            var eq: bool = true;
+            for v in V do eq := eq && v == 0.0;
+        "#,
+        )
+        .unwrap();
+        let Stmt::ForIn { body, .. } = &p.body[1] else { panic!() };
+        assert!(
+            matches!(body.as_ref(), Stmt::Incr { op: BinOp::And, .. }),
+            "got {body:?}"
+        );
+    }
+
+    #[test]
+    fn does_not_desugar_noncommutative_self_assignment() {
+        let p = parse("var x: long = 0; x := x - 1;").unwrap();
+        assert!(matches!(&p.body[1], Stmt::Assign { .. }));
+    }
+
+    #[test]
+    fn desugars_reversed_operand_order() {
+        let p = parse("var x: long = 0; x := 1 + x;").unwrap();
+        assert!(matches!(
+            &p.body[1],
+            Stmt::Incr { op: BinOp::Add, value: Expr::Const(Const::Long(1)), .. }
+        ));
+    }
+
+    #[test]
+    fn parses_records_and_projections() {
+        let e = parse_expr("<| index = j, distance = d |>").unwrap();
+        assert!(matches!(e, Expr::Record(fields) if fields.len() == 2));
+        let e = parse_expr("A[i].K").unwrap();
+        assert!(matches!(e, Expr::Dest(Lhs::Proj(_, f)) if f == "K"));
+    }
+
+    #[test]
+    fn rejects_projection_of_tuple_literals() {
+        assert!(parse_expr("(1, 2)._1").is_err());
+    }
+
+    #[test]
+    fn rejects_nested_indexing() {
+        assert!(parse("input V: vector[long]; var x: long = 0; x := V[0][1];").is_err());
+    }
+
+    #[test]
+    fn allows_indirect_indexing() {
+        // V[W[i]] is fine — the nesting is inside the index expression.
+        let e = parse_expr("V[W[i]]").unwrap();
+        assert!(matches!(e, Expr::Dest(Lhs::Index(v, _)) if v == "V"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Add, _, rhs)
+            if matches!(*rhs, Expr::Bin(BinOp::Mul, _, _))));
+        let e = parse_expr("a < b && c < d || e").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Or, _, _)));
+    }
+
+    #[test]
+    fn min_max_become_binops() {
+        let e = parse_expr("min(a, b)").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Min, _, _)));
+        let e = parse_expr("max(a, 3)").unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Max, _, _)));
+    }
+
+    #[test]
+    fn builtin_calls_and_unknown_functions() {
+        assert!(matches!(parse_expr("sqrt(x)").unwrap(), Expr::Call(Func::Sqrt, _)));
+        assert!(parse_expr("frobnicate(x)").is_err());
+    }
+
+    #[test]
+    fn unary_minus_folds_literals() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::Const(Const::Long(-5)));
+        assert!(matches!(parse_expr("-x").unwrap(), Expr::Un(UnOp::Neg, _)));
+    }
+
+    #[test]
+    fn while_and_if_statements() {
+        let p = parse(
+            r#"
+            var k: long = 0;
+            while (k < 10) {
+                k += 1;
+                if (k == 5) k += 2; else k += 3;
+            };
+        "#,
+        )
+        .unwrap();
+        assert!(matches!(&p.body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn incremental_operators() {
+        let p = parse(
+            r#"
+            var a: long = 0; var b: long = 1; var c: bool = true;
+            var d: bool = false; var e: vector[(long, double)] = vector();
+            a += 1; b *= 2; c &&= true; d ||= false; e[0] ^= (1, 0.5);
+        "#,
+        )
+        .unwrap();
+        let ops: Vec<BinOp> = p.body[5..]
+            .iter()
+            .map(|s| match s {
+                Stmt::Incr { op, .. } => *op,
+                other => panic!("expected Incr, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(ops, vec![BinOp::Add, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::ArgMin]);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("var x long = 3;").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert!(err.message.contains("expected `:`"), "{err}");
+    }
+}

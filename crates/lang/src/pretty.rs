@@ -1,0 +1,192 @@
+//! Pretty printer producing parseable source text.
+//!
+//! Used in diagnostics, DESIGN-style dumps of translated programs, and in
+//! round-trip tests (`parse(pretty(parse(src))) == parse(src)`).
+
+use crate::ast::{Const, DeclInit, Expr, Lhs, Program, Stmt};
+use crate::types::Type;
+use diablo_runtime::{BinOp, UnOp};
+
+/// Pretty-prints a whole program.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (name, ty) in &p.inputs {
+        out.push_str(&format!("input {name}: {ty};\n"));
+    }
+    for s in &p.body {
+        pretty_stmt(s, 0, &mut out);
+    }
+    out
+}
+
+/// Pretty-prints a statement at the given indentation level.
+pub fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    match s {
+        Stmt::Incr { dest, op, value, .. } => {
+            let sym = match op {
+                BinOp::Add => "+=".to_string(),
+                BinOp::Mul => "*=".to_string(),
+                BinOp::ArgMin => "^=".to_string(),
+                BinOp::And => "&&=".to_string(),
+                BinOp::Or => "||=".to_string(),
+                // No compound token for the rest; print the expanded form.
+                other => {
+                    out.push_str(&format!(
+                        "{pad}{} := {} {} {};\n",
+                        pretty_lhs(dest),
+                        pretty_lhs(dest),
+                        other.symbol(),
+                        pretty_expr(value)
+                    ));
+                    return;
+                }
+            };
+            out.push_str(&format!("{pad}{} {sym} {};\n", pretty_lhs(dest), pretty_expr(value)));
+        }
+        Stmt::Assign { dest, value, .. } => {
+            out.push_str(&format!("{pad}{} := {};\n", pretty_lhs(dest), pretty_expr(value)));
+        }
+        Stmt::Decl { name, ty, init, .. } => {
+            let init = match init {
+                DeclInit::EmptyCollection => match ty {
+                    Type::Vector(_) => "vector()".to_string(),
+                    Type::Matrix(_) => "matrix()".to_string(),
+                    _ => "map()".to_string(),
+                },
+                DeclInit::Expr(e) => pretty_expr(e),
+            };
+            out.push_str(&format!("{pad}var {name}: {ty} = {init};\n"));
+        }
+        Stmt::For { var, lo, hi, body, .. } => {
+            out.push_str(&format!(
+                "{pad}for {var} = {}, {} do\n",
+                pretty_expr(lo),
+                pretty_expr(hi)
+            ));
+            pretty_stmt(body, indent + 1, out);
+        }
+        Stmt::ForIn { var, source, body, .. } => {
+            out.push_str(&format!("{pad}for {var} in {} do\n", pretty_expr(source)));
+            pretty_stmt(body, indent + 1, out);
+        }
+        Stmt::While { cond, body, .. } => {
+            out.push_str(&format!("{pad}while ({})\n", pretty_expr(cond)));
+            pretty_stmt(body, indent + 1, out);
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            out.push_str(&format!("{pad}if ({})\n", pretty_expr(cond)));
+            pretty_stmt(then_branch, indent + 1, out);
+            if let Some(e) = else_branch {
+                out.push_str(&format!("{pad}else\n"));
+                pretty_stmt(e, indent + 1, out);
+            }
+        }
+        Stmt::Block(ss) => {
+            out.push_str(&format!("{pad}{{\n"));
+            for s in ss {
+                pretty_stmt(s, indent + 1, out);
+            }
+            out.push_str(&format!("{pad}}};\n"));
+        }
+    }
+}
+
+/// Pretty-prints an L-value.
+pub fn pretty_lhs(d: &Lhs) -> String {
+    match d {
+        Lhs::Var(v) => v.clone(),
+        Lhs::Proj(base, f) => format!("{}.{f}", pretty_lhs(base)),
+        Lhs::Index(v, idxs) => {
+            let idx = idxs.iter().map(pretty_expr).collect::<Vec<_>>().join(", ");
+            format!("{v}[{idx}]")
+        }
+    }
+}
+
+/// Pretty-prints an expression (fully parenthesized for compound forms).
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Dest(d) => pretty_lhs(d),
+        Expr::Const(Const::Long(n)) => n.to_string(),
+        Expr::Const(Const::Double(x)) => {
+            if x.fract() == 0.0 && x.is_finite() {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Expr::Const(Const::Bool(b)) => b.to_string(),
+        Expr::Const(Const::Str(s)) => format!("{s:?}"),
+        Expr::Bin(op @ (BinOp::Min | BinOp::Max), a, b) => {
+            format!("{}({}, {})", op.symbol(), pretty_expr(a), pretty_expr(b))
+        }
+        Expr::Bin(op, a, b) => {
+            format!("({} {} {})", pretty_expr(a), op.symbol(), pretty_expr(b))
+        }
+        Expr::Un(UnOp::Neg, a) => format!("(-{})", pretty_expr(a)),
+        Expr::Un(UnOp::Not, a) => format!("(!{})", pretty_expr(a)),
+        Expr::Call(f, args) => {
+            let args = args.iter().map(pretty_expr).collect::<Vec<_>>().join(", ");
+            format!("{}({args})", f.name())
+        }
+        Expr::Tuple(fields) => {
+            let fs = fields.iter().map(pretty_expr).collect::<Vec<_>>().join(", ");
+            format!("({fs})")
+        }
+        Expr::Record(fields) => {
+            let fs = fields
+                .iter()
+                .map(|(n, e)| format!("{n} = {}", pretty_expr(e)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("<| {fs} |>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        let src = r#"
+            input M: matrix[double];
+            input N: matrix[double];
+            input d: long;
+            var R: matrix[double] = matrix();
+            var s: double = 0.0;
+            for i = 0, d-1 do
+              for j = 0, d-1 do {
+                R[i, j] := 0.0;
+                for k = 0, d-1 do
+                  R[i, j] += M[i, k] * N[k, j];
+              };
+            while (s < 10.0) s += 1.0;
+            if (s > 5.0) s := 0.0; else s += 2.0;
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = pretty_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2, "pretty output:\n{printed}");
+    }
+
+    #[test]
+    fn round_trips_records_tuples_and_calls() {
+        let src = r#"
+            input P: vector[(double, double)];
+            var best: vector[<|index: long, distance: double|>] = vector();
+            var acc: vector[(double, double, long)] = vector();
+            for i = 0, 9 do {
+                best[i] := <| index = 0, distance = sqrt(P[i]._1 * P[i]._2) |>;
+                acc[i] += (P[i]._1, P[i]._2, 1);
+            };
+        "#;
+        let p1 = parse(src).unwrap();
+        let printed = pretty_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,814 @@
+//! The type language and type checker.
+//!
+//! Types follow Fig. 1: basic types, parametric collection types
+//! (`vector[t]`, `matrix[t]`, `map[k, v]`), tuple types, and record types.
+//! Nested arrays (e.g. vectors of vectors) are not allowed, matching the
+//! paper's simplification (§3.1).
+//!
+//! Beyond checking, [`typecheck`] also establishes the invariant required by
+//! the dependence analysis of §3.2: *every for-loop has a distinct loop
+//! index variable*. Clashing loop indexes are renamed (`i` → `i_2`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ast::{Const, DeclInit, Expr, Lhs, Program, Stmt};
+use crate::lexer::Span;
+use crate::{LangError, Result};
+use diablo_runtime::{BinOp, Func, UnOp};
+
+/// A type of the loop-based language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// `bool`
+    Bool,
+    /// `long` (also accepted under the spelling `int`)
+    Long,
+    /// `double` (also accepted under the spelling `float`)
+    Double,
+    /// `string`
+    Str,
+    /// `vector[t]` — sparse vector indexed by `long`.
+    Vector(Box<Type>),
+    /// `matrix[t]` — sparse matrix indexed by `(long, long)`.
+    Matrix(Box<Type>),
+    /// `map[k, v]` — key-value map with arbitrary key type.
+    Map(Box<Type>, Box<Type>),
+    /// Tuple type `(t1, ..., tn)`.
+    Tuple(Vec<Type>),
+    /// Record type `<| A1: t1, ..., An: tn |>`.
+    Record(Vec<(String, Type)>),
+}
+
+impl Type {
+    /// True for collection types (vectors, matrices, maps).
+    pub fn is_collection(&self) -> bool {
+        matches!(self, Type::Vector(_) | Type::Matrix(_) | Type::Map(_, _))
+    }
+
+    /// True for numeric scalar types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Long | Type::Double)
+    }
+
+    /// The element (value) type of a collection.
+    pub fn element(&self) -> Option<&Type> {
+        match self {
+            Type::Vector(t) | Type::Matrix(t) => Some(t),
+            Type::Map(_, v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The key type of a collection: `long` for vectors, `(long, long)` for
+    /// matrices, `k` for maps.
+    pub fn key_type(&self) -> Option<Type> {
+        match self {
+            Type::Vector(_) => Some(Type::Long),
+            Type::Matrix(_) => Some(Type::Tuple(vec![Type::Long, Type::Long])),
+            Type::Map(k, _) => Some((**k).clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of index expressions an access to this collection takes.
+    pub fn index_arity(&self) -> Option<usize> {
+        match self {
+            Type::Vector(_) | Type::Map(_, _) => Some(1),
+            Type::Matrix(_) => Some(2),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Long => write!(f, "long"),
+            Type::Double => write!(f, "double"),
+            Type::Str => write!(f, "string"),
+            Type::Vector(t) => write!(f, "vector[{t}]"),
+            Type::Matrix(t) => write!(f, "matrix[{t}]"),
+            Type::Map(k, v) => write!(f, "map[{k}, {v}]"),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Type::Record(fields) => {
+                write!(f, "<|")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, "|>")
+            }
+        }
+    }
+}
+
+/// `true` if a value of type `src` may be stored into a location of type
+/// `dst` (allowing the `long → double` promotion, recursively through
+/// tuples and records).
+pub fn assignable(dst: &Type, src: &Type) -> bool {
+    match (dst, src) {
+        (Type::Double, Type::Long) => true,
+        (Type::Tuple(a), Type::Tuple(b)) => {
+            a.len() == b.len() && a.iter().zip(b).all(|(x, y)| assignable(x, y))
+        }
+        (Type::Record(a), Type::Record(b)) => {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b)
+                    .all(|((n, x), (m, y))| n == m && assignable(x, y))
+        }
+        _ => dst == src,
+    }
+}
+
+/// The least upper bound of two numeric types, if both are numeric.
+fn join_numeric(a: &Type, b: &Type) -> Option<Type> {
+    match (a, b) {
+        (Type::Long, Type::Long) => Some(Type::Long),
+        (Type::Long, Type::Double) | (Type::Double, Type::Long) | (Type::Double, Type::Double) => {
+            Some(Type::Double)
+        }
+        _ => None,
+    }
+}
+
+/// A type-checked program.
+#[derive(Debug, Clone)]
+pub struct TypedProgram {
+    /// The program, with loop indexes renamed to be globally distinct.
+    pub program: Program,
+    /// The type of every variable (inputs, declarations, loop indexes).
+    pub var_types: HashMap<String, Type>,
+    /// The set of loop-index variables.
+    pub loop_vars: HashSet<String>,
+}
+
+impl TypedProgram {
+    /// The declared or inferred type of a variable.
+    pub fn type_of(&self, name: &str) -> Option<&Type> {
+        self.var_types.get(name)
+    }
+
+    /// True if `name` is bound as a loop index somewhere in the program.
+    pub fn is_loop_var(&self, name: &str) -> bool {
+        self.loop_vars.contains(name)
+    }
+
+    /// True if the variable holds a collection.
+    pub fn is_collection(&self, name: &str) -> bool {
+        self.type_of(name).is_some_and(Type::is_collection)
+    }
+}
+
+struct Checker {
+    var_types: HashMap<String, Type>,
+    loop_vars: HashSet<String>,
+    /// Names ever introduced, for fresh-name generation.
+    used: HashSet<String>,
+}
+
+impl Checker {
+    fn fresh(&mut self, base: &str) -> String {
+        if !self.used.contains(base) {
+            self.used.insert(base.to_string());
+            return base.to_string();
+        }
+        let mut k = 2;
+        loop {
+            let cand = format!("{base}_{k}");
+            if !self.used.contains(&cand) {
+                self.used.insert(cand.clone());
+                return cand;
+            }
+            k += 1;
+        }
+    }
+
+    fn lookup(&self, name: &str, span: Span) -> Result<Type> {
+        self.var_types
+            .get(name)
+            .cloned()
+            .ok_or_else(|| LangError::new(format!("undefined variable `{name}`"), span))
+    }
+
+    fn type_of_lhs(&self, d: &Lhs, span: Span) -> Result<Type> {
+        match d {
+            Lhs::Var(v) => self.lookup(v, span),
+            Lhs::Proj(base, field) => {
+                let t = self.type_of_lhs(base, span)?;
+                project(&t, field).ok_or_else(|| {
+                    LangError::new(format!("type {t} has no field `{field}`"), span)
+                })
+            }
+            Lhs::Index(v, idxs) => {
+                let t = self.lookup(v, span)?;
+                let arity = t.index_arity().ok_or_else(|| {
+                    LangError::new(format!("`{v}` of type {t} cannot be indexed"), span)
+                })?;
+                if idxs.len() != arity {
+                    return Err(LangError::new(
+                        format!("`{v}` expects {arity} index(es), got {}", idxs.len()),
+                        span,
+                    ));
+                }
+                match &t {
+                    Type::Vector(elem) | Type::Matrix(elem) => {
+                        for e in idxs {
+                            let it = self.type_of_expr(e, span)?;
+                            if it != Type::Long {
+                                return Err(LangError::new(
+                                    format!("array index must be long, got {it}"),
+                                    span,
+                                ));
+                            }
+                        }
+                        Ok((**elem).clone())
+                    }
+                    Type::Map(k, v) => {
+                        let it = self.type_of_expr(&idxs[0], span)?;
+                        if !assignable(k, &it) {
+                            return Err(LangError::new(
+                                format!("map key must be {k}, got {it}"),
+                                span,
+                            ));
+                        }
+                        Ok((**v).clone())
+                    }
+                    _ => unreachable!("index_arity returned Some"),
+                }
+            }
+        }
+    }
+
+    fn type_of_expr(&self, e: &Expr, span: Span) -> Result<Type> {
+        match e {
+            Expr::Dest(d) => self.type_of_lhs(d, span),
+            Expr::Const(c) => Ok(match c {
+                Const::Long(_) => Type::Long,
+                Const::Double(_) => Type::Double,
+                Const::Bool(_) => Type::Bool,
+                Const::Str(_) => Type::Str,
+            }),
+            Expr::Bin(op, a, b) => {
+                let ta = self.type_of_expr(a, span)?;
+                let tb = self.type_of_expr(b, span)?;
+                self.type_of_binop(*op, &ta, &tb, span)
+            }
+            Expr::Un(op, a) => {
+                let t = self.type_of_expr(a, span)?;
+                match op {
+                    UnOp::Neg if t.is_numeric() => Ok(t),
+                    UnOp::Not if t == Type::Bool => Ok(Type::Bool),
+                    UnOp::Neg => Err(LangError::new(format!("cannot negate {t}"), span)),
+                    UnOp::Not => Err(LangError::new(format!("cannot apply ! to {t}"), span)),
+                }
+            }
+            Expr::Call(f, args) => {
+                if args.len() != f.arity() {
+                    return Err(LangError::new(
+                        format!("{} expects {} argument(s), got {}", f.name(), f.arity(), args.len()),
+                        span,
+                    ));
+                }
+                let mut tys = Vec::with_capacity(args.len());
+                for a in args {
+                    tys.push(self.type_of_expr(a, span)?);
+                }
+                for t in &tys {
+                    if !t.is_numeric() {
+                        return Err(LangError::new(
+                            format!("{} expects numeric arguments, got {t}", f.name()),
+                            span,
+                        ));
+                    }
+                }
+                Ok(match f {
+                    Func::Abs => tys[0].clone(),
+                    Func::ToLong => Type::Long,
+                    Func::InRange => Type::Bool,
+                    _ => Type::Double,
+                })
+            }
+            Expr::Tuple(fields) => {
+                let tys = fields
+                    .iter()
+                    .map(|f| self.type_of_expr(f, span))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Type::Tuple(tys))
+            }
+            Expr::Record(fields) => {
+                let tys = fields
+                    .iter()
+                    .map(|(n, f)| Ok((n.clone(), self.type_of_expr(f, span)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Type::Record(tys))
+            }
+        }
+    }
+
+    fn type_of_binop(&self, op: BinOp, ta: &Type, tb: &Type, span: Span) -> Result<Type> {
+        use BinOp::*;
+        let err = || {
+            Err(LangError::new(
+                format!("operator `{}` cannot be applied to {ta} and {tb}", op.symbol()),
+                span,
+            ))
+        };
+        match op {
+            Add => {
+                if let Some(t) = join_numeric(ta, tb) {
+                    return Ok(t);
+                }
+                // Element-wise tuple addition (the K-Means accumulator).
+                if let (Type::Tuple(xs), Type::Tuple(ys)) = (ta, tb) {
+                    if xs.len() == ys.len() {
+                        let fields = xs
+                            .iter()
+                            .zip(ys)
+                            .map(|(x, y)| {
+                                join_numeric(x, y).ok_or_else(|| {
+                                    LangError::new(
+                                        format!("cannot add tuple fields {x} and {y}"),
+                                        span,
+                                    )
+                                })
+                            })
+                            .collect::<Result<Vec<_>>>()?;
+                        return Ok(Type::Tuple(fields));
+                    }
+                }
+                err()
+            }
+            Sub | Mul | Div | Mod | Min | Max => join_numeric(ta, tb).map_or_else(err, Ok),
+            Eq | Ne => {
+                if ta == tb || join_numeric(ta, tb).is_some() {
+                    Ok(Type::Bool)
+                } else {
+                    err()
+                }
+            }
+            Lt | Le | Gt | Ge => {
+                if join_numeric(ta, tb).is_some() || (ta == &Type::Str && tb == &Type::Str) {
+                    Ok(Type::Bool)
+                } else {
+                    err()
+                }
+            }
+            And | Or => {
+                if ta == &Type::Bool && tb == &Type::Bool {
+                    Ok(Type::Bool)
+                } else {
+                    err()
+                }
+            }
+            ArgMin => {
+                // `^` works over pairs whose second component is numeric.
+                match (ta, tb) {
+                    (Type::Tuple(xs), Type::Tuple(ys))
+                        if xs.len() == 2 && xs == ys && xs[1].is_numeric() =>
+                    {
+                        Ok(ta.clone())
+                    }
+                    _ => err(),
+                }
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, s: Stmt, loop_depth: usize) -> Result<Stmt> {
+        match s {
+            Stmt::Decl { name, ty, init, span } => {
+                if loop_depth > 0 {
+                    return Err(LangError::new(
+                        format!("`var {name}` declarations cannot appear inside for-loops (Fig. 1)"),
+                        span,
+                    ));
+                }
+                match &init {
+                    DeclInit::EmptyCollection => {
+                        if !ty.is_collection() {
+                            return Err(LangError::new(
+                                format!("empty-collection initializer requires a collection type, `{name}` has type {ty}"),
+                                span,
+                            ));
+                        }
+                    }
+                    DeclInit::Expr(e) => {
+                        let it = self.type_of_expr(e, span)?;
+                        if !assignable(&ty, &it) {
+                            return Err(LangError::new(
+                                format!("`{name}` declared {ty} but initialized with {it}"),
+                                span,
+                            ));
+                        }
+                    }
+                }
+                if self.used.contains(&name) {
+                    return Err(LangError::new(format!("`{name}` is declared twice"), span));
+                }
+                self.used.insert(name.clone());
+                self.var_types.insert(name.clone(), ty.clone());
+                Ok(Stmt::Decl { name, ty, init, span })
+            }
+            Stmt::Assign { dest, value, span } => {
+                self.check_write(&dest, span)?;
+                let td = self.type_of_lhs(&dest, span)?;
+                let tv = self.type_of_expr(&value, span)?;
+                if !assignable(&td, &tv) {
+                    return Err(LangError::new(
+                        format!("cannot assign {tv} to destination of type {td}"),
+                        span,
+                    ));
+                }
+                Ok(Stmt::Assign { dest, value, span })
+            }
+            Stmt::Incr { dest, op, value, span } => {
+                if !op.is_commutative() {
+                    return Err(LangError::new(
+                        format!(
+                            "incremental updates require a commutative operation, `{}` is not (§3.5)",
+                            op.symbol()
+                        ),
+                        span,
+                    ));
+                }
+                self.check_write(&dest, span)?;
+                let td = self.type_of_lhs(&dest, span)?;
+                let tv = self.type_of_expr(&value, span)?;
+                let tr = self.type_of_binop(op, &td, &tv, span)?;
+                if !assignable(&td, &tr) {
+                    return Err(LangError::new(
+                        format!("`{}=` would store {tr} into destination of type {td}", op.symbol()),
+                        span,
+                    ));
+                }
+                Ok(Stmt::Incr { dest, op, value, span })
+            }
+            Stmt::For { var, lo, hi, body, span } => {
+                for (side, e) in [("lower", &lo), ("upper", &hi)] {
+                    let t = self.type_of_expr(e, span)?;
+                    if t != Type::Long {
+                        return Err(LangError::new(
+                            format!("{side} bound of for-loop must be long, got {t}"),
+                            span,
+                        ));
+                    }
+                }
+                let fresh = self.fresh(&var);
+                let body = if fresh != var {
+                    rename_var(*body, &var, &fresh)
+                } else {
+                    *body
+                };
+                self.var_types.insert(fresh.clone(), Type::Long);
+                self.loop_vars.insert(fresh.clone());
+                let body = self.check_stmt(body, loop_depth + 1)?;
+                Ok(Stmt::For { var: fresh, lo, hi, body: Box::new(body), span })
+            }
+            Stmt::ForIn { var, source, body, span } => {
+                let ts = self.type_of_expr(&source, span)?;
+                let elem = ts
+                    .element()
+                    .ok_or_else(|| {
+                        LangError::new(format!("for-in source must be a collection, got {ts}"), span)
+                    })?
+                    .clone();
+                let fresh = self.fresh(&var);
+                let body = if fresh != var {
+                    rename_var(*body, &var, &fresh)
+                } else {
+                    *body
+                };
+                self.var_types.insert(fresh.clone(), elem);
+                self.loop_vars.insert(fresh.clone());
+                let body = self.check_stmt(body, loop_depth + 1)?;
+                Ok(Stmt::ForIn { var: fresh, source, body: Box::new(body), span })
+            }
+            Stmt::While { cond, body, span } => {
+                let t = self.type_of_expr(&cond, span)?;
+                if t != Type::Bool {
+                    return Err(LangError::new(
+                        format!("while condition must be bool, got {t}"),
+                        span,
+                    ));
+                }
+                let body = self.check_stmt(*body, loop_depth)?;
+                Ok(Stmt::While { cond, body: Box::new(body), span })
+            }
+            Stmt::If { cond, then_branch, else_branch, span } => {
+                let t = self.type_of_expr(&cond, span)?;
+                if t != Type::Bool {
+                    return Err(LangError::new(format!("if condition must be bool, got {t}"), span));
+                }
+                let then_branch = Box::new(self.check_stmt(*then_branch, loop_depth)?);
+                let else_branch = match else_branch {
+                    Some(b) => Some(Box::new(self.check_stmt(*b, loop_depth)?)),
+                    None => None,
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, span })
+            }
+            Stmt::Block(ss) => {
+                let ss = ss
+                    .into_iter()
+                    .map(|s| self.check_stmt(s, loop_depth))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Stmt::Block(ss))
+            }
+        }
+    }
+
+    fn check_write(&self, dest: &Lhs, span: Span) -> Result<()> {
+        let base = dest.base_var();
+        if self.loop_vars.contains(base) {
+            return Err(LangError::new(
+                format!("cannot assign to loop index `{base}`"),
+                span,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Looks up a field `A` (or tuple position `_k`) in a record/tuple type.
+fn project(t: &Type, field: &str) -> Option<Type> {
+    match t {
+        Type::Record(fields) => fields.iter().find(|(n, _)| n == field).map(|(_, t)| t.clone()),
+        Type::Tuple(ts) => {
+            let idx: usize = field.strip_prefix('_')?.parse().ok()?;
+            ts.get(idx.checked_sub(1)?).cloned()
+        }
+        _ => None,
+    }
+}
+
+/// Renames free occurrences of variable `from` to `to` in a statement,
+/// stopping at inner binders that rebind `from`.
+pub fn rename_var(s: Stmt, from: &str, to: &str) -> Stmt {
+    match s {
+        Stmt::Incr { dest, op, value, span } => Stmt::Incr {
+            dest: rename_lhs(dest, from, to),
+            op,
+            value: rename_expr(value, from, to),
+            span,
+        },
+        Stmt::Assign { dest, value, span } => Stmt::Assign {
+            dest: rename_lhs(dest, from, to),
+            value: rename_expr(value, from, to),
+            span,
+        },
+        Stmt::Decl { name, ty, init, span } => Stmt::Decl {
+            name,
+            ty,
+            init: match init {
+                DeclInit::Expr(e) => DeclInit::Expr(rename_expr(e, from, to)),
+                other => other,
+            },
+            span,
+        },
+        Stmt::For { var, lo, hi, body, span } => {
+            let lo = rename_expr(lo, from, to);
+            let hi = rename_expr(hi, from, to);
+            let body = if var == from { body } else { Box::new(rename_var(*body, from, to)) };
+            Stmt::For { var, lo, hi, body, span }
+        }
+        Stmt::ForIn { var, source, body, span } => {
+            let source = rename_expr(source, from, to);
+            let body = if var == from { body } else { Box::new(rename_var(*body, from, to)) };
+            Stmt::ForIn { var, source, body, span }
+        }
+        Stmt::While { cond, body, span } => Stmt::While {
+            cond: rename_expr(cond, from, to),
+            body: Box::new(rename_var(*body, from, to)),
+            span,
+        },
+        Stmt::If { cond, then_branch, else_branch, span } => Stmt::If {
+            cond: rename_expr(cond, from, to),
+            then_branch: Box::new(rename_var(*then_branch, from, to)),
+            else_branch: else_branch.map(|b| Box::new(rename_var(*b, from, to))),
+            span,
+        },
+        Stmt::Block(ss) => Stmt::Block(ss.into_iter().map(|s| rename_var(s, from, to)).collect()),
+    }
+}
+
+fn rename_lhs(d: Lhs, from: &str, to: &str) -> Lhs {
+    match d {
+        Lhs::Var(v) => Lhs::Var(if v == from { to.to_string() } else { v }),
+        Lhs::Proj(base, f) => Lhs::Proj(Box::new(rename_lhs(*base, from, to)), f),
+        Lhs::Index(v, idxs) => Lhs::Index(
+            if v == from { to.to_string() } else { v },
+            idxs.into_iter().map(|e| rename_expr(e, from, to)).collect(),
+        ),
+    }
+}
+
+fn rename_expr(e: Expr, from: &str, to: &str) -> Expr {
+    match e {
+        Expr::Dest(d) => Expr::Dest(rename_lhs(d, from, to)),
+        Expr::Const(c) => Expr::Const(c),
+        Expr::Bin(op, a, b) => Expr::Bin(
+            op,
+            Box::new(rename_expr(*a, from, to)),
+            Box::new(rename_expr(*b, from, to)),
+        ),
+        Expr::Un(op, a) => Expr::Un(op, Box::new(rename_expr(*a, from, to))),
+        Expr::Call(f, args) => {
+            Expr::Call(f, args.into_iter().map(|a| rename_expr(a, from, to)).collect())
+        }
+        Expr::Tuple(fs) => Expr::Tuple(fs.into_iter().map(|a| rename_expr(a, from, to)).collect()),
+        Expr::Record(fs) => Expr::Record(
+            fs.into_iter()
+                .map(|(n, a)| (n, rename_expr(a, from, to)))
+                .collect(),
+        ),
+    }
+}
+
+/// Type checks a parsed program and renames loop indexes to be distinct.
+pub fn typecheck(program: Program) -> Result<TypedProgram> {
+    let mut checker = Checker {
+        var_types: HashMap::new(),
+        loop_vars: HashSet::new(),
+        used: HashSet::new(),
+    };
+    for (name, ty) in &program.inputs {
+        if checker.used.contains(name) {
+            return Err(LangError::new(format!("input `{name}` declared twice"), Span::SYNTH));
+        }
+        checker.used.insert(name.clone());
+        checker.var_types.insert(name.clone(), ty.clone());
+    }
+    let body = program
+        .body
+        .into_iter()
+        .map(|s| checker.check_stmt(s, 0))
+        .collect::<Result<Vec<_>>>()?;
+    Ok(TypedProgram {
+        program: Program { inputs: program.inputs, body },
+        var_types: checker.var_types,
+        loop_vars: checker.loop_vars,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> Result<TypedProgram> {
+        typecheck(parse(src)?)
+    }
+
+    #[test]
+    fn accepts_matrix_multiplication() {
+        let src = r#"
+            input M: matrix[double];
+            input N: matrix[double];
+            input d: long;
+            var R: matrix[double] = matrix();
+            for i = 0, d-1 do
+              for j = 0, d-1 do {
+                R[i, j] := 0.0;
+                for k = 0, d-1 do
+                  R[i, j] += M[i, k] * N[k, j];
+              };
+        "#;
+        let tp = check(src).unwrap();
+        assert!(tp.is_loop_var("i"));
+        assert_eq!(tp.type_of("R"), Some(&Type::Matrix(Box::new(Type::Double))));
+    }
+
+    #[test]
+    fn renames_duplicate_loop_indexes() {
+        let src = r#"
+            input V: vector[long];
+            var a: long = 0;
+            var b: long = 0;
+            for i = 0, 9 do a += V[i];
+            for i = 0, 9 do b += V[i];
+        "#;
+        let tp = check(src).unwrap();
+        assert!(tp.is_loop_var("i"));
+        assert!(tp.is_loop_var("i_2"), "second loop index renamed: {:?}", tp.loop_vars);
+    }
+
+    #[test]
+    fn rejects_declarations_inside_loops() {
+        let src = r#"
+            input V: vector[long];
+            for i = 0, 9 do { var x: long = 0; x += V[i]; };
+        "#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("cannot appear inside for-loops"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_index_arity() {
+        let src = r#"
+            input M: matrix[double];
+            var x: double = 0.0;
+            x := M[3];
+        "#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("expects 2 index(es)"), "{err}");
+    }
+
+    #[test]
+    fn rejects_noncommutative_incremental_ops() {
+        let src = r#"
+            var x: double = 0.0;
+            x := x - 1.0;
+        "#;
+        // Parsed as a plain assignment (the desugaring only fires for
+        // commutative ops), and a plain scalar assignment is fine here.
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn rejects_assigning_to_loop_index() {
+        let src = r#"
+            input V: vector[long];
+            for i = 0, 9 do i := V[i];
+        "#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("loop index"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bool_bounds() {
+        let src = "for i = true, 9 do i += 1;";
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("must be long"), "{err}");
+    }
+
+    #[test]
+    fn map_keys_may_be_strings() {
+        let src = r#"
+            input words: vector[string];
+            var C: map[string, long] = map();
+            for w in words do C[w] += 1;
+        "#;
+        let tp = check(src).unwrap();
+        assert_eq!(tp.type_of("w"), Some(&Type::Str));
+    }
+
+    #[test]
+    fn tuple_projection_is_one_based() {
+        let src = r#"
+            input P: vector[(double, double)];
+            var s: double = 0.0;
+            for p in P do s += p._1;
+        "#;
+        assert!(check(src).is_ok());
+        let bad = r#"
+            input P: vector[(double, double)];
+            var s: double = 0.0;
+            for p in P do s += p._3;
+        "#;
+        assert!(check(bad).is_err());
+    }
+
+    #[test]
+    fn argmin_type_checks_on_pairs() {
+        let src = r#"
+            input D: vector[(long, double)];
+            var best: vector[(long, double)] = vector();
+            for i = 0, 9 do best[0] ^= D[i];
+        "#;
+        assert!(check(src).is_ok());
+    }
+
+    #[test]
+    fn record_field_types() {
+        let src = r#"
+            input A: vector[<|K: long, V: double|>];
+            var C: vector[double] = vector();
+            for i = 0, 9 do C[A[i].K] += A[i].V;
+        "#;
+        assert!(check(src).is_ok());
+        let bad = r#"
+            input A: vector[<|K: long, V: double|>];
+            var C: vector[double] = vector();
+            for i = 0, 9 do C[A[i].Z] += A[i].V;
+        "#;
+        assert!(check(bad).is_err());
+    }
+
+    #[test]
+    fn undefined_variables_are_reported() {
+        let err = check("x := 1;").unwrap_err();
+        assert!(err.message.contains("undefined variable `x`"), "{err}");
+    }
+}

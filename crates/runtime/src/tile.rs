@@ -1,0 +1,307 @@
+//! Densely packed (tiled) matrices and the `pack`/`unpack` mappings of §5.
+//!
+//! The paper stores a tiled matrix as `{((long, long), Array[T])}`: a bag of
+//! tiles where each tile carries its upper-left coordinate and a dense array
+//! of elements. `unpack` maps a tiled matrix to the sparse representation
+//!
+//! ```text
+//! unpack(N) = { ((I + k/m, J + k%m), v) | ((I,J), L) ← N, (k,v) ← scan(L) }
+//! ```
+//!
+//! and `pack` groups sparse elements into `n × m` tiles:
+//!
+//! ```text
+//! pack(M) = { ((I*n, J*m), form(z, n*m)) | ((i,j),v) ← M,
+//!             let z = (i%n)*m + (j%m), group by (I: i/n, J: j/m) }
+//! ```
+//!
+//! This module implements both directions plus tile-local dense kernels
+//! (`add`, `multiply`) and the no-shuffle tile merge `⊳'`, which the §5
+//! ablation benchmark compares against the sparse path.
+
+use std::collections::HashMap;
+
+use crate::value::Value;
+use crate::{Result, RuntimeError};
+
+/// A matrix packed into fixed-size dense tiles.
+///
+/// Absent tiles are implicitly zero, matching the sparse-array semantics of
+/// the rest of the system. Elements inside a tile are stored row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TiledMatrix {
+    /// Number of rows in each tile (`n` in the paper).
+    pub tile_rows: usize,
+    /// Number of columns in each tile (`m` in the paper).
+    pub tile_cols: usize,
+    /// Tiles keyed by tile coordinate `(i / n, j / m)`.
+    pub tiles: HashMap<(i64, i64), Vec<f64>>,
+}
+
+impl TiledMatrix {
+    /// Creates an empty tiled matrix with the given tile shape.
+    pub fn new(tile_rows: usize, tile_cols: usize) -> Self {
+        assert!(tile_rows > 0 && tile_cols > 0, "tile shape must be positive");
+        TiledMatrix { tile_rows, tile_cols, tiles: HashMap::new() }
+    }
+
+    /// `pack`: builds a tiled matrix from sparse `((i, j), v)` entries.
+    pub fn pack(tile_rows: usize, tile_cols: usize, entries: impl IntoIterator<Item = (i64, i64, f64)>) -> Self {
+        let mut m = TiledMatrix::new(tile_rows, tile_cols);
+        for (i, j, v) in entries {
+            m.set(i, j, v);
+        }
+        m
+    }
+
+    /// `pack` from a bag of sparse-matrix [`Value`] pairs `((i, j), v)`.
+    pub fn pack_values(tile_rows: usize, tile_cols: usize, rows: &[Value]) -> Result<Self> {
+        let mut m = TiledMatrix::new(tile_rows, tile_cols);
+        for row in rows {
+            let (k, v) = crate::array::key_value(row)?;
+            let ij = k
+                .as_tuple()
+                .filter(|t| t.len() == 2)
+                .ok_or_else(|| RuntimeError::new("matrix key must be (i, j)"))?;
+            let (i, j) = (
+                ij[0].as_long().ok_or_else(|| RuntimeError::new("matrix row index must be long"))?,
+                ij[1].as_long().ok_or_else(|| RuntimeError::new("matrix col index must be long"))?,
+            );
+            let x = v
+                .as_double()
+                .ok_or_else(|| RuntimeError::new("tiled matrices hold doubles"))?;
+            m.set(i, j, x);
+        }
+        Ok(m)
+    }
+
+    /// `unpack`: iterates the non-zero elements as sparse `(i, j, v)` entries.
+    ///
+    /// Explicit zeros inside an allocated tile are *not* emitted, so
+    /// `unpack(pack(M)) = M` for matrices without explicit zero entries.
+    pub fn unpack(&self) -> Vec<(i64, i64, f64)> {
+        let mut out = Vec::new();
+        let mut keys: Vec<_> = self.tiles.keys().copied().collect();
+        keys.sort_unstable();
+        for (ti, tj) in keys {
+            let tile = &self.tiles[&(ti, tj)];
+            for (k, &v) in tile.iter().enumerate() {
+                if v != 0.0 {
+                    let i = ti * self.tile_rows as i64 + (k / self.tile_cols) as i64;
+                    let j = tj * self.tile_cols as i64 + (k % self.tile_cols) as i64;
+                    out.push((i, j, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// `unpack` into a bag of sparse-matrix [`Value`] pairs.
+    pub fn unpack_values(&self) -> Vec<Value> {
+        self.unpack()
+            .into_iter()
+            .map(|(i, j, v)| {
+                Value::pair(Value::pair(Value::Long(i), Value::Long(j)), Value::Double(v))
+            })
+            .collect()
+    }
+
+    fn locate(&self, i: i64, j: i64) -> ((i64, i64), usize) {
+        let n = self.tile_rows as i64;
+        let m = self.tile_cols as i64;
+        let key = (i.div_euclid(n), j.div_euclid(m));
+        let off = (i.rem_euclid(n) as usize) * self.tile_cols + j.rem_euclid(m) as usize;
+        (key, off)
+    }
+
+    /// Reads element `(i, j)`, treating absent tiles as zero.
+    pub fn get(&self, i: i64, j: i64) -> f64 {
+        let (key, off) = self.locate(i, j);
+        self.tiles.get(&key).map_or(0.0, |t| t[off])
+    }
+
+    /// Writes element `(i, j)`, allocating the enclosing tile if needed.
+    pub fn set(&mut self, i: i64, j: i64, v: f64) {
+        let (key, off) = self.locate(i, j);
+        let len = self.tile_rows * self.tile_cols;
+        self.tiles.entry(key).or_insert_with(|| vec![0.0; len])[off] = v;
+    }
+
+    /// Number of allocated tiles.
+    pub fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// The no-shuffle tile merge `self ⊳' other`: tiles of `other` replace
+    /// tiles of `self` at the same tile coordinate.
+    pub fn merge(&self, other: &TiledMatrix) -> TiledMatrix {
+        assert_eq!(
+            (self.tile_rows, self.tile_cols),
+            (other.tile_rows, other.tile_cols),
+            "merged tiled matrices must share a tile shape"
+        );
+        let mut tiles = self.tiles.clone();
+        for (k, t) in &other.tiles {
+            tiles.insert(*k, t.clone());
+        }
+        TiledMatrix { tile_rows: self.tile_rows, tile_cols: self.tile_cols, tiles }
+    }
+
+    /// Tile-wise dense addition.
+    pub fn add(&self, other: &TiledMatrix) -> TiledMatrix {
+        assert_eq!(
+            (self.tile_rows, self.tile_cols),
+            (other.tile_rows, other.tile_cols),
+            "added tiled matrices must share a tile shape"
+        );
+        let mut out = self.clone();
+        let len = self.tile_rows * self.tile_cols;
+        for (k, t) in &other.tiles {
+            let dst = out.tiles.entry(*k).or_insert_with(|| vec![0.0; len]);
+            for (d, s) in dst.iter_mut().zip(t.iter()) {
+                *d += s;
+            }
+        }
+        out
+    }
+
+    /// Tiled matrix multiplication: for square tiles (`tile_rows ==
+    /// tile_cols`), multiplies tile blocks with a dense inner kernel.
+    pub fn multiply(&self, other: &TiledMatrix) -> TiledMatrix {
+        assert_eq!(self.tile_cols, other.tile_rows, "inner tile shapes must agree");
+        let n = self.tile_rows;
+        let k_dim = self.tile_cols;
+        let m = other.tile_cols;
+        let mut out = TiledMatrix::new(n, m);
+        // Index other's tiles by their row coordinate for the join on k.
+        let mut by_row: HashMap<i64, Vec<(i64, &Vec<f64>)>> = HashMap::new();
+        for (&(tk, tj), tile) in &other.tiles {
+            by_row.entry(tk).or_default().push((tj, tile));
+        }
+        for (&(ti, tk), a) in &self.tiles {
+            let Some(rhs) = by_row.get(&tk) else { continue };
+            for &(tj, b) in rhs {
+                let dst = out
+                    .tiles
+                    .entry((ti, tj))
+                    .or_insert_with(|| vec![0.0; n * m]);
+                // Dense n×k · k×m kernel, row-major, ikj loop order.
+                for i in 0..n {
+                    for k in 0..k_dim {
+                        let aik = a[i * k_dim + k];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[k * m..(k + 1) * m];
+                        let drow = &mut dst[i * m..(i + 1) * m];
+                        for (d, &bv) in drow.iter_mut().zip(brow.iter()) {
+                            *d += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let entries = vec![(0, 0, 1.0), (0, 3, 2.0), (5, 7, 3.0), (2, 2, 4.0)];
+        let m = TiledMatrix::pack(4, 4, entries.clone());
+        let mut back = m.unpack();
+        back.sort_by_key(|a| (a.0, a.1));
+        let mut want = entries;
+        want.sort_by_key(|a| (a.0, a.1));
+        assert_eq!(back, want);
+    }
+
+    #[test]
+    fn get_set_cross_tile_boundaries() {
+        let mut m = TiledMatrix::new(2, 3);
+        m.set(0, 0, 1.0);
+        m.set(1, 2, 2.0);
+        m.set(2, 3, 3.0); // second tile row, second tile column
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(1, 2), 2.0);
+        assert_eq!(m.get(2, 3), 3.0);
+        assert_eq!(m.get(9, 9), 0.0, "absent tiles read as zero");
+        assert_eq!(m.tile_count(), 2);
+    }
+
+    #[test]
+    fn tiled_multiply_matches_dense_reference() {
+        let d = 6usize;
+        let a: Vec<(i64, i64, f64)> = (0..d as i64)
+            .flat_map(|i| (0..d as i64).map(move |j| (i, j, (i * 3 + j) as f64 % 5.0 + 1.0)))
+            .collect();
+        let b: Vec<(i64, i64, f64)> = (0..d as i64)
+            .flat_map(|i| (0..d as i64).map(move |j| (i, j, (i + 2 * j) as f64 % 7.0 + 1.0)))
+            .collect();
+        let ta = TiledMatrix::pack(2, 2, a.clone());
+        let tb = TiledMatrix::pack(2, 2, b.clone());
+        let tc = ta.multiply(&tb);
+        for i in 0..d as i64 {
+            for j in 0..d as i64 {
+                let mut want = 0.0;
+                for k in 0..d as i64 {
+                    let av = a.iter().find(|e| e.0 == i && e.1 == k).map_or(0.0, |e| e.2);
+                    let bv = b.iter().find(|e| e.0 == k && e.1 == j).map_or(0.0, |e| e.2);
+                    want += av * bv;
+                }
+                assert!((tc.get(i, j) - want).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_add_accumulates_per_tile() {
+        let a = TiledMatrix::pack(2, 2, vec![(0, 0, 1.0), (3, 3, 2.0)]);
+        let b = TiledMatrix::pack(2, 2, vec![(0, 0, 5.0), (1, 1, 7.0)]);
+        let c = a.add(&b);
+        assert_eq!(c.get(0, 0), 6.0);
+        assert_eq!(c.get(1, 1), 7.0);
+        assert_eq!(c.get(3, 3), 2.0);
+    }
+
+    #[test]
+    fn merge_is_tile_granular_and_right_biased() {
+        let a = TiledMatrix::pack(2, 2, vec![(0, 0, 1.0), (0, 1, 9.0), (3, 3, 2.0)]);
+        let b = TiledMatrix::pack(2, 2, vec![(0, 0, 5.0)]);
+        let c = a.merge(&b);
+        assert_eq!(c.get(0, 0), 5.0);
+        // Tile-granular: the whole (0,0) tile is replaced, so (0,1) from `a`
+        // is gone — exactly the semantics of ⊳' on tiles.
+        assert_eq!(c.get(0, 1), 0.0);
+        assert_eq!(c.get(3, 3), 2.0);
+    }
+
+    #[test]
+    fn pack_values_rejects_malformed_rows() {
+        assert!(TiledMatrix::pack_values(2, 2, &[Value::Long(3)]).is_err());
+        let bad_key = Value::pair(Value::Long(0), Value::Double(1.0));
+        assert!(TiledMatrix::pack_values(2, 2, &[bad_key]).is_err());
+    }
+
+    #[test]
+    fn unpack_values_produces_sparse_rows() {
+        let m = TiledMatrix::pack(2, 2, vec![(1, 1, 4.5)]);
+        let rows = m.unpack_values();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0],
+            Value::pair(Value::pair(Value::Long(1), Value::Long(1)), Value::Double(4.5))
+        );
+    }
+
+    #[test]
+    fn negative_indices_use_euclidean_tiling() {
+        let mut m = TiledMatrix::new(4, 4);
+        m.set(-1, -1, 2.0);
+        assert_eq!(m.get(-1, -1), 2.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Random data generators matching the evaluation setup of §6.
+//!
+//! All generators are deterministic given a seed (`StdRng`), so benches
+//! and tests are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use diablo_runtime::Value;
+
+/// A deterministic RNG for a workload.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `RDD[Double]`-style vector of random doubles in `[0, hi)`, keyed 0..n.
+pub fn random_doubles(n: usize, hi: f64, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| Value::pair(Value::Long(i as i64), Value::Double(r.gen::<f64>() * hi)))
+        .collect()
+}
+
+/// Random 4-character strings drawn from `distinct` possibilities — the
+/// Equal / String Match / Word Count dataset (§6 uses 1000 distinct
+/// strings of length 4).
+pub fn random_words(n: usize, distinct: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let lexicon: Vec<String> = (0..distinct).map(|i| format!("w{i:03}")).collect();
+    (0..n)
+        .map(|i| {
+            let w = &lexicon[r.gen_range(0..lexicon.len())];
+            Value::pair(Value::Long(i as i64), Value::str(w))
+        })
+        .collect()
+}
+
+/// A dataset where every element is the same word (the Equal benchmark's
+/// positive case).
+pub fn equal_words(n: usize, word: &str) -> Vec<Value> {
+    (0..n)
+        .map(|i| Value::pair(Value::Long(i as i64), Value::str(word)))
+        .collect()
+}
+
+/// RGB pixels as records with components in `[0, 256)` (Histogram).
+pub fn random_pixels(n: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            Value::pair(
+                Value::Long(i as i64),
+                Value::record(vec![
+                    ("red".into(), Value::Long(r.gen_range(0..256))),
+                    ("green".into(), Value::Long(r.gen_range(0..256))),
+                    ("blue".into(), Value::Long(r.gen_range(0..256))),
+                ]),
+            )
+        })
+        .collect()
+}
+
+/// Linear-regression points `(x + dx, x - dx)` with `x ∈ [0, 1000)` and
+/// `dx ∈ [0, 10)` (§6).
+pub fn linreg_points(n: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|i| {
+            let x = r.gen::<f64>() * 1000.0;
+            let dx = r.gen::<f64>() * 10.0;
+            Value::pair(
+                Value::Long(i as i64),
+                Value::pair(Value::Double(x + dx), Value::Double(x - dx)),
+            )
+        })
+        .collect()
+}
+
+/// Group-By input: records `⟨K, A⟩` with roughly `dup` occurrences of each
+/// key (§6 uses ~10 duplicates on average).
+pub fn group_pairs(n: usize, dup: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let keys = (n / dup).max(1) as i64;
+    (0..n)
+        .map(|i| {
+            Value::pair(
+                Value::Long(i as i64),
+                Value::record(vec![
+                    ("K".into(), Value::Long(r.gen_range(0..keys))),
+                    ("A".into(), Value::Double(r.gen::<f64>() * 10.0)),
+                ]),
+            )
+        })
+        .collect()
+}
+
+/// A dense `d × d` matrix with every element provided, in random-ish order,
+/// values in `[0, 10)` (§6: "although sparse, all matrix elements were
+/// provided").
+pub fn dense_matrix(d: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let mut rows: Vec<Value> = Vec::with_capacity(d * d);
+    for i in 0..d as i64 {
+        for j in 0..d as i64 {
+            rows.push(Value::pair(
+                Value::pair(Value::Long(i), Value::Long(j)),
+                Value::Double(r.gen::<f64>() * 10.0),
+            ));
+        }
+    }
+    // Deterministic Fisher-Yates shuffle ("placed in random order", §6).
+    for i in (1..rows.len()).rev() {
+        let j = r.gen_range(0..=i);
+        rows.swap(i, j);
+    }
+    rows
+}
+
+/// A sparse `d × d` matrix where only `fraction` of the elements exist,
+/// with integer values in `[1, 5]` (the Matrix Factorization rating matrix,
+/// §6).
+pub fn sparse_matrix(d: usize, fraction: f64, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let mut rows = Vec::new();
+    for i in 0..d as i64 {
+        for j in 0..d as i64 {
+            if r.gen::<f64>() < fraction {
+                rows.push(Value::pair(
+                    Value::pair(Value::Long(i), Value::Long(j)),
+                    Value::Double(r.gen_range(1..=5) as f64),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// A dense `rows × cols` factor matrix with values in `[0, 1)` (the MF
+/// initial factors).
+pub fn factor_matrix(rows: usize, cols: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(rows * cols);
+    for i in 0..rows as i64 {
+        for j in 0..cols as i64 {
+            out.push(Value::pair(
+                Value::pair(Value::Long(i), Value::Long(j)),
+                Value::Double(r.gen::<f64>()),
+            ));
+        }
+    }
+    out
+}
+
+/// K-Means points: random points inside a `grid × grid` arrangement of
+/// unit squares with top-left corners at `(i*2+1, j*2+1)` (§6 uses a 10×10
+/// grid, i.e. 100 true centroids).
+pub fn kmeans_points(n: usize, grid: usize, seed: u64) -> Vec<Value> {
+    let mut r = rng(seed);
+    (0..n)
+        .map(|idx| {
+            let i = r.gen_range(0..grid) as f64;
+            let j = r.gen_range(0..grid) as f64;
+            let x = i * 2.0 + 1.0 + r.gen::<f64>();
+            let y = j * 2.0 + 1.0 + r.gen::<f64>();
+            Value::pair(
+                Value::Long(idx as i64),
+                Value::pair(Value::Double(x), Value::Double(y)),
+            )
+        })
+        .collect()
+}
+
+/// The K-Means initial centroids `(i*2+1.2, j*2+1.2)` (§6).
+pub fn kmeans_centroids(grid: usize) -> Vec<Value> {
+    let mut out = Vec::with_capacity(grid * grid);
+    for i in 0..grid {
+        for j in 0..grid {
+            let idx = (i * grid + j) as i64;
+            out.push(Value::pair(
+                Value::Long(idx),
+                Value::pair(
+                    Value::Double(i as f64 * 2.0 + 1.2),
+                    Value::Double(j as f64 * 2.0 + 1.2),
+                ),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(random_doubles(100, 200.0, 7), random_doubles(100, 200.0, 7));
+        assert_ne!(random_doubles(100, 200.0, 7), random_doubles(100, 200.0, 8));
+    }
+
+    #[test]
+    fn dense_matrix_covers_all_cells() {
+        let m = dense_matrix(8, 3);
+        assert_eq!(m.len(), 64);
+        let mut keys: Vec<Value> = m
+            .iter()
+            .map(|p| diablo_runtime::array::key_value(p).unwrap().0)
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 64, "unique keys");
+    }
+
+    #[test]
+    fn sparse_matrix_respects_fraction() {
+        let m = sparse_matrix(50, 0.1, 11);
+        let frac = m.len() as f64 / (50.0 * 50.0);
+        assert!(frac > 0.05 && frac < 0.15, "got {frac}");
+    }
+
+    #[test]
+    fn kmeans_points_live_in_their_squares() {
+        let pts = kmeans_points(1000, 10, 5);
+        for p in pts {
+            let (_, xy) = diablo_runtime::array::key_value(&p).unwrap();
+            let fields = xy.as_tuple().unwrap();
+            let x = fields[0].as_double().unwrap();
+            assert!((1.0..21.0).contains(&x));
+        }
+        assert_eq!(kmeans_centroids(10).len(), 100);
+    }
+
+    #[test]
+    fn words_use_the_lexicon() {
+        let ws = random_words(500, 10, 2);
+        for w in ws {
+            let (_, s) = diablo_runtime::array::key_value(&w).unwrap();
+            assert!(s.as_str().unwrap().starts_with('w'));
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! The benchmark loop programs, in DIABLO surface syntax.
+//!
+//! These are the programs of the paper's evaluation (§6 and Appendix B),
+//! adapted to this implementation's syntax: the 12 programs of Figure 3 /
+//! Table 2 plus the extra programs of Table 1 (Average, Conditional Count,
+//! Count, Equal Frequency, Sum, PCA).
+
+/// Conditional Sum (Fig. 3A): sum the elements below 100.
+pub const CONDITIONAL_SUM: &str = r#"
+input V: vector[double];
+var sum: double = 0.0;
+for v in V do
+    if (v < 100.0) sum += v;
+"#;
+
+/// Equal (Fig. 3B): are all strings equal to the first one?
+pub const EQUAL: &str = r#"
+input V: vector[string];
+input x: string;
+var eq: bool = true;
+for v in V do eq := eq && v == x;
+"#;
+
+/// String Match (Fig. 3C): does the dataset contain one of three keys?
+pub const STRING_MATCH: &str = r#"
+input words: vector[string];
+var c: bool = false;
+for w in words do
+    c := c || (w == "key1" || w == "key2" || w == "key3");
+"#;
+
+/// Word Count (Fig. 3D).
+pub const WORD_COUNT: &str = r#"
+input words: vector[string];
+var C: map[string, long] = map();
+for w in words do C[w] += 1;
+"#;
+
+/// Histogram (Fig. 3E): one histogram per RGB component.
+pub const HISTOGRAM: &str = r#"
+input P: vector[<|red: long, green: long, blue: long|>];
+var R: map[long, long] = map();
+var G: map[long, long] = map();
+var B: map[long, long] = map();
+for p in P do {
+    R[p.red] += 1;
+    G[p.green] += 1;
+    B[p.blue] += 1;
+};
+"#;
+
+/// Linear Regression (Fig. 3F): intercept and slope of 2-D points.
+pub const LINEAR_REGRESSION: &str = r#"
+input P: vector[(double, double)];
+input n: long;
+var sum_x: double = 0.0;
+var sum_y: double = 0.0;
+var x_bar: double = 0.0;
+var y_bar: double = 0.0;
+var xx_bar: double = 0.0;
+var yy_bar: double = 0.0;
+var xy_bar: double = 0.0;
+var slope: double = 0.0;
+var intercept: double = 0.0;
+for p in P do {
+    sum_x += p._1;
+    sum_y += p._2;
+};
+x_bar := sum_x / n;
+y_bar := sum_y / n;
+for p in P do {
+    xx_bar += (p._1 - x_bar) * (p._1 - x_bar);
+    yy_bar += (p._2 - y_bar) * (p._2 - y_bar);
+    xy_bar += (p._1 - x_bar) * (p._2 - y_bar);
+};
+slope := xy_bar / xx_bar;
+intercept := y_bar - slope * x_bar;
+"#;
+
+/// Group-By (Fig. 3G): sum values per key.
+pub const GROUP_BY: &str = r#"
+input V: vector[<|K: long, A: double|>];
+var C: vector[double] = vector();
+for v in V do C[v.K] += v.A;
+"#;
+
+/// Matrix Addition (Fig. 3H).
+pub const MATRIX_ADDITION: &str = r#"
+input M: matrix[double];
+input N: matrix[double];
+input n: long;
+input mm: long;
+var R: matrix[double] = matrix();
+for i = 0, n-1 do
+    for j = 0, mm-1 do
+        R[i, j] := M[i, j] + N[i, j];
+"#;
+
+/// Matrix Multiplication (Fig. 3I) — the paper's running example.
+pub const MATRIX_MULTIPLICATION: &str = r#"
+input M: matrix[double];
+input N: matrix[double];
+input d: long;
+var R: matrix[double] = matrix();
+for i = 0, d-1 do
+    for j = 0, d-1 do {
+        R[i, j] := 0.0;
+        for k = 0, d-1 do
+            R[i, j] += M[i, k] * N[k, j];
+    };
+"#;
+
+/// PageRank (Fig. 3J), Appendix B shape: an explicit edge matrix `E`,
+/// out-degree counts `C`, and the rank update through the intermediate
+/// matrix `Q`.
+pub const PAGERANK: &str = r#"
+input E: matrix[bool];
+input vertices: long;
+input num_steps: long;
+var P: vector[double] = vector();
+var C: vector[long] = vector();
+var b: double = 0.85;
+for i = 0, vertices-1 do {
+    C[i] := 0;
+    P[i] := 1.0 / vertices;
+};
+for i = 0, vertices-1 do
+    for j = 0, vertices-1 do
+        if (E[i, j])
+            C[i] += 1;
+var k: long = 0;
+while (k < num_steps) {
+    var Q: matrix[double] = matrix();
+    k += 1;
+    for i = 0, vertices-1 do
+        for j = 0, vertices-1 do
+            if (E[i, j])
+                Q[i, j] := P[i];
+    for i = 0, vertices-1 do
+        P[i] := (1.0 - b) / vertices;
+    for i = 0, vertices-1 do
+        for j = 0, vertices-1 do
+            P[i] += b * Q[j, i] / C[j];
+};
+"#;
+
+/// K-Means (Fig. 3K): one or more Lloyd steps over 2-D points. `closest`
+/// tracks the nearest centroid per point with the argmin monoid `^`; `avg`
+/// accumulates per-centroid sums with element-wise tuple addition.
+pub const KMEANS: &str = r#"
+input P: vector[(double, double)];
+input C0: vector[(double, double)];
+input K: long;
+input N: long;
+input num_steps: long;
+var C: vector[(double, double)] = vector();
+var steps: long = 0;
+for i = 0, K-1 do C[i] := C0[i];
+while (steps < num_steps) {
+    steps += 1;
+    var closest: vector[(long, double)] = vector();
+    var avg: vector[(double, double, long)] = vector();
+    for i = 0, N-1 do {
+        closest[i] := (0, 1.0e12);
+        for j = 0, K-1 do
+            closest[i] ^= (j, sqrt((P[i]._1 - C[j]._1) * (P[i]._1 - C[j]._1)
+                                 + (P[i]._2 - C[j]._2) * (P[i]._2 - C[j]._2)));
+        avg[closest[i]._1] += (P[i]._1, P[i]._2, 1);
+    };
+    for i = 0, K-1 do
+        C[i] := (avg[i]._1 / avg[i]._3, avg[i]._2 / avg[i]._3);
+};
+"#;
+
+/// Matrix Factorization by gradient descent (Fig. 3L), the rectified §3.2
+/// program: `pq` and `err` are matrices, `P0`/`Q0` hold the previous
+/// factors and are refreshed at the end of each step.
+pub const MATRIX_FACTORIZATION: &str = r#"
+input R: matrix[double];
+input n: long;
+input m: long;
+input l: long;
+input a: double;
+input b: double;
+input num_steps: long;
+input Pinit: matrix[double];
+input Qinit: matrix[double];
+var P0: matrix[double] = matrix();
+var Q0: matrix[double] = matrix();
+var P: matrix[double] = matrix();
+var Q: matrix[double] = matrix();
+var steps: long = 0;
+for i = 0, n-1 do
+    for kk = 0, l-1 do
+        P0[i, kk] := Pinit[i, kk];
+for kk = 0, l-1 do
+    for j = 0, m-1 do
+        Q0[kk, j] := Qinit[kk, j];
+while (steps < num_steps) {
+    steps += 1;
+    var pq: matrix[double] = matrix();
+    var err: matrix[double] = matrix();
+    for i = 0, n-1 do
+        for kk = 0, l-1 do
+            P[i, kk] := P0[i, kk];
+    for kk = 0, l-1 do
+        for j = 0, m-1 do
+            Q[kk, j] := Q0[kk, j];
+    for i = 0, n-1 do
+        for j = 0, m-1 do {
+            pq[i, j] := 0.0;
+            for kk = 0, l-1 do
+                pq[i, j] += P0[i, kk] * Q0[kk, j];
+            err[i, j] := R[i, j] - pq[i, j];
+            for kk = 0, l-1 do {
+                P[i, kk] += a * (2.0 * err[i, j] * Q0[kk, j] - b * P0[i, kk]);
+                Q[kk, j] += a * (2.0 * err[i, j] * P0[i, kk] - b * Q0[kk, j]);
+            };
+        };
+    for i = 0, n-1 do
+        for kk = 0, l-1 do
+            P0[i, kk] := P[i, kk];
+    for kk = 0, l-1 do
+        for j = 0, m-1 do
+            Q0[kk, j] := Q[kk, j];
+};
+"#;
+
+// --------------------------------------------------- Table-1-only programs
+
+/// Average of a dataset (Table 1).
+pub const AVERAGE: &str = r#"
+input V: vector[double];
+input n: long;
+var sum: double = 0.0;
+var avg: double = 0.0;
+for v in V do sum += v;
+avg := sum / n;
+"#;
+
+/// Conditional Count (Table 1).
+pub const CONDITIONAL_COUNT: &str = r#"
+input V: vector[double];
+var count: long = 0;
+for v in V do
+    if (v < 100.0) count += 1;
+"#;
+
+/// Count (Table 1).
+pub const COUNT: &str = r#"
+input V: vector[double];
+var count: long = 0;
+for v in V do count += 1;
+"#;
+
+/// Equal Frequency (Table 1): do all words occur equally often?
+pub const EQUAL_FREQUENCY: &str = r#"
+input words: vector[string];
+var C: map[string, long] = map();
+for w in words do C[w] += 1;
+var mx: long = 0;
+var mn: long = 1000000000;
+for c in C do {
+    mx := max(mx, c);
+    mn := min(mn, c);
+};
+var eqf: bool = false;
+eqf := mx == mn;
+"#;
+
+/// Sum (Table 1).
+pub const SUM: &str = r#"
+input V: vector[double];
+var sum: double = 0.0;
+for v in V do sum += v;
+"#;
+
+/// PCA over 2-D points (Table 1): means plus the covariance entries.
+pub const PCA: &str = r#"
+input P: vector[(double, double)];
+input n: long;
+var sx: double = 0.0;
+var sy: double = 0.0;
+var mx: double = 0.0;
+var my: double = 0.0;
+for p in P do {
+    sx += p._1;
+    sy += p._2;
+};
+mx := sx / n;
+my := sy / n;
+var cxx: double = 0.0;
+var cxy: double = 0.0;
+var cyy: double = 0.0;
+for p in P do {
+    cxx += (p._1 - mx) * (p._1 - mx);
+    cxy += (p._1 - mx) * (p._2 - my);
+    cyy += (p._2 - my) * (p._2 - my);
+};
+"#;
+
+/// Every benchmark program with its name, in Table 1 order.
+pub fn all_programs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("Average", AVERAGE),
+        ("Conditional Count", CONDITIONAL_COUNT),
+        ("Conditional Sum", CONDITIONAL_SUM),
+        ("Count", COUNT),
+        ("Equal", EQUAL),
+        ("Equal Frequency", EQUAL_FREQUENCY),
+        ("String Match", STRING_MATCH),
+        ("Sum", SUM),
+        ("Word Count", WORD_COUNT),
+        ("Histogram", HISTOGRAM),
+        ("Matrix Multiplication", MATRIX_MULTIPLICATION),
+        ("Linear Regression", LINEAR_REGRESSION),
+        ("KMeans", KMEANS),
+        ("PCA", PCA),
+        ("PageRank", PAGERANK),
+        ("Matrix Factorization", MATRIX_FACTORIZATION),
+        ("Group By", GROUP_BY),
+        ("Matrix Addition", MATRIX_ADDITION),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_program_parses_and_type_checks() {
+        for (name, src) in all_programs() {
+            let p = diablo_lang::parse(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            diablo_lang::typecheck(p).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

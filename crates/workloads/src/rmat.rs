@@ -1,0 +1,145 @@
+//! RMAT (Recursive-MATrix) graph generator [Chakrabarti, Zhan, Faloutsos,
+//! SDM 2004] — the synthetic graph source used for the PageRank evaluation
+//! (§6), with the paper's Kronecker parameters a=0.30, b=0.25, c=0.25,
+//! d=0.20 and 10 edges per vertex.
+
+use std::collections::HashSet;
+
+use rand::Rng;
+
+use diablo_runtime::Value;
+
+use crate::generators::rng;
+
+/// The RMAT quadrant probabilities used by the paper.
+pub const PAPER_PARAMS: RmatParams = RmatParams { a: 0.30, b: 0.25, c: 0.25, d: 0.20 };
+
+/// RMAT quadrant probabilities (must sum to 1).
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Top-left quadrant probability.
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+/// Generates a directed RMAT graph with `vertices` nodes (rounded up to a
+/// power of two internally, then clipped) and approximately
+/// `edges` distinct edges, as `(src, dst)` pairs.
+pub fn rmat_edges(vertices: usize, edges: usize, params: RmatParams, seed: u64) -> Vec<(i64, i64)> {
+    assert!(vertices > 0);
+    let levels = (usize::BITS - (vertices - 1).leading_zeros()).max(1);
+    let mut r = rng(seed);
+    let mut seen: HashSet<(i64, i64)> = HashSet::with_capacity(edges);
+    let mut out = Vec::with_capacity(edges);
+    let mut attempts = 0usize;
+    while out.len() < edges && attempts < edges * 20 {
+        attempts += 1;
+        let (mut x, mut y) = (0i64, 0i64);
+        for _ in 0..levels {
+            x <<= 1;
+            y <<= 1;
+            let p: f64 = r.gen();
+            if p < params.a {
+                // top-left: nothing to add
+            } else if p < params.a + params.b {
+                y |= 1;
+            } else if p < params.a + params.b + params.c {
+                x |= 1;
+            } else {
+                x |= 1;
+                y |= 1;
+            }
+        }
+        if x >= vertices as i64 || y >= vertices as i64 {
+            continue;
+        }
+        if seen.insert((x, y)) {
+            out.push((x, y));
+        }
+    }
+    out
+}
+
+/// The PageRank input: a boolean edge matrix `{((src, dst), true)}` with
+/// `10 × vertices` edges, guaranteeing every vertex at least one outgoing
+/// edge (so out-degrees are nonzero, as the rank update divides by them).
+pub fn pagerank_graph(vertices: usize, seed: u64) -> Vec<Value> {
+    let mut edges = rmat_edges(vertices, vertices * 10, PAPER_PARAMS, seed);
+    let mut has_out: Vec<bool> = vec![false; vertices];
+    for (s, _) in &edges {
+        has_out[*s as usize] = true;
+    }
+    let mut r = rng(seed ^ 0x9e3779b9);
+    for (v, has) in has_out.iter().enumerate() {
+        if !has {
+            let dst = r.gen_range(0..vertices) as i64;
+            edges.push((v as i64, dst));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+        .into_iter()
+        .map(|(s, d)| {
+            Value::pair(
+                Value::pair(Value::Long(s), Value::Long(d)),
+                Value::Bool(true),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_roughly_the_requested_edges() {
+        let edges = rmat_edges(256, 2560, PAPER_PARAMS, 42);
+        assert!(edges.len() > 2000, "got {}", edges.len());
+        for (s, d) in &edges {
+            assert!(*s < 256 && *d < 256 && *s >= 0 && *d >= 0);
+        }
+    }
+
+    #[test]
+    fn edges_are_distinct() {
+        let edges = rmat_edges(128, 1000, PAPER_PARAMS, 1);
+        let set: HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), edges.len());
+    }
+
+    #[test]
+    fn pagerank_graph_has_no_sinks_without_outgoing_edges() {
+        let rows = pagerank_graph(100, 9);
+        let mut out_deg = vec![0usize; 100];
+        for row in &rows {
+            let (k, _) = diablo_runtime::array::key_value(row).unwrap();
+            let s = k.as_tuple().unwrap()[0].as_long().unwrap();
+            out_deg[s as usize] += 1;
+        }
+        assert!(out_deg.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn skew_follows_quadrant_probabilities() {
+        // With a=0.30 the low-id quadrant is denser: vertex 0's out-degree
+        // should be far above the average.
+        let edges = rmat_edges(1024, 10240, PAPER_PARAMS, 3);
+        let deg0 = edges.iter().filter(|(s, _)| *s == 0).count();
+        assert!(deg0 > 20, "power-law head expected, got {deg0}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(
+            rmat_edges(64, 100, PAPER_PARAMS, 5),
+            rmat_edges(64, 100, PAPER_PARAMS, 5)
+        );
+    }
+}

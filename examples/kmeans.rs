@@ -1,0 +1,92 @@
+//! K-Means clustering: the paper's hardest translation case.
+//!
+//! ```sh
+//! cargo run --release --example kmeans
+//! ```
+//!
+//! The DIABLO K-Means uses two commutative monoids beyond `+`: the argmin
+//! monoid `^` over `(index, distance)` pairs to track the nearest centroid,
+//! and element-wise tuple addition to accumulate `(sum_x, sum_y, count)`.
+//! The paper reports (Fig. 3K) that the generated plan is much slower than
+//! the hand-written broadcast plan because it correlates points with
+//! centroids through joins — this example shows both plans computing the
+//! same centroids and prints the shuffle counts that explain the gap.
+
+use diablo::prelude::*;
+use diablo_baselines::handwritten;
+use diablo_workloads as wl;
+
+fn main() {
+    let n_points = 5_000;
+    let grid = 3; // 9 true centroids
+    let steps = 3;
+    let w = wl::kmeans(n_points, grid, steps, 7);
+
+    let ctx = Context::default_parallel();
+
+    // DIABLO path.
+    let compiled = compile(w.source).expect("K-Means satisfies the restrictions");
+    let mut session = Session::new(ctx.clone());
+    for (name, v) in &w.scalars {
+        session.bind_scalar(name, v.clone());
+    }
+    for (name, rows) in &w.collections {
+        session.bind_input(name, rows.clone());
+    }
+    let before = ctx.stats().snapshot();
+    session.run(&compiled).expect("runs");
+    let dstats = ctx.stats().snapshot().since(&before);
+
+    let mut diablo_centroids: Vec<(f64, f64)> = session
+        .collect("C")
+        .unwrap()
+        .into_iter()
+        .map(|row| {
+            let (_, xy) = diablo::runtime::array::key_value(&row).unwrap();
+            let f = xy.as_tuple().unwrap();
+            (f[0].as_double().unwrap(), f[1].as_double().unwrap())
+        })
+        .collect();
+
+    // Hand-written path (broadcast + reduceByKey).
+    let points = ctx.from_vec(w.collections[0].1.clone());
+    let initial: Vec<(f64, f64)> = w.collections[1]
+        .1
+        .iter()
+        .map(|row| {
+            let (_, xy) = diablo::runtime::array::key_value(row).unwrap();
+            let f = xy.as_tuple().unwrap();
+            (f[0].as_double().unwrap(), f[1].as_double().unwrap())
+        })
+        .collect();
+    let before = ctx.stats().snapshot();
+    let mut hand_centroids = handwritten::kmeans(&points, &initial, steps).expect("runs");
+    let hstats = ctx.stats().snapshot().since(&before);
+
+    diablo_centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    hand_centroids.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    println!("centroids after {steps} steps:");
+    println!("{:>24} {:>24}", "DIABLO", "hand-written");
+    for (d, h) in diablo_centroids.iter().zip(&hand_centroids) {
+        println!(
+            "({:>8.4}, {:>8.4})    ({:>8.4}, {:>8.4})",
+            d.0, d.1, h.0, h.1
+        );
+        assert!(
+            (d.0 - h.0).abs() < 1e-6 && (d.1 - h.1).abs() < 1e-6,
+            "plans must agree"
+        );
+    }
+
+    println!("\nwhy the paper's Fig. 3K gap exists (same effect here):");
+    println!(
+        "  DIABLO:       {:>4} shuffles, {:>9} rows shuffled",
+        dstats.shuffles, dstats.shuffled_records
+    );
+    println!(
+        "  hand-written: {:>4} shuffles, {:>9} rows shuffled (broadcast keeps the",
+        hstats.shuffles, hstats.shuffled_records
+    );
+    println!("                centroids local; only per-centroid partial sums move)");
+}

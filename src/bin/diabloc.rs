@@ -1,0 +1,209 @@
+//! `diabloc` — the DIABLO command-line compiler and runner.
+//!
+//! ```text
+//! diabloc check  <program.dbl>             # parse + type check + restriction check
+//! diabloc show   <program.dbl>             # print the translated bulk statements
+//! diabloc run    <program.dbl> [bindings]  # execute on the dataflow engine
+//! diabloc interp <program.dbl> [bindings]  # execute with the sequential interpreter
+//! ```
+//!
+//! Bindings are `name=value` for scalars (`n=100`, `a=0.5`, `x=hello`) and
+//! `name=@file.csv` for collections. A collection CSV has one element per
+//! line: `key,value` for vectors/maps, `i,j,value` for matrices. After a
+//! run, every program variable is printed (collections truncated).
+
+use std::process::ExitCode;
+
+use diablo_core::{compile, CompiledProgram, TStmt};
+use diablo_dataflow::Context;
+use diablo_exec::Session;
+use diablo_interp::Interpreter;
+use diablo_lang::{parse, typecheck, Type};
+use diablo_runtime::Value;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("diabloc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let [cmd, path, rest @ ..] = args else {
+        return Err(USAGE.to_string());
+    };
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    match cmd.as_str() {
+        "check" => {
+            let tp = typecheck(parse(&source).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            diablo_core::check_restrictions(&tp).map_err(|e| e.to_string())?;
+            println!("{path}: ok — the program satisfies the Definition 3.1 restrictions");
+            Ok(())
+        }
+        "show" => {
+            let compiled = compile(&source).map_err(|e| e.to_string())?;
+            print_target(&compiled.stmts, 0);
+            Ok(())
+        }
+        "run" => {
+            let compiled = compile(&source).map_err(|e| e.to_string())?;
+            let mut session = Session::new(Context::default_parallel());
+            for binding in rest {
+                let (name, value) = parse_binding(binding)?;
+                match value {
+                    Bound::Scalar(v) => session.bind_scalar(&name, v),
+                    Bound::Rows(rows) => session.bind_input(&name, rows),
+                }
+            }
+            session.run(&compiled).map_err(|e| e.to_string())?;
+            report_session(&compiled, &session);
+            Ok(())
+        }
+        "interp" => {
+            let tp = typecheck(parse(&source).map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            let mut interp = Interpreter::new();
+            for binding in rest {
+                let (name, value) = parse_binding(binding)?;
+                match value {
+                    Bound::Scalar(v) => interp.bind_scalar(&name, v),
+                    Bound::Rows(rows) => {
+                        interp.bind_collection(&name, rows).map_err(|e| e.to_string())?
+                    }
+                }
+            }
+            interp.run(&tp).map_err(|e| e.to_string())?;
+            for (name, ty) in collect_var_names(&tp.var_types) {
+                if ty.is_collection() {
+                    if let Some(rows) = interp.collection(&name) {
+                        print_rows(&name, &rows);
+                    }
+                } else if let Some(v) = interp.scalar(&name) {
+                    println!("{name} = {v}");
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "usage: diabloc <check|show|run|interp> <program.dbl> [name=value | name=@rows.csv ...]";
+
+enum Bound {
+    Scalar(Value),
+    Rows(Vec<Value>),
+}
+
+/// Parses `name=value` / `name=@file` bindings.
+fn parse_binding(s: &str) -> Result<(String, Bound), String> {
+    let (name, rhs) = s
+        .split_once('=')
+        .ok_or_else(|| format!("binding `{s}` is not name=value"))?;
+    if let Some(file) = rhs.strip_prefix('@') {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let rows = parse_rows(&text)?;
+        return Ok((name.to_string(), Bound::Rows(rows)));
+    }
+    Ok((name.to_string(), Bound::Scalar(parse_scalar(rhs))))
+}
+
+/// Scalar literals: long, double, bool, else string.
+fn parse_scalar(s: &str) -> Value {
+    if let Ok(n) = s.parse::<i64>() {
+        return Value::Long(n);
+    }
+    if let Ok(x) = s.parse::<f64>() {
+        return Value::Double(x);
+    }
+    match s {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        _ => Value::str(s),
+    }
+}
+
+/// CSV rows: `key,value` (vector/map) or `i,j,value` (matrix).
+fn parse_rows(text: &str) -> Result<Vec<Value>, String> {
+    let mut rows = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        let row = match fields.as_slice() {
+            [k, v] => Value::pair(parse_scalar(k), parse_scalar(v)),
+            [i, j, v] => Value::pair(
+                Value::pair(parse_scalar(i), parse_scalar(j)),
+                parse_scalar(v),
+            ),
+            _ => {
+                return Err(format!(
+                    "line {}: expected `key,value` or `i,j,value`",
+                    lineno + 1
+                ))
+            }
+        };
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn print_target(stmts: &[TStmt], indent: usize) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            TStmt::Assign { name, value, collection } => {
+                let kind = if *collection { "array" } else { "scalar" };
+                println!("{pad}{name} := {}   [{kind}]", diablo_comp::pretty_cexpr(value));
+            }
+            TStmt::While { cond, body } => {
+                println!("{pad}while {} {{", diablo_comp::pretty_cexpr(cond));
+                print_target(body, indent + 1);
+                println!("{pad}}}");
+            }
+        }
+    }
+}
+
+fn collect_var_names(
+    var_types: &std::collections::HashMap<String, Type>,
+) -> Vec<(String, Type)> {
+    let mut names: Vec<(String, Type)> = var_types
+        .iter()
+        .map(|(n, t)| (n.clone(), t.clone()))
+        .collect();
+    names.sort_by(|a, b| a.0.cmp(&b.0));
+    // Hide loop indexes and compiler temporaries.
+    names.retain(|(n, _)| !n.contains('#'));
+    names
+}
+
+fn report_session(compiled: &CompiledProgram, session: &Session) {
+    for (name, ty) in collect_var_names(&compiled.var_types) {
+        if ty.is_collection() {
+            if let Some(rows) = session.collect(&name) {
+                print_rows(&name, &rows);
+            }
+        } else if let Some(v) = session.scalar(&name) {
+            println!("{name} = {v}");
+        }
+    }
+}
+
+fn print_rows(name: &str, rows: &[Value]) {
+    const LIMIT: usize = 20;
+    println!("{name} = {{ {} element(s) }}", rows.len());
+    for row in rows.iter().take(LIMIT) {
+        println!("  {row}");
+    }
+    if rows.len() > LIMIT {
+        println!("  ... ({} more)", rows.len() - LIMIT);
+    }
+}

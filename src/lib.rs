@@ -1,0 +1,76 @@
+//! # DIABLO — Translation of Array-Based Loops to Distributed Data-Parallel Programs
+//!
+//! A from-scratch Rust reproduction of Fegaras & Noor (VLDB 2020). This
+//! facade crate re-exports the whole pipeline:
+//!
+//! ```text
+//! source text ──lang──▶ AST ──core──▶ target code over comprehensions
+//!            ──exec──▶ results on the dataflow engine
+//!            ──interp─▶ results from the sequential reference interpreter
+//! ```
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use diablo::prelude::*;
+//!
+//! // A loop-based program: count values per key (the intro example).
+//! let src = r#"
+//!     input A: vector[<|K: long, V: long|>];
+//!     var C: vector[long] = vector();
+//!     for i = 0, 2 do
+//!         C[A[i].K] += A[i].V;
+//! "#;
+//! let compiled = compile(src).expect("compiles");
+//!
+//! let ctx = Context::new(2, 4);
+//! let mut session = Session::new(ctx);
+//! session.bind_input(
+//!     "A",
+//!     vec![
+//!         (0, (3, 10)),
+//!         (1, (5, 25)),
+//!         (2, (3, 13)),
+//!     ]
+//!     .into_iter()
+//!     .map(|(i, (k, v))| {
+//!         Value::pair(
+//!             Value::Long(i),
+//!             Value::record(vec![
+//!                 ("K".to_string(), Value::Long(k)),
+//!                 ("V".to_string(), Value::Long(v)),
+//!             ]),
+//!         )
+//!     })
+//!     .collect::<Vec<_>>(),
+//! );
+//! session.run(&compiled).expect("runs");
+//! let mut c = session.collect("C").expect("C exists");
+//! c.sort();
+//! assert_eq!(
+//!     c,
+//!     vec![
+//!         Value::pair(Value::Long(3), Value::Long(23)),
+//!         Value::pair(Value::Long(5), Value::Long(25)),
+//!     ]
+//! );
+//! ```
+
+pub use diablo_baselines as baselines;
+pub use diablo_comp as comp;
+pub use diablo_core as core;
+pub use diablo_dataflow as dataflow;
+pub use diablo_exec as exec;
+pub use diablo_interp as interp;
+pub use diablo_lang as lang;
+pub use diablo_runtime as runtime;
+pub use diablo_workloads as workloads;
+
+/// The most common imports for driving DIABLO end to end.
+pub mod prelude {
+    pub use diablo_core::compile;
+    pub use diablo_dataflow::{Context, Dataset};
+    pub use diablo_exec::Session;
+    pub use diablo_interp::Interpreter;
+    pub use diablo_runtime::Value;
+}

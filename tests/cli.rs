@@ -1,0 +1,121 @@
+//! Integration tests for the `diabloc` command-line compiler.
+
+use std::io::Write;
+use std::process::Command;
+
+fn diabloc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_diabloc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("diabloc-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn check_accepts_valid_programs() {
+    let p = write_temp(
+        "ok.dbl",
+        "input V: vector[double];
+         var sum: double = 0.0;
+         for v in V do sum += v;",
+    );
+    let out = diabloc().arg("check").arg(&p).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
+}
+
+#[test]
+fn check_rejects_recurrences_with_diagnostics() {
+    let p = write_temp(
+        "bad.dbl",
+        "input V: vector[double];
+         input n: long;
+         for i = 1, n-2 do V[i] := (V[i-1] + V[i+1]) / 2.0;",
+    );
+    let out = diabloc().arg("check").arg(&p).output().unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("dependence"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn show_prints_bulk_statements() {
+    let p = write_temp(
+        "show.dbl",
+        "input words: vector[string];
+         var C: map[string, long] = map();
+         for w in words do C[w] += 1;",
+    );
+    let out = diabloc().arg("show").arg(&p).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("group by"), "{text}");
+    assert!(text.contains("⊳[+]"), "{text}");
+}
+
+#[test]
+fn run_and_interp_agree_on_csv_inputs() {
+    let program = write_temp(
+        "gb.dbl",
+        "input V: vector[long];
+         var C: vector[long] = vector();
+         var total: long = 0;
+         for i = 0, 9 do C[V[i]] += 1;
+         for i = 0, 9 do total += V[i];",
+    );
+    let data = write_temp("v.csv", "0,5\n1,5\n2,7\n3,5\n4,7\n");
+    let run = |cmd: &str| -> String {
+        let out = diabloc()
+            .arg(cmd)
+            .arg(&program)
+            .arg(format!("V=@{}", data.display()))
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let engine = run("run");
+    let interp = run("interp");
+    for text in [&engine, &interp] {
+        assert!(text.contains("total = 29"), "{text}");
+        assert!(text.contains("(5, 3)"), "{text}");
+        assert!(text.contains("(7, 2)"), "{text}");
+    }
+}
+
+#[test]
+fn scalar_bindings_parse_types() {
+    let program = write_temp(
+        "scalars.dbl",
+        "input n: long;
+         input a: double;
+         var x: double = 0.0;
+         x := a * n;",
+    );
+    let out = diabloc()
+        .arg("run")
+        .arg(&program)
+        .arg("n=4")
+        .arg("a=2.5")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("x = 10"));
+}
+
+#[test]
+fn usage_errors_are_reported() {
+    let out = diabloc().arg("frobnicate").arg("/nonexistent").output().unwrap();
+    assert!(!out.status.success());
+    let out = diabloc().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

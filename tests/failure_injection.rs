@@ -1,0 +1,173 @@
+//! Failure-path tests: bad programs, bad inputs, and runtime faults must
+//! surface as errors (never panics), on both execution paths.
+
+use diablo_core::compile;
+use diablo_dataflow::Context;
+use diablo_exec::Session;
+use diablo_interp::Interpreter;
+use diablo_lang::{parse, typecheck};
+use diablo_runtime::Value;
+
+fn vec_rows(entries: &[(i64, i64)]) -> Vec<Value> {
+    entries
+        .iter()
+        .map(|&(k, v)| Value::pair(Value::Long(k), Value::Long(v)))
+        .collect()
+}
+
+#[test]
+fn division_by_zero_is_an_error_on_both_paths() {
+    let src = "input V: vector[long];
+               var s: long = 0;
+               for v in V do s += 100 / v;";
+    let rows = vec_rows(&[(0, 4), (1, 0)]);
+
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(2, 4));
+    session.bind_input("V", rows.clone());
+    let err = session.run(&compiled).unwrap_err();
+    assert!(err.message.contains("zero"), "{err}");
+
+    let tp = typecheck(parse(src).unwrap()).unwrap();
+    let mut interp = Interpreter::new();
+    interp.bind_collection("V", rows).unwrap();
+    let err = interp.run(&tp).unwrap_err();
+    assert!(err.message.contains("zero"), "{err}");
+}
+
+#[test]
+fn malformed_collection_rows_are_rejected() {
+    let src = "input V: vector[long];
+               var s: long = 0;
+               for v in V do s += v;";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(2, 4));
+    // Rows must be (key, value) pairs; bare longs are not.
+    session.bind_input("V", vec![Value::Long(5)]);
+    assert!(session.run(&compiled).is_err());
+}
+
+#[test]
+fn wrong_value_shapes_fail_cleanly() {
+    // The program treats V as a vector of longs but the bound rows carry
+    // strings; the engine must report an operator error, not panic.
+    let src = "input V: vector[long];
+               var s: long = 0;
+               for v in V do s += v;";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(2, 4));
+    session.bind_input(
+        "V",
+        vec![Value::pair(Value::Long(0), Value::str("not a number"))],
+    );
+    let err = session.run(&compiled).unwrap_err();
+    assert!(err.message.contains("expects numbers"), "{err}");
+}
+
+#[test]
+fn missing_scalar_input_is_reported_by_name() {
+    let src = "input n: long;
+               var x: long = 0;
+               x := n + 1;";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(1, 1));
+    let err = session.run(&compiled).unwrap_err();
+    assert!(err.message.contains('n'), "{err}");
+}
+
+#[test]
+fn non_boolean_while_condition_is_a_type_error() {
+    let err = compile("var k: long = 0; while (k) k += 1;").unwrap_err();
+    assert!(err.message.contains("bool"), "{err}");
+}
+
+#[test]
+fn runtime_faults_propagate_from_worker_threads() {
+    // The fault happens deep inside a shuffle stage on some partition; the
+    // driver still receives a proper error.
+    let src = "input K: vector[long];
+               input V: vector[long];
+               var C: vector[long] = vector();
+               for i = 0, 9 do C[K[i]] += 100 / V[i];";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(4, 8));
+    session.bind_input("K", vec_rows(&[(0, 1), (1, 2), (2, 3)]));
+    session.bind_input("V", vec_rows(&[(0, 10), (1, 0), (2, 5)]));
+    let err = session.run(&compiled).unwrap_err();
+    assert!(err.message.contains("zero"), "{err}");
+}
+
+#[test]
+fn interpreter_detects_collection_used_as_scalar() {
+    let tp = typecheck(
+        parse(
+            "input V: vector[long];
+             var s: long = 0;
+             for v in V do s += v;",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let mut interp = Interpreter::new();
+    // Bind V as a *scalar* — shape confusion must be caught.
+    interp.bind_scalar("V", Value::Long(3));
+    assert!(interp.run(&tp).is_err());
+}
+
+#[test]
+fn empty_inputs_produce_empty_or_unchanged_outputs() {
+    let src = "input V: vector[long];
+               var C: vector[long] = vector();
+               var s: long = 42;
+               for v in V do { C[v] += 1; s += v; };";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(2, 4));
+    session.bind_input("V", Vec::new());
+    session.run(&compiled).unwrap();
+    assert_eq!(session.collect("C").unwrap(), Vec::<Value>::new());
+    // No iterations → the scalar keeps its initial value.
+    assert_eq!(session.scalar("s"), Some(Value::Long(42)));
+}
+
+#[test]
+fn empty_range_loops_are_no_ops() {
+    let src = "var V: vector[long] = vector();
+               var s: long = 7;
+               for i = 5, 4 do { V[i] := 1; s += 1; };";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(2, 4));
+    session.run(&compiled).unwrap();
+    assert_eq!(session.collect("V").unwrap(), Vec::<Value>::new());
+    assert_eq!(session.scalar("s"), Some(Value::Long(7)));
+}
+
+#[test]
+fn while_loop_that_never_runs() {
+    let src = "var k: long = 10;
+               var body_ran: long = 0;
+               while (k < 5) { k += 1; body_ran += 1; };";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(1, 1));
+    session.run(&compiled).unwrap();
+    assert_eq!(session.scalar("body_ran"), Some(Value::Long(0)));
+}
+
+#[test]
+fn deep_nesting_is_handled() {
+    // Four nested range loops, all eliminated into one bulk statement.
+    let src = "var T: matrix[long] = matrix();
+               for a = 0, 2 do
+                 for b = 0, 2 do
+                   for c = 0, 2 do
+                     for d = 0, 2 do
+                       T[a, b] += 1;";
+    let compiled = compile(src).unwrap();
+    let mut session = Session::new(Context::new(2, 4));
+    session.run(&compiled).unwrap();
+    let rows = session.collect("T").unwrap();
+    assert_eq!(rows.len(), 9);
+    for row in rows {
+        let (_, v) = diablo_runtime::array::key_value(&row).unwrap();
+        assert_eq!(v, Value::Long(9), "each (a, b) gets 3×3 increments");
+    }
+}

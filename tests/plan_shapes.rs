@@ -1,0 +1,143 @@
+//! Plan-shape tests: the engine statistics expose how each translated
+//! program executes (shuffles, broadcasts, rows moved), so the claims the
+//! paper makes about *plans* — not just results — are checkable.
+
+use diablo_core::compile;
+use diablo_dataflow::{Context, StatsSnapshot};
+use diablo_exec::Session;
+use diablo_runtime::Value;
+use diablo_workloads as wl;
+
+/// Runs a workload and returns the statistics delta for the run.
+fn stats_of(w: &wl::Workload, ctx: &Context) -> StatsSnapshot {
+    let compiled = compile(w.source).expect("compiles");
+    let mut s = Session::new(ctx.clone());
+    for (n, v) in &w.scalars {
+        s.bind_scalar(n, v.clone());
+    }
+    for (n, rows) in &w.collections {
+        s.bind_input(n, rows.clone());
+    }
+    let before = ctx.stats().snapshot();
+    s.run(&compiled).expect("runs");
+    ctx.stats().snapshot().since(&before)
+}
+
+#[test]
+fn scalar_aggregations_do_not_shuffle() {
+    // Rule (16) turns `sum += v` into a distributed reduce with partial
+    // aggregation — no shuffle at all.
+    let ctx = Context::new(2, 8);
+    let stats = stats_of(&wl::sum(5_000, 1), &ctx);
+    assert_eq!(stats.shuffles, 0, "{stats:?}");
+}
+
+#[test]
+fn word_count_shuffles_only_combined_partials() {
+    // Map-side combining bounds the shuffle by partitions × distinct keys,
+    // not by input size.
+    let ctx = Context::new(2, 8);
+    let n = 20_000;
+    let distinct = 1_000;
+    let stats = stats_of(&wl::word_count(n, 2), &ctx);
+    assert!(stats.shuffles >= 1);
+    assert!(
+        stats.shuffled_records <= (8 * distinct + distinct) as u64 * 2,
+        "combiner failed: {stats:?}"
+    );
+}
+
+#[test]
+fn elementwise_increment_uses_no_group_by_shuffle() {
+    // Rule (17): `V[i] += W[i]` needs only the merge's exchange, not a
+    // group-by — the update bag is W itself.
+    let ctx = Context::new(2, 4);
+    let src = "input W: vector[long];
+               var V: vector[long] = vector();
+               for i = 0, 999 do V[i] += W[i];";
+    let compiled = compile(src).unwrap();
+    let mut s = Session::new(ctx.clone());
+    s.bind_input(
+        "W",
+        (0..1000)
+            .map(|i| Value::pair(Value::Long(i), Value::Long(i)))
+            .collect(),
+    );
+    let before = ctx.stats().snapshot();
+    s.run(&compiled).unwrap();
+    let stats = ctx.stats().snapshot().since(&before);
+    // One merge exchanges both sides (two recorded shuffles); a surviving
+    // group-by would add a third full shuffle of W.
+    assert!(stats.shuffles <= 2, "{stats:?}");
+}
+
+#[test]
+fn diablo_kmeans_shuffles_orders_of_magnitude_more_than_handwritten() {
+    // The Fig. 3K story, as a hard assertion.
+    let ctx = Context::new(2, 4);
+    let w = wl::kmeans(500, 3, 1, 5);
+    let diablo = stats_of(&w, &ctx);
+
+    let points = ctx.from_vec(w.collections[0].1.clone());
+    let initial: Vec<(f64, f64)> = w.collections[1]
+        .1
+        .iter()
+        .map(|row| {
+            let (_, xy) = diablo_runtime::array::key_value(row).unwrap();
+            let f = xy.as_tuple().unwrap();
+            (f[0].as_double().unwrap(), f[1].as_double().unwrap())
+        })
+        .collect();
+    let before = ctx.stats().snapshot();
+    diablo_baselines::handwritten::kmeans(&points, &initial, 1).unwrap();
+    let hand = ctx.stats().snapshot().since(&before);
+
+    assert!(
+        diablo.shuffled_records > 10 * hand.shuffled_records.max(1),
+        "diablo {diablo:?} vs hand-written {hand:?}"
+    );
+    assert!(diablo.broadcasts >= 1, "centroid array is broadcast: {diablo:?}");
+}
+
+#[test]
+fn matrix_multiplication_plans_share_the_join_group_shape() {
+    // DIABLO's generated plan and the hand-written plan both shuffle for
+    // one join and one reduceByKey over the same data; rows moved should
+    // be within a small factor.
+    let ctx = Context::new(2, 4);
+    let w = wl::matrix_multiplication(12, 6);
+    let diablo = stats_of(&w, &ctx);
+
+    let m = ctx.from_vec(w.collections[0].1.clone());
+    let n = ctx.from_vec(w.collections[1].1.clone());
+    let before = ctx.stats().snapshot();
+    diablo_baselines::handwritten::matrix_multiplication(&m, &n).unwrap();
+    let hand = ctx.stats().snapshot().since(&before);
+
+    assert!(diablo.shuffles >= hand.shuffles, "{diablo:?} vs {hand:?}");
+    assert!(
+        diablo.shuffled_records <= hand.shuffled_records * 8,
+        "same asymptotic movement: {diablo:?} vs {hand:?}"
+    );
+}
+
+#[test]
+fn broadcast_only_for_unlinked_generators() {
+    // A pure join program must not broadcast anything.
+    let ctx = Context::new(2, 4);
+    let stats = stats_of(&wl::matrix_addition(12, 3), &ctx);
+    assert_eq!(stats.broadcasts, 0, "{stats:?}");
+}
+
+#[test]
+fn stage_counts_grow_with_program_complexity() {
+    let ctx = Context::new(2, 4);
+    let simple = stats_of(&wl::sum(1_000, 1), &ctx);
+    let complex = stats_of(&wl::matrix_factorization(8, 2, 1, 2), &ctx);
+    assert!(
+        complex.stages > simple.stages * 3,
+        "MF ({}) should dwarf Sum ({})",
+        complex.stages,
+        simple.stages
+    );
+}

@@ -1,0 +1,179 @@
+//! Property tests for the end-to-end translation: randomly generated loop
+//! programs from the affine families of §3 must produce identical results
+//! on the engine and in the sequential interpreter.
+
+use proptest::prelude::*;
+
+use diablo_dataflow::Context;
+use diablo_exec::Session;
+use diablo_interp::Interpreter;
+use diablo_runtime::Value;
+
+fn long_pairs(entries: &[(i64, i64)]) -> Vec<Value> {
+    entries
+        .iter()
+        .map(|&(k, v)| Value::pair(Value::Long(k), Value::Long(v)))
+        .collect()
+}
+
+/// Runs a program both ways with the given vector inputs; returns
+/// (engine, interpreter) results for `out`.
+#[allow(clippy::type_complexity)]
+fn both_ways(
+    src: &str,
+    inputs: &[(&str, Vec<Value>)],
+    scalars: &[(&str, i64)],
+    out: &str,
+) -> (Option<Vec<Value>>, Option<Vec<Value>>, Option<Value>, Option<Value>) {
+    let compiled = diablo_core::compile(src).expect("compiles");
+    let mut session = Session::new(Context::new(2, 5));
+    let tp = diablo_lang::typecheck(diablo_lang::parse(src).unwrap()).unwrap();
+    let mut interp = Interpreter::new();
+    for (name, rows) in inputs {
+        session.bind_input(name, rows.clone());
+        interp.bind_collection(name, rows.clone()).unwrap();
+    }
+    for (name, v) in scalars {
+        session.bind_scalar(name, Value::Long(*v));
+        interp.bind_scalar(name, Value::Long(*v));
+    }
+    session.run(&compiled).expect("engine runs");
+    interp.run(&tp).expect("interpreter runs");
+    (
+        session.collect(out),
+        interp.collection(out),
+        session.scalar(out),
+        interp.scalar(out),
+    )
+}
+
+/// Unique-key vectors: arrays are key-value maps.
+fn vector_strategy(max_key: i64) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::hash_map(0..max_key, -50i64..50, 0..40)
+        .prop_map(|m| m.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `for i = lo, hi do sum += V[i] * c` — total aggregation.
+    #[test]
+    fn random_scalar_aggregation(
+        v in vector_strategy(60),
+        lo in 0i64..20,
+        span in 0i64..50,
+        c in -3i64..4,
+    ) {
+        let src = format!(
+            "input V: vector[long];
+             var sum: long = 0;
+             for i = {lo}, {} do sum += V[i] * {c};",
+            lo + span
+        );
+        let (_, _, es, is) = both_ways(&src, &[("V", long_pairs(&v))], &[], "sum");
+        prop_assert_eq!(es, is);
+    }
+
+    /// `for i do C[K[i]] += V[i]` — the group-by increment family.
+    #[test]
+    fn random_indirect_group_by(
+        data in prop::collection::hash_map(0i64..40, (0i64..8, -50i64..50), 0..40),
+    ) {
+        let k: Vec<(i64, i64)> = data.iter().map(|(&i, &(key, _))| (i, key)).collect();
+        let v: Vec<(i64, i64)> = data.iter().map(|(&i, &(_, val))| (i, val)).collect();
+        let src = "input K: vector[long];
+                   input V: vector[long];
+                   var C: vector[long] = vector();
+                   for i = 0, 39 do C[K[i]] += V[i];";
+        let (ec, ic, _, _) = both_ways(
+            src,
+            &[("K", long_pairs(&k)), ("V", long_pairs(&v))],
+            &[],
+            "C",
+        );
+        prop_assert_eq!(ec, ic);
+    }
+
+    /// `for i do V[i] := W[i + c]` — affine copy with an offset (exercises
+    /// the §3.6 index inversion).
+    #[test]
+    fn random_affine_copy(
+        w in vector_strategy(80),
+        c in -5i64..6,
+        hi in 0i64..40,
+    ) {
+        let src = format!(
+            "input W: vector[long];
+             var V: vector[long] = vector();
+             for i = 0, {hi} do V[i] := W[i + {c}];"
+        );
+        let (ec, ic, _, _) = both_ways(&src, &[("W", long_pairs(&w))], &[], "V");
+        prop_assert_eq!(ec, ic);
+    }
+
+    /// `for i do V[i] += W[i]` — the unique-key Rule (17) family.
+    #[test]
+    fn random_elementwise_increment(
+        v in vector_strategy(40),
+        w in vector_strategy(40),
+    ) {
+        let src = "input W: vector[long];
+                   input V0: vector[long];
+                   var V: vector[long] = vector();
+                   for i = 0, 39 do V[i] := V0[i];
+                   for i = 0, 39 do V[i] += W[i];";
+        let (ec, ic, _, _) = both_ways(
+            src,
+            &[("W", long_pairs(&w)), ("V0", long_pairs(&v))],
+            &[],
+            "V",
+        );
+        prop_assert_eq!(ec, ic);
+    }
+
+    /// Conditional increments under if/else split into two bulk updates.
+    #[test]
+    fn random_conditional_split(
+        v in vector_strategy(50),
+        threshold in -40i64..40,
+    ) {
+        let src = format!(
+            "input V: vector[long];
+             var a: long = 0;
+             var b: long = 0;
+             for x in V do
+                 if (x < {threshold}) a += x; else b += x;"
+        );
+        let (_, _, ea, ia) = both_ways(&src, &[("V", long_pairs(&v))], &[], "a");
+        prop_assert_eq!(ea, ia);
+        let (_, _, eb, ib) = both_ways(&src, &[("V", long_pairs(&v))], &[], "b");
+        prop_assert_eq!(eb, ib);
+    }
+
+    /// Matrix row sums: `for i, j do S[i] += M[i, j]`.
+    #[test]
+    fn random_matrix_row_sums(
+        m in prop::collection::hash_map((0i64..10, 0i64..10), -50i64..50, 0..60),
+    ) {
+        let rows: Vec<Value> = m
+            .iter()
+            .map(|(&(i, j), &v)| {
+                Value::pair(Value::pair(Value::Long(i), Value::Long(j)), Value::Long(v))
+            })
+            .collect();
+        let src = "input M: matrix[long];
+                   var S: vector[long] = vector();
+                   for i = 0, 9 do
+                       for j = 0, 9 do
+                           S[i] += M[i, j];";
+        let compiled = diablo_core::compile(src).expect("compiles");
+        let mut session = Session::new(Context::new(2, 5));
+        session.bind_input("M", rows.clone());
+        session.run(&compiled).expect("engine runs");
+        let tp = diablo_lang::typecheck(diablo_lang::parse(src).unwrap()).unwrap();
+        let mut interp = Interpreter::new();
+        interp.bind_collection("M", rows).unwrap();
+        interp.run(&tp).expect("interpreter runs");
+        prop_assert_eq!(session.collect("S"), interp.collection("S"));
+    }
+}
