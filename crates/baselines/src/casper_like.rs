@@ -49,10 +49,7 @@ pub fn casper_translate(w: &Workload) -> Result<CasperProgram, String> {
 }
 
 /// [`casper_translate`] with an explicit candidate budget.
-pub fn casper_translate_with_budget(
-    w: &Workload,
-    budget: usize,
-) -> Result<CasperProgram, String> {
+pub fn casper_translate_with_budget(w: &Workload, budget: usize) -> Result<CasperProgram, String> {
     // Casper only handles single flat loops over one collection.
     let tp = typecheck(parse(w.source).map_err(|e| format!("parse: {e}"))?)
         .map_err(|e| format!("type: {e}"))?;
@@ -120,7 +117,14 @@ pub fn casper_translate_with_budget(
         .map(|(n, v)| (n.to_string(), v.clone()))
         .collect();
     let exprs = grammar(&scalars);
-    let reduce_ops = [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max, BinOp::And, BinOp::Or];
+    let reduce_ops = [
+        BinOp::Add,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+    ];
 
     let mut tried = 0usize;
     if want_collection {
@@ -235,9 +239,13 @@ fn validate_scalar(
     expected: &[Expected],
     scalars: &[(String, Value)],
 ) -> bool {
-    let Some(agg) = AggOp::new(op) else { return false };
+    let Some(agg) = AggOp::new(op) else {
+        return false;
+    };
     for (sample, want) in samples.iter().zip(expected) {
-        let Expected::Scalar(want) = want else { return false };
+        let Expected::Scalar(want) = want else {
+            return false;
+        };
         let mut acc: Option<Value> = None;
         for row in sample {
             let Ok((_, v)) = diablo_runtime::array::key_value(row) else {
@@ -248,7 +256,9 @@ fn validate_scalar(
             for (n, val) in scalars {
                 env.insert(n.clone(), val.clone());
             }
-            let Ok(mapped) = eval(map, &env) else { return false };
+            let Ok(mapped) = eval(map, &env) else {
+                return false;
+            };
             acc = Some(match acc {
                 None => mapped,
                 Some(a) => match op.apply(&a, &mapped) {
@@ -288,7 +298,10 @@ fn validate_collection(
     let comp = Comprehension::new(
         CExpr::pair(
             CExpr::var("k"),
-            CExpr::Agg(AggOp::new(op).expect("commutative"), Box::new(CExpr::var("mv"))),
+            CExpr::Agg(
+                AggOp::new(op).expect("commutative"),
+                Box::new(CExpr::var("mv")),
+            ),
         ),
         vec![
             Qual::Gen(
@@ -300,13 +313,17 @@ fn validate_collection(
         ],
     );
     for (sample, want) in samples.iter().zip(expected) {
-        let Expected::Collection(want) = want else { return false };
+        let Expected::Collection(want) = want else {
+            return false;
+        };
         let mut env: Env = HashMap::new();
         env.insert("input".into(), Value::bag(sample.clone()));
         for (n, v) in scalars {
             env.insert(n.clone(), v.clone());
         }
-        let Ok(got) = diablo_comp::eval_comp(&comp, &env) else { return false };
+        let Ok(got) = diablo_comp::eval_comp(&comp, &env) else {
+            return false;
+        };
         let mut got = got;
         got.sort();
         if got.len() != want.len() || !got.iter().zip(want).all(|(a, b)| values_close(a, b)) {

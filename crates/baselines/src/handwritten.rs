@@ -78,7 +78,7 @@ pub fn histogram(p: &Dataset) -> Result<(Dataset, Dataset, Dataset)> {
 #[allow(clippy::type_complexity)]
 pub fn linear_regression(p: &Dataset, n: i64) -> Result<(f64, f64)> {
     let pts = values(p)?;
-    let sum_of = |f: Box<dyn Fn(&Value) -> Result<Value> + Sync>| -> Result<f64> {
+    let sum_of = |f: Box<dyn Fn(&Value) -> Result<Value> + Send + Sync>| -> Result<f64> {
         let mapped = pts.map(move |v| f(v))?;
         Ok(mapped
             .reduce(add)?
@@ -103,8 +103,14 @@ pub fn linear_regression(p: &Dataset, n: i64) -> Result<(f64, f64)> {
 /// Group-By: `V.map(v => (v.K, v.A)).reduceByKey(_ + _)`.
 pub fn group_by(v: &Dataset) -> Result<Dataset> {
     let keyed = values(v)?.map(|r| {
-        let k = r.field("K").ok_or_else(|| RuntimeError::new("K field"))?.clone();
-        let a = r.field("A").ok_or_else(|| RuntimeError::new("A field"))?.clone();
+        let k = r
+            .field("K")
+            .ok_or_else(|| RuntimeError::new("K field"))?
+            .clone();
+        let a = r
+            .field("A")
+            .ok_or_else(|| RuntimeError::new("A field"))?
+            .clone();
         Ok(Value::pair(k, a))
     })?;
     keyed.reduce_by_key(add)
@@ -115,7 +121,9 @@ pub fn matrix_addition(m: &Dataset, n: &Dataset) -> Result<Dataset> {
     let joined = m.join(n)?;
     joined.map(|row| {
         let (k, mn) = key_value(row)?;
-        let fields = mn.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+        let fields = mn
+            .as_tuple()
+            .ok_or_else(|| RuntimeError::new("join pair"))?;
         Ok(Value::pair(k, add(&fields[0], &fields[1])?))
     })
 }
@@ -125,22 +133,32 @@ pub fn matrix_multiplication(m: &Dataset, n: &Dataset) -> Result<Dataset> {
     // M: ((i, j), m) → (j, (i, m))
     let left = m.map(|row| {
         let (k, v) = key_value(row)?;
-        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("matrix key"))?;
+        let ij = k
+            .as_tuple()
+            .ok_or_else(|| RuntimeError::new("matrix key"))?;
         Ok(Value::pair(ij[1].clone(), Value::pair(ij[0].clone(), v)))
     })?;
     // N: ((i, j), n) → (i, (j, n))
     let right = n.map(|row| {
         let (k, v) = key_value(row)?;
-        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("matrix key"))?;
+        let ij = k
+            .as_tuple()
+            .ok_or_else(|| RuntimeError::new("matrix key"))?;
         Ok(Value::pair(ij[0].clone(), Value::pair(ij[1].clone(), v)))
     })?;
     // join on k → ((i, j), m * n) → reduceByKey(+)
     let products = left.join(&right)?.map(|row| {
         let (_, pair) = key_value(row)?;
-        let sides = pair.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+        let sides = pair
+            .as_tuple()
+            .ok_or_else(|| RuntimeError::new("join pair"))?;
         let (im, jn) = (
-            sides[0].as_tuple().ok_or_else(|| RuntimeError::new("left side"))?,
-            sides[1].as_tuple().ok_or_else(|| RuntimeError::new("right side"))?,
+            sides[0]
+                .as_tuple()
+                .ok_or_else(|| RuntimeError::new("left side"))?,
+            sides[1]
+                .as_tuple()
+                .ok_or_else(|| RuntimeError::new("right side"))?,
         );
         Ok(Value::pair(
             Value::pair(im[0].clone(), jn[0].clone()),
@@ -168,7 +186,9 @@ pub fn pagerank(e: &Dataset, vertices: i64, num_steps: usize) -> Result<Dataset>
     for _ in 0..num_steps {
         let contribs = links.join(&ranks)?.flat_map(|row| {
             let (_, pair) = key_value(row)?;
-            let sides = pair.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+            let sides = pair
+                .as_tuple()
+                .ok_or_else(|| RuntimeError::new("join pair"))?;
             let urls = sides[0]
                 .as_bag()
                 .ok_or_else(|| RuntimeError::new("links bag"))?;
@@ -195,7 +215,11 @@ pub fn pagerank(e: &Dataset, vertices: i64, num_steps: usize) -> Result<Dataset>
 /// K-Means: broadcast the centroids, assign each point with a local argmin,
 /// reduce per-centroid sums, recompute — the cheap plan of Appendix B.
 /// Returns the final centroids.
-pub fn kmeans(points: &Dataset, initial: &[(f64, f64)], num_steps: usize) -> Result<Vec<(f64, f64)>> {
+pub fn kmeans(
+    points: &Dataset,
+    initial: &[(f64, f64)],
+    num_steps: usize,
+) -> Result<Vec<(f64, f64)>> {
     let pts = values(points)?;
     let mut centroids: Arc<Vec<(f64, f64)>> = Arc::new(initial.to_vec());
     for _ in 0..num_steps {
@@ -243,20 +267,24 @@ pub fn kmeans(points: &Dataset, initial: &[(f64, f64)], num_steps: usize) -> Res
 fn transpose(x: &Dataset) -> Result<Dataset> {
     x.map(|row| {
         let (k, v) = key_value(row)?;
-        let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("matrix key"))?;
+        let ij = k
+            .as_tuple()
+            .ok_or_else(|| RuntimeError::new("matrix key"))?;
         Ok(Value::pair(Value::pair(ij[1].clone(), ij[0].clone()), v))
     })
 }
 
 /// Element-wise join combine: `op(f, x, y) = x.join(y).mapValues(f)`.
 fn elementwise(
-    f: impl Fn(&Value, &Value) -> Result<Value> + Sync,
+    f: impl Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
     x: &Dataset,
     y: &Dataset,
 ) -> Result<Dataset> {
     x.join(y)?.map(move |row| {
         let (k, ab) = key_value(row)?;
-        let s = ab.as_tuple().ok_or_else(|| RuntimeError::new("join pair"))?;
+        let s = ab
+            .as_tuple()
+            .ok_or_else(|| RuntimeError::new("join pair"))?;
         Ok(Value::pair(k, f(&s[0], &s[1])?))
     })
 }
@@ -397,10 +425,7 @@ mod tests {
         let initial: Vec<(f64, f64)> = vec![(1.2, 1.2), (1.2, 3.2), (3.2, 1.2), (3.2, 3.2)];
         let out = kmeans(&points, &initial, 3).unwrap();
         for (i, (x, y)) in out.iter().enumerate() {
-            let want = (
-                (i / 2) as f64 * 2.0 + 1.5,
-                (i % 2) as f64 * 2.0 + 1.5,
-            );
+            let want = ((i / 2) as f64 * 2.0 + 1.5, (i % 2) as f64 * 2.0 + 1.5);
             assert!(
                 (x - want.0).abs() < 0.2 && (y - want.1).abs() < 0.2,
                 "centroid {i}: ({x}, {y}) vs {want:?}"
@@ -441,7 +466,10 @@ mod tests {
         let before = err_of(&p0, &q0);
         let (p, q) = matrix_factorization(&r, &p0, &q0, 5, 0.01, 0.02).unwrap();
         let after = err_of(&p, &q);
-        assert!(after < before, "gradient descent reduces error: {before} → {after}");
+        assert!(
+            after < before,
+            "gradient descent reduces error: {before} → {after}"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ pub fn mold_translate_with_budget(source: &str, budget: usize) -> Result<MoldPla
             }
         }
     }
-    Ok(MoldPlan { ops: best, states_explored: explored })
+    Ok(MoldPlan {
+        ops: best,
+        states_explored: explored,
+    })
 }
 
 /// Two plan operators fuse when they scan the same source shape.
@@ -146,31 +149,42 @@ fn t_decl(s: &Stmt) -> Option<String> {
 /// A top-level scalar assignment (outside loops).
 fn t_scalar_assign(s: &Stmt) -> Option<String> {
     match s {
-        Stmt::Assign { dest: Lhs::Var(v), .. } => Some(format!("bind(driver:{v})")),
+        Stmt::Assign {
+            dest: Lhs::Var(v), ..
+        } => Some(format!("bind(driver:{v})")),
         _ => None,
     }
 }
 
 /// `for v in V do acc ⊕= e` — map + reduce.
 fn t_map_reduce(s: &Stmt) -> Option<String> {
-    let Stmt::ForIn { var, body, .. } = s else { return None };
+    let Stmt::ForIn { var, body, .. } = s else {
+        return None;
+    };
     match body.as_ref() {
-        Stmt::Incr { dest: Lhs::Var(acc), op, value, .. }
-            if mentions(value, var) || matches!(value, Expr::Const(_)) =>
-        {
+        Stmt::Incr {
+            dest: Lhs::Var(acc),
+            op,
+            value,
+            ..
+        } if mentions(value, var) || matches!(value, Expr::Const(_)) => {
             Some(format!("map.reduce[{}]({acc})", op.symbol()))
         }
         Stmt::Block(stmts) => {
             let parts: Option<Vec<String>> = stmts
                 .iter()
                 .map(|st| match st {
-                    Stmt::Incr { dest: Lhs::Var(acc), op, .. } => {
-                        Some(format!("map.reduce[{}]({acc})", op.symbol()))
-                    }
+                    Stmt::Incr {
+                        dest: Lhs::Var(acc),
+                        op,
+                        ..
+                    } => Some(format!("map.reduce[{}]({acc})", op.symbol())),
                     _ => None,
                 })
                 .collect();
-            parts.map(|v| v.join(" ++ ")).map(|v| format!("map.multi[{v}]"))
+            parts
+                .map(|v| v.join(" ++ "))
+                .map(|v| format!("map.multi[{v}]"))
         }
         _ => None,
     }
@@ -178,11 +192,24 @@ fn t_map_reduce(s: &Stmt) -> Option<String> {
 
 /// `for v in V do if (p) acc ⊕= e` — filter + map + reduce.
 fn t_filter_reduce(s: &Stmt) -> Option<String> {
-    let Stmt::ForIn { var, body, .. } = s else { return None };
-    let Stmt::If { cond, then_branch, else_branch: None, .. } = body.as_ref() else {
+    let Stmt::ForIn { var, body, .. } = s else {
         return None;
     };
-    let Stmt::Incr { dest: Lhs::Var(acc), op, .. } = then_branch.as_ref() else {
+    let Stmt::If {
+        cond,
+        then_branch,
+        else_branch: None,
+        ..
+    } = body.as_ref()
+    else {
+        return None;
+    };
+    let Stmt::Incr {
+        dest: Lhs::Var(acc),
+        op,
+        ..
+    } = then_branch.as_ref()
+    else {
         return None;
     };
     mentions(cond, var).then(|| format!("filter.map.reduce[{}]({acc})", op.symbol()))
@@ -191,20 +218,31 @@ fn t_filter_reduce(s: &Stmt) -> Option<String> {
 /// `for v in V do C[k(v)] ⊕= e(v)` — map + reduceByKey (the group-by
 /// pattern MOLD's paper highlights).
 fn t_group_by_increment(s: &Stmt) -> Option<String> {
-    let Stmt::ForIn { var, body, .. } = s else { return None };
+    let Stmt::ForIn { var, body, .. } = s else {
+        return None;
+    };
     group_increment(body, var)
 }
 
 /// A block of group-by increments in one loop (the Histogram shape).
 fn t_multi_group_block(s: &Stmt) -> Option<String> {
-    let Stmt::ForIn { var, body, .. } = s else { return None };
-    let Stmt::Block(stmts) = body.as_ref() else { return None };
+    let Stmt::ForIn { var, body, .. } = s else {
+        return None;
+    };
+    let Stmt::Block(stmts) = body.as_ref() else {
+        return None;
+    };
     let ops: Option<Vec<String>> = stmts.iter().map(|st| group_increment(st, var)).collect();
     ops.map(|v| format!("map.multi[{}]", v.join(" ++ ")))
 }
 
 fn group_increment(s: &Stmt, var: &str) -> Option<String> {
-    let Stmt::Incr { dest: Lhs::Index(arr, idxs), op, .. } = s else {
+    let Stmt::Incr {
+        dest: Lhs::Index(arr, idxs),
+        op,
+        ..
+    } = s
+    else {
         return None;
     };
     idxs.iter()
@@ -214,8 +252,14 @@ fn group_increment(s: &Stmt, var: &str) -> Option<String> {
 
 /// `for i = lo, hi do V[i] := W[i]` — bounded copy.
 fn t_range_copy(s: &Stmt) -> Option<String> {
-    let Stmt::For { var, body, .. } = s else { return None };
-    let Stmt::Assign { dest: Lhs::Index(arr, idxs), .. } = body.as_ref() else {
+    let Stmt::For { var, body, .. } = s else {
+        return None;
+    };
+    let Stmt::Assign {
+        dest: Lhs::Index(arr, idxs),
+        ..
+    } = body.as_ref()
+    else {
         return None;
     };
     idxs.iter()
@@ -232,21 +276,29 @@ fn t_nested_range_update(s: &Stmt) -> Option<String> {
         }
         match s {
             Stmt::For { body, .. } => walk(body, depth + 1),
-            Stmt::If { then_branch, else_branch: None, .. } => walk(then_branch, depth + 1),
+            Stmt::If {
+                then_branch,
+                else_branch: None,
+                ..
+            } => walk(then_branch, depth + 1),
             Stmt::Block(ss) => {
-                let parts: Option<Vec<String>> =
-                    ss.iter().map(|st| walk(st, depth + 1)).collect();
+                let parts: Option<Vec<String>> = ss.iter().map(|st| walk(st, depth + 1)).collect();
                 parts.map(|v| v.join(" ++ "))
             }
-            Stmt::Incr { dest: Lhs::Index(arr, _), op, .. } => {
-                Some(format!("map.join.reduceByKey[{}]({arr})", op.symbol()))
-            }
-            Stmt::Incr { dest: Lhs::Proj(_, _) | Lhs::Var(_), op, .. } => {
-                Some(format!("map.reduce[{}](tmp)", op.symbol()))
-            }
-            Stmt::Assign { dest: Lhs::Index(arr, _), .. } => {
-                Some(format!("map.join({arr})"))
-            }
+            Stmt::Incr {
+                dest: Lhs::Index(arr, _),
+                op,
+                ..
+            } => Some(format!("map.join.reduceByKey[{}]({arr})", op.symbol())),
+            Stmt::Incr {
+                dest: Lhs::Proj(_, _) | Lhs::Var(_),
+                op,
+                ..
+            } => Some(format!("map.reduce[{}](tmp)", op.symbol())),
+            Stmt::Assign {
+                dest: Lhs::Index(arr, _),
+                ..
+            } => Some(format!("map.join({arr})")),
             _ => None,
         }
     }
@@ -279,7 +331,10 @@ mod tests {
     #[test]
     fn translates_group_by_shapes() {
         let plan = mold_translate(programs::WORD_COUNT).expect("word count");
-        assert!(plan.ops.iter().any(|o| o.contains("reduceByKey")), "{plan:?}");
+        assert!(
+            plan.ops.iter().any(|o| o.contains("reduceByKey")),
+            "{plan:?}"
+        );
         let plan = mold_translate(programs::HISTOGRAM).expect("histogram");
         assert!(plan.ops.iter().any(|o| o.contains("multi")), "{plan:?}");
     }

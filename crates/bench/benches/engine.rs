@@ -45,7 +45,10 @@ fn engine(c: &mut Criterion) {
         })
     });
     g.bench_function("reduce_by_key", |b| {
-        b.iter(|| data.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).expect("rbk"))
+        b.iter(|| {
+            data.reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+                .expect("rbk")
+        })
     });
     g.bench_function("group_by_key", |b| {
         b.iter(|| data.group_by_key().expect("gbk"))

@@ -44,10 +44,18 @@ fn figure3(c: &mut Criterion) {
     panel(c, "f_linear_regression", &wl::linear_regression(20_000, 6));
     panel(c, "g_group_by", &wl::group_by(50_000, 7));
     panel(c, "h_matrix_addition", &wl::matrix_addition(60, 8));
-    panel(c, "i_matrix_multiplication", &wl::matrix_multiplication(24, 9));
+    panel(
+        c,
+        "i_matrix_multiplication",
+        &wl::matrix_multiplication(24, 9),
+    );
     panel(c, "j_pagerank", &wl::pagerank(150, 2, 10));
     panel(c, "k_kmeans", &wl::kmeans(2_000, 10, 1, 11));
-    panel(c, "l_matrix_factorization", &wl::matrix_factorization(20, 2, 1, 12));
+    panel(
+        c,
+        "l_matrix_factorization",
+        &wl::matrix_factorization(20, 2, 1, 12),
+    );
 }
 
 criterion_group!(benches, figure3);

@@ -26,13 +26,20 @@ fn bench_diablo_translate(c: &mut Criterion) {
 fn bench_mold_translate(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1/mold_like");
     g.sample_size(10);
-    for name in ["Sum", "Word Count", "Linear Regression", "Matrix Multiplication"] {
+    for name in [
+        "Sum",
+        "Word Count",
+        "Linear Regression",
+        "Matrix Multiplication",
+    ] {
         let src = wl::programs::all_programs()
             .into_iter()
             .find(|(n, _)| *n == name)
             .expect("known program")
             .1;
-        g.bench_function(name, |b| b.iter(|| mold_translate(black_box(src)).expect("translates")));
+        g.bench_function(name, |b| {
+            b.iter(|| mold_translate(black_box(src)).expect("translates"))
+        });
     }
     g.finish();
 }

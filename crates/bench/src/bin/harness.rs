@@ -16,8 +16,7 @@ use std::time::{Duration, Instant};
 use diablo_baselines::casper_like::casper_translate_with_budget;
 use diablo_baselines::mold_translate;
 use diablo_bench::{
-    compile_time, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs,
-    time_once,
+    compile_time, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs, time_once,
 };
 use diablo_dataflow::Context;
 use diablo_runtime::TiledMatrix;
@@ -120,8 +119,8 @@ fn table1() {
 fn table2() {
     println!("== Table 2: parallel (par) vs sequential (seq) evaluation (seconds) ========");
     println!(
-        "{:<24} {:>10} {:>12} {:>10} {:>10}",
-        "test program", "count", "size (MB)", "par", "seq"
+        "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
+        "test program", "count", "size (MB)", "par", "stages", "seq"
     );
     let ctx = Context::default_parallel();
     let s = 20 * scale();
@@ -140,14 +139,17 @@ fn table2() {
         wl::matrix_factorization(2 * s, 2, 1, 12),
     ];
     for w in workloads {
+        let before = ctx.stats().snapshot();
         let par = run_diablo(&w, &ctx);
+        let stats = ctx.stats().snapshot().since(&before);
         let seq = run_interp(&w);
         println!(
-            "{:<24} {:>10} {:>12} {:>10} {:>10}",
+            "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
             w.name,
             w.input_rows(),
             mb(w.input_bytes()),
             secs(par),
+            stats.physical_stages,
             secs(seq)
         );
     }
@@ -161,18 +163,60 @@ type Maker = fn(usize, u64) -> Workload;
 /// Panel id, display title, workload maker, base size, whether the Casper
 /// line exists in the paper's panel.
 const PANELS: &[(&str, &str, Maker, usize, bool)] = &[
-    ("a", "Conditional Sum", |n, s| wl::conditional_sum(n, s), 40_000, true),
+    (
+        "a",
+        "Conditional Sum",
+        |n, s| wl::conditional_sum(n, s),
+        40_000,
+        true,
+    ),
     ("b", "Equal", |n, s| wl::equal(n, s), 40_000, true),
-    ("c", "String Match", |n, s| wl::string_match(n, s), 40_000, true),
+    (
+        "c",
+        "String Match",
+        |n, s| wl::string_match(n, s),
+        40_000,
+        true,
+    ),
     ("d", "Word Count", |n, s| wl::word_count(n, s), 40_000, true),
     ("e", "Histogram", |n, s| wl::histogram(n, s), 40_000, false),
-    ("f", "Linear Regression", |n, s| wl::linear_regression(n, s), 40_000, false),
+    (
+        "f",
+        "Linear Regression",
+        |n, s| wl::linear_regression(n, s),
+        40_000,
+        false,
+    ),
     ("g", "Group By", |n, s| wl::group_by(n, s), 40_000, false),
-    ("h", "Matrix Addition", |n, s| wl::matrix_addition(n, s), 60, false),
-    ("i", "Matrix Multiplication", |n, s| wl::matrix_multiplication(n, s), 30, false),
+    (
+        "h",
+        "Matrix Addition",
+        |n, s| wl::matrix_addition(n, s),
+        60,
+        false,
+    ),
+    (
+        "i",
+        "Matrix Multiplication",
+        |n, s| wl::matrix_multiplication(n, s),
+        30,
+        false,
+    ),
     ("j", "PageRank", |n, s| wl::pagerank(n, 2, s), 150, false),
-    ("k", "KMeans Clustering", |n, s| wl::kmeans(n, 10, 1, s), 4_000, false),
-    ("l", "Matrix Factorization", |n, s| wl::matrix_factorization(n, 2, 1, s), 30, false),
+    (
+        "k",
+        "KMeans Clustering",
+        |n, s| wl::kmeans(n, 10, 1, s),
+        4_000,
+        false,
+    ),
+    (
+        "l",
+        "Matrix Factorization",
+        |n, s| wl::matrix_factorization(n, 2, 1, s),
+        30,
+        false,
+    ),
 ];
 
 /// One Figure 3 panel: a size sweep comparing DIABLO against the
@@ -186,13 +230,19 @@ fn fig3(letter: &str) {
         "== Figure 3{}: {title} ====================================",
         letter.to_uppercase()
     );
+    // Wall-clock per system, with the number of physical (fused) engine
+    // stages each plan ran next to it — the plan-shape difference behind
+    // the timing gap.
     let header = if *casper {
         format!(
-            "{:>12} {:>12} {:>14} {:>12}",
-            "size (MB)", "DIABLO", "hand-written", "Casper"
+            "{:>12} {:>12} {:>9} {:>14} {:>9} {:>12}",
+            "size (MB)", "DIABLO", "D-stages", "hand-written", "H-stages", "Casper"
         )
     } else {
-        format!("{:>12} {:>12} {:>14}", "size (MB)", "DIABLO", "hand-written")
+        format!(
+            "{:>12} {:>12} {:>9} {:>14} {:>9}",
+            "size (MB)", "DIABLO", "D-stages", "hand-written", "H-stages"
+        )
     };
     println!("{header}");
     let ctx = Context::default_parallel();
@@ -206,13 +256,19 @@ fn fig3(letter: &str) {
     for step in 1..=5usize {
         let n = base * step * s;
         let w = maker(n, 100 + step as u64);
+        let before = ctx.stats().snapshot();
         let diablo = run_diablo(&w, &ctx);
+        let d_stats = ctx.stats().snapshot().since(&before);
+        let before = ctx.stats().snapshot();
         let hand = run_handwritten(&w, &ctx).expect("handwritten");
+        let h_stats = ctx.stats().snapshot().since(&before);
         let mut line = format!(
-            "{:>12} {:>12} {:>14}",
+            "{:>12} {:>12} {:>9} {:>14} {:>9}",
             mb(w.input_bytes()),
             secs(diablo),
-            secs(hand)
+            d_stats.physical_stages,
+            secs(hand),
+            h_stats.physical_stages
         );
         if let Some(prog) = &casper_prog {
             let t = run_casper_program(prog, &w, &ctx).expect("casper run");

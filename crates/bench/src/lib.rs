@@ -74,8 +74,8 @@ pub fn run_diablo(w: &Workload, ctx: &Context) -> Duration {
 
 /// Runs the workload on the sequential reference interpreter.
 pub fn run_interp(w: &Workload) -> Duration {
-    let tp = diablo_lang::typecheck(diablo_lang::parse(w.source).expect("parses"))
-        .expect("type checks");
+    let tp =
+        diablo_lang::typecheck(diablo_lang::parse(w.source).expect("parses")).expect("type checks");
     let mut interp = Interpreter::new();
     for (name, v) in &w.scalars {
         interp.bind_scalar(name, v.clone());

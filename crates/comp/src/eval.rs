@@ -36,11 +36,17 @@ pub fn eval(e: &CExpr, env: &Env) -> Result<Value> {
         }
         CExpr::Un(op, a) => op.apply(&eval(a, env)?),
         CExpr::Call(f, args) => {
-            let vals = args.iter().map(|a| eval(a, env)).collect::<Result<Vec<_>>>()?;
+            let vals = args
+                .iter()
+                .map(|a| eval(a, env))
+                .collect::<Result<Vec<_>>>()?;
             f.apply(&vals)
         }
         CExpr::Tuple(fs) => {
-            let vals = fs.iter().map(|f| eval(f, env)).collect::<Result<Vec<_>>>()?;
+            let vals = fs
+                .iter()
+                .map(|f| eval(f, env))
+                .collect::<Result<Vec<_>>>()?;
             Ok(Value::tuple(vals))
         }
         CExpr::Record(fs) => {
@@ -64,7 +70,11 @@ pub fn eval(e: &CExpr, env: &Env) -> Result<Value> {
                 .ok_or_else(|| RuntimeError::new("aggregation over a non-bag"))?;
             op.reduce(items.iter())
         }
-        CExpr::Merge { left, right, combine } => {
+        CExpr::Merge {
+            left,
+            right,
+            combine,
+        } => {
             let l = eval(left, env)?;
             let r = eval(right, env)?;
             let (Some(xs), Some(ys)) = (l.as_bag(), r.as_bag()) else {
@@ -226,10 +236,8 @@ pub fn eval_comp(c: &Comprehension, env: &Env) -> Result<Vec<Value>> {
                         e2.insert(n, v);
                     }
                     for var in &lifted {
-                        let bag: Vec<Value> = members
-                            .iter()
-                            .filter_map(|m| m.get(var).cloned())
-                            .collect();
+                        let bag: Vec<Value> =
+                            members.iter().filter_map(|m| m.get(var).cloned()).collect();
                         e2.insert(var.clone(), Value::bag(bag));
                     }
                     next.push(e2);
@@ -298,12 +306,19 @@ mod tests {
                 ),
                 Qual::GroupBy(
                     Pattern::var("k"),
-                    CExpr::Bin(BinOp::Mod, Box::new(CExpr::var("i")), Box::new(CExpr::long(2))),
+                    CExpr::Bin(
+                        BinOp::Mod,
+                        Box::new(CExpr::var("i")),
+                        Box::new(CExpr::long(2)),
+                    ),
                 ),
             ],
         );
         let mut env = Env::new();
-        env.insert("V".into(), long_pairs(&[(0, 1), (1, 10), (2, 100), (3, 1000)]));
+        env.insert(
+            "V".into(),
+            long_pairs(&[(0, 1), (1, 10), (2, 100), (3, 1000)]),
+        );
         let mut out = eval_comp(&comp, &env).unwrap();
         out.sort();
         assert_eq!(
@@ -319,10 +334,20 @@ mod tests {
     fn join_via_two_generators() {
         // { m * n | (i, m) ← M, (j, n) ← N, i == j }
         let comp = Comprehension::new(
-            CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("m")), Box::new(CExpr::var("n"))),
+            CExpr::Bin(
+                BinOp::Mul,
+                Box::new(CExpr::var("m")),
+                Box::new(CExpr::var("n")),
+            ),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("m")), CExpr::var("M")),
-                Qual::Gen(Pattern::pair(Pattern::var("j"), Pattern::var("n")), CExpr::var("N")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("m")),
+                    CExpr::var("M"),
+                ),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("j"), Pattern::var("n")),
+                    CExpr::var("N"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("i"), CExpr::var("j"))),
             ],
         );
@@ -375,7 +400,10 @@ mod tests {
         };
         let mut got = eval(&plain, &env).unwrap().as_bag().unwrap().to_vec();
         got.sort();
-        assert_eq!(got, long_pairs(&[(1, 10), (2, 5), (3, 30)]).as_bag().unwrap());
+        assert_eq!(
+            got,
+            long_pairs(&[(1, 10), (2, 5), (3, 30)]).as_bag().unwrap()
+        );
 
         let combining = CExpr::Merge {
             left: Box::new(CExpr::var("X")),
@@ -384,7 +412,10 @@ mod tests {
         };
         let mut got = eval(&combining, &env).unwrap().as_bag().unwrap().to_vec();
         got.sort();
-        assert_eq!(got, long_pairs(&[(1, 10), (2, 25), (3, 30)]).as_bag().unwrap());
+        assert_eq!(
+            got,
+            long_pairs(&[(1, 10), (2, 25), (3, 30)]).as_bag().unwrap()
+        );
     }
 
     #[test]

@@ -136,7 +136,10 @@ pub struct Comprehension {
 impl Comprehension {
     /// Builds a comprehension.
     pub fn new(head: CExpr, quals: Vec<Qual>) -> Comprehension {
-        Comprehension { head: Box::new(head), quals }
+        Comprehension {
+            head: Box::new(head),
+            quals,
+        }
     }
 
     /// True if any qualifier is a group-by.
@@ -314,9 +317,10 @@ impl CExpr {
                 Box::new(b.subst(name, replacement)),
             ),
             CExpr::Un(op, a) => CExpr::Un(*op, Box::new(a.subst(name, replacement))),
-            CExpr::Call(f, args) => {
-                CExpr::Call(*f, args.iter().map(|a| a.subst(name, replacement)).collect())
-            }
+            CExpr::Call(f, args) => CExpr::Call(
+                *f,
+                args.iter().map(|a| a.subst(name, replacement)).collect(),
+            ),
             CExpr::Tuple(fs) => {
                 CExpr::Tuple(fs.iter().map(|f| f.subst(name, replacement)).collect())
             }
@@ -327,7 +331,11 @@ impl CExpr {
             ),
             CExpr::Proj(e, f) => CExpr::Proj(Box::new(e.subst(name, replacement)), f.clone()),
             CExpr::Agg(op, e) => CExpr::Agg(*op, Box::new(e.subst(name, replacement))),
-            CExpr::Merge { left, right, combine } => CExpr::Merge {
+            CExpr::Merge {
+                left,
+                right,
+                combine,
+            } => CExpr::Merge {
                 left: Box::new(left.subst(name, replacement)),
                 right: Box::new(right.subst(name, replacement)),
                 combine: *combine,
@@ -362,7 +370,10 @@ impl CExpr {
                 } else {
                     c.head.subst(name, replacement)
                 };
-                CExpr::Comp(Comprehension { head: Box::new(head), quals })
+                CExpr::Comp(Comprehension {
+                    head: Box::new(head),
+                    quals,
+                })
             }
         }
     }

@@ -58,9 +58,7 @@ fn norm_expr(e: &CExpr, ng: &mut NameGen) -> CExpr {
             }
             CExpr::Un(*op, Box::new(a))
         }
-        CExpr::Call(f, args) => {
-            CExpr::Call(*f, args.iter().map(|a| norm_expr(a, ng)).collect())
-        }
+        CExpr::Call(f, args) => CExpr::Call(*f, args.iter().map(|a| norm_expr(a, ng)).collect()),
         CExpr::Tuple(fs) => CExpr::Tuple(fs.iter().map(|f| norm_expr(f, ng)).collect()),
         CExpr::Record(fs) => CExpr::Record(
             fs.iter()
@@ -99,15 +97,18 @@ fn norm_expr(e: &CExpr, ng: &mut NameGen) -> CExpr {
             }
             CExpr::Agg(*op, Box::new(inner))
         }
-        CExpr::Merge { left, right, combine } => CExpr::Merge {
+        CExpr::Merge {
+            left,
+            right,
+            combine,
+        } => CExpr::Merge {
             left: Box::new(norm_expr(left, ng)),
             right: Box::new(norm_expr(right, ng)),
             combine: *combine,
         },
-        CExpr::Range(lo, hi) => CExpr::Range(
-            Box::new(norm_expr(lo, ng)),
-            Box::new(norm_expr(hi, ng)),
-        ),
+        CExpr::Range(lo, hi) => {
+            CExpr::Range(Box::new(norm_expr(lo, ng)), Box::new(norm_expr(hi, ng)))
+        }
         CExpr::Comp(c) => norm_comp(c, ng),
     }
 }
@@ -141,7 +142,10 @@ fn norm_comp(c: &Comprehension, ng: &mut NameGen) -> CExpr {
     quals = push_preds(quals);
     quals = drop_true_preds(quals);
 
-    CExpr::Comp(Comprehension { head: Box::new(head), quals })
+    CExpr::Comp(Comprehension {
+        head: Box::new(head),
+        quals,
+    })
 }
 
 /// Rule (2): splice generators over comprehensions into the qualifier list.
@@ -337,10 +341,7 @@ fn push_preds_segment(quals: Vec<Qual>) -> Vec<Qual> {
         let mut bound: HashSet<String> = HashSet::new();
         let mut pos = others.len();
         // Position 0 = before all quals (pred has no locally bound vars).
-        let locally_bound: HashSet<String> = others
-            .iter()
-            .flat_map(|q| q.bound_vars())
-            .collect();
+        let locally_bound: HashSet<String> = others.iter().flat_map(|q| q.bound_vars()).collect();
         let needed: HashSet<&String> = fv.iter().filter(|v| locally_bound.contains(*v)).collect();
         if needed.is_empty() {
             pos = 0;
@@ -418,19 +419,29 @@ mod tests {
         let inner_m = CExpr::Comp(Comprehension::new(
             CExpr::var("m"),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("m")), CExpr::var("M")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("m")),
+                    CExpr::var("M"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("i"), CExpr::long(1))),
             ],
         ));
         let inner_n = CExpr::Comp(Comprehension::new(
             CExpr::var("n"),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("j"), Pattern::var("n")), CExpr::var("N")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("j"), Pattern::var("n")),
+                    CExpr::var("N"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("j"), CExpr::long(1))),
             ],
         ));
         let outer = CExpr::Comp(Comprehension::new(
-            CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("a")), Box::new(CExpr::var("b"))),
+            CExpr::Bin(
+                BinOp::Mul,
+                Box::new(CExpr::var("a")),
+                Box::new(CExpr::var("b")),
+            ),
             vec![
                 Qual::Gen(Pattern::var("a"), inner_m),
                 Qual::Gen(Pattern::var("b"), inner_n),
@@ -440,7 +451,9 @@ mod tests {
         let n = normalize(&outer, &mut ng);
         let CExpr::Comp(c) = &n else { panic!() };
         assert!(
-            c.quals.iter().all(|q| !matches!(q, Qual::Gen(_, CExpr::Comp(_)))),
+            c.quals
+                .iter()
+                .all(|q| !matches!(q, Qual::Gen(_, CExpr::Comp(_)))),
             "no nested generators remain: {c:?}"
         );
         let mut env = Env::new();
@@ -455,8 +468,15 @@ mod tests {
     fn singleton_generator_becomes_let_and_inlines() {
         // { x + 1 | x ← {41} } normalizes to { 42 | } effectively.
         let e = CExpr::Comp(Comprehension::new(
-            CExpr::Bin(BinOp::Add, Box::new(CExpr::var("x")), Box::new(CExpr::long(1))),
-            vec![Qual::Gen(Pattern::var("x"), CExpr::singleton(CExpr::long(41)))],
+            CExpr::Bin(
+                BinOp::Add,
+                Box::new(CExpr::var("x")),
+                Box::new(CExpr::long(1)),
+            ),
+            vec![Qual::Gen(
+                Pattern::var("x"),
+                CExpr::singleton(CExpr::long(41)),
+            )],
         ));
         let mut ng = NameGen::new();
         let n = normalize(&e, &mut ng);
@@ -472,8 +492,14 @@ mod tests {
         let e = CExpr::Comp(Comprehension::new(
             CExpr::var("m"),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("m")), CExpr::var("M")),
-                Qual::Gen(Pattern::pair(Pattern::var("j"), Pattern::var("n")), CExpr::var("N")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("m")),
+                    CExpr::var("M"),
+                ),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("j"), Pattern::var("n")),
+                    CExpr::var("N"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("i"), CExpr::long(1))),
             ],
         ));
@@ -492,7 +518,10 @@ mod tests {
         let inner = CExpr::Comp(Comprehension::new(
             CExpr::var("k"),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("v")), CExpr::var("V")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("v")),
+                    CExpr::var("V"),
+                ),
                 Qual::GroupBy(Pattern::var("k"), CExpr::var("i")),
             ],
         ));
@@ -526,7 +555,10 @@ mod tests {
         // { (k, +/v) | (i, v) ← { (a, b) | (a, b) ← V }, group by k : i }
         let inner = CExpr::Comp(Comprehension::new(
             CExpr::pair(CExpr::var("a"), CExpr::var("b")),
-            vec![Qual::Gen(Pattern::pair(Pattern::var("a"), Pattern::var("b")), CExpr::var("V"))],
+            vec![Qual::Gen(
+                Pattern::pair(Pattern::var("a"), Pattern::var("b")),
+                CExpr::var("V"),
+            )],
         ));
         let outer = CExpr::Comp(Comprehension::new(
             CExpr::pair(
@@ -584,7 +616,10 @@ mod tests {
                 CExpr::Agg(AggOp::new(BinOp::Add).unwrap(), Box::new(CExpr::var("w"))),
             ),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("v")), CExpr::var("V")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("v")),
+                    CExpr::var("V"),
+                ),
                 Qual::Let(Pattern::var("w"), CExpr::var("v")),
                 Qual::GroupBy(Pattern::var("k"), CExpr::var("i")),
             ],

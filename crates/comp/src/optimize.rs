@@ -24,7 +24,6 @@ use diablo_runtime::{BinOp, Func};
 use crate::ir::{CExpr, Comprehension, NameGen, Pattern, Qual};
 use crate::normalize::normalize;
 
-
 /// Optimizes an expression: normalizes, then applies Rule (16), Rule (17),
 /// and range elimination to fixpoint.
 pub fn optimize(e: &CExpr, ng: &mut NameGen) -> CExpr {
@@ -57,7 +56,11 @@ fn opt_expr(e: &CExpr, ng: &mut NameGen) -> CExpr {
         ),
         CExpr::Proj(inner, f) => CExpr::Proj(Box::new(opt_expr(inner, ng)), f.clone()),
         CExpr::Agg(op, inner) => CExpr::Agg(*op, Box::new(opt_expr(inner, ng))),
-        CExpr::Merge { left, right, combine } => CExpr::Merge {
+        CExpr::Merge {
+            left,
+            right,
+            combine,
+        } => CExpr::Merge {
             left: Box::new(opt_expr(left, ng)),
             right: Box::new(opt_expr(right, ng)),
             combine: *combine,
@@ -103,9 +106,14 @@ fn bound_vars(quals: &[Qual]) -> HashSet<String> {
 ///  { e | let p = c, ∀vi: let vi = {vi | q1}, q2 }`
 /// when the key `c` is constant with respect to the prefix `q1`.
 fn rule16_constant_key(c: &Comprehension) -> Option<Comprehension> {
-    let gpos = c.quals.iter().position(|q| matches!(q, Qual::GroupBy(_, _)))?;
+    let gpos = c
+        .quals
+        .iter()
+        .position(|q| matches!(q, Qual::GroupBy(_, _)))?;
     let (q1, rest) = c.quals.split_at(gpos);
-    let Qual::GroupBy(p, key) = &rest[0] else { unreachable!() };
+    let Qual::GroupBy(p, key) = &rest[0] else {
+        unreachable!()
+    };
     let q2 = &rest[1..];
     let prefix_vars = bound_vars(q1);
     if key.free_vars().iter().any(|v| prefix_vars.contains(v)) {
@@ -131,7 +139,10 @@ fn rule16_constant_key(c: &Comprehension) -> Option<Comprehension> {
         }
     }
     new_quals.extend(q2.iter().cloned());
-    Some(Comprehension { head: c.head.clone(), quals: new_quals })
+    Some(Comprehension {
+        head: c.head.clone(),
+        quals: new_quals,
+    })
 }
 
 // --------------------------------------------------------------- Rule (17)
@@ -157,9 +168,14 @@ fn generator_index_vars(q: &Qual) -> Option<Option<Vec<String>>> {
 /// Rule (17): a group-by whose key consists of exactly the index variables
 /// of *all* generators before it is unique — each group is a singleton.
 fn rule17_unique_key(c: &Comprehension) -> Option<Comprehension> {
-    let gpos = c.quals.iter().position(|q| matches!(q, Qual::GroupBy(_, _)))?;
+    let gpos = c
+        .quals
+        .iter()
+        .position(|q| matches!(q, Qual::GroupBy(_, _)))?;
     let (q1, rest) = c.quals.split_at(gpos);
-    let Qual::GroupBy(p, key) = &rest[0] else { unreachable!() };
+    let Qual::GroupBy(p, key) = &rest[0] else {
+        unreachable!()
+    };
     let q2 = &rest[1..];
 
     // Gather index variables from every generator in the prefix.
@@ -209,7 +225,10 @@ fn rule17_unique_key(c: &Comprehension) -> Option<Comprehension> {
             Qual::GroupBy(p, e) => Qual::GroupBy(p.clone(), subst_lifted(e)),
         });
     }
-    Some(Comprehension { head: Box::new(subst_lifted(&c.head)), quals: new_quals })
+    Some(Comprehension {
+        head: Box::new(subst_lifted(&c.head)),
+        quals: new_quals,
+    })
 }
 
 /// If the expression is a variable or a tuple of variables, returns them.
@@ -269,14 +288,18 @@ fn access_signature(quals: &[Qual], gpos: usize, limit: usize) -> Option<AccessS
     }
     let mut index_vars = Vec::new();
     ps[0].vars(&mut index_vars);
-    let Pattern::Var(value_var) = &ps[1] else { return None };
+    let Pattern::Var(value_var) = &ps[1] else {
+        return None;
+    };
     let own_vars: HashSet<&String> = index_vars.iter().collect();
     let mut pins: Vec<CExpr> = Vec::new();
     let mut pin_positions: Vec<usize> = Vec::new();
     for iv in &index_vars {
         let mut found = false;
         for (qpos, q) in quals.iter().enumerate().take(limit).skip(gpos + 1) {
-            let Qual::Pred(CExpr::Bin(BinOp::Eq, a, b)) = q else { continue };
+            let Qual::Pred(CExpr::Bin(BinOp::Eq, a, b)) = q else {
+                continue;
+            };
             for (lhs, rhs) in [(a, b), (b, a)] {
                 if matches!(lhs.as_ref(), CExpr::Var(v) if v == iv)
                     && rhs.free_vars().iter().all(|v| !own_vars.contains(v))
@@ -295,7 +318,13 @@ fn access_signature(quals: &[Qual], gpos: usize, limit: usize) -> Option<AccessS
             return None;
         }
     }
-    Some((array.clone(), pins, pin_positions, index_vars, value_var.clone()))
+    Some((
+        array.clone(),
+        pins,
+        pin_positions,
+        index_vars,
+        value_var.clone(),
+    ))
 }
 
 fn try_dedup_one(c: &Comprehension) -> Option<Comprehension> {
@@ -316,13 +345,12 @@ fn try_dedup_one(c: &Comprehension) -> Option<Comprehension> {
             // Generator *gb duplicates *ga: remove it and its pins, alias
             // its variables to *ga's.
             let drop: HashSet<usize> = std::iter::once(*gb).chain(sb.2.iter().copied()).collect();
-            let renames: Vec<(String, String)> = sb
-                .3
-                .iter()
-                .cloned()
-                .zip(sa.3.iter().cloned())
-                .chain(std::iter::once((sb.4.clone(), sa.4.clone())))
-                .collect();
+            let renames: Vec<(String, String)> =
+                sb.3.iter()
+                    .cloned()
+                    .zip(sa.3.iter().cloned())
+                    .chain(std::iter::once((sb.4.clone(), sa.4.clone())))
+                    .collect();
             let apply = |e: &CExpr| -> CExpr {
                 let mut out = e.clone();
                 for (from, to) in &renames {
@@ -343,7 +371,10 @@ fn try_dedup_one(c: &Comprehension) -> Option<Comprehension> {
                 })
                 .collect();
             let head = apply(&c.head);
-            return Some(Comprehension { head: Box::new(head), quals });
+            return Some(Comprehension {
+                head: Box::new(head),
+                quals,
+            });
         }
     }
     None
@@ -353,7 +384,11 @@ fn try_dedup_one(c: &Comprehension) -> Option<Comprehension> {
 
 /// An invertible affine use `I = f(i)`; `invert(I)` produces `F(I)` with
 /// `f(F(k)) = k`.
-fn invert_affine(f: &CExpr, i: &str, locals: &HashSet<String>) -> Option<Box<dyn Fn(CExpr) -> CExpr>> {
+fn invert_affine(
+    f: &CExpr,
+    i: &str,
+    locals: &HashSet<String>,
+) -> Option<Box<dyn Fn(CExpr) -> CExpr>> {
     let is_invariant = |e: &CExpr| e.free_vars().iter().all(|v| !locals.contains(v));
     match f {
         CExpr::Var(v) if v == i => Some(Box::new(|k| k)),
@@ -431,7 +466,9 @@ fn try_eliminate_one_range(c: &Comprehension) -> Option<Comprehension> {
                 continue;
             };
             for (lhs, rhs) in [(a, b), (b, a)] {
-                let CExpr::Var(index_var) = lhs.as_ref() else { continue };
+                let CExpr::Var(index_var) = lhs.as_ref() else {
+                    continue;
+                };
                 if index_var == i {
                     continue;
                 }
@@ -492,7 +529,10 @@ fn try_eliminate_one_range(c: &Comprehension) -> Option<Comprehension> {
                     }
                 }
                 let head = c.head.subst(i, &fi);
-                return Some(Comprehension { head: Box::new(head), quals: new_quals });
+                return Some(Comprehension {
+                    head: Box::new(head),
+                    quals: new_quals,
+                });
             }
         }
     }
@@ -536,7 +576,10 @@ fn drop_dead_lets(c: Comprehension) -> Comprehension {
         .zip(keep)
         .filter_map(|(q, k)| k.then_some(q))
         .collect();
-    Comprehension { head: c.head, quals }
+    Comprehension {
+        head: c.head,
+        quals,
+    }
 }
 
 #[cfg(test)]
@@ -584,7 +627,10 @@ mod tests {
                 CExpr::Agg(AggOp::new(BinOp::Add).unwrap(), Box::new(CExpr::var("w"))),
             ),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("w")), CExpr::var("W")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("w")),
+                    CExpr::var("W"),
+                ),
                 Qual::GroupBy(Pattern::var("k"), CExpr::Const(Value::Unit)),
             ],
         ))
@@ -617,7 +663,10 @@ mod tests {
                 CExpr::Agg(AggOp::new(BinOp::Add).unwrap(), Box::new(CExpr::var("w"))),
             ),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("w")), CExpr::var("W")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i"), Pattern::var("w")),
+                    CExpr::var("W"),
+                ),
                 Qual::GroupBy(Pattern::var("k"), CExpr::var("i")),
             ],
         ));
@@ -625,7 +674,10 @@ mod tests {
         env.insert("W".into(), pairs(&[(0, 5), (1, 7)]));
         let o = assert_same_meaning(&e, &env);
         let CExpr::Comp(c) = &o else { panic!() };
-        assert!(c.quals.iter().all(|q| !matches!(q, Qual::GroupBy(_, _))), "{c:?}");
+        assert!(
+            c.quals.iter().all(|q| !matches!(q, Qual::GroupBy(_, _))),
+            "{c:?}"
+        );
         // The aggregation over a singleton should have been folded away.
         assert!(!format!("{c:?}").contains("Agg"), "{c:?}");
     }
@@ -657,7 +709,11 @@ mod tests {
                 Qual::Pred(CExpr::eq(CExpr::var("k"), CExpr::var("k2"))),
                 Qual::Let(
                     Pattern::var("v"),
-                    CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("m")), Box::new(CExpr::var("n"))),
+                    CExpr::Bin(
+                        BinOp::Mul,
+                        Box::new(CExpr::var("m")),
+                        Box::new(CExpr::var("n")),
+                    ),
                 ),
                 Qual::GroupBy(
                     Pattern::pair(Pattern::var("gi"), Pattern::var("gj")),
@@ -680,17 +736,28 @@ mod tests {
         let e = CExpr::Comp(Comprehension::new(
             CExpr::pair(CExpr::var("i"), CExpr::var("w")),
             vec![
-                Qual::Gen(Pattern::var("i"), CExpr::Range(Box::new(CExpr::long(1)), Box::new(CExpr::long(10)))),
-                Qual::Gen(Pattern::pair(Pattern::var("j"), Pattern::var("w")), CExpr::var("W")),
+                Qual::Gen(
+                    Pattern::var("i"),
+                    CExpr::Range(Box::new(CExpr::long(1)), Box::new(CExpr::long(10))),
+                ),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("j"), Pattern::var("w")),
+                    CExpr::var("W"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("j"), CExpr::var("i"))),
             ],
         ));
         let mut env = Env::new();
-        env.insert("W".into(), pairs(&[(0, 100), (5, 500), (10, 1000), (11, 1100)]));
+        env.insert(
+            "W".into(),
+            pairs(&[(0, 100), (5, 500), (10, 1000), (11, 1100)]),
+        );
         let o = assert_same_meaning(&e, &env);
         let CExpr::Comp(c) = &o else { panic!() };
         assert!(
-            c.quals.iter().all(|q| !matches!(q, Qual::Gen(_, CExpr::Range(_, _)))),
+            c.quals
+                .iter()
+                .all(|q| !matches!(q, Qual::Gen(_, CExpr::Range(_, _)))),
             "range generator eliminated: {c:?}"
         );
         assert!(
@@ -710,11 +777,21 @@ mod tests {
         let e = CExpr::Comp(Comprehension::new(
             CExpr::var("w"),
             vec![
-                Qual::Gen(Pattern::var("i"), CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(5)))),
-                Qual::Gen(Pattern::pair(Pattern::var("j"), Pattern::var("w")), CExpr::var("W")),
+                Qual::Gen(
+                    Pattern::var("i"),
+                    CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(5))),
+                ),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("j"), Pattern::var("w")),
+                    CExpr::var("W"),
+                ),
                 Qual::Pred(CExpr::eq(
                     CExpr::var("j"),
-                    CExpr::Bin(BinOp::Add, Box::new(CExpr::var("i")), Box::new(CExpr::long(2))),
+                    CExpr::Bin(
+                        BinOp::Add,
+                        Box::new(CExpr::var("i")),
+                        Box::new(CExpr::long(2)),
+                    ),
                 )),
             ],
         ));
@@ -751,9 +828,18 @@ mod tests {
                 CExpr::Agg(AggOp::new(BinOp::Add).unwrap(), Box::new(CExpr::var("v"))),
             ),
             vec![
-                Qual::Gen(Pattern::var("i"), CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(1)))),
-                Qual::Gen(Pattern::var("j"), CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(1)))),
-                Qual::Gen(Pattern::var("k"), CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(1)))),
+                Qual::Gen(
+                    Pattern::var("i"),
+                    CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(1))),
+                ),
+                Qual::Gen(
+                    Pattern::var("j"),
+                    CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(1))),
+                ),
+                Qual::Gen(
+                    Pattern::var("k"),
+                    CExpr::Range(Box::new(CExpr::long(0)), Box::new(CExpr::long(1))),
+                ),
                 Qual::Gen(
                     Pattern::pair(
                         Pattern::pair(Pattern::var("I"), Pattern::var("J")),
@@ -774,7 +860,11 @@ mod tests {
                 Qual::Pred(CExpr::eq(CExpr::var("J2"), CExpr::var("j"))),
                 Qual::Let(
                     Pattern::var("v"),
-                    CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("m")), Box::new(CExpr::var("n"))),
+                    CExpr::Bin(
+                        BinOp::Mul,
+                        Box::new(CExpr::var("m")),
+                        Box::new(CExpr::var("n")),
+                    ),
                 ),
                 Qual::GroupBy(
                     Pattern::pair(Pattern::var("gi"), Pattern::var("gj")),
@@ -792,19 +882,29 @@ mod tests {
             )
         };
         let mut env = Env::new();
-        env.insert("M".into(), mat(&[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]));
-        env.insert("N".into(), mat(&[(0, 0, 5), (0, 1, 6), (1, 0, 7), (1, 1, 8)]));
+        env.insert(
+            "M".into(),
+            mat(&[(0, 0, 1), (0, 1, 2), (1, 0, 3), (1, 1, 4)]),
+        );
+        env.insert(
+            "N".into(),
+            mat(&[(0, 0, 5), (0, 1, 6), (1, 0, 7), (1, 1, 8)]),
+        );
         let o = assert_same_meaning(&mm, &env);
         let CExpr::Comp(c) = &o else { panic!() };
         assert!(
-            c.quals.iter().all(|q| !matches!(q, Qual::Gen(_, CExpr::Range(_, _)))),
+            c.quals
+                .iter()
+                .all(|q| !matches!(q, Qual::Gen(_, CExpr::Range(_, _)))),
             "all three ranges eliminated: {c:?}"
         );
         let mut out = eval(&o, &env).unwrap().as_bag().unwrap().to_vec();
         out.sort();
         assert_eq!(
             out,
-            mat(&[(0, 0, 19), (0, 1, 22), (1, 0, 43), (1, 1, 50)]).as_bag().unwrap()
+            mat(&[(0, 0, 19), (0, 1, 22), (1, 0, 43), (1, 1, 50)])
+                .as_bag()
+                .unwrap()
         );
     }
 
@@ -813,11 +913,21 @@ mod tests {
         // { v1 * v2 | (i1, v1) ← P, i1 == i, (i2, v2) ← P, i2 == i } — the
         // shape E⟦P[i] * P[i]⟧ produces. One access must remain.
         let e = CExpr::Comp(Comprehension::new(
-            CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("v1")), Box::new(CExpr::var("v2"))),
+            CExpr::Bin(
+                BinOp::Mul,
+                Box::new(CExpr::var("v1")),
+                Box::new(CExpr::var("v2")),
+            ),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i1"), Pattern::var("v1")), CExpr::var("P")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i1"), Pattern::var("v1")),
+                    CExpr::var("P"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("i1"), CExpr::var("i"))),
-                Qual::Gen(Pattern::pair(Pattern::var("i2"), Pattern::var("v2")), CExpr::var("P")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i2"), Pattern::var("v2")),
+                    CExpr::var("P"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("i2"), CExpr::var("i"))),
             ],
         ));
@@ -842,14 +952,28 @@ mod tests {
     fn distinct_accesses_are_not_merged() {
         // P[i] * P[i+1] must keep two generators.
         let e = CExpr::Comp(Comprehension::new(
-            CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("v1")), Box::new(CExpr::var("v2"))),
+            CExpr::Bin(
+                BinOp::Mul,
+                Box::new(CExpr::var("v1")),
+                Box::new(CExpr::var("v2")),
+            ),
             vec![
-                Qual::Gen(Pattern::pair(Pattern::var("i1"), Pattern::var("v1")), CExpr::var("P")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i1"), Pattern::var("v1")),
+                    CExpr::var("P"),
+                ),
                 Qual::Pred(CExpr::eq(CExpr::var("i1"), CExpr::var("i"))),
-                Qual::Gen(Pattern::pair(Pattern::var("i2"), Pattern::var("v2")), CExpr::var("P")),
+                Qual::Gen(
+                    Pattern::pair(Pattern::var("i2"), Pattern::var("v2")),
+                    CExpr::var("P"),
+                ),
                 Qual::Pred(CExpr::eq(
                     CExpr::var("i2"),
-                    CExpr::Bin(BinOp::Add, Box::new(CExpr::var("i")), Box::new(CExpr::long(1))),
+                    CExpr::Bin(
+                        BinOp::Add,
+                        Box::new(CExpr::var("i")),
+                        Box::new(CExpr::long(1)),
+                    ),
                 )),
             ],
         ));

@@ -8,7 +8,9 @@ pub fn pretty_cexpr(e: &CExpr) -> String {
     match e {
         CExpr::Var(v) => v.clone(),
         CExpr::Const(v) => v.to_string(),
-        CExpr::Bin(op, a, b) => format!("({} {} {})", pretty_cexpr(a), op.symbol(), pretty_cexpr(b)),
+        CExpr::Bin(op, a, b) => {
+            format!("({} {} {})", pretty_cexpr(a), op.symbol(), pretty_cexpr(b))
+        }
         CExpr::Un(op, a) => match op {
             diablo_runtime::UnOp::Neg => format!("(-{})", pretty_cexpr(a)),
             diablo_runtime::UnOp::Not => format!("(!{})", pretty_cexpr(a)),
@@ -32,9 +34,18 @@ pub fn pretty_cexpr(e: &CExpr) -> String {
         CExpr::Proj(e, f) => format!("{}.{f}", pretty_cexpr(e)),
         CExpr::Comp(c) => pretty_comp(c),
         CExpr::Agg(op, e) => format!("{}/{}", op.op.symbol(), pretty_cexpr(e)),
-        CExpr::Merge { left, right, combine } => match combine {
+        CExpr::Merge {
+            left,
+            right,
+            combine,
+        } => match combine {
             None => format!("({} ⊳ {})", pretty_cexpr(left), pretty_cexpr(right)),
-            Some(op) => format!("({} ⊳[{}] {})", pretty_cexpr(left), op.symbol(), pretty_cexpr(right)),
+            Some(op) => format!(
+                "({} ⊳[{}] {})",
+                pretty_cexpr(left),
+                op.symbol(),
+                pretty_cexpr(right)
+            ),
         },
         CExpr::Range(lo, hi) => format!("range({}, {})", pretty_cexpr(lo), pretty_cexpr(hi)),
     }
@@ -111,7 +122,10 @@ mod tests {
     fn prints_merges_and_ranges() {
         let e = CExpr::Merge {
             left: Box::new(CExpr::var("V")),
-            right: Box::new(CExpr::Range(Box::new(CExpr::long(1)), Box::new(CExpr::long(9)))),
+            right: Box::new(CExpr::Range(
+                Box::new(CExpr::long(1)),
+                Box::new(CExpr::long(9)),
+            )),
             combine: Some(BinOp::Add),
         };
         assert_eq!(pretty_cexpr(&e), "(V ⊳[+] range(1, 9))");

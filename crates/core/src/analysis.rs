@@ -70,7 +70,11 @@ fn check_stmt(s: &Stmt, tp: &TypedProgram) -> Result<()> {
     match s {
         Stmt::For { .. } | Stmt::ForIn { .. } => check_loop(s, tp),
         Stmt::While { body, .. } => check_stmt(body, tp),
-        Stmt::If { then_branch, else_branch, .. } => {
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             check_stmt(then_branch, tp)?;
             if let Some(e) = else_branch {
                 check_stmt(e, tp)?;
@@ -134,14 +138,10 @@ fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram) -> Result<()> {
                     Kind::Aggregate(_) => {
                         let ctx1: HashSet<&String> = s1.context.iter().collect();
                         let ctx2: HashSet<&String> = s2.context.iter().collect();
-                        let inter: HashSet<&String> =
-                            ctx1.intersection(&ctx2).copied().collect();
+                        let inter: HashSet<&String> = ctx1.intersection(&ctx2).copied().collect();
                         let idx = indexes(&s1.dest, tp);
                         let idx: HashSet<&String> = idx.iter().collect();
-                        same_loc
-                            && precedes
-                            && affine(d2, &s2.context, tp)
-                            && inter == idx
+                        same_loc && precedes && affine(d2, &s2.context, tp) && inter == idx
                     }
                 };
                 if !ok {
@@ -230,7 +230,10 @@ fn collect_events(
     tp: &TypedProgram,
 ) -> Result<()> {
     match s {
-        Stmt::Assign { dest, value, span } | Stmt::Incr { dest, value, span, .. } => {
+        Stmt::Assign { dest, value, span }
+        | Stmt::Incr {
+            dest, value, span, ..
+        } => {
             let kind = match s {
                 Stmt::Incr { op, .. } => Kind::Aggregate(*op),
                 _ => Kind::Write,
@@ -258,7 +261,13 @@ fn collect_events(
             format!("`var {name}` declarations cannot appear inside for-loops"),
             *span,
         )),
-        Stmt::For { var, lo, hi, body, span } => {
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            body,
+            span,
+        } => {
             // Bound expressions are evaluated per enclosing iteration; their
             // reads matter for the dependence pairs, so record them as a
             // pseudo-read via the condition mechanism.
@@ -275,7 +284,12 @@ fn collect_events(
             conds.pop();
             Ok(())
         }
-        Stmt::ForIn { var, source, body, span } => {
+        Stmt::ForIn {
+            var,
+            source,
+            body,
+            span,
+        } => {
             let _ = span;
             conds.push(source.clone());
             // The element variable is a value, not a position: it cannot
@@ -294,7 +308,12 @@ fn collect_events(
              implementation does not support (the paper sequentializes such loops)",
             *span,
         )),
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             conds.push(cond.clone());
             collect_events(then_branch, context, conds, events, order, tp)?;
             if let Some(e) = else_branch {

@@ -35,7 +35,10 @@ pub type Result<T> = std::result::Result<T, LangError>;
 
 /// Translates a type-checked (and restriction-checked) program.
 pub fn translate(tp: &TypedProgram) -> Result<CompiledProgram> {
-    let mut t = Translator { tp, ng: NameGen::new() };
+    let mut t = Translator {
+        tp,
+        ng: NameGen::new(),
+    };
     let mut stmts = Vec::new();
     for s in &tp.program.body {
         stmts.extend(t.stmt(s, Vec::new())?);
@@ -57,7 +60,11 @@ struct Translator<'a> {
 impl Translator<'_> {
     fn optimize_stmt(&mut self, s: TStmt) -> TStmt {
         match s {
-            TStmt::Assign { name, value, collection } => TStmt::Assign {
+            TStmt::Assign {
+                name,
+                value,
+                collection,
+            } => TStmt::Assign {
                 name,
                 value: optimize(&value, &mut self.ng),
                 collection,
@@ -81,7 +88,11 @@ impl Translator<'_> {
                 let ea = self.expr(a);
                 let eb = self.expr(b);
                 CExpr::Comp(Comprehension::new(
-                    CExpr::Bin(*op, Box::new(CExpr::Var(va.clone())), Box::new(CExpr::Var(vb.clone()))),
+                    CExpr::Bin(
+                        *op,
+                        Box::new(CExpr::Var(va.clone())),
+                        Box::new(CExpr::Var(vb.clone())),
+                    ),
                     vec![
                         Qual::Gen(Pattern::Var(va), ea),
                         Qual::Gen(Pattern::Var(vb), eb),
@@ -165,7 +176,12 @@ impl Translator<'_> {
 
     /// Builds the traversal pattern for an array generator and the
     /// equality predicates binding its index variables to `key_vars`.
-    fn array_pattern(&mut self, array: &str, key_vars: &[String], val: &str) -> (Pattern, Vec<Qual>) {
+    fn array_pattern(
+        &mut self,
+        array: &str,
+        key_vars: &[String],
+        val: &str,
+    ) -> (Pattern, Vec<Qual>) {
         let is_matrix = matches!(self.tp.type_of(array), Some(Type::Matrix(_)));
         if is_matrix {
             let (i, j) = (self.ng.fresh("i"), self.ng.fresh("j"));
@@ -247,7 +263,13 @@ impl Translator<'_> {
 
     /// Rebuilds the destination from the update bag `x` (rules (14a-c)).
     /// `combine` is `Some(⊕)` for array-destination incremental updates.
-    fn update(&mut self, d: &Lhs, x: CExpr, combine: Option<BinOp>, span: Span) -> Result<Vec<TStmt>> {
+    fn update(
+        &mut self,
+        d: &Lhs,
+        x: CExpr,
+        combine: Option<BinOp>,
+        span: Span,
+    ) -> Result<Vec<TStmt>> {
         match d {
             Lhs::Var(v) => {
                 let val = self.ng.fresh("v");
@@ -332,9 +354,10 @@ impl Translator<'_> {
         match d {
             Lhs::Var(v) => self.tp.type_of(v).cloned(),
             Lhs::Proj(base, field) => match self.lhs_type(base)? {
-                Type::Record(fields) => {
-                    fields.iter().find(|(n, _)| n == field).map(|(_, t)| t.clone())
-                }
+                Type::Record(fields) => fields
+                    .iter()
+                    .find(|(n, _)| n == field)
+                    .map(|(_, t)| t.clone()),
                 Type::Tuple(ts) => {
                     let idx: usize = field.strip_prefix('_')?.parse().ok()?;
                     ts.get(idx.checked_sub(1)?).cloned()
@@ -351,7 +374,12 @@ impl Translator<'_> {
     /// (15a-h)).
     fn stmt(&mut self, s: &Stmt, q: Vec<Qual>) -> Result<Vec<TStmt>> {
         match s {
-            Stmt::Incr { dest, op, value, span } => {
+            Stmt::Incr {
+                dest,
+                op,
+                value,
+                span,
+            } => {
                 let agg = AggOp::new(*op).ok_or_else(|| {
                     LangError::new(
                         format!("`{}` is not a commutative monoid", op.symbol()),
@@ -364,15 +392,15 @@ impl Translator<'_> {
                 let mut quals = q;
                 quals.push(Qual::Gen(Pattern::var(vv.clone()), ev));
                 quals.push(Qual::Gen(Pattern::var(k.clone()), kd));
-                quals.push(Qual::GroupBy(Pattern::var(k.clone()), CExpr::Var(k.clone())));
+                quals.push(Qual::GroupBy(
+                    Pattern::var(k.clone()),
+                    CExpr::Var(k.clone()),
+                ));
                 match dest {
                     Lhs::Index(_, _) => {
                         // (15a) with a combining merge: no D-join needed.
                         let x = CExpr::Comp(Comprehension::new(
-                            CExpr::pair(
-                                CExpr::Var(k),
-                                CExpr::Agg(agg, Box::new(CExpr::Var(vv))),
-                            ),
+                            CExpr::pair(CExpr::Var(k), CExpr::Agg(agg, Box::new(CExpr::Var(vv)))),
                             quals,
                         ));
                         self.update(dest, x, Some(*op), *span)
@@ -411,7 +439,12 @@ impl Translator<'_> {
                 ));
                 self.update(dest, x, None, *span)
             }
-            Stmt::Decl { name, ty, init, span } => match init {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                span,
+            } => match init {
                 DeclInit::EmptyCollection => Ok(vec![TStmt::Assign {
                     name: name.clone(),
                     value: CExpr::Const(Value::empty_bag()),
@@ -426,7 +459,9 @@ impl Translator<'_> {
                     q,
                 ),
             },
-            Stmt::For { var, lo, hi, body, .. } => {
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
                 let (v1, v2) = (self.ng.fresh("lo"), self.ng.fresh("hi"));
                 let elo = self.expr(lo);
                 let ehi = self.expr(hi);
@@ -439,7 +474,9 @@ impl Translator<'_> {
                 ));
                 self.stmt(body, quals)
             }
-            Stmt::ForIn { var, source, body, .. } => {
+            Stmt::ForIn {
+                var, source, body, ..
+            } => {
                 let a = self.ng.fresh("A");
                 let es = self.expr(source);
                 let mut quals = q;
@@ -463,9 +500,17 @@ impl Translator<'_> {
                 for s in body_stmts(body) {
                     tbody.extend(self.stmt(s, Vec::new())?);
                 }
-                Ok(vec![TStmt::While { cond: ec, body: tbody }])
+                Ok(vec![TStmt::While {
+                    cond: ec,
+                    body: tbody,
+                }])
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let mut out = Vec::new();
                 let p = self.ng.fresh("c");
                 let ec = self.expr(cond);
@@ -535,17 +580,28 @@ mod tests {
         "#,
         );
         assert_eq!(p.stmts.len(), 2);
-        let TStmt::Assign { name, value, collection } = &p.stmts[1] else { panic!() };
+        let TStmt::Assign {
+            name,
+            value,
+            collection,
+        } = &p.stmts[1]
+        else {
+            panic!()
+        };
         assert_eq!(name, "V");
         assert!(collection);
         let CExpr::Merge { combine, right, .. } = value else {
             panic!("expected merge, got {}", pretty_cexpr(value))
         };
         assert!(combine.is_none());
-        let CExpr::Comp(c) = right.as_ref() else { panic!() };
+        let CExpr::Comp(c) = right.as_ref() else {
+            panic!()
+        };
         // No range generator survives; an inRange guard exists.
         assert!(
-            c.quals.iter().all(|qq| !matches!(qq, Qual::Gen(_, CExpr::Range(_, _)))),
+            c.quals
+                .iter()
+                .all(|qq| !matches!(qq, Qual::Gen(_, CExpr::Range(_, _)))),
             "{}",
             pretty_cexpr(value)
         );
@@ -570,11 +626,17 @@ mod tests {
             for i = 1, 10 do W[K[i]] += V[i];
         "#,
         );
-        let TStmt::Assign { name, value, .. } = &p.stmts[1] else { panic!() };
+        let TStmt::Assign { name, value, .. } = &p.stmts[1] else {
+            panic!()
+        };
         assert_eq!(name, "W");
-        let CExpr::Merge { combine, right, .. } = value else { panic!() };
+        let CExpr::Merge { combine, right, .. } = value else {
+            panic!()
+        };
         assert_eq!(*combine, Some(BinOp::Add));
-        let CExpr::Comp(c) = right.as_ref() else { panic!() };
+        let CExpr::Comp(c) = right.as_ref() else {
+            panic!()
+        };
         assert!(
             c.quals.iter().any(|qq| matches!(qq, Qual::GroupBy(_, _))),
             "group-by over the destination index: {}",
@@ -592,7 +654,14 @@ mod tests {
             for i = 0, 99 do sum += V[i];
         "#,
         );
-        let TStmt::Assign { name, value, collection } = &p.stmts[1] else { panic!() };
+        let TStmt::Assign {
+            name,
+            value,
+            collection,
+        } = &p.stmts[1]
+        else {
+            panic!()
+        };
         assert_eq!(name, "sum");
         assert!(!collection);
         let printed = pretty_cexpr(value);
@@ -621,7 +690,9 @@ mod tests {
         );
         // Statements: R := {}, zero-init merge, accumulate merge.
         assert_eq!(p.stmts.len(), 3);
-        let TStmt::Assign { value, .. } = &p.stmts[2] else { panic!() };
+        let TStmt::Assign { value, .. } = &p.stmts[2] else {
+            panic!()
+        };
         let printed = pretty_cexpr(value);
         // All three ranges must be eliminated (the §1.1 headline result).
         assert!(!printed.contains("range("), "no ranges: {printed}");
@@ -639,7 +710,9 @@ mod tests {
                 if (v < 100.0) sum += v;
         "#,
         );
-        let TStmt::Assign { value, .. } = &p.stmts[1] else { panic!() };
+        let TStmt::Assign { value, .. } = &p.stmts[1] else {
+            panic!()
+        };
         let printed = pretty_cexpr(value);
         assert!(printed.contains("< 100"), "filter predicate: {printed}");
     }
@@ -669,14 +742,21 @@ mod tests {
         "#,
         );
         assert_eq!(p.stmts.len(), 3);
-        let TStmt::While { body, .. } = &p.stmts[2] else { panic!("expected while") };
+        let TStmt::While { body, .. } = &p.stmts[2] else {
+            panic!("expected while")
+        };
         assert_eq!(body.len(), 2);
     }
 
     #[test]
     fn empty_collection_decl_initializes() {
         let p = compile_src("var V: vector[long] = vector();");
-        let TStmt::Assign { value, collection, .. } = &p.stmts[0] else { panic!() };
+        let TStmt::Assign {
+            value, collection, ..
+        } = &p.stmts[0]
+        else {
+            panic!()
+        };
         assert!(collection);
         assert_eq!(*value, CExpr::Const(Value::empty_bag()));
     }

@@ -1,32 +1,48 @@
-//! The partitioned [`Dataset`] and its operators.
+//! The partitioned [`Dataset`] and its operators, built over the lazy
+//! physical plan of [`crate::plan`].
 //!
 //! Rows are [`Value`]s. Keyed operators (`reduce_by_key`, `group_by_key`,
 //! `cogroup`, `join`, `merge`) expect rows shaped as `(key, value)` pairs —
 //! exactly the sparse-array representation of §3.4 — and hash-partition
 //! rows by key before the reduction stage, which is the engine's shuffle.
 //!
-//! All operators are eager and deterministic: a shuffle distributes rows by
-//! key hash, and output order within a partition follows (source partition,
-//! source position) order, so repeated runs produce identical results.
+//! Narrow operators (`map`, `filter`, `flat_map`, `map_partitions`,
+//! `union`) are **lazy**: they append a node to the dataset's plan and
+//! return immediately. Work happens at materialization points — shuffles,
+//! [`Dataset::collect`], [`Dataset::reduce`], [`Dataset::broadcast`] —
+//! where the pending narrow chain is fused into one physical per-partition
+//! stage. Results are deterministic and bit-identical to operator-at-a-time
+//! execution: a shuffle distributes rows by key hash, and output order
+//! within a partition follows (source partition, source position) order.
+//!
+//! Errors raised inside a fused chain surface at the materialization point
+//! (which is why shuffles and `reduce` return `Result`); the infallible
+//! accessors (`collect`, `count`) panic if a pending chain fails — use
+//! [`Dataset::try_collect`] / [`Dataset::materialize`] where a deferred
+//! error must be handled gracefully.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use diablo_runtime::{array::key_value, size::slice_size, RuntimeError, Value};
 
+use crate::plan::{self, PlanOp};
 use crate::pool::run_stage;
 use crate::Context;
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
 
-/// An immutable, partitioned bag of rows.
+/// An immutable, partitioned bag of rows with a lazy physical plan.
 #[derive(Clone)]
 pub struct Dataset {
     ctx: Context,
-    parts: Arc<Vec<Vec<Value>>>,
+    plan: Arc<PlanOp>,
+    /// Materialization cache, shared by clones of this dataset so a plan
+    /// is executed at most once no matter how many readers force it.
+    cache: Arc<OnceLock<Arc<Vec<Vec<Value>>>>>,
 }
 
 fn key_hash(v: &Value) -> u64 {
@@ -46,7 +62,7 @@ impl Dataset {
             let part: Vec<Value> = it.by_ref().take(chunk).collect();
             parts.push(part);
         }
-        Dataset { ctx, parts: Arc::new(parts) }
+        Dataset::from_materialized(ctx, parts)
     }
 
     /// Builds the dataset `{lo, ..., hi}` of longs, range-partitioned.
@@ -64,12 +80,68 @@ impl Dataset {
                 parts.push((start..=end).map(Value::Long).collect());
             }
         }
-        Dataset { ctx, parts: Arc::new(parts) }
+        Dataset::from_materialized(ctx, parts)
     }
 
-    /// Rebuilds a dataset from explicit partitions (internal).
-    fn from_parts(ctx: Context, parts: Vec<Vec<Value>>) -> Dataset {
-        Dataset { ctx, parts: Arc::new(parts) }
+    /// Wraps already-materialized partitions (internal): the plan is a
+    /// `Scan` and the cache is pre-filled, so forcing is free.
+    fn from_materialized(ctx: Context, parts: Vec<Vec<Value>>) -> Dataset {
+        let parts = Arc::new(parts);
+        let cache = OnceLock::new();
+        let _ = cache.set(parts.clone());
+        Dataset {
+            ctx,
+            plan: Arc::new(PlanOp::Scan(parts)),
+            cache: Arc::new(cache),
+        }
+    }
+
+    /// The plan downstream consumers should build on: once this dataset
+    /// has been forced, its cached partitions stand in for the original
+    /// chain, so no operator ever re-executes an already-materialized
+    /// upstream (each plan runs at most once no matter how many readers
+    /// derive from it).
+    fn effective_plan(&self) -> Arc<PlanOp> {
+        match self.cache.get() {
+            Some(parts) if !matches!(self.plan.as_ref(), PlanOp::Scan(_)) => {
+                Arc::new(PlanOp::Scan(parts.clone()))
+            }
+            _ => self.plan.clone(),
+        }
+    }
+
+    /// A new dataset one plan node deeper (internal).
+    fn derived(&self, op: PlanOp) -> Dataset {
+        Dataset {
+            ctx: self.ctx.clone(),
+            plan: Arc::new(op),
+            cache: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Executes the pending plan (fusing the narrow chain into one
+    /// physical stage per segment) and caches the partitions.
+    pub(crate) fn force(&self) -> Result<Arc<Vec<Vec<Value>>>> {
+        if let Some(p) = self.cache.get() {
+            return Ok(p.clone());
+        }
+        let parts = plan::materialize(&self.ctx, &self.plan)?.into_arc();
+        Ok(self.cache.get_or_init(|| parts).clone())
+    }
+
+    /// Forces the pending plan now, surfacing any deferred operator error,
+    /// and returns a handle to the (now materialized) dataset.
+    pub fn materialize(&self) -> Result<Dataset> {
+        self.force()?;
+        Ok(self.clone())
+    }
+
+    /// Renders the pending physical plan (the chains a materialization
+    /// point would fuse) as text.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        plan::render(&self.effective_plan(), 0, &mut out);
+        out
     }
 
     /// The engine context this dataset belongs to.
@@ -78,25 +150,50 @@ impl Dataset {
     }
 
     /// Number of rows.
+    ///
+    /// # Panics
+    /// Panics if a pending operator in the plan fails; see
+    /// [`Dataset::try_collect`].
     pub fn count(&self) -> usize {
-        self.parts.iter().map(Vec::len).sum()
+        self.force()
+            .expect("dataset materialization failed")
+            .iter()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Estimated serialized size of all rows, in bytes (sampled).
+    ///
+    /// # Panics
+    /// Panics if a pending operator in the plan fails.
     pub fn estimated_bytes(&self) -> u64 {
-        estimate_bytes(&self.parts)
+        estimate_bytes(&self.force().expect("dataset materialization failed"))
     }
 
     /// Materializes all rows in partition order.
+    ///
+    /// # Panics
+    /// Panics if a pending operator in the plan fails; see
+    /// [`Dataset::try_collect`].
     pub fn collect(&self) -> Vec<Value> {
-        let mut out = Vec::with_capacity(self.count());
-        for p in self.parts.iter() {
+        self.try_collect().expect("dataset materialization failed")
+    }
+
+    /// Materializes all rows in partition order, surfacing deferred
+    /// operator errors.
+    pub fn try_collect(&self) -> Result<Vec<Value>> {
+        let parts = self.force()?;
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts.iter() {
             out.extend(p.iter().cloned());
         }
-        out
+        Ok(out)
     }
 
     /// Materializes all rows sorted (for deterministic comparisons).
+    ///
+    /// # Panics
+    /// Panics if a pending operator in the plan fails.
     pub fn collect_sorted(&self) -> Vec<Value> {
         let mut rows = self.collect();
         rows.sort();
@@ -104,99 +201,88 @@ impl Dataset {
     }
 
     /// Shares the whole dataset with every task — Spark's broadcast.
-    pub fn broadcast(&self) -> Arc<Vec<Value>> {
-        let rows = self.collect();
+    pub fn broadcast(&self) -> Result<Arc<Vec<Value>>> {
+        let rows = self.try_collect()?;
         self.ctx.stats().record_broadcast(rows.len() as u64);
-        Arc::new(rows)
+        self.ctx
+            .plan_note(format!("broadcast: {} rows to all workers", rows.len()));
+        Ok(Arc::new(rows))
     }
 
     // ------------------------------------------------------------- narrow
 
-    /// Applies `f` to every row.
+    /// Applies `f` to every row (lazy: appends a plan node).
     pub fn map<F>(&self, f: F) -> Result<Dataset>
     where
-        F: Fn(&Value) -> Result<Value> + Sync,
+        F: Fn(&Value) -> Result<Value> + Send + Sync + 'static,
     {
-        self.ctx.next_stage();
-        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
-            part.iter().map(&f).collect::<Result<Vec<_>>>()
-        })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        self.ctx.record_logical_op();
+        Ok(self.derived(PlanOp::Map(self.effective_plan(), Arc::new(f))))
     }
 
-    /// Applies `f` to every row, flattening the results.
+    /// Applies `f` to every row, flattening the results (lazy).
     pub fn flat_map<F>(&self, f: F) -> Result<Dataset>
     where
-        F: Fn(&Value) -> Result<Vec<Value>> + Sync,
+        F: Fn(&Value) -> Result<Vec<Value>> + Send + Sync + 'static,
     {
-        self.ctx.next_stage();
-        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
-            let mut out = Vec::with_capacity(part.len());
-            for row in part {
-                out.extend(f(row)?);
-            }
-            Ok(out)
-        })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        self.ctx.record_logical_op();
+        Ok(self.derived(PlanOp::FlatMap(self.effective_plan(), Arc::new(f))))
     }
 
-    /// Keeps the rows satisfying `f`.
+    /// Keeps the rows satisfying `f` (lazy).
     pub fn filter<F>(&self, f: F) -> Result<Dataset>
     where
-        F: Fn(&Value) -> Result<bool> + Sync,
+        F: Fn(&Value) -> Result<bool> + Send + Sync + 'static,
     {
-        self.ctx.next_stage();
-        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
-            let mut out = Vec::with_capacity(part.len());
-            for row in part {
-                if f(row)? {
-                    out.push(row.clone());
-                }
-            }
-            Ok(out)
-        })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        self.ctx.record_logical_op();
+        Ok(self.derived(PlanOp::Filter(self.effective_plan(), Arc::new(f))))
     }
 
-    /// Partition-at-a-time transformation (Spark's `mapPartitions`).
+    /// Partition-at-a-time transformation (Spark's `mapPartitions`; lazy).
     pub fn map_partitions<F>(&self, f: F) -> Result<Dataset>
     where
-        F: Fn(&[Value]) -> Result<Vec<Value>> + Sync,
+        F: Fn(&[Value]) -> Result<Vec<Value>> + Send + Sync + 'static,
     {
-        self.ctx.next_stage();
-        let parts = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| f(part))?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        self.ctx.record_logical_op();
+        Ok(self.derived(PlanOp::MapPartitions(self.effective_plan(), Arc::new(f))))
     }
 
-    /// Bag union (no dedup), preserving partition count.
+    /// Bag union (no dedup), preserving the left side's partition count.
+    ///
+    /// Lazy and narrow: it moves no data, runs no parallel stage, and the
+    /// executor folds the right side's partitions into the left's without
+    /// deep-copying either operand.
     pub fn union(&self, other: &Dataset) -> Dataset {
-        self.ctx.next_stage();
-        let mut parts: Vec<Vec<Value>> = self.parts.as_ref().clone();
-        let n = parts.len();
-        for (i, p) in other.parts.iter().enumerate() {
-            parts[i % n].extend(p.iter().cloned());
-        }
-        Dataset::from_parts(self.ctx.clone(), parts)
+        self.ctx.record_logical_op();
+        self.derived(PlanOp::Union(self.effective_plan(), other.effective_plan()))
     }
 
-    /// Total reduction with a binary combiner: per-partition folds followed
-    /// by a fold over partial results (Spark's `reduce`). Returns `None` on
-    /// an empty dataset.
+    /// Total reduction with a binary combiner: fused per-partition folds
+    /// (including any pending narrow chain) followed by a driver-side fold
+    /// over partial results (Spark's `reduce`). Returns `None` on an empty
+    /// dataset.
     pub fn reduce<F>(&self, f: F) -> Result<Option<Value>>
     where
         F: Fn(&Value, &Value) -> Result<Value> + Sync,
     {
-        self.ctx.next_stage();
-        let partials = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
-            let mut acc: Option<Value> = None;
-            for row in part {
-                acc = Some(match acc {
-                    None => row.clone(),
-                    Some(a) => f(&a, row)?,
-                });
-            }
-            Ok(acc)
-        })?;
+        self.ctx.record_logical_op();
+        let f = &f;
+        let partials = plan::run_partitionwise(
+            &self.ctx,
+            &self.effective_plan(),
+            "reduce (partial fold)",
+            |_, rows| {
+                let mut acc: Option<Value> = None;
+                rows.for_each(&mut |row| {
+                    acc = Some(match acc.take() {
+                        None => row,
+                        Some(a) => f(&a, &row)?,
+                    });
+                    Ok(())
+                })?;
+                Ok(acc)
+            },
+        )?;
         let mut acc: Option<Value> = None;
         for p in partials.into_iter().flatten() {
             acc = Some(match acc {
@@ -209,21 +295,29 @@ impl Dataset {
 
     // ------------------------------------------------------------ shuffles
 
-    /// Hash-partitions `(key, value)` rows by key — the raw shuffle.
-    /// Returns per-destination buckets with deterministic row order.
-    fn shuffle(&self) -> Result<Vec<Vec<Value>>> {
+    /// Hash-partitions `(key, value)` rows by key — the raw shuffle. The
+    /// scatter pass fuses the pending narrow chain, so a chain ending in a
+    /// shuffle costs exactly one pass over the source rows. Returns
+    /// per-destination buckets with deterministic row order.
+    fn shuffle(&self, label: &str) -> Result<Vec<Vec<Value>>> {
         let p = self.ctx.partitions();
-        // Each source partition scatters into p buckets in parallel.
-        let scattered = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
-            let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
-            for row in part {
-                let (k, _) = key_value(row)?;
-                let b = (key_hash(&k) % p as u64) as usize;
-                buckets[b].push(row.clone());
-            }
-            Ok(buckets)
-        })?;
-        // Gather: destination bucket b receives from sources in order.
+        let scattered =
+            plan::run_partitionwise(&self.ctx, &self.effective_plan(), label, |_, rows| {
+                let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+                rows.for_each(&mut |row| {
+                    let (k, _) = key_value(&row)?;
+                    let b = (key_hash(&k) % p as u64) as usize;
+                    buckets[b].push(row);
+                    Ok(())
+                })?;
+                Ok(buckets)
+            })?;
+        self.gather(scattered, p)
+    }
+
+    /// Gather side of a shuffle: destination bucket `b` receives from
+    /// sources in order. Records shuffle statistics.
+    fn gather(&self, scattered: Vec<Vec<Vec<Value>>>, p: usize) -> Result<Vec<Vec<Value>>> {
         let mut dest: Vec<Vec<Value>> = vec![Vec::new(); p];
         let mut moved_rows = 0u64;
         for src in scattered {
@@ -234,50 +328,81 @@ impl Dataset {
         }
         let bytes = estimate_bytes(&dest);
         self.ctx.stats().record_shuffle(moved_rows, bytes);
+        self.ctx.plan_note(format!(
+            "shuffle: {moved_rows} rows exchanged across {p} partitions"
+        ));
         Ok(dest)
+    }
+
+    /// Runs the stage after a shuffle (one task per destination bucket).
+    fn post_shuffle_stage<F>(
+        &self,
+        label: &str,
+        dest: &[Vec<Value>],
+        task: F,
+    ) -> Result<Vec<Vec<Value>>>
+    where
+        F: Fn(&Vec<Value>) -> Result<Vec<Value>> + Sync,
+    {
+        self.ctx.record_physical_stage();
+        let stage = self.ctx.stats().snapshot().physical_stages;
+        self.ctx.plan_note(format!(
+            "stage {stage}: {label} over {} buckets",
+            dest.len()
+        ));
+        run_stage(self.ctx.workers(), dest, |_, bucket| task(bucket))
     }
 
     /// Re-partitions `(key, value)` rows by key hash.
     pub fn partition_by_key(&self) -> Result<Dataset> {
-        self.ctx.next_stage();
-        let dest = self.shuffle()?;
-        Ok(Dataset::from_parts(self.ctx.clone(), dest))
+        self.ctx.record_logical_op();
+        let dest = self.shuffle("partition_by_key (scatter)")?;
+        Ok(Dataset::from_materialized(self.ctx.clone(), dest))
     }
 
     /// `reduceByKey`: combines values of equal keys with `f`, using
     /// map-side combining before the shuffle. Rows must be `(key, value)`
     /// pairs; the output has one `(key, combined)` row per distinct key.
+    ///
+    /// The pending narrow chain, the map-side combine, and the scatter all
+    /// run in **one** fused physical stage; the post-shuffle reduction is
+    /// the second.
     pub fn reduce_by_key<F>(&self, f: F) -> Result<Dataset>
     where
         F: Fn(&Value, &Value) -> Result<Value> + Sync,
     {
-        self.ctx.next_stage();
-        // Map-side combine.
-        let combined = run_stage(self.ctx.workers(), &self.parts, |_, part: &Vec<Value>| {
-            let mut acc: HashMap<Value, Value> = HashMap::new();
-            let mut order: Vec<Value> = Vec::new();
-            for row in part {
-                let (k, v) = key_value(row)?;
-                match acc.get_mut(&k) {
-                    Some(cur) => *cur = f(cur, &v)?,
-                    None => {
-                        order.push(k.clone());
-                        acc.insert(k, v);
+        self.ctx.record_logical_op();
+        let p = self.ctx.partitions();
+        let f = &f;
+        let scattered = plan::run_partitionwise(
+            &self.ctx,
+            &self.effective_plan(),
+            "reduce_by_key (combine + scatter)",
+            |_, rows| {
+                let mut acc: HashMap<Value, Value> = HashMap::new();
+                let mut order: Vec<Value> = Vec::new();
+                rows.for_each(&mut |row| {
+                    let (k, v) = key_value(&row)?;
+                    match acc.get_mut(&k) {
+                        Some(cur) => *cur = f(cur, &v)?,
+                        None => {
+                            order.push(k.clone());
+                            acc.insert(k, v);
+                        }
                     }
-                }
-            }
-            Ok(order
-                .into_iter()
-                .map(|k| {
+                    Ok(())
+                })?;
+                let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+                for k in order {
                     let v = acc.remove(&k).expect("combined");
-                    Value::pair(k, v)
-                })
-                .collect::<Vec<_>>())
-        })?;
-        let pre = Dataset::from_parts(self.ctx.clone(), combined);
-        // Shuffle the partials and reduce each bucket.
-        let dest = pre.shuffle()?;
-        let parts = run_stage(self.ctx.workers(), &dest, |_, bucket: &Vec<Value>| {
+                    let b = (key_hash(&k) % p as u64) as usize;
+                    buckets[b].push(Value::pair(k, v));
+                }
+                Ok(buckets)
+            },
+        )?;
+        let dest = self.gather(scattered, p)?;
+        let parts = self.post_shuffle_stage("reduce_by_key (reduce)", &dest, |bucket| {
             let mut acc: HashMap<Value, Value> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();
             for row in bucket {
@@ -298,15 +423,15 @@ impl Dataset {
                 })
                 .collect::<Vec<_>>())
         })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
     }
 
     /// `groupByKey`: shuffles `(key, value)` rows and produces one
     /// `(key, bag-of-values)` row per distinct key.
     pub fn group_by_key(&self) -> Result<Dataset> {
-        self.ctx.next_stage();
-        let dest = self.shuffle()?;
-        let parts = run_stage(self.ctx.workers(), &dest, |_, bucket: &Vec<Value>| {
+        self.ctx.record_logical_op();
+        let dest = self.shuffle("group_by_key (scatter)")?;
+        let parts = self.post_shuffle_stage("group_by_key (group)", &dest, |bucket| {
             let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();
             for row in bucket {
@@ -327,16 +452,20 @@ impl Dataset {
                 })
                 .collect::<Vec<_>>())
         })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
     }
 
     /// `cogroup`: for each key present on either side, produces
     /// `(key, (left-bag, right-bag))`.
     pub fn cogroup(&self, other: &Dataset) -> Result<Dataset> {
-        self.ctx.next_stage();
-        let left = self.shuffle()?;
-        let right = other.shuffle()?;
+        self.ctx.record_logical_op();
+        let left = self.shuffle("cogroup (scatter left)")?;
+        let right = other.shuffle("cogroup (scatter right)")?;
         let pairs: Vec<(Vec<Value>, Vec<Value>)> = left.into_iter().zip(right).collect();
+        self.ctx.record_physical_stage();
+        let stage = self.ctx.stats().snapshot().physical_stages;
+        self.ctx
+            .plan_note(format!("stage {stage}: cogroup (group both sides)"));
         let parts = run_stage(self.ctx.workers(), &pairs, |_, (l, r)| {
             let mut groups: HashMap<Value, (Vec<Value>, Vec<Value>)> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();
@@ -368,11 +497,12 @@ impl Dataset {
                 })
                 .collect::<Vec<_>>())
         })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
     }
 
     /// Inner equi-join on `(key, value)` rows: produces
-    /// `(key, (left, right))` for every matching pair.
+    /// `(key, (left, right))` for every matching pair. The pair expansion
+    /// is lazy, so a `map` after a join fuses with it.
     pub fn join(&self, other: &Dataset) -> Result<Dataset> {
         let co = self.cogroup(other)?;
         co.flat_map(|row| {
@@ -404,11 +534,15 @@ impl Dataset {
     where
         F: Fn(&Value, &Value) -> Result<Value> + Sync,
     {
-        self.ctx.next_stage();
-        let old = self.shuffle()?;
-        let new = updates.shuffle()?;
+        self.ctx.record_logical_op();
+        let old = self.shuffle("merge (scatter old)")?;
+        let new = updates.shuffle("merge (scatter updates)")?;
         let pairs: Vec<(Vec<Value>, Vec<Value>)> = old.into_iter().zip(new).collect();
         let combine = &combine;
+        self.ctx.record_physical_stage();
+        let stage = self.ctx.stats().snapshot().physical_stages;
+        self.ctx
+            .plan_note(format!("stage {stage}: merge ⊳ (combine slots)"));
         let parts = run_stage(self.ctx.workers(), &pairs, |_, (olds, news)| {
             // Old side: arrays have unique keys; keep the last if not.
             let mut slots: HashMap<Value, Value> = HashMap::with_capacity(olds.len());
@@ -442,35 +576,49 @@ impl Dataset {
                 })
                 .collect::<Vec<_>>())
         })?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
     }
 
     /// Pairwise partition zip (Spark's `zipPartitions`) — requires equal
     /// partition counts; used by the tiled-matrix path (§5), which keeps
-    /// operand tilings aligned to avoid shuffles.
+    /// operand tilings aligned to avoid shuffles. Forces both sides.
     pub fn zip_partitions<F>(&self, other: &Dataset, f: F) -> Result<Dataset>
     where
         F: Fn(&[Value], &[Value]) -> Result<Vec<Value>> + Sync,
     {
-        if self.parts.len() != other.parts.len() {
+        let a = self.force()?;
+        let b = other.force()?;
+        if a.len() != b.len() {
             return Err(RuntimeError::new(
                 "zip_partitions requires equal partition counts",
             ));
         }
-        self.ctx.next_stage();
-        let pairs: Vec<(&Vec<Value>, &Vec<Value>)> =
-            self.parts.iter().zip(other.parts.iter()).collect();
-        let parts = run_stage(self.ctx.workers(), &pairs, |_, (a, b)| f(a, b))?;
-        Ok(Dataset::from_parts(self.ctx.clone(), parts))
+        self.ctx.record_logical_op();
+        self.ctx.record_physical_stage();
+        let stage = self.ctx.stats().snapshot().physical_stages;
+        self.ctx.plan_note(format!(
+            "stage {stage}: zip_partitions over {} partitions",
+            a.len()
+        ));
+        let pairs: Vec<(&Vec<Value>, &Vec<Value>)> = a.iter().zip(b.iter()).collect();
+        let parts = run_stage(self.ctx.workers(), &pairs, |_, (x, y)| f(x, y))?;
+        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
     }
 }
 
 impl std::fmt::Debug for Dataset {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Dataset")
-            .field("partitions", &self.parts.len())
-            .field("rows", &self.count())
-            .finish()
+        match self.cache.get() {
+            Some(parts) => f
+                .debug_struct("Dataset")
+                .field("partitions", &parts.len())
+                .field("rows", &parts.iter().map(Vec::len).sum::<usize>())
+                .finish(),
+            None => f
+                .debug_struct("Dataset")
+                .field("plan", &self.explain())
+                .finish(),
+        }
     }
 }
 
@@ -492,6 +640,7 @@ fn estimate_bytes(parts: &[Vec<Value>]) -> u64 {
 mod tests {
     use super::*;
     use diablo_runtime::BinOp;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn ctx() -> Context {
         Context::new(4, 8)
@@ -512,12 +661,151 @@ mod tests {
         let d = ctx.range(1, 100);
         let doubled = d.map(|v| BinOp::Mul.apply(v, &Value::Long(2))).unwrap();
         assert_eq!(doubled.count(), 100);
-        let evens = d
-            .filter(|v| Ok(v.as_long().unwrap() % 2 == 0))
-            .unwrap();
+        let evens = d.filter(|v| Ok(v.as_long().unwrap() % 2 == 0)).unwrap();
         assert_eq!(evens.count(), 50);
         let dup = d.flat_map(|v| Ok(vec![v.clone(), v.clone()])).unwrap();
         assert_eq!(dup.count(), 200);
+    }
+
+    #[test]
+    fn narrow_ops_are_lazy_until_materialized() {
+        let ctx = ctx();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let d = ctx.range(1, 10);
+        let c = calls.clone();
+        let mapped = d
+            .map(move |v| {
+                c.fetch_add(1, Ordering::Relaxed);
+                Ok(v.clone())
+            })
+            .unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "map must not run eagerly");
+        assert_eq!(mapped.count(), 10);
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        // The cache means a second read does not re-run the chain.
+        assert_eq!(mapped.count(), 10);
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn derived_ops_build_on_cached_materialization() {
+        // Once a dataset is forced, downstream operators must read its
+        // cached partitions, never re-execute the upstream chain.
+        let ctx = ctx();
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = calls.clone();
+        let mapped = ctx
+            .range(1, 10)
+            .map(move |v| {
+                c.fetch_add(1, Ordering::Relaxed);
+                Ok(v.clone())
+            })
+            .unwrap();
+        assert_eq!(mapped.count(), 10);
+        assert_eq!(calls.load(Ordering::Relaxed), 10);
+        let downstream = mapped.filter(|_| Ok(true)).unwrap();
+        assert_eq!(downstream.count(), 10);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            10,
+            "deriving from a forced dataset must not re-run its chain"
+        );
+        let keyed = mapped
+            .map(|v| Ok(Value::pair(v.clone(), Value::Long(1))))
+            .unwrap();
+        let _ = keyed.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).unwrap();
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            10,
+            "shuffles reuse the cache too"
+        );
+    }
+
+    #[test]
+    fn union_shuffle_reads_operands_in_place() {
+        // A keyed aggregation over a union consumes both operands via
+        // segments: one physical stage for combine+scatter, no
+        // materialization of the combined partitions.
+        let ctx = ctx();
+        let a = pairs(&ctx, &[(1, 1), (2, 2), (3, 3)]);
+        let b = pairs(&ctx, &[(1, 10), (2, 20)]);
+        let u = a.union(&b);
+        let before = ctx.stats().snapshot();
+        let r = u.reduce_by_key(|x, y| BinOp::Add.apply(x, y)).unwrap();
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(
+            after.physical_stages, 2,
+            "combine+scatter fused over union segments, then reduce: {after:?}"
+        );
+        assert_eq!(
+            r.collect_sorted(),
+            vec![
+                Value::pair(Value::Long(1), Value::Long(11)),
+                Value::pair(Value::Long(2), Value::Long(22)),
+                Value::pair(Value::Long(3), Value::Long(3)),
+            ]
+        );
+    }
+
+    #[test]
+    fn narrow_chain_fuses_into_one_physical_stage() {
+        let ctx = ctx();
+        let d = ctx.range(1, 1000);
+        let chained = d
+            .map(|v| BinOp::Mul.apply(v, &Value::Long(3)))
+            .unwrap()
+            .filter(|v| Ok(v.as_long().unwrap() % 2 == 0))
+            .unwrap()
+            .flat_map(|v| Ok(vec![v.clone(), v.clone()]))
+            .unwrap()
+            .map(|v| BinOp::Add.apply(v, &Value::Long(1)))
+            .unwrap();
+        let before = ctx.stats().snapshot();
+        let rows = chained.collect();
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(after.physical_stages, 1, "4 narrow ops fuse into 1 stage");
+        assert_eq!(rows.len(), 1000);
+    }
+
+    #[test]
+    fn fused_chain_matches_stepwise_materialization() {
+        let ctx = ctx();
+        let d = ctx.range(1, 200);
+        let fused = d
+            .map(|v| BinOp::Mul.apply(v, &Value::Long(2)))
+            .unwrap()
+            .filter(|v| Ok(v.as_long().unwrap() % 3 == 0))
+            .unwrap()
+            .flat_map(|v| Ok(vec![v.clone(), Value::Long(-v.as_long().unwrap())]))
+            .unwrap();
+        let stepwise = d
+            .map(|v| BinOp::Mul.apply(v, &Value::Long(2)))
+            .unwrap()
+            .materialize()
+            .unwrap()
+            .filter(|v| Ok(v.as_long().unwrap() % 3 == 0))
+            .unwrap()
+            .materialize()
+            .unwrap()
+            .flat_map(|v| Ok(vec![v.clone(), Value::Long(-v.as_long().unwrap())]))
+            .unwrap();
+        assert_eq!(fused.collect(), stepwise.collect());
+    }
+
+    #[test]
+    fn explain_renders_pending_chain() {
+        let ctx = ctx();
+        let d = ctx.range(1, 10);
+        let chained = d
+            .map(|v| Ok(v.clone()))
+            .unwrap()
+            .filter(|_| Ok(true))
+            .unwrap();
+        let plan = chained.explain();
+        assert!(plan.contains("scan"), "{plan}");
+        assert!(plan.contains("map"), "{plan}");
+        assert!(plan.contains("filter"), "{plan}");
+        assert!(plan.contains("fused"), "{plan}");
     }
 
     #[test]
@@ -537,7 +825,31 @@ mod tests {
         let d = ctx.range(1, 1000);
         let sum = d.reduce(|a, b| BinOp::Add.apply(a, b)).unwrap().unwrap();
         assert_eq!(sum, Value::Long(500500));
-        assert_eq!(ctx.empty().reduce(|a, b| BinOp::Add.apply(a, b)).unwrap(), None);
+        assert_eq!(
+            ctx.empty().reduce(|a, b| BinOp::Add.apply(a, b)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn reduce_fuses_pending_chain() {
+        let ctx = ctx();
+        let d = ctx.range(1, 100);
+        let before = ctx.stats().snapshot();
+        let sum = d
+            .map(|v| BinOp::Mul.apply(v, &Value::Long(2)))
+            .unwrap()
+            .filter(|v| Ok(v.as_long().unwrap() <= 100))
+            .unwrap()
+            .reduce(|a, b| BinOp::Add.apply(a, b))
+            .unwrap()
+            .unwrap();
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(sum, Value::Long((1..=50).map(|x| x * 2).sum::<i64>()));
+        assert_eq!(
+            after.physical_stages, 1,
+            "chain + fold in one pass: {after:?}"
+        );
     }
 
     #[test]
@@ -560,6 +872,8 @@ mod tests {
             after.shuffled_records <= (8 * 10) as u64,
             "combiner limits shuffle: {after:?}"
         );
+        // Combine+scatter fuse into one stage; the reduce is the second.
+        assert_eq!(after.physical_stages, 2, "{after:?}");
     }
 
     #[test]
@@ -587,8 +901,14 @@ mod tests {
         assert_eq!(
             rows,
             vec![
-                Value::pair(Value::Long(2), Value::pair(Value::Long(20), Value::Long(200))),
-                Value::pair(Value::Long(3), Value::pair(Value::Long(30), Value::Long(300))),
+                Value::pair(
+                    Value::Long(2),
+                    Value::pair(Value::Long(20), Value::Long(200))
+                ),
+                Value::pair(
+                    Value::Long(3),
+                    Value::pair(Value::Long(30), Value::Long(300))
+                ),
             ]
         );
     }
@@ -649,17 +969,50 @@ mod tests {
     }
 
     #[test]
-    fn errors_propagate_from_workers() {
+    fn union_runs_no_physical_stage_and_fuses_downstream() {
+        let ctx = ctx();
+        let a = ctx.range(1, 100);
+        let b = ctx.range(101, 200);
+        let before = ctx.stats().snapshot();
+        let u = a.union(&b);
+        let mid = ctx.stats().snapshot().since(&before);
+        assert_eq!(mid.physical_stages, 0, "union moves no data: {mid:?}");
+        // A map above the union is pushed into both branches.
+        let mapped = u.map(|v| BinOp::Add.apply(v, &Value::Long(1))).unwrap();
+        let sum = mapped
+            .reduce(|a, b| BinOp::Add.apply(a, b))
+            .unwrap()
+            .unwrap();
+        assert_eq!(sum, Value::Long((2..=201).sum::<i64>()));
+    }
+
+    #[test]
+    fn errors_surface_at_materialization() {
         let ctx = ctx();
         let d = ctx.range(0, 100);
-        let err = d.map(|v| {
-            if v.as_long() == Some(50) {
-                Err(RuntimeError::new("boom"))
-            } else {
-                Ok(v.clone())
-            }
-        });
+        let mapped = d
+            .map(|v| {
+                if v.as_long() == Some(50) {
+                    Err(RuntimeError::new("boom"))
+                } else {
+                    Ok(v.clone())
+                }
+            })
+            .unwrap();
+        let err = mapped.try_collect();
         assert!(err.is_err());
+        // Shuffle paths surface the same error through their Result.
+        let keyed = ctx
+            .range(0, 100)
+            .map(|v| {
+                if v.as_long() == Some(50) {
+                    Err(RuntimeError::new("boom"))
+                } else {
+                    Ok(Value::pair(v.clone(), Value::Long(1)))
+                }
+            })
+            .unwrap();
+        assert!(keyed.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).is_err());
     }
 
     #[test]
@@ -669,8 +1022,7 @@ mod tests {
         let b = ctx.from_vec((100..108).map(Value::Long).collect());
         let z = a
             .zip_partitions(&b, |xs, ys| {
-                xs
-                    .iter()
+                xs.iter()
                     .zip(ys)
                     .map(|(x, y)| BinOp::Add.apply(x, y))
                     .collect::<Result<Vec<_>>>()
@@ -678,7 +1030,10 @@ mod tests {
             .unwrap();
         assert_eq!(z.count(), 8);
         let sum = z.reduce(|a, b| BinOp::Add.apply(a, b)).unwrap().unwrap();
-        assert_eq!(sum, Value::Long((0..8).sum::<i64>() + (100..108).sum::<i64>()));
+        assert_eq!(
+            sum,
+            Value::Long((0..8).sum::<i64>() + (100..108).sum::<i64>())
+        );
     }
 
     #[test]
@@ -686,7 +1041,7 @@ mod tests {
         let ctx = ctx();
         let d = ctx.range(0, 9);
         let before = ctx.stats().snapshot();
-        let b = d.broadcast();
+        let b = d.broadcast().unwrap();
         assert_eq!(b.len(), 10);
         let after = ctx.stats().snapshot().since(&before);
         assert_eq!(after.broadcasts, 1);

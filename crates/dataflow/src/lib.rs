@@ -2,15 +2,30 @@
 //!
 //! A from-scratch, multi-threaded, partitioned data-parallel engine — the
 //! substitute for Apache Spark in this reproduction (the paper's evaluation
-//! platform, §6). It is deliberately shaped like Spark's core:
+//! platform, §6). It is deliberately shaped like Spark's core, including
+//! Spark's **lazy evaluation**: transformations build a plan; actions run
+//! it.
 //!
-//! * a [`Dataset`] is an immutable bag of rows split into hash partitions;
-//! * *narrow* operations (`map`, `filter`, `flat_map`) run per partition on
-//!   a worker pool with no data movement;
-//! * *shuffle* operations (`group_by_key`, `reduce_by_key`, `cogroup`,
-//!   `join`, and the array-merge `⊳`) physically re-bucket rows by key hash
-//!   before the next stage, exactly where Spark would exchange data across
-//!   executors;
+//! ## Architecture: plan → fuse → execute
+//!
+//! * a [`Dataset`] is an immutable bag of rows split into hash partitions,
+//!   described by a lazy **physical plan** — a DAG of `PlanOp` nodes
+//!   (`Scan`, `Map`, `Filter`, `FlatMap`, `MapPartitions`, `Union`) built
+//!   by the operator methods without running anything;
+//! * *narrow* operations (`map`, `filter`, `flat_map`, `union`) append a
+//!   plan node and return immediately — no data moves, no threads run;
+//! * at every **materialization point** — a shuffle (`group_by_key`,
+//!   `reduce_by_key`, `cogroup`, `join`, the array-merge `⊳`), `collect`,
+//!   `reduce`, or `broadcast` — the executor **fuses** the pending narrow
+//!   chain into a single closure and runs it once per partition on the
+//!   worker pool. A chain of N narrow operators costs one pass over the
+//!   source rows and allocates no per-operator intermediate `Vec`;
+//! * *shuffle* operations physically re-bucket rows by key hash before the
+//!   next stage, exactly where Spark would exchange data across executors.
+//!   Their scatter pass fuses the pending chain too, so
+//!   `map → filter → reduce_by_key` is two physical stages: fused
+//!   chain + map-side combine + shuffle write, then the shuffle-read
+//!   reduction;
 //! * `reduce_by_key` performs map-side combining (Spark's combiner), which
 //!   is what makes the Word-Count/Histogram/Group-By shapes of Figure 3
 //!   come out right;
@@ -18,11 +33,23 @@
 //!   `Arc`), mirroring Spark's broadcast variables used by the hand-written
 //!   K-Means baseline.
 //!
-//! [`Stats`] counts stages, shuffled records and bytes, so benchmarks can
-//! report data-movement differences between DIABLO plans and hand-written
-//! plans, not just wall-clock time.
+//! Fusion never changes results: output rows, their order, and all error
+//! messages are bit-identical to operator-at-a-time execution (the
+//! property tests in `tests/prop_fusion.rs` check this against an eager
+//! reference).
+//!
+//! ## Observability
+//!
+//! [`Stats`] separates **logical operators** (how many `Dataset` methods a
+//! program called — the plan's shape) from **physical stages** (how many
+//! fused per-partition passes actually ran), plus shuffled records/bytes
+//! and broadcast sizes, so benchmarks can report both data movement and
+//! fusion wins. [`Context::start_plan_trace`] records a textual line per
+//! physical stage — the engine-level "explain" that `diabloc --explain`
+//! prints — and [`Dataset::explain`] renders a still-pending plan.
 
 mod dataset;
+mod plan;
 mod pool;
 mod stats;
 
@@ -30,7 +57,7 @@ pub use dataset::Dataset;
 pub use stats::{Stats, StatsSnapshot};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use diablo_runtime::Value;
 
@@ -46,7 +73,8 @@ struct ContextInner {
     workers: usize,
     partitions: usize,
     stats: Stats,
-    stage_counter: AtomicUsize,
+    op_counter: AtomicUsize,
+    plan_trace: Mutex<Option<Vec<String>>>,
 }
 
 impl Context {
@@ -60,7 +88,8 @@ impl Context {
                 workers,
                 partitions,
                 stats: Stats::default(),
-                stage_counter: AtomicUsize::new(0),
+                op_counter: AtomicUsize::new(0),
+                plan_trace: Mutex::new(None),
             }),
         }
     }
@@ -93,9 +122,41 @@ impl Context {
         &self.inner.stats
     }
 
-    pub(crate) fn next_stage(&self) {
-        self.inner.stage_counter.fetch_add(1, Ordering::Relaxed);
-        self.inner.stats.record_stage();
+    /// Counts one logical `Dataset` operator invocation.
+    pub(crate) fn record_logical_op(&self) {
+        self.inner.op_counter.fetch_add(1, Ordering::Relaxed);
+        self.inner.stats.record_logical_op();
+    }
+
+    /// Counts one physical per-partition pass run by the executor.
+    pub(crate) fn record_physical_stage(&self) {
+        self.inner.stats.record_physical_stage();
+    }
+
+    /// Starts recording a textual line per physical stage / shuffle /
+    /// broadcast — the executed-plan trace behind `diabloc --explain`.
+    pub fn start_plan_trace(&self) {
+        *self.inner.plan_trace.lock().expect("trace lock") = Some(Vec::new());
+    }
+
+    /// Stops recording and returns the trace lines (empty if tracing was
+    /// never started).
+    pub fn take_plan_trace(&self) -> Vec<String> {
+        self.inner
+            .plan_trace
+            .lock()
+            .expect("trace lock")
+            .take()
+            .unwrap_or_default()
+    }
+
+    /// Appends a line to the plan trace; no-op unless tracing is active.
+    /// Public so driver layers can interleave statement markers with the
+    /// engine's stage lines.
+    pub fn plan_note(&self, note: impl Into<String>) {
+        if let Some(trace) = self.inner.plan_trace.lock().expect("trace lock").as_mut() {
+            trace.push(note.into());
+        }
     }
 
     /// Creates a dataset from a vector of rows, chunk-partitioned.
@@ -138,5 +199,23 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = Context::new(0, 1);
+    }
+
+    #[test]
+    fn plan_trace_records_between_start_and_take() {
+        let ctx = Context::new(2, 4);
+        ctx.plan_note("dropped");
+        ctx.start_plan_trace();
+        let d = ctx.range(1, 100);
+        let _ = d
+            .map(|v| Ok(v.clone()))
+            .unwrap()
+            .filter(|_| Ok(true))
+            .unwrap()
+            .collect();
+        let trace = ctx.take_plan_trace();
+        assert!(!trace.is_empty());
+        assert!(trace.iter().any(|l| l.contains("fused")), "{trace:?}");
+        assert!(ctx.take_plan_trace().is_empty(), "trace was taken");
     }
 }

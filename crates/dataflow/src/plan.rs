@@ -1,0 +1,502 @@
+//! The lazy physical plan: a DAG of [`PlanOp`] nodes built by [`Dataset`]
+//! operators, and the executor that fuses narrow chains into single
+//! per-partition passes.
+//!
+//! Narrow operators (`map`, `filter`, `flat_map`, `union`,
+//! `map_partitions`) never run when called — they append a node to the
+//! plan. At a *materialization point* (a shuffle, `collect`, `reduce`,
+//! `broadcast`, `zip_partitions`) the executor collapses every pending
+//! chain of row-level nodes into one [`Step`] list and runs it as a single
+//! physical stage per partition, feeding each transformed row into a sink
+//! without materializing any per-operator intermediate `Vec<Value>`.
+//!
+//! The executor is directional in the Cranelift optimization-rules sense:
+//! a fused plan performs *at most* the work of the eager pipeline it
+//! replaces — one pass, no intermediate allocations, one clone per
+//! surviving row — never more.
+//!
+//! [`Dataset`]: crate::Dataset
+
+use std::sync::Arc;
+
+use diablo_runtime::{RuntimeError, Value};
+
+use crate::pool::run_stage;
+use crate::Context;
+
+/// Result alias matching the engine's.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// A row-to-row transformation stored in the plan.
+pub(crate) type RowMapFn = Arc<dyn Fn(&Value) -> Result<Value> + Send + Sync>;
+/// A row predicate stored in the plan.
+pub(crate) type RowPredFn = Arc<dyn Fn(&Value) -> Result<bool> + Send + Sync>;
+/// A row-to-rows transformation stored in the plan.
+pub(crate) type RowFlatFn = Arc<dyn Fn(&Value) -> Result<Vec<Value>> + Send + Sync>;
+/// A partition-at-a-time transformation stored in the plan.
+pub(crate) type PartFn = Arc<dyn Fn(&[Value]) -> Result<Vec<Value>> + Send + Sync>;
+
+/// One node of the lazy physical plan.
+pub(crate) enum PlanOp {
+    /// Materialized partitions — the leaves of every plan.
+    Scan(Arc<Vec<Vec<Value>>>),
+    /// Row-wise `map`.
+    Map(Arc<PlanOp>, RowMapFn),
+    /// Row-wise `filter`.
+    Filter(Arc<PlanOp>, RowPredFn),
+    /// Row-wise `flat_map`.
+    FlatMap(Arc<PlanOp>, RowFlatFn),
+    /// Partition-wise transformation (a fusion barrier for row steps
+    /// below it, but itself fused with the steps above it).
+    MapPartitions(Arc<PlanOp>, PartFn),
+    /// Bag union; keeps the left side's partition count.
+    Union(Arc<PlanOp>, Arc<PlanOp>),
+}
+
+/// One fused narrow step (the row-level ops of a collapsed chain).
+#[derive(Clone)]
+pub(crate) enum Step {
+    /// From [`PlanOp::Map`].
+    Map(RowMapFn),
+    /// From [`PlanOp::Filter`].
+    Filter(RowPredFn),
+    /// From [`PlanOp::FlatMap`].
+    FlatMap(RowFlatFn),
+}
+
+impl Step {
+    fn label(&self) -> &'static str {
+        match self {
+            Step::Map(_) => "map",
+            Step::Filter(_) => "filter",
+            Step::FlatMap(_) => "flat_map",
+        }
+    }
+}
+
+/// Drives one source row through a fused step chain, feeding every
+/// surviving output row to `sink`. No intermediate collections: `map`
+/// passes its output by value, `filter` short-circuits, and `flat_map`
+/// iterates its expansion in place.
+pub(crate) fn drive(
+    row: &Value,
+    steps: &[Step],
+    sink: &mut dyn FnMut(Value) -> Result<()>,
+) -> Result<()> {
+    match steps.split_first() {
+        None => sink(row.clone()),
+        Some((Step::Map(f), rest)) => drive_owned(f(row)?, rest, sink),
+        Some((Step::Filter(f), rest)) => {
+            if f(row)? {
+                drive(row, rest, sink)?;
+            }
+            Ok(())
+        }
+        Some((Step::FlatMap(f), rest)) => {
+            for v in f(row)? {
+                drive_owned(v, rest, sink)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn drive_owned(
+    row: Value,
+    steps: &[Step],
+    sink: &mut dyn FnMut(Value) -> Result<()>,
+) -> Result<()> {
+    match steps.split_first() {
+        None => sink(row),
+        Some((Step::Map(f), rest)) => drive_owned(f(&row)?, rest, sink),
+        Some((Step::Filter(f), rest)) => {
+            if f(&row)? {
+                drive_owned(row, rest, sink)?;
+            }
+            Ok(())
+        }
+        Some((Step::FlatMap(f), rest)) => {
+            for v in f(&row)? {
+                drive_owned(v, rest, sink)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// A plan collapsed to a base node plus the fused row steps above it.
+pub(crate) struct Collapsed {
+    /// The deepest non-row node: `Scan`, `MapPartitions`, or `Union`.
+    pub base: Arc<PlanOp>,
+    /// Row steps to apply to the base's rows, in execution order.
+    pub steps: Vec<Step>,
+}
+
+/// Walks `Map`/`Filter`/`FlatMap` nodes down to the nearest barrier.
+pub(crate) fn collapse(plan: &Arc<PlanOp>) -> Collapsed {
+    let mut steps: Vec<Step> = Vec::new();
+    let mut cur = plan.clone();
+    loop {
+        let next = match cur.as_ref() {
+            PlanOp::Map(input, f) => {
+                steps.push(Step::Map(f.clone()));
+                input.clone()
+            }
+            PlanOp::Filter(input, f) => {
+                steps.push(Step::Filter(f.clone()));
+                input.clone()
+            }
+            PlanOp::FlatMap(input, f) => {
+                steps.push(Step::FlatMap(f.clone()));
+                input.clone()
+            }
+            PlanOp::Scan(_) | PlanOp::MapPartitions(_, _) | PlanOp::Union(_, _) => break,
+        };
+        cur = next;
+    }
+    steps.reverse();
+    Collapsed { base: cur, steps }
+}
+
+/// Executor output: shared when no work was needed, owned otherwise.
+pub(crate) enum Parts {
+    /// Untouched materialized partitions (zero-copy).
+    Shared(Arc<Vec<Vec<Value>>>),
+    /// Freshly computed partitions.
+    Owned(Vec<Vec<Value>>),
+}
+
+impl Parts {
+    /// The partitions as a slice.
+    pub fn as_slice(&self) -> &[Vec<Value>] {
+        match self {
+            Parts::Shared(p) => p,
+            Parts::Owned(p) => p,
+        }
+    }
+
+    /// Converts into a shared handle without copying owned data.
+    pub fn into_arc(self) -> Arc<Vec<Vec<Value>>> {
+        match self {
+            Parts::Shared(p) => p,
+            Parts::Owned(p) => Arc::new(p),
+        }
+    }
+
+    /// Converts into owned partitions, cloning only if still shared
+    /// elsewhere.
+    pub fn into_owned(self) -> Vec<Vec<Value>> {
+        match self {
+            Parts::Shared(p) => Arc::try_unwrap(p).unwrap_or_else(|p| p.as_ref().clone()),
+            Parts::Owned(p) => p,
+        }
+    }
+}
+
+/// Materializes a plan into partitions, fusing every narrow chain into one
+/// physical stage per `Scan`/`MapPartitions` segment.
+pub(crate) fn materialize(ctx: &Context, plan: &Arc<PlanOp>) -> Result<Parts> {
+    materialize_with(ctx, plan, &[])
+}
+
+/// [`materialize`] with extra steps appended after the plan's own rows —
+/// how steps above a `Union` are pushed down into both branches.
+fn materialize_with(ctx: &Context, plan: &Arc<PlanOp>, extra: &[Step]) -> Result<Parts> {
+    let Collapsed { base, steps } = collapse(plan);
+    let mut all = steps;
+    all.extend(extra.iter().cloned());
+    match base.as_ref() {
+        PlanOp::Scan(parts) => {
+            if all.is_empty() {
+                return Ok(Parts::Shared(parts.clone()));
+            }
+            let out = run_fused_stage(ctx, parts, None, &all, parts.len())?;
+            Ok(Parts::Owned(out))
+        }
+        PlanOp::MapPartitions(input, f) => {
+            let inp = materialize(ctx, input)?;
+            let out = run_fused_stage(
+                ctx,
+                inp.as_slice(),
+                Some(f.clone()),
+                &all,
+                inp.as_slice().len(),
+            )?;
+            Ok(Parts::Owned(out))
+        }
+        PlanOp::Union(left, right) => {
+            // Producing owned combined partitions requires owning the
+            // rows; a side that is still shared (a bare scan) is cloned
+            // here. The hot consumers — shuffles and reductions — never
+            // take this path: `run_partitionwise` reads union operands in
+            // place via segments.
+            let lp = materialize_with(ctx, left, &all)?;
+            let rp = materialize_with(ctx, right, &all)?;
+            let mut out = lp.into_owned();
+            let n = out.len().max(1);
+            for (i, bucket) in rp.into_owned().into_iter().enumerate() {
+                if out.is_empty() {
+                    out.push(bucket);
+                } else {
+                    out[i % n].extend(bucket);
+                }
+            }
+            ctx.plan_note(format!(
+                "union: folded right side into {n} partitions (no stage)"
+            ));
+            Ok(Parts::Owned(out))
+        }
+        // collapse() never returns a row node as base.
+        _ => Err(RuntimeError::new("corrupt plan: row node as base")),
+    }
+}
+
+/// Runs one fused physical stage: per partition, optionally apply a
+/// partition-level function, then drive every row through `steps`.
+fn run_fused_stage(
+    ctx: &Context,
+    input: &[Vec<Value>],
+    prelude: Option<PartFn>,
+    steps: &[Step],
+    parts: usize,
+) -> Result<Vec<Vec<Value>>> {
+    ctx.record_physical_stage();
+    ctx.plan_note(describe_stage(
+        ctx,
+        parts,
+        prelude.is_some(),
+        steps,
+        "materialize",
+    ));
+    run_stage(ctx.workers(), input, |_, part: &Vec<Value>| {
+        let mut out = Vec::with_capacity(part.len());
+        let mut sink = |v: Value| {
+            out.push(v);
+            Ok(())
+        };
+        match &prelude {
+            Some(f) => {
+                for row in f(part)? {
+                    drive_owned(row, steps, &mut sink)?;
+                }
+            }
+            None => {
+                for row in part {
+                    drive(row, steps, &mut sink)?;
+                }
+            }
+        }
+        Ok(out)
+    })
+}
+
+/// Runs `task` once per partition over the plan's *transformed* rows, in
+/// one fused physical stage when the base is a `Scan` or a tree of
+/// `Union`s over scans. `task` receives the partition index and a
+/// [`PartitionRows`] cursor it can drain exactly once; this is how
+/// shuffles and reductions consume a pending chain without an
+/// intermediate materialization — for unions, without copying either
+/// operand.
+pub(crate) fn run_partitionwise<R, F>(
+    ctx: &Context,
+    plan: &Arc<PlanOp>,
+    label: &str,
+    task: F,
+) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, PartitionRows<'_>) -> Result<R> + Sync,
+{
+    let Collapsed { base, steps } = collapse(plan);
+    match base.as_ref() {
+        PlanOp::Scan(parts) => {
+            ctx.record_physical_stage();
+            ctx.plan_note(describe_stage(ctx, parts.len(), false, &steps, label));
+            run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
+                task(
+                    i,
+                    PartitionRows {
+                        segments: vec![Segment {
+                            rows: part,
+                            steps: &steps,
+                        }],
+                    },
+                )
+            })
+        }
+        PlanOp::Union(_, _) => {
+            // Read both operands in place: each virtual partition is a
+            // list of (source, partition) segments folded together with
+            // the eager engine's `i % n` composition, each carrying its
+            // own fused step chain. No operand is copied.
+            let mut sources: Vec<(Parts, Vec<Step>)> = Vec::new();
+            let mut virt: Vec<Vec<(usize, usize)>> = Vec::new();
+            flatten_union(ctx, &base, &steps, &mut sources, &mut virt)?;
+            ctx.record_physical_stage();
+            let stage = ctx.stats().snapshot().physical_stages;
+            ctx.plan_note(format!(
+                "stage {stage}: union[{} sources, {} partitions] ⇒ {label} (read in place)",
+                sources.len(),
+                virt.len()
+            ));
+            run_stage(ctx.workers(), &virt, |i, segs: &Vec<(usize, usize)>| {
+                let segments = segs
+                    .iter()
+                    .map(|&(src, part)| Segment {
+                        rows: &sources[src].0.as_slice()[part],
+                        steps: &sources[src].1,
+                    })
+                    .collect();
+                task(i, PartitionRows { segments })
+            })
+        }
+        _ => {
+            // MapPartitions base: materialize it (fusing inside), then
+            // run the consumer as one more stage with no row steps.
+            let inp = materialize_with(ctx, &base, &steps)?;
+            let parts = inp.as_slice();
+            ctx.record_physical_stage();
+            ctx.plan_note(describe_stage(ctx, parts.len(), false, &[], label));
+            run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
+                task(
+                    i,
+                    PartitionRows {
+                        segments: vec![Segment {
+                            rows: part,
+                            steps: &[],
+                        }],
+                    },
+                )
+            })
+        }
+    }
+}
+
+/// Flattens a tree of `Union` nodes into shared sources plus virtual
+/// partitions (lists of `(source, partition)` indices), pushing the fused
+/// steps above each branch down into its segments. The right operand's
+/// partitions fold into the left's by index modulo the left's partition
+/// count — the same composition the eager engine produced by extending
+/// partition vectors, but without moving a row.
+fn flatten_union(
+    ctx: &Context,
+    plan: &Arc<PlanOp>,
+    extra: &[Step],
+    sources: &mut Vec<(Parts, Vec<Step>)>,
+    virt: &mut Vec<Vec<(usize, usize)>>,
+) -> Result<()> {
+    let Collapsed { base, steps } = collapse(plan);
+    let mut all = steps;
+    all.extend(extra.iter().cloned());
+    match base.as_ref() {
+        PlanOp::Scan(parts) => {
+            let src = sources.len();
+            let n = parts.len();
+            sources.push((Parts::Shared(parts.clone()), all));
+            virt.extend((0..n).map(|p| vec![(src, p)]));
+            Ok(())
+        }
+        PlanOp::Union(l, r) => {
+            let start = virt.len();
+            flatten_union(ctx, l, &all, sources, virt)?;
+            let n = virt.len() - start;
+            let mut rvirt: Vec<Vec<(usize, usize)>> = Vec::new();
+            flatten_union(ctx, r, &all, sources, &mut rvirt)?;
+            if n == 0 {
+                virt.extend(rvirt);
+            } else {
+                for (j, segs) in rvirt.into_iter().enumerate() {
+                    virt[start + (j % n)].extend(segs);
+                }
+            }
+            Ok(())
+        }
+        _ => {
+            // MapPartitions under a union: materialize just this branch.
+            let parts = materialize_with(ctx, &base, &all)?;
+            let src = sources.len();
+            let n = parts.as_slice().len();
+            sources.push((parts, Vec::new()));
+            virt.extend((0..n).map(|p| vec![(src, p)]));
+            Ok(())
+        }
+    }
+}
+
+/// One run of source rows with the fused chain still to be applied.
+struct Segment<'a> {
+    rows: &'a [Value],
+    steps: &'a [Step],
+}
+
+/// The rows of one (possibly union-composed) partition.
+pub(crate) struct PartitionRows<'a> {
+    segments: Vec<Segment<'a>>,
+}
+
+impl PartitionRows<'_> {
+    /// Feeds every transformed row to `sink`, segment by segment.
+    pub fn for_each(&self, sink: &mut dyn FnMut(Value) -> Result<()>) -> Result<()> {
+        for seg in &self.segments {
+            for row in seg.rows {
+                drive(row, seg.steps, sink)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn describe_stage(
+    ctx: &Context,
+    parts: usize,
+    prelude: bool,
+    steps: &[Step],
+    label: &str,
+) -> String {
+    let mut chain = String::new();
+    if prelude {
+        chain.push_str(" → map_partitions");
+    }
+    for s in steps {
+        chain.push_str(" → ");
+        chain.push_str(s.label());
+    }
+    let fused = steps.len() + usize::from(prelude);
+    let stage = ctx.stats().snapshot().physical_stages;
+    if fused > 1 {
+        format!("stage {stage}: scan[{parts}p]{chain} ⇒ {label} (fused {fused} narrow ops)")
+    } else {
+        format!("stage {stage}: scan[{parts}p]{chain} ⇒ {label}")
+    }
+}
+
+/// Renders a pending (unforced) plan as an indented tree — the narrow
+/// chains a materialization point would fuse.
+pub(crate) fn render(plan: &Arc<PlanOp>, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let Collapsed { base, steps } = collapse(plan);
+    match base.as_ref() {
+        PlanOp::Scan(parts) => {
+            out.push_str(&format!("{pad}scan[{}p]", parts.len()));
+        }
+        PlanOp::MapPartitions(input, _) => {
+            render(input, indent, out);
+            out.push_str(" → map_partitions");
+        }
+        PlanOp::Union(l, r) => {
+            out.push_str(&format!("{pad}union:\n"));
+            render(l, indent + 1, out);
+            out.push('\n');
+            render(r, indent + 1, out);
+        }
+        // collapse() never returns a row node as base.
+        PlanOp::Map(_, _) | PlanOp::Filter(_, _) | PlanOp::FlatMap(_, _) => {}
+    }
+    for s in &steps {
+        out.push_str(" → ");
+        out.push_str(s.label());
+    }
+    if steps.len() > 1 {
+        out.push_str(&format!(" (1 fused stage, {} ops)", steps.len()));
+    }
+}

@@ -1,13 +1,12 @@
 //! Per-stage parallel execution over partitions.
 //!
-//! Each engine stage calls [`run_stage`] with a per-partition task; the
+//! Each physical stage calls [`run_stage`] with a per-partition task; the
 //! pool spawns up to `workers` scoped threads that pull partition indexes
 //! off a shared atomic counter (simple self-scheduling, which balances
 //! skewed partitions well).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Runs `task` once per input partition on up to `workers` threads and
 /// returns the outputs in partition order. Errors short-circuit: the first
@@ -25,30 +24,24 @@ where
     }
     let threads = workers.min(n);
     if threads <= 1 {
-        return inputs
-            .iter()
-            .enumerate()
-            .map(|(i, t)| task(i, t))
-            .collect();
+        return inputs.iter().enumerate().map(|(i, t)| task(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<R, E>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::scope(|scope| {
+    let results: Mutex<Vec<Option<Result<R, E>>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let out = task(i, &inputs[i]);
-                results.lock()[i] = Some(out);
+                results.lock().expect("pool lock")[i] = Some(out);
             });
         }
-    })
-    .expect("worker thread panicked");
+    });
     let mut collected = Vec::with_capacity(n);
-    for slot in results.into_inner() {
+    for slot in results.into_inner().expect("pool lock") {
         match slot.expect("every partition processed") {
             Ok(r) => collected.push(r),
             Err(e) => return Err(e),

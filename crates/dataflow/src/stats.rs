@@ -1,4 +1,5 @@
-//! Engine run statistics: stages, shuffles, broadcast sizes.
+//! Engine run statistics: logical operators, physical stages, shuffles,
+//! broadcast sizes.
 //!
 //! The paper's evaluation reasons about *data shuffling* as the dominant
 //! cost of DISC programs (§1: "all data exchanges across compute nodes are
@@ -6,13 +7,25 @@
 //! benchmark harness report how much each plan shuffles, which explains the
 //! Figure 3 gaps (e.g. DIABLO's K-Means shuffles the whole point set while
 //! the hand-written version shuffles only centroid-sized partials).
+//!
+//! Since the engine went lazy, the counters distinguish the two layers the
+//! plan/fusion architecture separates:
+//!
+//! * **logical ops** ([`StatsSnapshot::stages`]) — how many `Dataset`
+//!   operators a program *called*. This is the shape of the translated
+//!   program, independent of execution strategy.
+//! * **physical stages** ([`StatsSnapshot::physical_stages`]) — how many
+//!   parallel per-partition passes the executor actually *ran* after
+//!   fusing narrow chains. A chain of N narrow ops contributes N logical
+//!   ops but exactly 1 physical stage.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, thread-safe counters for one engine context.
 #[derive(Debug, Default)]
 pub struct Stats {
-    stages: AtomicU64,
+    logical_ops: AtomicU64,
+    physical_stages: AtomicU64,
     shuffles: AtomicU64,
     shuffled_records: AtomicU64,
     shuffled_bytes: AtomicU64,
@@ -21,8 +34,12 @@ pub struct Stats {
 }
 
 impl Stats {
-    pub(crate) fn record_stage(&self) {
-        self.stages.fetch_add(1, Ordering::Relaxed);
+    pub(crate) fn record_logical_op(&self) {
+        self.logical_ops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_physical_stage(&self) {
+        self.physical_stages.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_shuffle(&self, records: u64, bytes: u64) {
@@ -39,7 +56,8 @@ impl Stats {
     /// Takes a point-in-time snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            stages: self.stages.load(Ordering::Relaxed),
+            stages: self.logical_ops.load(Ordering::Relaxed),
+            physical_stages: self.physical_stages.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
             shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
             shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
@@ -50,7 +68,8 @@ impl Stats {
 
     /// Resets all counters to zero.
     pub fn reset(&self) {
-        self.stages.store(0, Ordering::Relaxed);
+        self.logical_ops.store(0, Ordering::Relaxed);
+        self.physical_stages.store(0, Ordering::Relaxed);
         self.shuffles.store(0, Ordering::Relaxed);
         self.shuffled_records.store(0, Ordering::Relaxed);
         self.shuffled_bytes.store(0, Ordering::Relaxed);
@@ -62,8 +81,13 @@ impl Stats {
 /// A point-in-time copy of [`Stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
-    /// Number of executed stages (each operator invocation is one stage).
+    /// Number of logical `Dataset` operator invocations (historically
+    /// named `stages`; each operator call counts one regardless of how the
+    /// executor fuses it).
     pub stages: u64,
+    /// Number of physical per-partition passes the executor ran — a fused
+    /// chain of narrow operators counts one.
+    pub physical_stages: u64,
     /// Number of shuffle exchanges.
     pub shuffles: u64,
     /// Total rows moved across partitions by shuffles.
@@ -81,6 +105,7 @@ impl StatsSnapshot {
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             stages: self.stages - earlier.stages,
+            physical_stages: self.physical_stages - earlier.physical_stages,
             shuffles: self.shuffles - earlier.shuffles,
             shuffled_records: self.shuffled_records - earlier.shuffled_records,
             shuffled_bytes: self.shuffled_bytes - earlier.shuffled_bytes,
@@ -97,12 +122,15 @@ mod tests {
     #[test]
     fn counters_accumulate_and_reset() {
         let s = Stats::default();
-        s.record_stage();
+        s.record_logical_op();
+        s.record_physical_stage();
+        s.record_physical_stage();
         s.record_shuffle(100, 800);
         s.record_shuffle(50, 400);
         s.record_broadcast(7);
         let snap = s.snapshot();
         assert_eq!(snap.stages, 1);
+        assert_eq!(snap.physical_stages, 2);
         assert_eq!(snap.shuffles, 2);
         assert_eq!(snap.shuffled_records, 150);
         assert_eq!(snap.shuffled_bytes, 1200);
@@ -115,11 +143,14 @@ mod tests {
     fn since_subtracts() {
         let s = Stats::default();
         s.record_shuffle(10, 80);
+        s.record_physical_stage();
         let a = s.snapshot();
         s.record_shuffle(5, 40);
+        s.record_physical_stage();
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.shuffles, 1);
         assert_eq!(d.shuffled_records, 5);
+        assert_eq!(d.physical_stages, 1);
     }
 }

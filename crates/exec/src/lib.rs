@@ -66,7 +66,10 @@ pub struct Session {
 impl Session {
     /// Creates a session on the given engine context.
     pub fn new(ctx: Context) -> Session {
-        Session { ctx, state: HashMap::new() }
+        Session {
+            ctx,
+            state: HashMap::new(),
+        }
     }
 
     /// The engine context.
@@ -76,7 +79,8 @@ impl Session {
 
     /// Binds a scalar input.
     pub fn bind_scalar(&mut self, name: &str, v: impl Into<Value>) {
-        self.state.insert(name.to_string(), Binding::Scalar(v.into()));
+        self.state
+            .insert(name.to_string(), Binding::Scalar(v.into()));
     }
 
     /// Binds a collection input from `(key, value)` pair rows.
@@ -123,6 +127,36 @@ impl Session {
         self.state.get(name)
     }
 
+    /// Renders the **executed physical plan** of `program`: runs it
+    /// against a scratch copy of the current state with plan tracing
+    /// enabled and returns one line per physical stage, shuffle and
+    /// broadcast, interleaved with statement markers.
+    ///
+    /// Because plans are built per input (a `while` can change the shape),
+    /// explain executes the program for real — bind representative inputs
+    /// first. The session's own state is left untouched.
+    pub fn explain(&self, program: &CompiledProgram) -> Result<String> {
+        let mut scratch = Session {
+            ctx: self.ctx.clone(),
+            state: self.state.clone(),
+        };
+        self.ctx.start_plan_trace();
+        let run = scratch.run(program);
+        let lines = self.ctx.take_plan_trace();
+        run?;
+        let mut out = String::from("physical plan (executed, narrow chains fused):\n");
+        for l in &lines {
+            if l.starts_with("==") {
+                out.push_str(l);
+            } else {
+                out.push_str("  ");
+                out.push_str(l);
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
     /// Runs a compiled program against the current state.
     pub fn run(&mut self, program: &CompiledProgram) -> Result<()> {
         for (name, _) in &program.inputs {
@@ -138,9 +172,21 @@ impl Session {
 
     fn exec(&mut self, s: &TStmt) -> Result<()> {
         match s {
-            TStmt::Assign { name, value, collection } => {
+            TStmt::Assign {
+                name,
+                value,
+                collection,
+            } => {
+                self.ctx.plan_note(format!(
+                    "== {name} := {} [{}]",
+                    diablo_comp::pretty_cexpr(value),
+                    if *collection { "array" } else { "scalar" }
+                ));
                 if *collection {
-                    let data = self.eval_collection(value)?;
+                    // Materialize here so operator errors surface from
+                    // `run` (the pending narrow chain — typically only the
+                    // statement's final projection — fuses into one stage).
+                    let data = self.eval_collection(value)?.materialize()?;
                     self.state.insert(name.clone(), Binding::Data(data));
                 } else {
                     // Scalar assignment: the value is a bag of at most one
@@ -174,6 +220,8 @@ impl Session {
                 Ok(())
             }
             TStmt::While { cond, body } => {
+                self.ctx
+                    .plan_note(format!("== while {}", diablo_comp::pretty_cexpr(cond)));
                 loop {
                     let v = eval_local(cond, &HashMap::new(), self)?;
                     let items = v
@@ -213,7 +261,11 @@ impl Session {
                 None => Err(RuntimeError::new(format!("undefined collection `{name}`"))),
             },
             CExpr::Const(Value::Bag(items)) => Ok(self.ctx.from_vec(items.as_ref().clone())),
-            CExpr::Merge { left, right, combine } => {
+            CExpr::Merge {
+                left,
+                right,
+                combine,
+            } => {
                 let old = self.eval_collection(left)?;
                 let new = self.eval_collection(right)?;
                 match combine {
@@ -338,7 +390,10 @@ mod tests {
         )
         .unwrap();
         let mut s = session();
-        s.bind_input("W", long_pairs(&[(0, 100), (5, 500), (10, 1000), (11, 1100)]));
+        s.bind_input(
+            "W",
+            long_pairs(&[(0, 100), (5, 500), (10, 1000), (11, 1100)]),
+        );
         s.run(&compiled).unwrap();
         assert_eq!(s.collect("V").unwrap(), long_pairs(&[(5, 500), (10, 1000)]));
     }
@@ -364,14 +419,23 @@ mod tests {
             entries
                 .iter()
                 .map(|&(i, j, v)| {
-                    Value::pair(Value::pair(Value::Long(i), Value::Long(j)), Value::Double(v))
+                    Value::pair(
+                        Value::pair(Value::Long(i), Value::Long(j)),
+                        Value::Double(v),
+                    )
                 })
                 .collect::<Vec<_>>()
         };
         let mut s = session();
         s.bind_scalar("d", Value::Long(2));
-        s.bind_input("M", m(&[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]));
-        s.bind_input("N", m(&[(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)]));
+        s.bind_input(
+            "M",
+            m(&[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]),
+        );
+        s.bind_input(
+            "N",
+            m(&[(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)]),
+        );
         s.run(&compiled).unwrap();
         assert_eq!(
             s.collect("R").unwrap(),

@@ -34,7 +34,7 @@ pub fn eval_local(e: &CExpr, env: &Env, sess: &Session) -> Result<Value> {
                 Some(Binding::Scalar(val)) => Ok(val.clone()),
                 // Materializing a whole dataset on the driver is allowed
                 // but only happens for small arrays used in scalar context.
-                Some(Binding::Data(d)) => Ok(Value::bag(d.collect())),
+                Some(Binding::Data(d)) => Ok(Value::bag(d.try_collect()?)),
                 None => Err(RuntimeError::new(format!("undefined variable `{v}`"))),
             }
         }
@@ -90,12 +90,16 @@ pub fn eval_local(e: &CExpr, env: &Env, sess: &Session) -> Result<Value> {
         CExpr::Comp(c) => {
             if sess.datasets_mentioned(e) && env.is_empty() {
                 let data = run_comp(c, sess)?;
-                Ok(Value::bag(data.collect()))
+                Ok(Value::bag(data.try_collect()?))
             } else {
                 Ok(Value::bag(local_comp(c, env, sess)?))
             }
         }
-        CExpr::Merge { left, right, combine } => {
+        CExpr::Merge {
+            left,
+            right,
+            combine,
+        } => {
             let l = eval_local(left, env, sess)?;
             let r = eval_local(right, env, sess)?;
             let (Some(xs), Some(ys)) = (l.as_bag(), r.as_bag()) else {
@@ -222,5 +226,7 @@ pub fn local_comp(c: &Comprehension, env: &Env, sess: &Session) -> Result<Vec<Va
             }
         }
     }
-    envs.iter().map(|env| eval_local(&c.head, env, sess)).collect()
+    envs.iter()
+        .map(|env| eval_local(&c.head, env, sess))
+        .collect()
 }

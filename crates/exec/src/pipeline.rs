@@ -70,9 +70,7 @@ pub fn run_comp(c: &Comprehension, sess: &Session) -> Result<Dataset> {
                         match eval_local(&e, &env, sess)?.as_bool() {
                             Some(true) => next.push(env),
                             Some(false) => {}
-                            None => {
-                                return Err(RuntimeError::new("condition must be boolean"))
-                            }
+                            None => return Err(RuntimeError::new("condition must be boolean")),
                         }
                     }
                     locals = next;
@@ -86,13 +84,7 @@ pub fn run_comp(c: &Comprehension, sess: &Session) -> Result<Dataset> {
                 let source: GenSource = classify(&dom, sess)?;
                 match (&mut pipe, source) {
                     (None, GenSource::Data(data)) => {
-                        pipe = Some(Pipe::source(
-                            data,
-                            &p,
-                            &local_vars,
-                            &locals,
-                            sess,
-                        )?);
+                        pipe = Some(Pipe::source(data, &p, &local_vars, &locals, sess)?);
                     }
                     (None, GenSource::Range(lo, hi)) => {
                         if locals.len() != 1 {
@@ -234,7 +226,9 @@ fn classify(dom: &CExpr, sess: &Session) -> Result<GenSource> {
 fn bind_into(p: &Pattern, v: &Value, env: &mut Env) -> Result<()> {
     let mut binds = Vec::new();
     if !p.bind(v, &mut binds) {
-        return Err(RuntimeError::new(format!("pattern {p:?} does not match {v}")));
+        return Err(RuntimeError::new(format!(
+            "pattern {p:?} does not match {v}"
+        )));
     }
     for (n, val) in binds {
         env.insert(n, val);
@@ -281,11 +275,17 @@ fn find_join_keys(
                 };
                 match (side(a), side(b)) {
                     (Some(true), Some(false)) => {
-                        keys.push(JoinKey { left: (**a).clone(), right: (**b).clone() });
+                        keys.push(JoinKey {
+                            left: (**a).clone(),
+                            right: (**b).clone(),
+                        });
                         consumed.insert(j);
                     }
                     (Some(false), Some(true)) => {
-                        keys.push(JoinKey { left: (**b).clone(), right: (**a).clone() });
+                        keys.push(JoinKey {
+                            left: (**b).clone(),
+                            right: (**a).clone(),
+                        });
                         consumed.insert(j);
                     }
                     _ => {}
@@ -450,7 +450,7 @@ impl Pipe {
 
     /// Crosses the rows with a broadcast copy of the dataset (no join key).
     fn broadcast_product(&mut self, data: &Dataset, p: &Pattern) -> Result<()> {
-        let items = data.broadcast();
+        let items = data.broadcast()?;
         let p_owned = p.clone();
         let new_data = self.data.flat_map(move |row| {
             let fields = row.as_tuple().expect("env row");
@@ -472,7 +472,13 @@ impl Pipe {
     }
 
     /// Expands a per-row integer range.
-    fn expand_range(&mut self, p: &Pattern, lo: &CExpr, hi: &CExpr, globals: &Arc<Env>) -> Result<()> {
+    fn expand_range(
+        &mut self,
+        p: &Pattern,
+        lo: &CExpr,
+        hi: &CExpr,
+        globals: &Arc<Env>,
+    ) -> Result<()> {
         let rlo = compile(lo, &self.layout, globals)?;
         let rhi = compile(hi, &self.layout, globals)?;
         let p_owned = p.clone();
@@ -551,24 +557,26 @@ impl Pipe {
             .filter(|c| !key_vars.contains(c))
             .cloned()
             .collect();
-        let lifted_set: HashMap<String, ()> =
-            lifted.iter().map(|v| (v.clone(), ())).collect();
+        let lifted_set: HashMap<String, ()> = lifted.iter().map(|v| (v.clone(), ())).collect();
 
         // Attempt aggregate pushdown: rewrite all downstream expressions.
         let mut found: Vec<(BinOp, String)> = Vec::new();
         let rewritten_tail: Option<Vec<Qual>> = tail
             .iter()
             .map(|q| match q {
-                Qual::Gen(p, e) => {
-                    Some(Qual::Gen(p.clone(), rewrite_aggs(e, &lifted_set, &mut found)?))
-                }
-                Qual::Let(p, e) => {
-                    Some(Qual::Let(p.clone(), rewrite_aggs(e, &lifted_set, &mut found)?))
-                }
+                Qual::Gen(p, e) => Some(Qual::Gen(
+                    p.clone(),
+                    rewrite_aggs(e, &lifted_set, &mut found)?,
+                )),
+                Qual::Let(p, e) => Some(Qual::Let(
+                    p.clone(),
+                    rewrite_aggs(e, &lifted_set, &mut found)?,
+                )),
                 Qual::Pred(e) => Some(Qual::Pred(rewrite_aggs(e, &lifted_set, &mut found)?)),
-                Qual::GroupBy(p, e) => {
-                    Some(Qual::GroupBy(p.clone(), rewrite_aggs(e, &lifted_set, &mut found)?))
-                }
+                Qual::GroupBy(p, e) => Some(Qual::GroupBy(
+                    p.clone(),
+                    rewrite_aggs(e, &lifted_set, &mut found)?,
+                )),
             })
             .collect();
         let rewritten_head = rewrite_aggs(head, &lifted_set, &mut found);
@@ -623,7 +631,10 @@ impl Pipe {
                 Ok(Value::tuple(row))
             })?;
             return Ok((
-                Pipe { data, layout: Layout::new(cols) },
+                Pipe {
+                    data,
+                    layout: Layout::new(cols),
+                },
                 Some((new_tail, new_head)),
             ));
         }
@@ -661,13 +672,20 @@ impl Pipe {
         })?;
         let mut cols = key_vars;
         cols.extend(lifted);
-        Ok((Pipe { data, layout: Layout::new(cols) }, None))
+        Ok((
+            Pipe {
+                data,
+                layout: Layout::new(cols),
+            },
+            None,
+        ))
     }
 
     /// The final head map.
     fn finish(self, head: &CExpr, globals: &Arc<Env>) -> Result<Dataset> {
         let r = compile(head, &self.layout, globals)?;
-        self.data.map(move |row| r.eval(row.as_tuple().expect("env row")))
+        self.data
+            .map(move |row| r.eval(row.as_tuple().expect("env row")))
     }
 }
 
@@ -680,7 +698,9 @@ fn eval_key(keys: &[RExpr], row: &[Value]) -> Result<Value> {
         keys[0].eval(row)
     } else {
         Ok(Value::tuple(
-            keys.iter().map(|k| k.eval(row)).collect::<Result<Vec<_>>>()?,
+            keys.iter()
+                .map(|k| k.eval(row))
+                .collect::<Result<Vec<_>>>()?,
         ))
     }
 }

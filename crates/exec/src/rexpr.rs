@@ -146,7 +146,10 @@ impl RExpr {
             RExpr::Bin(op, a, b) => op.apply(&a.eval(row)?, &b.eval(row)?),
             RExpr::Un(op, a) => op.apply(&a.eval(row)?),
             RExpr::Call(f, args) => {
-                let vals = args.iter().map(|a| a.eval(row)).collect::<Result<Vec<_>>>()?;
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval(row))
+                    .collect::<Result<Vec<_>>>()?;
                 f.apply(&vals)
             }
             RExpr::Tuple(fs) => Ok(Value::tuple(
@@ -170,7 +173,11 @@ impl RExpr {
                     .ok_or_else(|| RuntimeError::new("aggregation over a non-bag column"))?;
                 op.reduce(items.iter())
             }
-            RExpr::Slow { expr, cols, globals } => {
+            RExpr::Slow {
+                expr,
+                cols,
+                globals,
+            } => {
                 let mut env: Env = globals.as_ref().clone();
                 for (name, i) in cols {
                     env.insert(name.clone(), row[*i].clone());
@@ -251,7 +258,6 @@ pub fn rewrite_aggs(
                 Some(e.clone())
             }
         }
-
     }
 }
 
@@ -346,7 +352,11 @@ mod tests {
         // { x + b | b ← bag } where bag is a column.
         let layout = Layout::new(vec!["bag".into(), "x".into()]);
         let comp = CExpr::Comp(Comprehension::new(
-            CExpr::Bin(BinOp::Add, Box::new(CExpr::var("x")), Box::new(CExpr::var("b"))),
+            CExpr::Bin(
+                BinOp::Add,
+                Box::new(CExpr::var("x")),
+                Box::new(CExpr::var("b")),
+            ),
             vec![Qual::Gen(Pattern::var("b"), CExpr::var("bag"))],
         ));
         let r = compile(&comp, &layout, &globals()).unwrap();

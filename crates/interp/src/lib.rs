@@ -118,16 +118,28 @@ impl Interpreter {
                 Ok(())
             }
             Stmt::Assign { dest, value, .. } => {
-                let Some(v) = self.eval(value)? else { return Ok(()) };
+                let Some(v) = self.eval(value)? else {
+                    return Ok(());
+                };
                 self.write(dest, v, None)
             }
-            Stmt::Incr { dest, op, value, .. } => {
-                let Some(v) = self.eval(value)? else { return Ok(()) };
+            Stmt::Incr {
+                dest, op, value, ..
+            } => {
+                let Some(v) = self.eval(value)? else {
+                    return Ok(());
+                };
                 self.write(dest, v, Some(*op))
             }
-            Stmt::For { var, lo, hi, body, .. } => {
-                let Some(lo) = self.eval(lo)? else { return Ok(()) };
-                let Some(hi) = self.eval(hi)? else { return Ok(()) };
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                let Some(lo) = self.eval(lo)? else {
+                    return Ok(());
+                };
+                let Some(hi) = self.eval(hi)? else {
+                    return Ok(());
+                };
                 let lo = lo
                     .as_long()
                     .ok_or_else(|| RuntimeError::new("for-loop bound must be long"))?;
@@ -141,7 +153,9 @@ impl Interpreter {
                 self.store.remove(var);
                 Ok(())
             }
-            Stmt::ForIn { var, source, body, .. } => {
+            Stmt::ForIn {
+                var, source, body, ..
+            } => {
                 let Expr::Dest(Lhs::Var(src)) = source else {
                     return Err(RuntimeError::new(
                         "for-in source must be a collection variable",
@@ -157,7 +171,9 @@ impl Interpreter {
             }
             Stmt::While { cond, body, .. } => {
                 loop {
-                    let Some(c) = self.eval(cond)? else { return Ok(()) };
+                    let Some(c) = self.eval(cond)? else {
+                        return Ok(());
+                    };
                     let c = c
                         .as_bool()
                         .ok_or_else(|| RuntimeError::new("while condition must be bool"))?;
@@ -168,8 +184,15 @@ impl Interpreter {
                 }
                 Ok(())
             }
-            Stmt::If { cond, then_branch, else_branch, .. } => {
-                let Some(c) = self.eval(cond)? else { return Ok(()) };
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                let Some(c) = self.eval(cond)? else {
+                    return Ok(());
+                };
                 let c = c
                     .as_bool()
                     .ok_or_else(|| RuntimeError::new("if condition must be bool"))?;
@@ -208,7 +231,9 @@ impl Interpreter {
             Lhs::Index(name, idxs) => {
                 let mut key_parts = Vec::with_capacity(idxs.len());
                 for e in idxs {
-                    let Some(k) = self.eval(e)? else { return Ok(()) };
+                    let Some(k) = self.eval(e)? else {
+                        return Ok(());
+                    };
                     key_parts.push(k);
                 }
                 let key = if key_parts.len() == 1 {
@@ -227,7 +252,9 @@ impl Interpreter {
             }
             Lhs::Proj(base, field) => {
                 // Read-modify-write of a single record field.
-                let Some(cur) = self.read_lhs(base)? else { return Ok(()) };
+                let Some(cur) = self.read_lhs(base)? else {
+                    return Ok(());
+                };
                 let Value::Record(fields) = &cur else {
                     return Err(RuntimeError::new(format!(
                         "cannot project `.{field}` out of {}",
@@ -267,7 +294,9 @@ impl Interpreter {
                 None => Err(RuntimeError::new(format!("undefined variable `{name}`"))),
             },
             Lhs::Proj(base, field) => {
-                let Some(v) = self.read_lhs(base)? else { return Ok(None) };
+                let Some(v) = self.read_lhs(base)? else {
+                    return Ok(None);
+                };
                 match v.field(field) {
                     Some(f) => Ok(Some(f.clone())),
                     None => Err(RuntimeError::new(format!(
@@ -278,7 +307,9 @@ impl Interpreter {
             Lhs::Index(name, idxs) => {
                 let mut key_parts = Vec::with_capacity(idxs.len());
                 for e in idxs {
-                    let Some(k) = self.eval(e)? else { return Ok(None) };
+                    let Some(k) = self.eval(e)? else {
+                        return Ok(None);
+                    };
                     key_parts.push(k);
                 }
                 let key = if key_parts.len() == 1 {
@@ -303,18 +334,26 @@ impl Interpreter {
                 Const::Str(s) => Value::str(s),
             })),
             Expr::Bin(op, a, b) => {
-                let Some(a) = self.eval(a)? else { return Ok(None) };
-                let Some(b) = self.eval(b)? else { return Ok(None) };
+                let Some(a) = self.eval(a)? else {
+                    return Ok(None);
+                };
+                let Some(b) = self.eval(b)? else {
+                    return Ok(None);
+                };
                 Ok(Some(op.apply(&a, &b)?))
             }
             Expr::Un(op, a) => {
-                let Some(a) = self.eval(a)? else { return Ok(None) };
+                let Some(a) = self.eval(a)? else {
+                    return Ok(None);
+                };
                 Ok(Some(op.apply(&a)?))
             }
             Expr::Call(f, args) => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
-                    let Some(v) = self.eval(a)? else { return Ok(None) };
+                    let Some(v) = self.eval(a)? else {
+                        return Ok(None);
+                    };
                     vals.push(v);
                 }
                 Ok(Some(f.apply(&vals)?))
@@ -322,7 +361,9 @@ impl Interpreter {
             Expr::Tuple(fields) => {
                 let mut vals = Vec::with_capacity(fields.len());
                 for f in fields {
-                    let Some(v) = self.eval(f)? else { return Ok(None) };
+                    let Some(v) = self.eval(f)? else {
+                        return Ok(None);
+                    };
                     vals.push(v);
                 }
                 Ok(Some(Value::tuple(vals)))
@@ -330,7 +371,9 @@ impl Interpreter {
             Expr::Record(fields) => {
                 let mut vals = Vec::with_capacity(fields.len());
                 for (n, f) in fields {
-                    let Some(v) = self.eval(f)? else { return Ok(None) };
+                    let Some(v) = self.eval(f)? else {
+                        return Ok(None);
+                    };
                     vals.push((n.clone(), v));
                 }
                 Ok(Some(Value::record(vals)))
@@ -383,7 +426,10 @@ mod tests {
                 .collect();
             it.bind_collection("A", a).unwrap();
         });
-        assert_eq!(interp.collection("C").unwrap(), vec_input(&[(3, 23), (5, 25)]));
+        assert_eq!(
+            interp.collection("C").unwrap(),
+            vec_input(&[(3, 23), (5, 25)])
+        );
     }
 
     #[test]
@@ -394,7 +440,8 @@ mod tests {
             for i = 0, 99 do sum += V[i];
         "#;
         let interp = run(src, |it| {
-            it.bind_collection("V", vec_input(&[(2, 10), (50, 32)])).unwrap();
+            it.bind_collection("V", vec_input(&[(2, 10), (50, 32)]))
+                .unwrap();
         });
         assert_eq!(interp.scalar("sum"), Some(Value::Long(42)));
     }
@@ -417,16 +464,25 @@ mod tests {
             entries
                 .iter()
                 .map(|&(i, j, v)| {
-                    Value::pair(Value::pair(Value::Long(i), Value::Long(j)), Value::Double(v))
+                    Value::pair(
+                        Value::pair(Value::Long(i), Value::Long(j)),
+                        Value::Double(v),
+                    )
                 })
                 .collect::<Vec<_>>()
         };
         let interp = run(src, |it| {
             it.bind_scalar("d", Value::Long(2));
-            it.bind_collection("M", m(&[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]))
-                .unwrap();
-            it.bind_collection("N", m(&[(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)]))
-                .unwrap();
+            it.bind_collection(
+                "M",
+                m(&[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)]),
+            )
+            .unwrap();
+            it.bind_collection(
+                "N",
+                m(&[(0, 0, 5.0), (0, 1, 6.0), (1, 0, 7.0), (1, 1, 8.0)]),
+            )
+            .unwrap();
         });
         let r = interp.collection("R").unwrap();
         let get = |i: i64, j: i64| {

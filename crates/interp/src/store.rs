@@ -110,7 +110,9 @@ mod tests {
     fn collection_round_trip() {
         let mut store = Store::default();
         store.set_empty_collection("V");
-        store.insert("V", Value::Long(3), Value::Double(1.5)).unwrap();
+        store
+            .insert("V", Value::Long(3), Value::Double(1.5))
+            .unwrap();
         assert_eq!(
             store.lookup("V", &Value::Long(3)).unwrap(),
             Some(Value::Double(1.5))
@@ -157,6 +159,9 @@ mod tests {
                 ],
             )
             .unwrap();
-        assert_eq!(store.lookup("V", &Value::Long(1)).unwrap(), Some(Value::Long(20)));
+        assert_eq!(
+            store.lookup("V", &Value::Long(1)).unwrap(),
+            Some(Value::Long(20))
+        );
     }
 }

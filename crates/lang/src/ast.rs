@@ -171,20 +171,50 @@ impl Lhs {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Stmt {
     /// Incremental update `d ⊕= e` for a commutative `⊕`.
-    Incr { dest: Lhs, op: BinOp, value: Expr, span: Span },
+    Incr {
+        dest: Lhs,
+        op: BinOp,
+        value: Expr,
+        span: Span,
+    },
     /// Plain assignment `d := e`.
     Assign { dest: Lhs, value: Expr, span: Span },
     /// Variable declaration `var v: t = e`. Not allowed inside for-loops.
-    Decl { name: String, ty: Type, init: DeclInit, span: Span },
+    Decl {
+        name: String,
+        ty: Type,
+        init: DeclInit,
+        span: Span,
+    },
     /// Range iteration `for v = e1, e2 do s` (inclusive bounds).
-    For { var: String, lo: Expr, hi: Expr, body: Box<Stmt>, span: Span },
+    For {
+        var: String,
+        lo: Expr,
+        hi: Expr,
+        body: Box<Stmt>,
+        span: Span,
+    },
     /// Collection traversal `for v in e do s`; `v` ranges over the *values*
     /// of the collection (rule (15e)).
-    ForIn { var: String, source: Expr, body: Box<Stmt>, span: Span },
+    ForIn {
+        var: String,
+        source: Expr,
+        body: Box<Stmt>,
+        span: Span,
+    },
     /// While loop (always sequential).
-    While { cond: Expr, body: Box<Stmt>, span: Span },
+    While {
+        cond: Expr,
+        body: Box<Stmt>,
+        span: Span,
+    },
     /// Conditional.
-    If { cond: Expr, then_branch: Box<Stmt>, else_branch: Option<Box<Stmt>>, span: Span },
+    If {
+        cond: Expr,
+        then_branch: Box<Stmt>,
+        else_branch: Option<Box<Stmt>>,
+        span: Span,
+    },
     /// Statement block `{ s1; ...; sn }`.
     Block(Vec<Stmt>),
 }
@@ -248,7 +278,10 @@ mod tests {
         ));
         let mut vars = Vec::new();
         e.free_vars(&mut vars);
-        assert_eq!(vars, vec!["V".to_string(), "W".to_string(), "i".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["V".to_string(), "W".to_string(), "i".to_string()]
+        );
     }
 
     #[test]

@@ -194,7 +194,12 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Creates a lexer over the source text.
     pub fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn span(&self) -> Span {
@@ -315,7 +320,10 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
-        Token { kind: TokenKind::Ident(text.to_string()), span }
+        Token {
+            kind: TokenKind::Ident(text.to_string()),
+            span,
+        }
     }
 
     fn lex_string(&mut self) -> Result<Token> {
@@ -332,7 +340,10 @@ impl<'a> Lexer<'a> {
                     Some(b'\\') => out.push('\\'),
                     other => {
                         return Err(LangError::new(
-                            format!("bad escape sequence `\\{}`", other.map(char::from).unwrap_or(' ')),
+                            format!(
+                                "bad escape sequence `\\{}`",
+                                other.map(char::from).unwrap_or(' ')
+                            ),
                             span,
                         ))
                     }
@@ -341,7 +352,10 @@ impl<'a> Lexer<'a> {
                 None => return Err(LangError::new("unterminated string literal", span)),
             }
         }
-        Ok(Token { kind: TokenKind::Str(out), span })
+        Ok(Token {
+            kind: TokenKind::Str(out),
+            span,
+        })
     }
 
     /// Tokenizes the whole input, appending an [`TokenKind::Eof`] token.
@@ -351,7 +365,10 @@ impl<'a> Lexer<'a> {
             self.skip_trivia()?;
             let span = self.span();
             let Some(c) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, span });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
                 return Ok(tokens);
             };
             let tok = match c {

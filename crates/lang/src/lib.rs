@@ -59,7 +59,10 @@ pub struct LangError {
 impl LangError {
     /// Creates an error at the given span.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        Self { message: message.into(), span }
+        Self {
+            message: message.into(),
+            span,
+        }
     }
 }
 

@@ -69,7 +69,11 @@ impl Parser {
             Ok(self.bump())
         } else {
             Err(LangError::new(
-                format!("expected {}, found {}", kind.describe(), self.peek_kind().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek_kind().describe()
+                ),
                 self.span(),
             ))
         }
@@ -196,7 +200,10 @@ impl Parser {
                 self.expect(&TokenKind::RecClose)?;
                 Ok(Type::Record(fields))
             }
-            other => Err(LangError::new(format!("expected a type, found {}", other.describe()), span)),
+            other => Err(LangError::new(
+                format!("expected a type, found {}", other.describe()),
+                span,
+            )),
         }
     }
 
@@ -216,7 +223,11 @@ impl Parser {
             let cond = self.expr()?;
             self.expect(&TokenKind::RParen)?;
             let body = self.stmt()?;
-            return Ok(Stmt::While { cond, body: Box::new(body), span });
+            return Ok(Stmt::While {
+                cond,
+                body: Box::new(body),
+                span,
+            });
         }
         if self.at_ident("if") {
             self.bump();
@@ -230,7 +241,12 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Stmt::If { cond, then_branch, else_branch, span });
+            return Ok(Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            });
         }
         if self.peek_kind() == &TokenKind::LBrace {
             self.bump();
@@ -253,16 +269,42 @@ impl Parser {
                 let value = self.expr()?;
                 desugar_assign(dest, value, span)
             }
-            TokenKind::PlusAssign => Stmt::Incr { dest, op: BinOp::Add, value: self.expr()?, span },
-            TokenKind::StarAssign => Stmt::Incr { dest, op: BinOp::Mul, value: self.expr()?, span },
-            TokenKind::CaretAssign => {
-                Stmt::Incr { dest, op: BinOp::ArgMin, value: self.expr()?, span }
-            }
-            TokenKind::AndAssign => Stmt::Incr { dest, op: BinOp::And, value: self.expr()?, span },
-            TokenKind::OrAssign => Stmt::Incr { dest, op: BinOp::Or, value: self.expr()?, span },
+            TokenKind::PlusAssign => Stmt::Incr {
+                dest,
+                op: BinOp::Add,
+                value: self.expr()?,
+                span,
+            },
+            TokenKind::StarAssign => Stmt::Incr {
+                dest,
+                op: BinOp::Mul,
+                value: self.expr()?,
+                span,
+            },
+            TokenKind::CaretAssign => Stmt::Incr {
+                dest,
+                op: BinOp::ArgMin,
+                value: self.expr()?,
+                span,
+            },
+            TokenKind::AndAssign => Stmt::Incr {
+                dest,
+                op: BinOp::And,
+                value: self.expr()?,
+                span,
+            },
+            TokenKind::OrAssign => Stmt::Incr {
+                dest,
+                op: BinOp::Or,
+                value: self.expr()?,
+                span,
+            },
             other => {
                 return Err(LangError::new(
-                    format!("expected an assignment operator, found {}", other.describe()),
+                    format!(
+                        "expected an assignment operator, found {}",
+                        other.describe()
+                    ),
                     tok.span,
                 ))
             }
@@ -291,7 +333,12 @@ impl Parser {
             DeclInit::Expr(self.expr()?)
         };
         self.expect(&TokenKind::Semi)?;
-        Ok(Stmt::Decl { name, ty, init, span })
+        Ok(Stmt::Decl {
+            name,
+            ty,
+            init,
+            span,
+        })
     }
 
     fn for_stmt(&mut self) -> Result<Stmt> {
@@ -302,7 +349,12 @@ impl Parser {
             let source = self.expr()?;
             self.expect_ident("do")?;
             let body = self.stmt()?;
-            return Ok(Stmt::ForIn { var, source, body: Box::new(body), span });
+            return Ok(Stmt::ForIn {
+                var,
+                source,
+                body: Box::new(body),
+                span,
+            });
         }
         self.expect(&TokenKind::Eq)?;
         let lo = self.expr()?;
@@ -310,7 +362,13 @@ impl Parser {
         let hi = self.expr()?;
         self.expect_ident("do")?;
         let body = self.stmt()?;
-        Ok(Stmt::For { var, lo, hi, body: Box::new(body), span })
+        Ok(Stmt::For {
+            var,
+            lo,
+            hi,
+            body: Box::new(body),
+            span,
+        })
     }
 
     // ---------------------------------------------------------- L-values
@@ -545,7 +603,11 @@ impl Parser {
         // `min`/`max` are binary operators in call syntax.
         match name.as_str() {
             "min" | "max" if args.len() == 2 => {
-                let op = if name == "min" { BinOp::Min } else { BinOp::Max };
+                let op = if name == "min" {
+                    BinOp::Min
+                } else {
+                    BinOp::Max
+                };
                 let mut it = args.into_iter();
                 let a = it.next().expect("two args");
                 let b = it.next().expect("two args");
@@ -566,10 +628,20 @@ fn desugar_assign(dest: Lhs, value: Expr, span: Span) -> Stmt {
     if let Expr::Bin(op, lhs, rhs) = &value {
         if op.is_commutative() {
             if matches!(lhs.as_ref(), Expr::Dest(d) if *d == dest) {
-                return Stmt::Incr { dest, op: *op, value: (**rhs).clone(), span };
+                return Stmt::Incr {
+                    dest,
+                    op: *op,
+                    value: (**rhs).clone(),
+                    span,
+                };
             }
             if matches!(rhs.as_ref(), Expr::Dest(d) if *d == dest) {
-                return Stmt::Incr { dest, op: *op, value: (**lhs).clone(), span };
+                return Stmt::Incr {
+                    dest,
+                    op: *op,
+                    value: (**lhs).clone(),
+                    span,
+                };
             }
         }
     }
@@ -595,7 +667,10 @@ mod tests {
         assert_eq!(p.body.len(), 2);
         assert!(matches!(
             &p.body[0],
-            Stmt::Decl { init: DeclInit::EmptyCollection, .. }
+            Stmt::Decl {
+                init: DeclInit::EmptyCollection,
+                ..
+            }
         ));
     }
 
@@ -616,9 +691,15 @@ mod tests {
         "#,
         )
         .unwrap();
-        let Stmt::For { body, .. } = &p.body[1] else { panic!("outer for") };
-        let Stmt::For { body, .. } = body.as_ref() else { panic!("inner for") };
-        let Stmt::Block(ss) = body.as_ref() else { panic!("block") };
+        let Stmt::For { body, .. } = &p.body[1] else {
+            panic!("outer for")
+        };
+        let Stmt::For { body, .. } = body.as_ref() else {
+            panic!("inner for")
+        };
+        let Stmt::Block(ss) = body.as_ref() else {
+            panic!("block")
+        };
         assert_eq!(ss.len(), 2);
         assert!(matches!(&ss[1], Stmt::For { body, .. }
             if matches!(body.as_ref(), Stmt::Incr { op: BinOp::Add, .. })));
@@ -634,7 +715,9 @@ mod tests {
         "#,
         )
         .unwrap();
-        let Stmt::ForIn { body, .. } = &p.body[1] else { panic!() };
+        let Stmt::ForIn { body, .. } = &p.body[1] else {
+            panic!()
+        };
         assert!(
             matches!(body.as_ref(), Stmt::Incr { op: BinOp::And, .. }),
             "got {body:?}"
@@ -652,7 +735,11 @@ mod tests {
         let p = parse("var x: long = 0; x := 1 + x;").unwrap();
         assert!(matches!(
             &p.body[1],
-            Stmt::Incr { op: BinOp::Add, value: Expr::Const(Const::Long(1)), .. }
+            Stmt::Incr {
+                op: BinOp::Add,
+                value: Expr::Const(Const::Long(1)),
+                ..
+            }
         ));
     }
 
@@ -700,7 +787,10 @@ mod tests {
 
     #[test]
     fn builtin_calls_and_unknown_functions() {
-        assert!(matches!(parse_expr("sqrt(x)").unwrap(), Expr::Call(Func::Sqrt, _)));
+        assert!(matches!(
+            parse_expr("sqrt(x)").unwrap(),
+            Expr::Call(Func::Sqrt, _)
+        ));
         assert!(parse_expr("frobnicate(x)").is_err());
     }
 
@@ -742,7 +832,10 @@ mod tests {
                 other => panic!("expected Incr, got {other:?}"),
             })
             .collect();
-        assert_eq!(ops, vec![BinOp::Add, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::ArgMin]);
+        assert_eq!(
+            ops,
+            vec![BinOp::Add, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::ArgMin]
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub fn pretty_program(p: &Program) -> String {
 pub fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
     let pad = "  ".repeat(indent);
     match s {
-        Stmt::Incr { dest, op, value, .. } => {
+        Stmt::Incr {
+            dest, op, value, ..
+        } => {
             let sym = match op {
                 BinOp::Add => "+=".to_string(),
                 BinOp::Mul => "*=".to_string(),
@@ -42,10 +44,18 @@ pub fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
                     return;
                 }
             };
-            out.push_str(&format!("{pad}{} {sym} {};\n", pretty_lhs(dest), pretty_expr(value)));
+            out.push_str(&format!(
+                "{pad}{} {sym} {};\n",
+                pretty_lhs(dest),
+                pretty_expr(value)
+            ));
         }
         Stmt::Assign { dest, value, .. } => {
-            out.push_str(&format!("{pad}{} := {};\n", pretty_lhs(dest), pretty_expr(value)));
+            out.push_str(&format!(
+                "{pad}{} := {};\n",
+                pretty_lhs(dest),
+                pretty_expr(value)
+            ));
         }
         Stmt::Decl { name, ty, init, .. } => {
             let init = match init {
@@ -58,7 +68,9 @@ pub fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
             };
             out.push_str(&format!("{pad}var {name}: {ty} = {init};\n"));
         }
-        Stmt::For { var, lo, hi, body, .. } => {
+        Stmt::For {
+            var, lo, hi, body, ..
+        } => {
             out.push_str(&format!(
                 "{pad}for {var} = {}, {} do\n",
                 pretty_expr(lo),
@@ -66,7 +78,9 @@ pub fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
             ));
             pretty_stmt(body, indent + 1, out);
         }
-        Stmt::ForIn { var, source, body, .. } => {
+        Stmt::ForIn {
+            var, source, body, ..
+        } => {
             out.push_str(&format!("{pad}for {var} in {} do\n", pretty_expr(source)));
             pretty_stmt(body, indent + 1, out);
         }
@@ -74,7 +88,12 @@ pub fn pretty_stmt(s: &Stmt, indent: usize, out: &mut String) {
             out.push_str(&format!("{pad}while ({})\n", pretty_expr(cond)));
             pretty_stmt(body, indent + 1, out);
         }
-        Stmt::If { cond, then_branch, else_branch, .. } => {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            ..
+        } => {
             out.push_str(&format!("{pad}if ({})\n", pretty_expr(cond)));
             pretty_stmt(then_branch, indent + 1, out);
             if let Some(e) = else_branch {
@@ -131,7 +150,11 @@ pub fn pretty_expr(e: &Expr) -> String {
             format!("{}({args})", f.name())
         }
         Expr::Tuple(fields) => {
-            let fs = fields.iter().map(pretty_expr).collect::<Vec<_>>().join(", ");
+            let fs = fields
+                .iter()
+                .map(pretty_expr)
+                .collect::<Vec<_>>()
+                .join(", ");
             format!("({fs})")
         }
         Expr::Record(fields) => {

@@ -208,9 +208,8 @@ impl Checker {
             Lhs::Var(v) => self.lookup(v, span),
             Lhs::Proj(base, field) => {
                 let t = self.type_of_lhs(base, span)?;
-                project(&t, field).ok_or_else(|| {
-                    LangError::new(format!("type {t} has no field `{field}`"), span)
-                })
+                project(&t, field)
+                    .ok_or_else(|| LangError::new(format!("type {t} has no field `{field}`"), span))
             }
             Lhs::Index(v, idxs) => {
                 let t = self.lookup(v, span)?;
@@ -278,7 +277,12 @@ impl Checker {
             Expr::Call(f, args) => {
                 if args.len() != f.arity() {
                     return Err(LangError::new(
-                        format!("{} expects {} argument(s), got {}", f.name(), f.arity(), args.len()),
+                        format!(
+                            "{} expects {} argument(s), got {}",
+                            f.name(),
+                            f.arity(),
+                            args.len()
+                        ),
                         span,
                     ));
                 }
@@ -322,7 +326,10 @@ impl Checker {
         use BinOp::*;
         let err = || {
             Err(LangError::new(
-                format!("operator `{}` cannot be applied to {ta} and {tb}", op.symbol()),
+                format!(
+                    "operator `{}` cannot be applied to {ta} and {tb}",
+                    op.symbol()
+                ),
                 span,
             ))
         };
@@ -389,10 +396,17 @@ impl Checker {
 
     fn check_stmt(&mut self, s: Stmt, loop_depth: usize) -> Result<Stmt> {
         match s {
-            Stmt::Decl { name, ty, init, span } => {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                span,
+            } => {
                 if loop_depth > 0 {
                     return Err(LangError::new(
-                        format!("`var {name}` declarations cannot appear inside for-loops (Fig. 1)"),
+                        format!(
+                            "`var {name}` declarations cannot appear inside for-loops (Fig. 1)"
+                        ),
                         span,
                     ));
                 }
@@ -420,7 +434,12 @@ impl Checker {
                 }
                 self.used.insert(name.clone());
                 self.var_types.insert(name.clone(), ty.clone());
-                Ok(Stmt::Decl { name, ty, init, span })
+                Ok(Stmt::Decl {
+                    name,
+                    ty,
+                    init,
+                    span,
+                })
             }
             Stmt::Assign { dest, value, span } => {
                 self.check_write(&dest, span)?;
@@ -434,7 +453,12 @@ impl Checker {
                 }
                 Ok(Stmt::Assign { dest, value, span })
             }
-            Stmt::Incr { dest, op, value, span } => {
+            Stmt::Incr {
+                dest,
+                op,
+                value,
+                span,
+            } => {
                 if !op.is_commutative() {
                     return Err(LangError::new(
                         format!(
@@ -450,13 +474,27 @@ impl Checker {
                 let tr = self.type_of_binop(op, &td, &tv, span)?;
                 if !assignable(&td, &tr) {
                     return Err(LangError::new(
-                        format!("`{}=` would store {tr} into destination of type {td}", op.symbol()),
+                        format!(
+                            "`{}=` would store {tr} into destination of type {td}",
+                            op.symbol()
+                        ),
                         span,
                     ));
                 }
-                Ok(Stmt::Incr { dest, op, value, span })
+                Ok(Stmt::Incr {
+                    dest,
+                    op,
+                    value,
+                    span,
+                })
             }
-            Stmt::For { var, lo, hi, body, span } => {
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                body,
+                span,
+            } => {
                 for (side, e) in [("lower", &lo), ("upper", &hi)] {
                     let t = self.type_of_expr(e, span)?;
                     if t != Type::Long {
@@ -475,14 +513,28 @@ impl Checker {
                 self.var_types.insert(fresh.clone(), Type::Long);
                 self.loop_vars.insert(fresh.clone());
                 let body = self.check_stmt(body, loop_depth + 1)?;
-                Ok(Stmt::For { var: fresh, lo, hi, body: Box::new(body), span })
+                Ok(Stmt::For {
+                    var: fresh,
+                    lo,
+                    hi,
+                    body: Box::new(body),
+                    span,
+                })
             }
-            Stmt::ForIn { var, source, body, span } => {
+            Stmt::ForIn {
+                var,
+                source,
+                body,
+                span,
+            } => {
                 let ts = self.type_of_expr(&source, span)?;
                 let elem = ts
                     .element()
                     .ok_or_else(|| {
-                        LangError::new(format!("for-in source must be a collection, got {ts}"), span)
+                        LangError::new(
+                            format!("for-in source must be a collection, got {ts}"),
+                            span,
+                        )
                     })?
                     .clone();
                 let fresh = self.fresh(&var);
@@ -494,7 +546,12 @@ impl Checker {
                 self.var_types.insert(fresh.clone(), elem);
                 self.loop_vars.insert(fresh.clone());
                 let body = self.check_stmt(body, loop_depth + 1)?;
-                Ok(Stmt::ForIn { var: fresh, source, body: Box::new(body), span })
+                Ok(Stmt::ForIn {
+                    var: fresh,
+                    source,
+                    body: Box::new(body),
+                    span,
+                })
             }
             Stmt::While { cond, body, span } => {
                 let t = self.type_of_expr(&cond, span)?;
@@ -505,19 +562,36 @@ impl Checker {
                     ));
                 }
                 let body = self.check_stmt(*body, loop_depth)?;
-                Ok(Stmt::While { cond, body: Box::new(body), span })
+                Ok(Stmt::While {
+                    cond,
+                    body: Box::new(body),
+                    span,
+                })
             }
-            Stmt::If { cond, then_branch, else_branch, span } => {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+                span,
+            } => {
                 let t = self.type_of_expr(&cond, span)?;
                 if t != Type::Bool {
-                    return Err(LangError::new(format!("if condition must be bool, got {t}"), span));
+                    return Err(LangError::new(
+                        format!("if condition must be bool, got {t}"),
+                        span,
+                    ));
                 }
                 let then_branch = Box::new(self.check_stmt(*then_branch, loop_depth)?);
                 let else_branch = match else_branch {
                     Some(b) => Some(Box::new(self.check_stmt(*b, loop_depth)?)),
                     None => None,
                 };
-                Ok(Stmt::If { cond, then_branch, else_branch, span })
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    span,
+                })
             }
             Stmt::Block(ss) => {
                 let ss = ss
@@ -544,7 +618,10 @@ impl Checker {
 /// Looks up a field `A` (or tuple position `_k`) in a record/tuple type.
 fn project(t: &Type, field: &str) -> Option<Type> {
     match t {
-        Type::Record(fields) => fields.iter().find(|(n, _)| n == field).map(|(_, t)| t.clone()),
+        Type::Record(fields) => fields
+            .iter()
+            .find(|(n, _)| n == field)
+            .map(|(_, t)| t.clone()),
         Type::Tuple(ts) => {
             let idx: usize = field.strip_prefix('_')?.parse().ok()?;
             ts.get(idx.checked_sub(1)?).cloned()
@@ -557,7 +634,12 @@ fn project(t: &Type, field: &str) -> Option<Type> {
 /// stopping at inner binders that rebind `from`.
 pub fn rename_var(s: Stmt, from: &str, to: &str) -> Stmt {
     match s {
-        Stmt::Incr { dest, op, value, span } => Stmt::Incr {
+        Stmt::Incr {
+            dest,
+            op,
+            value,
+            span,
+        } => Stmt::Incr {
             dest: rename_lhs(dest, from, to),
             op,
             value: rename_expr(value, from, to),
@@ -568,7 +650,12 @@ pub fn rename_var(s: Stmt, from: &str, to: &str) -> Stmt {
             value: rename_expr(value, from, to),
             span,
         },
-        Stmt::Decl { name, ty, init, span } => Stmt::Decl {
+        Stmt::Decl {
+            name,
+            ty,
+            init,
+            span,
+        } => Stmt::Decl {
             name,
             ty,
             init: match init {
@@ -577,23 +664,58 @@ pub fn rename_var(s: Stmt, from: &str, to: &str) -> Stmt {
             },
             span,
         },
-        Stmt::For { var, lo, hi, body, span } => {
+        Stmt::For {
+            var,
+            lo,
+            hi,
+            body,
+            span,
+        } => {
             let lo = rename_expr(lo, from, to);
             let hi = rename_expr(hi, from, to);
-            let body = if var == from { body } else { Box::new(rename_var(*body, from, to)) };
-            Stmt::For { var, lo, hi, body, span }
+            let body = if var == from {
+                body
+            } else {
+                Box::new(rename_var(*body, from, to))
+            };
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                body,
+                span,
+            }
         }
-        Stmt::ForIn { var, source, body, span } => {
+        Stmt::ForIn {
+            var,
+            source,
+            body,
+            span,
+        } => {
             let source = rename_expr(source, from, to);
-            let body = if var == from { body } else { Box::new(rename_var(*body, from, to)) };
-            Stmt::ForIn { var, source, body, span }
+            let body = if var == from {
+                body
+            } else {
+                Box::new(rename_var(*body, from, to))
+            };
+            Stmt::ForIn {
+                var,
+                source,
+                body,
+                span,
+            }
         }
         Stmt::While { cond, body, span } => Stmt::While {
             cond: rename_expr(cond, from, to),
             body: Box::new(rename_var(*body, from, to)),
             span,
         },
-        Stmt::If { cond, then_branch, else_branch, span } => Stmt::If {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+            span,
+        } => Stmt::If {
             cond: rename_expr(cond, from, to),
             then_branch: Box::new(rename_var(*then_branch, from, to)),
             else_branch: else_branch.map(|b| Box::new(rename_var(*b, from, to))),
@@ -624,9 +746,10 @@ fn rename_expr(e: Expr, from: &str, to: &str) -> Expr {
             Box::new(rename_expr(*b, from, to)),
         ),
         Expr::Un(op, a) => Expr::Un(op, Box::new(rename_expr(*a, from, to))),
-        Expr::Call(f, args) => {
-            Expr::Call(f, args.into_iter().map(|a| rename_expr(a, from, to)).collect())
-        }
+        Expr::Call(f, args) => Expr::Call(
+            f,
+            args.into_iter().map(|a| rename_expr(a, from, to)).collect(),
+        ),
         Expr::Tuple(fs) => Expr::Tuple(fs.into_iter().map(|a| rename_expr(a, from, to)).collect()),
         Expr::Record(fs) => Expr::Record(
             fs.into_iter()
@@ -645,7 +768,10 @@ pub fn typecheck(program: Program) -> Result<TypedProgram> {
     };
     for (name, ty) in &program.inputs {
         if checker.used.contains(name) {
-            return Err(LangError::new(format!("input `{name}` declared twice"), Span::SYNTH));
+            return Err(LangError::new(
+                format!("input `{name}` declared twice"),
+                Span::SYNTH,
+            ));
         }
         checker.used.insert(name.clone());
         checker.var_types.insert(name.clone(), ty.clone());
@@ -656,7 +782,10 @@ pub fn typecheck(program: Program) -> Result<TypedProgram> {
         .map(|s| checker.check_stmt(s, 0))
         .collect::<Result<Vec<_>>>()?;
     Ok(TypedProgram {
-        program: Program { inputs: program.inputs, body },
+        program: Program {
+            inputs: program.inputs,
+            body,
+        },
         var_types: checker.var_types,
         loop_vars: checker.loop_vars,
     })
@@ -701,7 +830,11 @@ mod tests {
         "#;
         let tp = check(src).unwrap();
         assert!(tp.is_loop_var("i"));
-        assert!(tp.is_loop_var("i_2"), "second loop index renamed: {:?}", tp.loop_vars);
+        assert!(
+            tp.is_loop_var("i_2"),
+            "second loop index renamed: {:?}",
+            tp.loop_vars
+        );
     }
 
     #[test]
@@ -711,7 +844,10 @@ mod tests {
             for i = 0, 9 do { var x: long = 0; x += V[i]; };
         "#;
         let err = check(src).unwrap_err();
-        assert!(err.message.contains("cannot appear inside for-loops"), "{err}");
+        assert!(
+            err.message.contains("cannot appear inside for-loops"),
+            "{err}"
+        );
     }
 
     #[test]

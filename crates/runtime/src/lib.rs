@@ -44,7 +44,9 @@ pub struct RuntimeError {
 impl RuntimeError {
     /// Creates a new error with the given message.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 

@@ -66,7 +66,13 @@ impl BinOp {
     pub fn is_commutative(self) -> bool {
         matches!(
             self,
-            BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max | BinOp::And | BinOp::Or | BinOp::ArgMin
+            BinOp::Add
+                | BinOp::Mul
+                | BinOp::Min
+                | BinOp::Max
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::ArgMin
         )
     }
 
@@ -243,11 +249,17 @@ impl UnOp {
             UnOp::Neg => match v {
                 Value::Long(n) => Ok(Value::Long(-n)),
                 Value::Double(x) => Ok(Value::Double(-x)),
-                _ => Err(RuntimeError::new(format!("cannot negate {}", v.type_name()))),
+                _ => Err(RuntimeError::new(format!(
+                    "cannot negate {}",
+                    v.type_name()
+                ))),
             },
             UnOp::Not => match v {
                 Value::Bool(b) => Ok(Value::Bool(!b)),
-                _ => Err(RuntimeError::new(format!("cannot apply ! to {}", v.type_name()))),
+                _ => Err(RuntimeError::new(format!(
+                    "cannot apply ! to {}",
+                    v.type_name()
+                ))),
             },
         }
     }
@@ -325,7 +337,11 @@ impl Func {
         }
         let num = |v: &Value| {
             v.as_double().ok_or_else(|| {
-                RuntimeError::new(format!("{} expects a number, got {}", self.name(), v.type_name()))
+                RuntimeError::new(format!(
+                    "{} expects a number, got {}",
+                    self.name(),
+                    v.type_name()
+                ))
             })
         };
         match self {
@@ -408,14 +424,24 @@ mod tests {
 
     #[test]
     fn numeric_promotion() {
-        assert_eq!(BinOp::Add.apply(&Value::Long(2), &Value::Long(3)).unwrap(), Value::Long(5));
         assert_eq!(
-            BinOp::Add.apply(&Value::Long(2), &Value::Double(0.5)).unwrap(),
+            BinOp::Add.apply(&Value::Long(2), &Value::Long(3)).unwrap(),
+            Value::Long(5)
+        );
+        assert_eq!(
+            BinOp::Add
+                .apply(&Value::Long(2), &Value::Double(0.5))
+                .unwrap(),
             Value::Double(2.5)
         );
-        assert_eq!(BinOp::Div.apply(&Value::Long(7), &Value::Long(2)).unwrap(), Value::Long(3));
         assert_eq!(
-            BinOp::Div.apply(&Value::Double(7.0), &Value::Long(2)).unwrap(),
+            BinOp::Div.apply(&Value::Long(7), &Value::Long(2)).unwrap(),
+            Value::Long(3)
+        );
+        assert_eq!(
+            BinOp::Div
+                .apply(&Value::Double(7.0), &Value::Long(2))
+                .unwrap(),
             Value::Double(3.5)
         );
     }
@@ -450,7 +476,15 @@ mod tests {
 
     #[test]
     fn commutativity_flags() {
-        for op in [BinOp::Add, BinOp::Mul, BinOp::Min, BinOp::Max, BinOp::And, BinOp::Or, BinOp::ArgMin] {
+        for op in [
+            BinOp::Add,
+            BinOp::Mul,
+            BinOp::Min,
+            BinOp::Max,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::ArgMin,
+        ] {
             assert!(op.is_commutative(), "{op:?}");
         }
         for op in [BinOp::Sub, BinOp::Div, BinOp::Mod, BinOp::Lt, BinOp::Eq] {
@@ -466,7 +500,10 @@ mod tests {
         assert_eq!(agg.reduce([].iter()).unwrap(), Value::Long(0));
 
         let agg = AggOp::new(BinOp::Min).unwrap();
-        assert!(agg.reduce([].iter()).is_err(), "min over empty bag has no identity");
+        assert!(
+            agg.reduce([].iter()).is_err(),
+            "min over empty bag has no identity"
+        );
         assert_eq!(AggOp::new(BinOp::Sub), None, "subtraction is not a monoid");
     }
 
@@ -475,28 +512,39 @@ mod tests {
         // inRange(i, 0, d-1) is the predicate 0 <= i <= d-1 (§1.1).
         let f = Func::InRange;
         assert_eq!(
-            f.apply(&[Value::Long(0), Value::Long(0), Value::Long(9)]).unwrap(),
+            f.apply(&[Value::Long(0), Value::Long(0), Value::Long(9)])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            f.apply(&[Value::Long(9), Value::Long(0), Value::Long(9)]).unwrap(),
+            f.apply(&[Value::Long(9), Value::Long(0), Value::Long(9)])
+                .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            f.apply(&[Value::Long(10), Value::Long(0), Value::Long(9)]).unwrap(),
+            f.apply(&[Value::Long(10), Value::Long(0), Value::Long(9)])
+                .unwrap(),
             Value::Bool(false)
         );
     }
 
     #[test]
     fn builtin_functions() {
-        assert_eq!(Func::Sqrt.apply(&[Value::Double(9.0)]).unwrap(), Value::Double(3.0));
+        assert_eq!(
+            Func::Sqrt.apply(&[Value::Double(9.0)]).unwrap(),
+            Value::Double(3.0)
+        );
         assert_eq!(Func::Abs.apply(&[Value::Long(-4)]).unwrap(), Value::Long(4));
         assert_eq!(
-            Func::Pow.apply(&[Value::Double(2.0), Value::Double(10.0)]).unwrap(),
+            Func::Pow
+                .apply(&[Value::Double(2.0), Value::Double(10.0)])
+                .unwrap(),
             Value::Double(1024.0)
         );
-        assert_eq!(Func::ToLong.apply(&[Value::Double(3.7)]).unwrap(), Value::Long(3));
+        assert_eq!(
+            Func::ToLong.apply(&[Value::Double(3.7)]).unwrap(),
+            Value::Long(3)
+        );
         assert!(Func::by_name("sqrt").is_some());
         assert!(Func::by_name("nope").is_none());
     }

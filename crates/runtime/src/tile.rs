@@ -41,12 +41,23 @@ pub struct TiledMatrix {
 impl TiledMatrix {
     /// Creates an empty tiled matrix with the given tile shape.
     pub fn new(tile_rows: usize, tile_cols: usize) -> Self {
-        assert!(tile_rows > 0 && tile_cols > 0, "tile shape must be positive");
-        TiledMatrix { tile_rows, tile_cols, tiles: HashMap::new() }
+        assert!(
+            tile_rows > 0 && tile_cols > 0,
+            "tile shape must be positive"
+        );
+        TiledMatrix {
+            tile_rows,
+            tile_cols,
+            tiles: HashMap::new(),
+        }
     }
 
     /// `pack`: builds a tiled matrix from sparse `((i, j), v)` entries.
-    pub fn pack(tile_rows: usize, tile_cols: usize, entries: impl IntoIterator<Item = (i64, i64, f64)>) -> Self {
+    pub fn pack(
+        tile_rows: usize,
+        tile_cols: usize,
+        entries: impl IntoIterator<Item = (i64, i64, f64)>,
+    ) -> Self {
         let mut m = TiledMatrix::new(tile_rows, tile_cols);
         for (i, j, v) in entries {
             m.set(i, j, v);
@@ -64,8 +75,12 @@ impl TiledMatrix {
                 .filter(|t| t.len() == 2)
                 .ok_or_else(|| RuntimeError::new("matrix key must be (i, j)"))?;
             let (i, j) = (
-                ij[0].as_long().ok_or_else(|| RuntimeError::new("matrix row index must be long"))?,
-                ij[1].as_long().ok_or_else(|| RuntimeError::new("matrix col index must be long"))?,
+                ij[0]
+                    .as_long()
+                    .ok_or_else(|| RuntimeError::new("matrix row index must be long"))?,
+                ij[1]
+                    .as_long()
+                    .ok_or_else(|| RuntimeError::new("matrix col index must be long"))?,
             );
             let x = v
                 .as_double()
@@ -101,7 +116,10 @@ impl TiledMatrix {
         self.unpack()
             .into_iter()
             .map(|(i, j, v)| {
-                Value::pair(Value::pair(Value::Long(i), Value::Long(j)), Value::Double(v))
+                Value::pair(
+                    Value::pair(Value::Long(i), Value::Long(j)),
+                    Value::Double(v),
+                )
             })
             .collect()
     }
@@ -144,7 +162,11 @@ impl TiledMatrix {
         for (k, t) in &other.tiles {
             tiles.insert(*k, t.clone());
         }
-        TiledMatrix { tile_rows: self.tile_rows, tile_cols: self.tile_cols, tiles }
+        TiledMatrix {
+            tile_rows: self.tile_rows,
+            tile_cols: self.tile_cols,
+            tiles,
+        }
     }
 
     /// Tile-wise dense addition.
@@ -168,7 +190,10 @@ impl TiledMatrix {
     /// Tiled matrix multiplication: for square tiles (`tile_rows ==
     /// tile_cols`), multiplies tile blocks with a dense inner kernel.
     pub fn multiply(&self, other: &TiledMatrix) -> TiledMatrix {
-        assert_eq!(self.tile_cols, other.tile_rows, "inner tile shapes must agree");
+        assert_eq!(
+            self.tile_cols, other.tile_rows,
+            "inner tile shapes must agree"
+        );
         let n = self.tile_rows;
         let k_dim = self.tile_cols;
         let m = other.tile_cols;
@@ -294,7 +319,10 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(
             rows[0],
-            Value::pair(Value::pair(Value::Long(1), Value::Long(1)), Value::Double(4.5))
+            Value::pair(
+                Value::pair(Value::Long(1), Value::Long(1)),
+                Value::Double(4.5)
+            )
         );
     }
 

@@ -16,8 +16,7 @@ use std::sync::Arc;
 ///
 /// Collections (`Tuple`, `Record`, `Bag`) are reference counted so that rows
 /// can be cloned cheaply when they fan out through joins and group-bys.
-#[derive(Clone, Debug)]
-#[derive(Default)]
+#[derive(Clone, Debug, Default)]
 pub enum Value {
     /// The unit value `()`; used as the group-by key of total aggregations.
     #[default]
@@ -156,7 +155,6 @@ impl Value {
         }
     }
 }
-
 
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {

@@ -31,7 +31,10 @@ pub struct Workload {
 impl Workload {
     /// Estimated input size in bytes (the x-axis of Figure 3).
     pub fn input_bytes(&self) -> usize {
-        self.collections.iter().map(|(_, rows)| slice_size(rows)).sum()
+        self.collections
+            .iter()
+            .map(|(_, rows)| slice_size(rows))
+            .sum()
     }
 
     /// Total number of collection input rows.
@@ -122,10 +125,7 @@ pub fn matrix_addition(d: usize, seed: u64) -> Workload {
     Workload {
         name: "Matrix Addition",
         source: programs::MATRIX_ADDITION,
-        scalars: vec![
-            ("n", Value::Long(d as i64)),
-            ("mm", Value::Long(d as i64)),
-        ],
+        scalars: vec![("n", Value::Long(d as i64)), ("mm", Value::Long(d as i64))],
         collections: vec![
             ("M", generators::dense_matrix(d, seed)),
             ("N", generators::dense_matrix(d, seed + 1)),

@@ -12,7 +12,12 @@ use diablo_runtime::Value;
 use crate::generators::rng;
 
 /// The RMAT quadrant probabilities used by the paper.
-pub const PAPER_PARAMS: RmatParams = RmatParams { a: 0.30, b: 0.25, c: 0.25, d: 0.20 };
+pub const PAPER_PARAMS: RmatParams = RmatParams {
+    a: 0.30,
+    b: 0.25,
+    c: 0.25,
+    d: 0.20,
+};
 
 /// RMAT quadrant probabilities (must sum to 1).
 #[derive(Debug, Clone, Copy)]

@@ -1,16 +1,24 @@
 //! `diabloc` — the DIABLO command-line compiler and runner.
 //!
 //! ```text
-//! diabloc check  <program.dbl>             # parse + type check + restriction check
-//! diabloc show   <program.dbl>             # print the translated bulk statements
-//! diabloc run    <program.dbl> [bindings]  # execute on the dataflow engine
-//! diabloc interp <program.dbl> [bindings]  # execute with the sequential interpreter
+//! diabloc check   <program.dbl>             # parse + type check + restriction check
+//! diabloc show    <program.dbl>             # print the translated bulk statements
+//! diabloc run     <program.dbl> [bindings]  # execute on the dataflow engine
+//! diabloc interp  <program.dbl> [bindings]  # execute with the sequential interpreter
+//! diabloc explain <program.dbl> [bindings]  # print the executed physical plan
+//! diabloc run --explain <program.dbl> ...   # same as `explain`
 //! ```
 //!
 //! Bindings are `name=value` for scalars (`n=100`, `a=0.5`, `x=hello`) and
 //! `name=@file.csv` for collections. A collection CSV has one element per
 //! line: `key,value` for vectors/maps, `i,j,value` for matrices. After a
 //! run, every program variable is printed (collections truncated).
+//!
+//! `explain` renders the engine's physical plan — one line per fused
+//! per-partition stage, shuffle, and broadcast. Inputs that are not bound
+//! on the command line are synthesized from their declared types (small
+//! representative collections, default scalars), so any program can be
+//! explained without data files.
 
 use std::process::ExitCode;
 
@@ -22,8 +30,10 @@ use diablo_lang::{parse, typecheck, Type};
 use diablo_runtime::Value;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let explain_flag = args.iter().any(|a| a == "--explain");
+    args.retain(|a| a != "--explain");
+    match run(&args, explain_flag) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("diabloc: {msg}");
@@ -32,15 +42,24 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String], explain_flag: bool) -> Result<(), String> {
     let [cmd, path, rest @ ..] = args else {
         return Err(USAGE.to_string());
     };
+    let cmd = match (cmd.as_str(), explain_flag) {
+        (cmd, false) => cmd,
+        ("run" | "explain", true) => "explain",
+        (other, true) => {
+            return Err(format!(
+                "--explain only applies to `run` (or use the `explain` command), not `{other}`"
+            ))
+        }
+    };
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    match cmd.as_str() {
+    match cmd {
         "check" => {
-            let tp = typecheck(parse(&source).map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
+            let tp =
+                typecheck(parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
             diablo_core::check_restrictions(&tp).map_err(|e| e.to_string())?;
             println!("{path}: ok — the program satisfies the Definition 3.1 restrictions");
             Ok(())
@@ -64,17 +83,32 @@ fn run(args: &[String]) -> Result<(), String> {
             report_session(&compiled, &session);
             Ok(())
         }
+        "explain" => {
+            let compiled = compile(&source).map_err(|e| e.to_string())?;
+            let mut session = Session::new(Context::default_parallel());
+            for binding in rest {
+                let (name, value) = parse_binding(binding)?;
+                match value {
+                    Bound::Scalar(v) => session.bind_scalar(&name, v),
+                    Bound::Rows(rows) => session.bind_input(&name, rows),
+                }
+            }
+            bind_synthetic_inputs(&compiled, &mut session);
+            let plan = session.explain(&compiled).map_err(|e| e.to_string())?;
+            print!("{plan}");
+            Ok(())
+        }
         "interp" => {
-            let tp = typecheck(parse(&source).map_err(|e| e.to_string())?)
-                .map_err(|e| e.to_string())?;
+            let tp =
+                typecheck(parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
             let mut interp = Interpreter::new();
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
                 match value {
                     Bound::Scalar(v) => interp.bind_scalar(&name, v),
-                    Bound::Rows(rows) => {
-                        interp.bind_collection(&name, rows).map_err(|e| e.to_string())?
-                    }
+                    Bound::Rows(rows) => interp
+                        .bind_collection(&name, rows)
+                        .map_err(|e| e.to_string())?,
                 }
             }
             interp.run(&tp).map_err(|e| e.to_string())?;
@@ -93,7 +127,81 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp> <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] <program.dbl> [name=value | name=@rows.csv ...]";
+
+/// Binds a small synthesized value for every input the user did not bind,
+/// so `explain` works on any program without data files.
+fn bind_synthetic_inputs(compiled: &CompiledProgram, session: &mut Session) {
+    for (name, ty) in &compiled.inputs {
+        if session.binding(name).is_some() {
+            continue;
+        }
+        if ty.is_collection() {
+            session.bind_input(name, synthetic_rows(ty));
+        } else {
+            session.bind_scalar(name, default_scalar(ty));
+        }
+    }
+}
+
+/// Representative rows for a collection type: 8 entries for vectors and
+/// maps, a 3×3 grid for matrices.
+fn synthetic_rows(ty: &Type) -> Vec<Value> {
+    let elem = ty.element().cloned().unwrap_or(Type::Long);
+    match ty {
+        Type::Matrix(_) => {
+            let mut rows = Vec::new();
+            for i in 0..3i64 {
+                for j in 0..3i64 {
+                    rows.push(Value::pair(
+                        Value::pair(Value::Long(i), Value::Long(j)),
+                        default_scalar(&elem),
+                    ));
+                }
+            }
+            rows
+        }
+        _ => {
+            let key = ty.key_type().unwrap_or(Type::Long);
+            (0..8i64)
+                .map(|i| Value::pair(synthetic_key(&key, i), default_scalar(&elem)))
+                .collect()
+        }
+    }
+}
+
+/// A key of the given type for synthetic row `i` (repeats every few rows
+/// for string keys, so group-bys have something to group).
+fn synthetic_key(ty: &Type, i: i64) -> Value {
+    match ty {
+        Type::Str => Value::str(format!("w{}", i % 3)),
+        Type::Tuple(ts) => Value::tuple(
+            ts.iter()
+                .enumerate()
+                .map(|(p, t)| synthetic_key(t, if p == 0 { i / 3 } else { i % 3 }))
+                .collect(),
+        ),
+        _ => Value::Long(i),
+    }
+}
+
+/// The default scalar of a type (`4` for longs so synthesized loop bounds
+/// make a little progress).
+fn default_scalar(ty: &Type) -> Value {
+    match ty {
+        Type::Bool => Value::Bool(true),
+        Type::Long => Value::Long(4),
+        Type::Double => Value::Double(0.5),
+        Type::Str => Value::str("x"),
+        Type::Tuple(ts) => Value::tuple(ts.iter().map(default_scalar).collect()),
+        Type::Record(fs) => Value::record(
+            fs.iter()
+                .map(|(n, t)| (n.clone(), default_scalar(t)))
+                .collect(),
+        ),
+        _ => Value::Long(0),
+    }
+}
 
 enum Bound {
     Scalar(Value),
@@ -159,9 +267,16 @@ fn print_target(stmts: &[TStmt], indent: usize) {
     let pad = "  ".repeat(indent);
     for s in stmts {
         match s {
-            TStmt::Assign { name, value, collection } => {
+            TStmt::Assign {
+                name,
+                value,
+                collection,
+            } => {
                 let kind = if *collection { "array" } else { "scalar" };
-                println!("{pad}{name} := {}   [{kind}]", diablo_comp::pretty_cexpr(value));
+                println!(
+                    "{pad}{name} := {}   [{kind}]",
+                    diablo_comp::pretty_cexpr(value)
+                );
             }
             TStmt::While { cond, body } => {
                 println!("{pad}while {} {{", diablo_comp::pretty_cexpr(cond));
@@ -172,9 +287,7 @@ fn print_target(stmts: &[TStmt], indent: usize) {
     }
 }
 
-fn collect_var_names(
-    var_types: &std::collections::HashMap<String, Type>,
-) -> Vec<(String, Type)> {
+fn collect_var_names(var_types: &std::collections::HashMap<String, Type>) -> Vec<(String, Type)> {
     let mut names: Vec<(String, Type)> = var_types
         .iter()
         .map(|(n, t)| (n.clone(), t.clone()))

@@ -25,7 +25,11 @@ fn check_accepts_valid_programs() {
          for v in V do sum += v;",
     );
     let out = diabloc().arg("check").arg(&p).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("ok"));
 }
 
@@ -79,7 +83,11 @@ fn run_and_interp_agree_on_csv_inputs() {
             .arg(format!("V=@{}", data.display()))
             .output()
             .unwrap();
-        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
         String::from_utf8_lossy(&out.stdout).to_string()
     };
     let engine = run("run");
@@ -107,13 +115,72 @@ fn scalar_bindings_parse_types() {
         .arg("a=2.5")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("x = 10"));
 }
 
 #[test]
+fn explain_renders_fused_plan_for_word_count() {
+    let p = write_temp(
+        "wc_explain.dbl",
+        "input words: vector[string];
+         var C: map[string, long] = map();
+         for w in words do C[w] += 1;",
+    );
+    // No bindings: inputs are synthesized from their declared types.
+    for args in [vec!["explain"], vec!["run", "--explain"]] {
+        let mut cmd = diabloc();
+        for a in args {
+            cmd.arg(a);
+        }
+        let out = cmd.arg(&p).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("physical plan"), "{text}");
+        assert!(text.contains("fused"), "{text}");
+        assert!(text.contains("reduce_by_key"), "{text}");
+        assert!(text.contains("shuffle"), "{text}");
+    }
+}
+
+#[test]
+fn explain_renders_fused_plan_for_kmeans() {
+    let p = write_temp("kmeans_explain.dbl", diablo_workloads::programs::KMEANS);
+    let out = diabloc()
+        .arg("explain")
+        .arg(&p)
+        .arg("K=2")
+        .arg("N=6")
+        .arg("num_steps=1")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("physical plan"), "{text}");
+    assert!(text.contains("fused"), "{text}");
+    assert!(text.contains("broadcast"), "{text}");
+    assert!(text.contains("while"), "{text}");
+}
+
+#[test]
 fn usage_errors_are_reported() {
-    let out = diabloc().arg("frobnicate").arg("/nonexistent").output().unwrap();
+    let out = diabloc()
+        .arg("frobnicate")
+        .arg("/nonexistent")
+        .output()
+        .unwrap();
     assert!(!out.status.success());
     let out = diabloc().output().unwrap();
     assert!(!out.status.success());

@@ -66,10 +66,15 @@ fn section_3_9_copy_translation_shape() {
          for i = 1, 10 do V[i] := W[i];",
     )
     .unwrap();
-    let TStmt::Assign { value, .. } = &compiled.stmts[1] else { panic!() };
+    let TStmt::Assign { value, .. } = &compiled.stmts[1] else {
+        panic!()
+    };
     let printed = pretty_cexpr(value);
     assert!(printed.contains('⊳'), "merge: {printed}");
-    assert!(!printed.contains("⊳["), "plain merge, no combine: {printed}");
+    assert!(
+        !printed.contains("⊳["),
+        "plain merge, no combine: {printed}"
+    );
     assert!(!printed.contains("range("), "range eliminated: {printed}");
     assert!(printed.contains("inRange"), "guard added: {printed}");
 }
@@ -207,16 +212,27 @@ fn group_by_key_fallback_path() {
             CExpr::Agg(
                 AggOp::new(BinOp::Add).unwrap(),
                 Box::new(CExpr::Comp(Comprehension::new(
-                    CExpr::Bin(BinOp::Mul, Box::new(CExpr::var("w")), Box::new(CExpr::var("w"))),
+                    CExpr::Bin(
+                        BinOp::Mul,
+                        Box::new(CExpr::var("w")),
+                        Box::new(CExpr::var("w")),
+                    ),
                     vec![Qual::Gen(Pattern::var("w"), CExpr::var("v"))],
                 ))),
             ),
         ),
         vec![
-            Qual::Gen(Pattern::pair(Pattern::var("i"), Pattern::var("v")), CExpr::var("V")),
+            Qual::Gen(
+                Pattern::pair(Pattern::var("i"), Pattern::var("v")),
+                CExpr::var("V"),
+            ),
             Qual::GroupBy(
                 Pattern::var("k"),
-                CExpr::Bin(BinOp::Mod, Box::new(CExpr::var("i")), Box::new(CExpr::long(2))),
+                CExpr::Bin(
+                    BinOp::Mod,
+                    Box::new(CExpr::var("i")),
+                    Box::new(CExpr::long(2)),
+                ),
             ),
         ],
     );

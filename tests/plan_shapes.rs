@@ -96,7 +96,10 @@ fn diablo_kmeans_shuffles_orders_of_magnitude_more_than_handwritten() {
         diablo.shuffled_records > 10 * hand.shuffled_records.max(1),
         "diablo {diablo:?} vs hand-written {hand:?}"
     );
-    assert!(diablo.broadcasts >= 1, "centroid array is broadcast: {diablo:?}");
+    assert!(
+        diablo.broadcasts >= 1,
+        "centroid array is broadcast: {diablo:?}"
+    );
 }
 
 #[test]
@@ -127,6 +130,61 @@ fn broadcast_only_for_unlinked_generators() {
     let ctx = Context::new(2, 4);
     let stats = stats_of(&wl::matrix_addition(12, 3), &ctx);
     assert_eq!(stats.broadcasts, 0, "{stats:?}");
+}
+
+#[test]
+fn narrow_chain_of_three_ops_is_one_physical_stage() {
+    // The acceptance bar for the lazy plan layer: a chain of ≥ 3 narrow
+    // operators must execute as exactly 1 fused per-partition stage.
+    let ctx = Context::new(2, 4);
+    let d = ctx.from_vec(
+        (0..1000)
+            .map(|i| Value::pair(Value::Long(i), Value::Long(i % 7)))
+            .collect(),
+    );
+    let chained = d
+        .map(|row| Ok(diablo_runtime::array::key_value(row)?.1))
+        .expect("map")
+        .filter(|v| Ok(v.as_long().unwrap_or(0) != 3))
+        .expect("filter")
+        .flat_map(|v| Ok(vec![v.clone(), v.clone()]))
+        .expect("flat_map");
+    let before = ctx.stats().snapshot();
+    let rows = chained.collect();
+    let after = ctx.stats().snapshot().since(&before);
+    assert_eq!(after.physical_stages, 1, "3 narrow ops, 1 stage: {after:?}");
+    assert_eq!(after.shuffles, 0, "{after:?}");
+    assert_eq!(rows.len(), 2000 - 2 * (1000_usize.div_ceil(7)));
+}
+
+#[test]
+fn translated_word_count_fuses_its_narrow_prologue() {
+    // Word Count's pre-shuffle pipeline (scan → bind → let → key) must run
+    // as one fused stage feeding the reduceByKey combiner: 2 physical
+    // stages for the aggregation, plus 3 for the final merge `⊳`.
+    let ctx = Context::new(2, 4);
+    let stats = stats_of(&wl::word_count(5_000, 2), &ctx);
+    assert!(
+        stats.physical_stages <= 5,
+        "narrow prologue must fuse: {stats:?}"
+    );
+    // The same plan touched many more logical operators than stages.
+    assert!(stats.stages > stats.physical_stages, "{stats:?}");
+}
+
+#[test]
+fn session_explain_renders_fused_plan() {
+    let compiled = compile(wl::word_count(100, 1).source).expect("compiles");
+    let w = wl::word_count(100, 1);
+    let ctx = Context::new(2, 4);
+    let mut s = Session::new(ctx.clone());
+    for (n, rows) in &w.collections {
+        s.bind_input(n, rows.clone());
+    }
+    let plan = s.explain(&compiled).expect("explains");
+    assert!(plan.contains("fused"), "{plan}");
+    assert!(plan.contains("reduce_by_key"), "{plan}");
+    assert!(plan.contains("shuffle"), "{plan}");
 }
 
 #[test]

@@ -41,9 +41,18 @@ struct RandComp {
 }
 
 fn rand_comp_strategy() -> impl Strategy<Value = RandComp> {
-    (any::<bool>(), prop::option::of(-50i64..50), -10i64..10, any::<bool>()).prop_map(
-        |(join, filter, offset, group)| RandComp { join, filter, offset, group },
+    (
+        any::<bool>(),
+        prop::option::of(-50i64..50),
+        -10i64..10,
+        any::<bool>(),
     )
+        .prop_map(|(join, filter, offset, group)| RandComp {
+            join,
+            filter,
+            offset,
+            group,
+        })
 }
 
 fn build(rc: &RandComp) -> CExpr {
@@ -69,12 +78,20 @@ fn build(rc: &RandComp) -> CExpr {
     }
     quals.push(Qual::Let(
         Pattern::var("w"),
-        CExpr::Bin(BinOp::Add, Box::new(value), Box::new(CExpr::long(rc.offset))),
+        CExpr::Bin(
+            BinOp::Add,
+            Box::new(value),
+            Box::new(CExpr::long(rc.offset)),
+        ),
     ));
     if rc.group {
         quals.push(Qual::GroupBy(
             Pattern::var("k"),
-            CExpr::Bin(BinOp::Mod, Box::new(CExpr::var("i")), Box::new(CExpr::long(3))),
+            CExpr::Bin(
+                BinOp::Mod,
+                Box::new(CExpr::var("i")),
+                Box::new(CExpr::long(3)),
+            ),
         ));
         CExpr::Comp(Comprehension::new(
             CExpr::pair(

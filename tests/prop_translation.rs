@@ -24,7 +24,12 @@ fn both_ways(
     inputs: &[(&str, Vec<Value>)],
     scalars: &[(&str, i64)],
     out: &str,
-) -> (Option<Vec<Value>>, Option<Vec<Value>>, Option<Value>, Option<Value>) {
+) -> (
+    Option<Vec<Value>>,
+    Option<Vec<Value>>,
+    Option<Value>,
+    Option<Value>,
+) {
     let compiled = diablo_core::compile(src).expect("compiles");
     let mut session = Session::new(Context::new(2, 5));
     let tp = diablo_lang::typecheck(diablo_lang::parse(src).unwrap()).unwrap();
@@ -49,8 +54,7 @@ fn both_ways(
 
 /// Unique-key vectors: arrays are key-value maps.
 fn vector_strategy(max_key: i64) -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::hash_map(0..max_key, -50i64..50, 0..40)
-        .prop_map(|m| m.into_iter().collect())
+    prop::collection::hash_map(0..max_key, -50i64..50, 0..40).prop_map(|m| m.into_iter().collect())
 }
 
 proptest! {

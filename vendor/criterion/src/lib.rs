@@ -1,0 +1,174 @@
+//! Minimal stand-in for the `criterion` crate (see `vendor/README.md`).
+//! Supports `Criterion`, benchmark groups with `sample_size` /
+//! `measurement_time`, `bench_function`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a warm-up iteration then
+//! `sample_size` timed samples and prints mean / best wall-clock — enough
+//! to compare plans, without criterion's statistical machinery.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            name,
+            sample_size: 10,
+            measurement_time: None,
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench("", id, 10, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Benchmarks one function.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(
+            &self.name,
+            &id.to_string(),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Option<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `body` once per sample.
+    pub fn iter<T>(&mut self, mut body: impl FnMut() -> T) {
+        // Warm-up (uncounted).
+        black_box(body());
+        let run_start = Instant::now();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            black_box(body());
+            self.samples.push(start.elapsed());
+            if let Some(budget) = self.budget {
+                if run_start.elapsed() > budget {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn run_bench(
+    group: &str,
+    id: &str,
+    sample_size: usize,
+    budget: Option<Duration>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        budget,
+        target_samples: sample_size,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.samples.is_empty() {
+        println!("  {label}: no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let best = b.samples.iter().min().expect("nonempty");
+    println!(
+        "  {label}: mean {:>12.6?}  best {:>12.6?}  ({} samples)",
+        mean,
+        best,
+        b.samples.len()
+    );
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+}
