@@ -3,6 +3,12 @@
 //!
 //! Inputs are the same `(key, value)` datasets the DIABLO versions consume
 //! (the key is ignored where Spark would use a raw `RDD[T]`).
+//!
+//! Every public entry point returns **completed** work: dataset results
+//! are materialized before returning (the engine is lazy up to and
+//! including post-shuffle stages, and these functions are what the
+//! benchmark harness times — a pending plan would silently fall out of
+//! the measurement). Internal combinators stay lazy so chains still fuse.
 
 use std::sync::Arc;
 
@@ -51,7 +57,7 @@ pub fn string_match(words: &Dataset) -> Result<Value> {
 /// Word Count: `words.map((_, 1)).reduceByKey(_ + _)`.
 pub fn word_count(words: &Dataset) -> Result<Dataset> {
     let pairs = values(words)?.map(|w| Ok(Value::pair(w.clone(), Value::Long(1))))?;
-    pairs.reduce_by_key(add)
+    pairs.reduce_by_key(add)?.materialize()
 }
 
 /// Histogram: `P.map(_.c).countByValue()` per RGB component.
@@ -64,7 +70,7 @@ pub fn histogram(p: &Dataset) -> Result<(Dataset, Dataset, Dataset)> {
                 .clone();
             Ok(Value::pair(c, Value::Long(1)))
         })?;
-        keyed.reduce_by_key(add)
+        keyed.reduce_by_key(add)?.materialize()
     };
     Ok((
         count_component("red")?,
@@ -113,19 +119,21 @@ pub fn group_by(v: &Dataset) -> Result<Dataset> {
             .clone();
         Ok(Value::pair(k, a))
     })?;
-    keyed.reduce_by_key(add)
+    keyed.reduce_by_key(add)?.materialize()
 }
 
 /// Matrix Addition: `M.join(N).mapValues(m + n)`.
 pub fn matrix_addition(m: &Dataset, n: &Dataset) -> Result<Dataset> {
     let joined = m.join(n)?;
-    joined.map(|row| {
-        let (k, mn) = key_value(row)?;
-        let fields = mn
-            .as_tuple()
-            .ok_or_else(|| RuntimeError::new("join pair"))?;
-        Ok(Value::pair(k, add(&fields[0], &fields[1])?))
-    })
+    joined
+        .map(|row| {
+            let (k, mn) = key_value(row)?;
+            let fields = mn
+                .as_tuple()
+                .ok_or_else(|| RuntimeError::new("join pair"))?;
+            Ok(Value::pair(k, add(&fields[0], &fields[1])?))
+        })?
+        .materialize()
 }
 
 /// Matrix Multiplication: the Appendix B map/join/map/reduceByKey plan.
@@ -165,7 +173,7 @@ pub fn matrix_multiplication(m: &Dataset, n: &Dataset) -> Result<Dataset> {
             BinOp::Mul.apply(&im[1], &jn[1])?,
         ))
     })?;
-    products.reduce_by_key(add)
+    products.reduce_by_key(add)?.materialize()
 }
 
 /// PageRank: `links.join(ranks).flatMap(contributions).reduceByKey(+)` with
@@ -177,7 +185,9 @@ pub fn pagerank(e: &Dataset, vertices: i64, num_steps: usize) -> Result<Dataset>
         let ij = k.as_tuple().ok_or_else(|| RuntimeError::new("edge key"))?;
         Ok(Value::pair(ij[0].clone(), ij[1].clone()))
     })?;
-    let links = src_dst.group_by_key()?;
+    // `links` is reused every iteration (Spark would .cache() it); pin it
+    // so the lazy grouping stage does not re-run per consumption.
+    let links = src_dst.group_by_key()?.materialize()?;
     let init = 1.0 / vertices as f64;
     let mut ranks = links.map(move |row| {
         let (k, _) = key_value(row)?;
@@ -209,7 +219,7 @@ pub fn pagerank(e: &Dataset, vertices: i64, num_steps: usize) -> Result<Dataset>
             Ok(Value::pair(k, Value::Double(0.15 / nv + 0.85 * r)))
         })?;
     }
-    Ok(ranks)
+    ranks.materialize()
 }
 
 /// K-Means: broadcast the centroids, assign each point with a local argmin,
@@ -310,7 +320,9 @@ pub fn matrix_factorization(
     let mut q = q0.clone();
     for _ in 0..num_steps {
         let pq = matrix_multiplication(&p, &q)?;
-        let e = elementwise(|x, y| BinOp::Sub.apply(x, y), r, &pq)?;
+        // `e`, and the new factors below, are each consumed several times
+        // per iteration; pin them so their lazy join stages run once.
+        let e = elementwise(|x, y| BinOp::Sub.apply(x, y), r, &pq)?.materialize()?;
         let p_new = elementwise(
             |x, y| BinOp::Add.apply(x, y),
             &p,
@@ -335,8 +347,8 @@ pub fn matrix_factorization(
                 a,
             )?,
         )?;
-        p = p_new;
-        q = q_new;
+        p = p_new.materialize()?;
+        q = q_new.materialize()?;
     }
     Ok((p, q))
 }

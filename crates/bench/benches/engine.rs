@@ -48,21 +48,35 @@ fn engine(c: &mut Criterion) {
         b.iter(|| {
             data.reduce_by_key(|a, b| BinOp::Add.apply(a, b))
                 .expect("rbk")
+                .materialize()
+                .expect("rbk reduce")
         })
     });
     g.bench_function("group_by_key", |b| {
-        b.iter(|| data.group_by_key().expect("gbk"))
+        b.iter(|| {
+            data.group_by_key()
+                .expect("gbk")
+                .materialize()
+                .expect("group")
+        })
     });
 
     let right = pairs(&ctx, 1_000, 1_000);
     let left = pairs(&ctx, 10_000, 1_000);
     g.bench_function("join_10k_x_1k", |b| {
-        b.iter(|| left.join(&right).expect("join"))
+        b.iter(|| {
+            left.join(&right)
+                .expect("join")
+                .materialize()
+                .expect("expand")
+        })
     });
     g.bench_function("merge_combining", |b| {
         b.iter(|| {
             left.merge(&right, Some(|a: &Value, b: &Value| BinOp::Add.apply(a, b)))
                 .expect("merge")
+                .materialize()
+                .expect("combine")
         })
     });
     g.finish();

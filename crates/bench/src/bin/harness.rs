@@ -6,17 +6,22 @@
 //! harness fig3a .. fig3l   # Figure 3 panels: DIABLO vs hand-written (vs Casper) across sizes
 //! harness tiles            # §5 ablation: sparse vs tiled matrix multiplication
 //! harness all              # everything (used to fill EXPERIMENTS.md)
+//! harness --json <cmd>     # machine-readable: one JSON object per row,
+//!                          # each tagged with the execution backend
 //! ```
 //!
 //! Sizes are laptop-scale; see DESIGN.md for the scale substitution. Set
-//! `DIABLO_SCALE` (default 1) to grow every sweep.
+//! `DIABLO_SCALE` (default 1) to grow every sweep, and `DIABLO_BACKEND`
+//! (`local`, `tile`) to pick the engine's execution backend — the JSON
+//! output records which backend produced every engine measurement.
 
 use std::time::{Duration, Instant};
 
 use diablo_baselines::casper_like::casper_translate_with_budget;
 use diablo_baselines::mold_translate;
 use diablo_bench::{
-    compile_time, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs, time_once,
+    compile_time, json_row, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs,
+    time_once,
 };
 use diablo_dataflow::Context;
 use diablo_runtime::TiledMatrix;
@@ -24,22 +29,25 @@ use diablo_workloads as wl;
 use diablo_workloads::Workload;
 
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+    let cmd = args.first().cloned().unwrap_or_else(|| "all".to_string());
     match cmd.as_str() {
-        "table1" => table1(),
-        "table2" => table2(),
-        "tiles" => tiles(),
+        "table1" => table1(json),
+        "table2" => table2(json),
+        "tiles" => tiles(json),
         "all" => {
-            table1();
-            table2();
+            table1(json);
+            table2(json);
             for panel in PANELS {
-                fig3(panel.0);
+                fig3(panel.0, json);
             }
-            tiles();
+            tiles(json);
         }
         other if other.starts_with("fig3") => {
             let letter = other.trim_start_matches("fig3");
-            fig3(letter);
+            fig3(letter, json);
         }
         other => {
             eprintln!("unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, all");
@@ -58,12 +66,16 @@ fn scale() -> usize {
 // ------------------------------------------------------------------ Table 1
 
 /// Table 1: translation time per program for the three translators.
-fn table1() {
-    println!("== Table 1: compilation time (seconds) =====================================");
-    println!(
-        "{:<24} {:>12} {:>14} {:>14}",
-        "test program", "DIABLO", "MOLD-like", "Casper-like"
-    );
+fn table1(json: bool) {
+    if !json {
+        println!("== Table 1: compilation time (seconds) =====================================");
+    }
+    if !json {
+        println!(
+            "{:<24} {:>12} {:>14} {:>14}",
+            "test program", "DIABLO", "MOLD-like", "Casper-like"
+        );
+    }
     let n = 2_000;
     let entries: Vec<(Workload, bool)> = vec![
         (wl::average(n, 1), true),
@@ -102,27 +114,48 @@ fn table1() {
         } else {
             "fail".to_string()
         };
-        println!(
-            "{:<24} {:>12} {:>14} {:>14}",
-            w.name,
-            secs(diablo),
-            mold_cell,
-            casper_cell
-        );
+        if json {
+            println!(
+                "{}",
+                json_row(&[
+                    ("bench", "table1"),
+                    ("program", w.name),
+                    // Compile-time rows run no engine; tagged for uniform
+                    // downstream grouping by the "backend" key.
+                    ("backend", "n/a"),
+                    ("diablo_secs", &secs(diablo)),
+                    ("mold", &mold_cell),
+                    ("casper", &casper_cell),
+                ])
+            );
+        } else {
+            println!(
+                "{:<24} {:>12} {:>14} {:>14}",
+                w.name,
+                secs(diablo),
+                mold_cell,
+                casper_cell
+            );
+        }
     }
-    println!();
+    if !json {
+        println!();
+    }
 }
 
 // ------------------------------------------------------------------ Table 2
 
 /// Table 2: parallel (engine) vs sequential (interpreter) evaluation.
-fn table2() {
-    println!("== Table 2: parallel (par) vs sequential (seq) evaluation (seconds) ========");
-    println!(
-        "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
-        "test program", "count", "size (MB)", "par", "stages", "seq"
-    );
+fn table2(json: bool) {
+    if !json {
+        println!("== Table 2: parallel (par) vs sequential (seq) evaluation (seconds) ========");
+        println!(
+            "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
+            "test program", "count", "size (MB)", "par", "stages", "seq"
+        );
+    }
     let ctx = Context::default_parallel();
+    let backend = ctx.executor().name();
     let s = 20 * scale();
     let workloads = vec![
         wl::conditional_sum(50_000 * s, 1),
@@ -143,17 +176,35 @@ fn table2() {
         let par = run_diablo(&w, &ctx);
         let stats = ctx.stats().snapshot().since(&before);
         let seq = run_interp(&w);
-        println!(
-            "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
-            w.name,
-            w.input_rows(),
-            mb(w.input_bytes()),
-            secs(par),
-            stats.physical_stages,
-            secs(seq)
-        );
+        if json {
+            println!(
+                "{}",
+                json_row(&[
+                    ("bench", "table2"),
+                    ("program", w.name),
+                    ("backend", backend),
+                    ("rows", &w.input_rows().to_string()),
+                    ("mb", &mb(w.input_bytes())),
+                    ("par_secs", &secs(par)),
+                    ("physical_stages", &stats.physical_stages.to_string()),
+                    ("seq_secs", &secs(seq)),
+                ])
+            );
+        } else {
+            println!(
+                "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
+                w.name,
+                w.input_rows(),
+                mb(w.input_bytes()),
+                secs(par),
+                stats.physical_stages,
+                secs(seq)
+            );
+        }
     }
-    println!();
+    if !json {
+        println!();
+    }
 }
 
 // ----------------------------------------------------------------- Figure 3
@@ -221,31 +272,34 @@ const PANELS: &[(&str, &str, Maker, usize, bool)] = &[
 
 /// One Figure 3 panel: a size sweep comparing DIABLO against the
 /// hand-written program (and a Casper summary where the paper plots one).
-fn fig3(letter: &str) {
+fn fig3(letter: &str, json: bool) {
     let Some((_, title, maker, base, casper)) = PANELS.iter().find(|p| p.0 == letter) else {
         eprintln!("unknown panel fig3{letter}");
         std::process::exit(2);
     };
-    println!(
-        "== Figure 3{}: {title} ====================================",
-        letter.to_uppercase()
-    );
-    // Wall-clock per system, with the number of physical (fused) engine
-    // stages each plan ran next to it — the plan-shape difference behind
-    // the timing gap.
-    let header = if *casper {
-        format!(
-            "{:>12} {:>12} {:>9} {:>14} {:>9} {:>12}",
-            "size (MB)", "DIABLO", "D-stages", "hand-written", "H-stages", "Casper"
-        )
-    } else {
-        format!(
-            "{:>12} {:>12} {:>9} {:>14} {:>9}",
-            "size (MB)", "DIABLO", "D-stages", "hand-written", "H-stages"
-        )
-    };
-    println!("{header}");
+    if !json {
+        println!(
+            "== Figure 3{}: {title} ====================================",
+            letter.to_uppercase()
+        );
+        // Wall-clock per system, with the number of physical (fused) engine
+        // stages each plan ran next to it — the plan-shape difference behind
+        // the timing gap.
+        let header = if *casper {
+            format!(
+                "{:>12} {:>12} {:>9} {:>14} {:>9} {:>12}",
+                "size (MB)", "DIABLO", "D-stages", "hand-written", "H-stages", "Casper"
+            )
+        } else {
+            format!(
+                "{:>12} {:>12} {:>9} {:>14} {:>9}",
+                "size (MB)", "DIABLO", "D-stages", "hand-written", "H-stages"
+            )
+        };
+        println!("{header}");
+    }
     let ctx = Context::default_parallel();
+    let backend = ctx.executor().name();
     let s = scale();
     // The Casper summary is synthesized once, on the smallest size.
     let casper_prog = if *casper {
@@ -262,34 +316,63 @@ fn fig3(letter: &str) {
         let before = ctx.stats().snapshot();
         let hand = run_handwritten(&w, &ctx).expect("handwritten");
         let h_stats = ctx.stats().snapshot().since(&before);
-        let mut line = format!(
-            "{:>12} {:>12} {:>9} {:>14} {:>9}",
-            mb(w.input_bytes()),
-            secs(diablo),
-            d_stats.physical_stages,
-            secs(hand),
-            h_stats.physical_stages
-        );
-        if let Some(prog) = &casper_prog {
-            let t = run_casper_program(prog, &w, &ctx).expect("casper run");
-            line = format!("{line} {:>12}", secs(t));
+        let casper_secs = casper_prog
+            .as_ref()
+            .map(|prog| secs(run_casper_program(prog, &w, &ctx).expect("casper run")));
+        if json {
+            let bench = format!("fig3{letter}");
+            let mut fields: Vec<(&str, &str)> =
+                vec![("bench", &bench), ("program", title), ("backend", backend)];
+            let mb_s = mb(w.input_bytes());
+            let d_s = secs(diablo);
+            let ds = d_stats.physical_stages.to_string();
+            let h_s = secs(hand);
+            let hs = h_stats.physical_stages.to_string();
+            fields.extend([
+                ("mb", mb_s.as_str()),
+                ("diablo_secs", d_s.as_str()),
+                ("diablo_stages", ds.as_str()),
+                ("handwritten_secs", h_s.as_str()),
+                ("handwritten_stages", hs.as_str()),
+            ]);
+            if let Some(c) = &casper_secs {
+                fields.push(("casper_secs", c.as_str()));
+            }
+            println!("{}", json_row(&fields));
+        } else {
+            let mut line = format!(
+                "{:>12} {:>12} {:>9} {:>14} {:>9}",
+                mb(w.input_bytes()),
+                secs(diablo),
+                d_stats.physical_stages,
+                secs(hand),
+                h_stats.physical_stages
+            );
+            if let Some(c) = &casper_secs {
+                line = format!("{line} {c:>12}");
+            }
+            println!("{line}");
         }
-        println!("{line}");
     }
-    println!();
+    if !json {
+        println!();
+    }
 }
 
 // ------------------------------------------------------------- §5 ablation
 
 /// §5 ablation: sparse matrix multiplication (the DIABLO plan) vs the
 /// packed/tiled path with dense tile kernels and the no-shuffle merge.
-fn tiles() {
-    println!("== §5 ablation: sparse vs tiled matrix multiplication =====================");
-    println!(
-        "{:>6} {:>14} {:>14} {:>16}",
-        "d", "sparse (s)", "tiled (s)", "tiled+pack (s)"
-    );
+fn tiles(json: bool) {
+    if !json {
+        println!("== §5 ablation: sparse vs tiled matrix multiplication =====================");
+        println!(
+            "{:>6} {:>14} {:>14} {:>16}",
+            "d", "sparse (s)", "tiled (s)", "tiled+pack (s)"
+        );
+    }
     let ctx = Context::default_parallel();
+    let backend = ctx.executor().name();
     let s = scale();
     for &d in &[20usize * s, 40 * s, 60 * s, 80 * s] {
         let w = wl::matrix_multiplication(d, 7);
@@ -307,13 +390,29 @@ fn tiles() {
         let prod = tm2.multiply(&tn2);
         let _ = prod.unpack_values();
         let with_pack: Duration = start.elapsed();
-        println!(
-            "{:>6} {:>14} {:>14} {:>16}",
-            d,
-            secs(sparse),
-            secs(tiled),
-            secs(with_pack)
-        );
+        if json {
+            println!(
+                "{}",
+                json_row(&[
+                    ("bench", "tiles"),
+                    ("backend", backend),
+                    ("d", &d.to_string()),
+                    ("sparse_secs", &secs(sparse)),
+                    ("tiled_secs", &secs(tiled)),
+                    ("tiled_pack_secs", &secs(with_pack)),
+                ])
+            );
+        } else {
+            println!(
+                "{:>6} {:>14} {:>14} {:>16}",
+                d,
+                secs(sparse),
+                secs(tiled),
+                secs(with_pack)
+            );
+        }
     }
-    println!();
+    if !json {
+        println!();
+    }
 }

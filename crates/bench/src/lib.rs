@@ -230,6 +230,35 @@ pub fn secs(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
 }
 
+/// Formats one flat JSON object from `(key, value)` string pairs (a tiny
+/// hand-rolled serializer — no serde offline). Values that parse as a
+/// number are emitted unquoted, everything else as an escaped string, so
+/// `("par_secs", "0.0042")` becomes `"par_secs":0.0042` while
+/// `("backend", "tile")` becomes `"backend":"tile"`.
+pub fn json_row(fields: &[(&str, &str)]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&esc(k));
+        out.push_str("\":");
+        if v.parse::<f64>().is_ok() {
+            out.push_str(v);
+        } else {
+            out.push('"');
+            out.push_str(&esc(v));
+            out.push('"');
+        }
+    }
+    out.push('}');
+    out
+}
+
 /// Formats bytes as MB.
 pub fn mb(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
@@ -270,5 +299,19 @@ mod tests {
         let prog = diablo_baselines::casper_translate(&w).expect("synthesizes");
         let t = run_casper_program(&prog, &w, &ctx).unwrap();
         assert!(t > Duration::ZERO);
+    }
+
+    #[test]
+    fn json_rows_quote_strings_and_not_numbers() {
+        let row = json_row(&[
+            ("bench", "table2"),
+            ("backend", "tile"),
+            ("par_secs", "0.0042"),
+            ("rows", "100"),
+        ]);
+        assert_eq!(
+            row,
+            "{\"bench\":\"table2\",\"backend\":\"tile\",\"par_secs\":0.0042,\"rows\":100}"
+        );
     }
 }

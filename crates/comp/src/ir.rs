@@ -228,47 +228,63 @@ impl CExpr {
     /// comprehension qualifier within this expression).
     pub fn free_vars(&self) -> HashSet<String> {
         let mut out = HashSet::new();
-        self.collect_free(&mut HashSet::new(), &mut out);
+        self.visit_free(&mut HashSet::new(), &mut |v| {
+            out.insert(v.to_string());
+        });
         out
     }
 
-    fn collect_free(&self, bound: &mut HashSet<String>, out: &mut HashSet<String>) {
+    /// Number of free occurrences of `name`, with multiplicity (an
+    /// expression mentioning a variable twice counts 2) — the consumer
+    /// count behind the driver's cross-statement fusion analysis.
+    pub fn free_occurrences(&self, name: &str) -> usize {
+        let mut n = 0;
+        self.visit_free(&mut HashSet::new(), &mut |v| {
+            if v == name {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Calls `visit` for every free variable occurrence, left to right.
+    fn visit_free(&self, bound: &mut HashSet<String>, visit: &mut dyn FnMut(&str)) {
         match self {
             CExpr::Var(v) => {
                 if !bound.contains(v) {
-                    out.insert(v.clone());
+                    visit(v);
                 }
             }
             CExpr::Const(_) => {}
             CExpr::Bin(_, a, b) => {
-                a.collect_free(bound, out);
-                b.collect_free(bound, out);
+                a.visit_free(bound, visit);
+                b.visit_free(bound, visit);
             }
-            CExpr::Un(_, a) => a.collect_free(bound, out),
+            CExpr::Un(_, a) => a.visit_free(bound, visit),
             CExpr::Call(_, args) => {
                 for a in args {
-                    a.collect_free(bound, out);
+                    a.visit_free(bound, visit);
                 }
             }
             CExpr::Tuple(fs) => {
                 for f in fs {
-                    f.collect_free(bound, out);
+                    f.visit_free(bound, visit);
                 }
             }
             CExpr::Record(fs) => {
                 for (_, f) in fs {
-                    f.collect_free(bound, out);
+                    f.visit_free(bound, visit);
                 }
             }
-            CExpr::Proj(e, _) => e.collect_free(bound, out),
-            CExpr::Agg(_, e) => e.collect_free(bound, out),
+            CExpr::Proj(e, _) => e.visit_free(bound, visit),
+            CExpr::Agg(_, e) => e.visit_free(bound, visit),
             CExpr::Merge { left, right, .. } => {
-                left.collect_free(bound, out);
-                right.collect_free(bound, out);
+                left.visit_free(bound, visit);
+                right.visit_free(bound, visit);
             }
             CExpr::Range(lo, hi) => {
-                lo.collect_free(bound, out);
-                hi.collect_free(bound, out);
+                lo.visit_free(bound, visit);
+                hi.visit_free(bound, visit);
             }
             CExpr::Comp(c) => {
                 // Qualifiers bind left to right; a generator's domain sees
@@ -277,17 +293,17 @@ impl CExpr {
                 for q in &c.quals {
                     match q {
                         Qual::Gen(p, e) | Qual::Let(p, e) | Qual::GroupBy(p, e) => {
-                            e.collect_free(bound, out);
+                            e.visit_free(bound, visit);
                             for v in p.var_list() {
                                 if bound.insert(v.clone()) {
                                     newly.push(v);
                                 }
                             }
                         }
-                        Qual::Pred(e) => e.collect_free(bound, out),
+                        Qual::Pred(e) => e.visit_free(bound, visit),
                     }
                 }
-                c.head.collect_free(bound, out);
+                c.head.visit_free(bound, visit);
                 for v in newly {
                     bound.remove(&v);
                 }

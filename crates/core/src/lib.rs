@@ -22,7 +22,7 @@ pub mod target;
 pub mod translate;
 
 pub use analysis::check_restrictions;
-pub use target::{CompiledProgram, TStmt};
+pub use target::{lazy_assignments, preorder_len, CompiledProgram, TStmt};
 pub use translate::translate;
 
 use diablo_lang::{parse, typecheck, LangError};

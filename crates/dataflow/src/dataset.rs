@@ -1,5 +1,6 @@
 //! The partitioned [`Dataset`] and its operators, built over the lazy
-//! physical plan of [`crate::plan`].
+//! physical plan of [`crate::plan`] and executed by the context's
+//! pluggable [`Executor`](crate::Executor) backend.
 //!
 //! Rows are [`Value`]s. Keyed operators (`reduce_by_key`, `group_by_key`,
 //! `cogroup`, `join`, `merge`) expect rows shaped as `(key, value)` pairs —
@@ -8,12 +9,25 @@
 //!
 //! Narrow operators (`map`, `filter`, `flat_map`, `map_partitions`,
 //! `union`) are **lazy**: they append a node to the dataset's plan and
-//! return immediately. Work happens at materialization points — shuffles,
+//! return immediately. So are the **post-shuffle stages** of the keyed
+//! operators: `reduce_by_key` runs its combine+scatter eagerly (the data
+//! must move) but leaves the shuffle-read reduction as a pending
+//! partition-wise plan node, so `reduce_by_key → map → shuffle` executes
+//! in two physical stages, with the reduction fused into the next
+//! scatter. Work happens at materialization points — shuffles,
 //! [`Dataset::collect`], [`Dataset::reduce`], [`Dataset::broadcast`] —
-//! where the pending narrow chain is fused into one physical per-partition
-//! stage. Results are deterministic and bit-identical to operator-at-a-time
-//! execution: a shuffle distributes rows by key hash, and output order
-//! within a partition follows (source partition, source position) order.
+//! where the executor fuses the pending chain into one physical
+//! per-partition stage. Results are deterministic and bit-identical to
+//! operator-at-a-time execution: a shuffle distributes rows by key hash,
+//! and output order within a partition follows (source partition, source
+//! position) order.
+//!
+//! A lazy dataset consumed by **several** downstream operators re-runs its
+//! pending stage per consumer (each derivation captures the plan; only
+//! [`Dataset::materialize`]/`force` fills the shared cache). Pin a reused
+//! result with [`Dataset::materialize`] — the engine's equivalent of
+//! Spark's `cache()` — as the hand-written baselines do for loop-carried
+//! datasets.
 //!
 //! Errors raised inside a fused chain surface at the materialization point
 //! (which is why shuffles and `reduce` return `Result`); the infallible
@@ -28,7 +42,8 @@ use std::sync::{Arc, OnceLock};
 
 use diablo_runtime::{array::key_value, size::slice_size, RuntimeError, Value};
 
-use crate::plan::{self, PlanOp};
+use crate::executor::PhysicalPlan;
+use crate::plan::{self, PartFn, PlanOp};
 use crate::pool::run_stage;
 use crate::Context;
 
@@ -45,7 +60,7 @@ pub struct Dataset {
     cache: Arc<OnceLock<Arc<Vec<Vec<Value>>>>>,
 }
 
-fn key_hash(v: &Value) -> u64 {
+pub(crate) fn key_hash(v: &Value) -> u64 {
     let mut h = DefaultHasher::new();
     v.hash(&mut h);
     h.finish()
@@ -119,13 +134,23 @@ impl Dataset {
         }
     }
 
-    /// Executes the pending plan (fusing the narrow chain into one
-    /// physical stage per segment) and caches the partitions.
+    /// The source-statement tag for plan nodes built right now.
+    fn tag(&self) -> plan::Tag {
+        self.ctx.statement_label()
+    }
+
+    /// Executes the pending plan through the context's executor (fusing
+    /// the narrow chain into one physical stage per segment) and caches
+    /// the partitions.
     pub(crate) fn force(&self) -> Result<Arc<Vec<Vec<Value>>>> {
         if let Some(p) = self.cache.get() {
             return Ok(p.clone());
         }
-        let parts = plan::materialize(&self.ctx, &self.plan)?.into_arc();
+        let parts = self
+            .ctx
+            .executor()
+            .materialize(&self.ctx, &PhysicalPlan::new(self.plan.clone()))?
+            .into_arc();
         Ok(self.cache.get_or_init(|| parts).clone())
     }
 
@@ -149,12 +174,50 @@ impl Dataset {
         &self.ctx
     }
 
+    /// True when the pending plan bottoms out in a `union` that has not
+    /// been materialized — the case where reads stream the operands in
+    /// place instead of building combined partitions.
+    fn union_pending(&self) -> bool {
+        self.cache.get().is_none()
+            && matches!(
+                plan::collapse(&self.plan).base.as_ref(),
+                PlanOp::Union(_, _)
+            )
+    }
+
     /// Number of rows.
     ///
     /// # Panics
     /// Panics if a pending operator in the plan fails; see
     /// [`Dataset::try_collect`].
     pub fn count(&self) -> usize {
+        if self.union_pending() {
+            // Count through the executor's segmented read: no operand is
+            // copied, no combined partitions are built.
+            let groups = self
+                .ctx
+                .executor()
+                .consume(
+                    &self.ctx,
+                    &PhysicalPlan::new(self.plan.clone()),
+                    "count (read in place)",
+                    &|_, rows| {
+                        let mut n = 0i64;
+                        rows.for_each(&mut |_| {
+                            n += 1;
+                            Ok(())
+                        })?;
+                        Ok(vec![vec![Value::Long(n)]])
+                    },
+                )
+                .expect("dataset materialization failed");
+            return groups
+                .into_iter()
+                .flatten()
+                .flatten()
+                .map(|v| v.as_long().unwrap_or(0) as usize)
+                .sum();
+        }
         self.force()
             .expect("dataset materialization failed")
             .iter()
@@ -181,7 +244,29 @@ impl Dataset {
 
     /// Materializes all rows in partition order, surfacing deferred
     /// operator errors.
+    ///
+    /// A plan bottoming out in an unforced `union` is streamed straight
+    /// out of the executor's segmented read: each surviving row is cloned
+    /// exactly once, into the output — combined partitions are never
+    /// built (and nothing is cached; the shared operands are re-read in
+    /// place if collected again).
     pub fn try_collect(&self) -> Result<Vec<Value>> {
+        if self.union_pending() {
+            let groups = self.ctx.executor().consume(
+                &self.ctx,
+                &PhysicalPlan::new(self.plan.clone()),
+                "collect (read in place)",
+                &|_, rows| {
+                    let mut out = Vec::new();
+                    rows.for_each(&mut |v| {
+                        out.push(v);
+                        Ok(())
+                    })?;
+                    Ok(vec![out])
+                },
+            )?;
+            return Ok(groups.into_iter().flatten().flatten().collect());
+        }
         let parts = self.force()?;
         let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
         for p in parts.iter() {
@@ -217,7 +302,7 @@ impl Dataset {
         F: Fn(&Value) -> Result<Value> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
-        Ok(self.derived(PlanOp::Map(self.effective_plan(), Arc::new(f))))
+        Ok(self.derived(PlanOp::Map(self.effective_plan(), Arc::new(f), self.tag())))
     }
 
     /// Applies `f` to every row, flattening the results (lazy).
@@ -226,7 +311,11 @@ impl Dataset {
         F: Fn(&Value) -> Result<Vec<Value>> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
-        Ok(self.derived(PlanOp::FlatMap(self.effective_plan(), Arc::new(f))))
+        Ok(self.derived(PlanOp::FlatMap(
+            self.effective_plan(),
+            Arc::new(f),
+            self.tag(),
+        )))
     }
 
     /// Keeps the rows satisfying `f` (lazy).
@@ -235,7 +324,11 @@ impl Dataset {
         F: Fn(&Value) -> Result<bool> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
-        Ok(self.derived(PlanOp::Filter(self.effective_plan(), Arc::new(f))))
+        Ok(self.derived(PlanOp::Filter(
+            self.effective_plan(),
+            Arc::new(f),
+            self.tag(),
+        )))
     }
 
     /// Partition-at-a-time transformation (Spark's `mapPartitions`; lazy).
@@ -244,14 +337,20 @@ impl Dataset {
         F: Fn(&[Value]) -> Result<Vec<Value>> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
-        Ok(self.derived(PlanOp::MapPartitions(self.effective_plan(), Arc::new(f))))
+        Ok(self.derived(PlanOp::MapPartitions(
+            self.effective_plan(),
+            Arc::new(f),
+            "map_partitions",
+            self.tag(),
+        )))
     }
 
     /// Bag union (no dedup), preserving the left side's partition count.
     ///
     /// Lazy and narrow: it moves no data, runs no parallel stage, and the
-    /// executor folds the right side's partitions into the left's without
-    /// deep-copying either operand.
+    /// executor reads both operands in place via segments — including for
+    /// a bare `collect`, which streams the rows without ever building
+    /// combined partitions.
     pub fn union(&self, other: &Dataset) -> Dataset {
         self.ctx.record_logical_op();
         self.derived(PlanOp::Union(self.effective_plan(), other.effective_plan()))
@@ -267,11 +366,11 @@ impl Dataset {
     {
         self.ctx.record_logical_op();
         let f = &f;
-        let partials = plan::run_partitionwise(
+        let partials = self.ctx.executor().consume(
             &self.ctx,
-            &self.effective_plan(),
+            &PhysicalPlan::new(self.effective_plan()),
             "reduce (partial fold)",
-            |_, rows| {
+            &|_, rows| {
                 let mut acc: Option<Value> = None;
                 rows.for_each(&mut |row| {
                     acc = Some(match acc.take() {
@@ -280,11 +379,11 @@ impl Dataset {
                     });
                     Ok(())
                 })?;
-                Ok(acc)
+                Ok(vec![acc.into_iter().collect()])
             },
         )?;
         let mut acc: Option<Value> = None;
-        for p in partials.into_iter().flatten() {
+        for p in partials.into_iter().flatten().flatten() {
             acc = Some(match acc {
                 None => p,
                 Some(a) => f(&a, &p)?,
@@ -295,62 +394,27 @@ impl Dataset {
 
     // ------------------------------------------------------------ shuffles
 
-    /// Hash-partitions `(key, value)` rows by key — the raw shuffle. The
-    /// scatter pass fuses the pending narrow chain, so a chain ending in a
-    /// shuffle costs exactly one pass over the source rows. Returns
-    /// per-destination buckets with deterministic row order.
+    /// Hash-partitions `(key, value)` rows by key — the raw shuffle,
+    /// delegated to the executor. The scatter pass fuses the pending
+    /// narrow chain, so a chain ending in a shuffle costs exactly one pass
+    /// over the source rows. Returns per-destination buckets with
+    /// deterministic row order.
     fn shuffle(&self, label: &str) -> Result<Vec<Vec<Value>>> {
-        let p = self.ctx.partitions();
-        let scattered =
-            plan::run_partitionwise(&self.ctx, &self.effective_plan(), label, |_, rows| {
-                let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
-                rows.for_each(&mut |row| {
-                    let (k, _) = key_value(&row)?;
-                    let b = (key_hash(&k) % p as u64) as usize;
-                    buckets[b].push(row);
-                    Ok(())
-                })?;
-                Ok(buckets)
-            })?;
-        self.gather(scattered, p)
+        self.ctx
+            .executor()
+            .shuffle(&self.ctx, &PhysicalPlan::new(self.effective_plan()), label)
     }
 
-    /// Gather side of a shuffle: destination bucket `b` receives from
-    /// sources in order. Records shuffle statistics.
-    fn gather(&self, scattered: Vec<Vec<Vec<Value>>>, p: usize) -> Result<Vec<Vec<Value>>> {
-        let mut dest: Vec<Vec<Value>> = vec![Vec::new(); p];
-        let mut moved_rows = 0u64;
-        for src in scattered {
-            for (b, rows) in src.into_iter().enumerate() {
-                moved_rows += rows.len() as u64;
-                dest[b].extend(rows);
-            }
-        }
-        let bytes = estimate_bytes(&dest);
-        self.ctx.stats().record_shuffle(moved_rows, bytes);
-        self.ctx.plan_note(format!(
-            "shuffle: {moved_rows} rows exchanged across {p} partitions"
-        ));
-        Ok(dest)
-    }
-
-    /// Runs the stage after a shuffle (one task per destination bucket).
-    fn post_shuffle_stage<F>(
-        &self,
-        label: &str,
-        dest: &[Vec<Value>],
-        task: F,
-    ) -> Result<Vec<Vec<Value>>>
-    where
-        F: Fn(&Vec<Value>) -> Result<Vec<Value>> + Sync,
-    {
-        self.ctx.record_physical_stage();
-        let stage = self.ctx.stats().snapshot().physical_stages;
-        self.ctx.plan_note(format!(
-            "stage {stage}: {label} over {} buckets",
-            dest.len()
-        ));
-        run_stage(self.ctx.workers(), dest, |_, bucket| task(bucket))
+    /// Wraps gathered shuffle buckets in a lazy partition-wise stage: the
+    /// post-shuffle work becomes a pending plan node that fuses with
+    /// whatever consumes it next (shuffle-read fusion).
+    fn post_shuffle(&self, dest: Vec<Vec<Value>>, f: PartFn, label: &'static str) -> Dataset {
+        self.derived(PlanOp::MapPartitions(
+            Arc::new(PlanOp::Scan(Arc::new(dest))),
+            f,
+            label,
+            self.tag(),
+        ))
     }
 
     /// Re-partitions `(key, value)` rows by key hash.
@@ -365,26 +429,30 @@ impl Dataset {
     /// pairs; the output has one `(key, combined)` row per distinct key.
     ///
     /// The pending narrow chain, the map-side combine, and the scatter all
-    /// run in **one** fused physical stage; the post-shuffle reduction is
-    /// the second.
+    /// run in **one** fused physical stage. The post-shuffle reduction is
+    /// lazy: it runs inside whatever stage consumes this dataset next, so
+    /// `reduce_by_key → map → shuffle` costs two physical stages, not
+    /// three.
     pub fn reduce_by_key<F>(&self, f: F) -> Result<Dataset>
     where
-        F: Fn(&Value, &Value) -> Result<Value> + Sync,
+        F: Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
         let p = self.ctx.partitions();
-        let f = &f;
-        let scattered = plan::run_partitionwise(
+        let f = Arc::new(f);
+        let exec = self.ctx.executor();
+        let fc = &f;
+        let scattered = exec.consume(
             &self.ctx,
-            &self.effective_plan(),
+            &PhysicalPlan::new(self.effective_plan()),
             "reduce_by_key (combine + scatter)",
-            |_, rows| {
+            &|_, rows| {
                 let mut acc: HashMap<Value, Value> = HashMap::new();
                 let mut order: Vec<Value> = Vec::new();
                 rows.for_each(&mut |row| {
                     let (k, v) = key_value(&row)?;
                     match acc.get_mut(&k) {
-                        Some(cur) => *cur = f(cur, &v)?,
+                        Some(cur) => *cur = fc(cur, &v)?,
                         None => {
                             order.push(k.clone());
                             acc.insert(k, v);
@@ -401,8 +469,8 @@ impl Dataset {
                 Ok(buckets)
             },
         )?;
-        let dest = self.gather(scattered, p)?;
-        let parts = self.post_shuffle_stage("reduce_by_key (reduce)", &dest, |bucket| {
+        let dest = exec.gather(&self.ctx, scattered, p)?;
+        let reduce_fn: PartFn = Arc::new(move |bucket: &[Value]| {
             let mut acc: HashMap<Value, Value> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();
             for row in bucket {
@@ -422,16 +490,17 @@ impl Dataset {
                     Value::pair(k, v)
                 })
                 .collect::<Vec<_>>())
-        })?;
-        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
+        });
+        Ok(self.post_shuffle(dest, reduce_fn, "reduce_by_key (reduce)"))
     }
 
     /// `groupByKey`: shuffles `(key, value)` rows and produces one
-    /// `(key, bag-of-values)` row per distinct key.
+    /// `(key, bag-of-values)` row per distinct key. The grouping stage is
+    /// lazy and fuses with the next consumer.
     pub fn group_by_key(&self) -> Result<Dataset> {
         self.ctx.record_logical_op();
         let dest = self.shuffle("group_by_key (scatter)")?;
-        let parts = self.post_shuffle_stage("group_by_key (group)", &dest, |bucket| {
+        let group_fn: PartFn = Arc::new(|bucket: &[Value]| {
             let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();
             for row in bucket {
@@ -451,22 +520,46 @@ impl Dataset {
                     Value::pair(k, Value::bag(vs))
                 })
                 .collect::<Vec<_>>())
-        })?;
-        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
+        });
+        Ok(self.post_shuffle(dest, group_fn, "group_by_key (group)"))
+    }
+
+    /// Zips two shuffled bucket lists into encoded single-row partitions
+    /// `(bag(left), bag(right))` — the input of a lazy two-sided
+    /// post-shuffle stage (internal).
+    fn zip_buckets(left: Vec<Vec<Value>>, right: Vec<Vec<Value>>) -> Vec<Vec<Value>> {
+        left.into_iter()
+            .zip(right)
+            .map(|(l, r)| vec![Value::pair(Value::bag(l), Value::bag(r))])
+            .collect()
+    }
+
+    /// Decodes one `zip_buckets` partition back into its two sides.
+    fn unzip_bucket(part: &[Value]) -> Result<(&[Value], &[Value])> {
+        let [row] = part else {
+            return Err(RuntimeError::new("corrupt two-sided shuffle partition"));
+        };
+        let fields = row
+            .as_tuple()
+            .filter(|t| t.len() == 2)
+            .ok_or_else(|| RuntimeError::new("corrupt two-sided shuffle row"))?;
+        match (fields[0].as_bag(), fields[1].as_bag()) {
+            (Some(l), Some(r)) => Ok((l, r)),
+            _ => Err(RuntimeError::new("corrupt two-sided shuffle bags")),
+        }
     }
 
     /// `cogroup`: for each key present on either side, produces
-    /// `(key, (left-bag, right-bag))`.
+    /// `(key, (left-bag, right-bag))`. Both scatters are eager; the
+    /// grouping stage is lazy and fuses with the next consumer (which is
+    /// how a `join`'s pair expansion and the map after it run in the
+    /// grouping's stage).
     pub fn cogroup(&self, other: &Dataset) -> Result<Dataset> {
         self.ctx.record_logical_op();
         let left = self.shuffle("cogroup (scatter left)")?;
         let right = other.shuffle("cogroup (scatter right)")?;
-        let pairs: Vec<(Vec<Value>, Vec<Value>)> = left.into_iter().zip(right).collect();
-        self.ctx.record_physical_stage();
-        let stage = self.ctx.stats().snapshot().physical_stages;
-        self.ctx
-            .plan_note(format!("stage {stage}: cogroup (group both sides)"));
-        let parts = run_stage(self.ctx.workers(), &pairs, |_, (l, r)| {
+        let co_fn: PartFn = Arc::new(|part: &[Value]| {
+            let (l, r) = Dataset::unzip_bucket(part)?;
             let mut groups: HashMap<Value, (Vec<Value>, Vec<Value>)> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();
             for row in l {
@@ -496,8 +589,12 @@ impl Dataset {
                     Value::pair(k, Value::pair(Value::bag(lv), Value::bag(rv)))
                 })
                 .collect::<Vec<_>>())
-        })?;
-        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
+        });
+        Ok(self.post_shuffle(
+            Dataset::zip_buckets(left, right),
+            co_fn,
+            "cogroup (group both sides)",
+        ))
     }
 
     /// Inner equi-join on `(key, value)` rows: produces
@@ -530,20 +627,18 @@ impl Dataset {
     /// keys become `f(old, new)` — the merge form used for incremental
     /// updates `d ⊕= e` (§3.7); duplicate update keys are also combined
     /// with `f` first.
+    ///
+    /// Both scatters are eager; the slot-combining stage is lazy, so the
+    /// merged array fuses into whatever reads it next.
     pub fn merge<F>(&self, updates: &Dataset, combine: Option<F>) -> Result<Dataset>
     where
-        F: Fn(&Value, &Value) -> Result<Value> + Sync,
+        F: Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
         let old = self.shuffle("merge (scatter old)")?;
         let new = updates.shuffle("merge (scatter updates)")?;
-        let pairs: Vec<(Vec<Value>, Vec<Value>)> = old.into_iter().zip(new).collect();
-        let combine = &combine;
-        self.ctx.record_physical_stage();
-        let stage = self.ctx.stats().snapshot().physical_stages;
-        self.ctx
-            .plan_note(format!("stage {stage}: merge ⊳ (combine slots)"));
-        let parts = run_stage(self.ctx.workers(), &pairs, |_, (olds, news)| {
+        let merge_fn: PartFn = Arc::new(move |part: &[Value]| {
+            let (olds, news) = Dataset::unzip_bucket(part)?;
             // Old side: arrays have unique keys; keep the last if not.
             let mut slots: HashMap<Value, Value> = HashMap::with_capacity(olds.len());
             let mut order: Vec<Value> = Vec::with_capacity(olds.len());
@@ -557,7 +652,7 @@ impl Dataset {
                 let (k, v) = key_value(row)?;
                 match slots.get_mut(&k) {
                     Some(cur) => {
-                        *cur = match combine {
+                        *cur = match &combine {
                             Some(f) => f(cur, &v)?,
                             None => v,
                         };
@@ -575,8 +670,12 @@ impl Dataset {
                     Value::pair(k, v)
                 })
                 .collect::<Vec<_>>())
-        })?;
-        Ok(Dataset::from_materialized(self.ctx.clone(), parts))
+        });
+        Ok(self.post_shuffle(
+            Dataset::zip_buckets(old, new),
+            merge_fn,
+            "merge ⊳ (combine slots)",
+        ))
     }
 
     /// Pairwise partition zip (Spark's `zipPartitions`) — requires equal
@@ -623,7 +722,7 @@ impl std::fmt::Debug for Dataset {
 }
 
 /// Sampled byte estimate: measure up to 32 rows per partition and scale.
-fn estimate_bytes(parts: &[Vec<Value>]) -> u64 {
+pub(crate) fn estimate_bytes(parts: &[Vec<Value>]) -> u64 {
     let mut total = 0u64;
     for p in parts {
         if p.is_empty() {
@@ -713,7 +812,10 @@ mod tests {
         let keyed = mapped
             .map(|v| Ok(Value::pair(v.clone(), Value::Long(1))))
             .unwrap();
-        let _ = keyed.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).unwrap();
+        let _ = keyed
+            .reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+            .unwrap()
+            .collect();
         assert_eq!(
             calls.load(Ordering::Relaxed),
             10,
@@ -732,19 +834,41 @@ mod tests {
         let u = a.union(&b);
         let before = ctx.stats().snapshot();
         let r = u.reduce_by_key(|x, y| BinOp::Add.apply(x, y)).unwrap();
+        let rows = r.collect_sorted();
         let after = ctx.stats().snapshot().since(&before);
         assert_eq!(
             after.physical_stages, 2,
             "combine+scatter fused over union segments, then reduce: {after:?}"
         );
         assert_eq!(
-            r.collect_sorted(),
+            rows,
             vec![
                 Value::pair(Value::Long(1), Value::Long(11)),
                 Value::pair(Value::Long(2), Value::Long(22)),
                 Value::pair(Value::Long(3), Value::Long(3)),
             ]
         );
+    }
+
+    #[test]
+    fn bare_union_collect_streams_without_combined_partitions() {
+        // A bare collect of an unprocessed union reads both operands in
+        // place through the executor — one fused stage, rows streamed
+        // straight into the output.
+        let ctx = ctx();
+        let a = ctx.range(1, 100);
+        let b = ctx.range(101, 200);
+        let u = a.union(&b);
+        let before = ctx.stats().snapshot();
+        let rows = u.try_collect().unwrap();
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(rows.len(), 200);
+        assert_eq!(after.physical_stages, 1, "{after:?}");
+        let mut sorted = rows.clone();
+        sorted.sort();
+        assert_eq!(sorted, (1..=200).map(Value::Long).collect::<Vec<_>>());
+        // count() streams too, and clones nothing.
+        assert_eq!(u.count(), 200);
     }
 
     #[test]
@@ -859,8 +983,8 @@ mod tests {
         let d = pairs(&ctx, &entries);
         let before = ctx.stats().snapshot();
         let r = d.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).unwrap();
-        let after = ctx.stats().snapshot().since(&before);
         let mut rows = r.collect_sorted();
+        let after = ctx.stats().snapshot().since(&before);
         rows.sort();
         assert_eq!(rows.len(), 10);
         for row in rows {
@@ -872,8 +996,36 @@ mod tests {
             after.shuffled_records <= (8 * 10) as u64,
             "combiner limits shuffle: {after:?}"
         );
-        // Combine+scatter fuse into one stage; the reduce is the second.
+        // Combine+scatter fuse into one stage; the shuffle-read reduce is
+        // the second (fused with the collect).
         assert_eq!(after.physical_stages, 2, "{after:?}");
+    }
+
+    #[test]
+    fn reduce_by_key_then_map_then_shuffle_is_two_stages() {
+        // Shuffle-read fusion: the post-shuffle reduce runs inside the
+        // next scatter's stage, so reduce_by_key → map → shuffle costs 2
+        // physical stages, not 3.
+        let ctx = ctx();
+        let entries: Vec<(i64, i64)> = (0..500).map(|i| (i % 20, 1)).collect();
+        let d = pairs(&ctx, &entries);
+        let before = ctx.stats().snapshot();
+        let r = d
+            .reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+            .unwrap()
+            .map(|row| {
+                let (k, v) = key_value(row)?;
+                Ok(Value::pair(v, k))
+            })
+            .unwrap()
+            .partition_by_key()
+            .unwrap();
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(
+            after.physical_stages, 2,
+            "combine+scatter, then reduce+map+scatter: {after:?}"
+        );
+        assert_eq!(r.count(), 20);
     }
 
     #[test]
@@ -1013,6 +1165,29 @@ mod tests {
             })
             .unwrap();
         assert!(keyed.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).is_err());
+    }
+
+    #[test]
+    fn fused_errors_carry_statement_tags() {
+        // A statement label set while a plan node is built prefixes any
+        // error that node later raises — error locality under laziness.
+        let ctx = ctx();
+        ctx.set_statement_label(Some("s1: X := boom"));
+        let d = ctx
+            .range(0, 10)
+            .map(|v| {
+                if v.as_long() == Some(5) {
+                    Err(RuntimeError::new("boom"))
+                } else {
+                    Ok(v.clone())
+                }
+            })
+            .unwrap();
+        ctx.set_statement_label(None);
+        // Materialization happens later, in a different "statement".
+        let err = d.try_collect().unwrap_err();
+        assert!(err.message.contains("s1: X := boom"), "{err}");
+        assert!(err.message.contains("boom"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! The pluggable execution backend: the [`Executor`] trait plus the two
+//! built-in implementations, [`LocalExecutor`] (tuple-at-a-time, the
+//! default) and [`TileExecutor`] (tile/batch-at-a-time, tuned for the §5
+//! tiled-matrix workloads whose rows carry dense tile payloads).
+//!
+//! A [`Context`] owns one `Arc<dyn Executor>`; every [`Dataset`]
+//! materialization point routes through it, so a backend can be swapped
+//! under the unchanged `Dataset`/`Session` API —
+//! [`Context::with_executor`], the `DIABLO_BACKEND` environment variable,
+//! or `diabloc --backend <name>` all select one.
+//!
+//! ## Contract
+//!
+//! Executors must be **plan-faithful**: for the same plan they must
+//! produce the same rows in the same order as tuple-at-a-time evaluation,
+//! move the same rows through shuffles, and surface the same first error
+//! for deterministic operator chains (see `ARCHITECTURE.md` for the full
+//! contract and the conformance suite in `tests/executor_conformance.rs`).
+//! Stage accounting ([`Context::record_physical_stage`]) is the
+//! executor's responsibility; the shared plan walkers in this crate do it
+//! for the built-ins.
+//!
+//! [`Dataset`]: crate::Dataset
+
+use std::sync::Arc;
+
+use diablo_runtime::Value;
+
+use crate::plan::{self, DriveMode, PartitionRows, Parts, PlanOp, Result};
+use crate::Context;
+
+/// An opaque handle to a dataset's physical plan, as passed to executors.
+pub struct PhysicalPlan {
+    pub(crate) op: Arc<PlanOp>,
+}
+
+impl PhysicalPlan {
+    pub(crate) fn new(op: Arc<PlanOp>) -> PhysicalPlan {
+        PhysicalPlan { op }
+    }
+}
+
+/// A partition-wise consumer run by [`Executor::consume`]: receives the
+/// partition index and a cursor over the partition's transformed rows, and
+/// returns any number of row groups (shuffle buckets, reduction partials).
+pub type PartitionTask<'a> =
+    dyn Fn(usize, &PartitionRows<'_>) -> Result<Vec<Vec<Value>>> + Sync + 'a;
+
+/// What an execution backend can do, for introspection (`explain`
+/// headers, the bench harness, tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Processes rows tile-at-a-time with per-step inner loops instead of
+    /// tuple-at-a-time recursion.
+    pub vectorized: bool,
+    /// Fuses the post-shuffle reduce with the next narrow chain and its
+    /// consumer (shuffle-read fusion).
+    pub fused_shuffle_read: bool,
+    /// Reads `union` operands in place through segments instead of
+    /// copying them into combined partitions.
+    pub union_in_place: bool,
+}
+
+/// A pluggable execution backend for the [`PlanOp`] DAG.
+///
+/// All methods take the [`Context`] explicitly so one executor value can
+/// serve many contexts; implementations must be stateless or internally
+/// synchronized.
+pub trait Executor: Send + Sync {
+    /// Short stable identifier (`local`, `tile`), used by
+    /// `diabloc --backend`, `DIABLO_BACKEND`, and the bench harness.
+    fn name(&self) -> &'static str;
+
+    /// What this backend can do.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Executes a plan into concrete partitions, fusing pending narrow
+    /// chains however the backend sees fit. Must preserve row order:
+    /// output partition `i` holds the transformed rows of input partition
+    /// `i` in source order.
+    fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts>;
+
+    /// Runs `task` once per partition over the plan's *transformed* rows
+    /// without materializing them, returning each partition's row groups.
+    /// This is the primitive under shuffle scatters and reductions.
+    fn consume(
+        &self,
+        ctx: &Context,
+        plan: &PhysicalPlan,
+        label: &str,
+        task: &PartitionTask<'_>,
+    ) -> Result<Vec<Vec<Vec<Value>>>>;
+
+    /// Hash-partitions `(key, value)` rows by key: scatters each
+    /// partition's transformed rows into `ctx.partitions()` buckets, then
+    /// [`Executor::gather`]s them. The default implementation fuses the
+    /// pending narrow chain into the scatter pass.
+    fn shuffle(&self, ctx: &Context, plan: &PhysicalPlan, label: &str) -> Result<Vec<Vec<Value>>> {
+        let p = ctx.partitions();
+        let scattered = self.consume(ctx, plan, label, &|_, rows| {
+            let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+            rows.for_each(&mut |row| {
+                let (k, _) = diablo_runtime::array::key_value(&row)?;
+                let b = (crate::dataset::key_hash(&k) % p as u64) as usize;
+                buckets[b].push(row);
+                Ok(())
+            })?;
+            Ok(buckets)
+        })?;
+        self.gather(ctx, scattered, p)
+    }
+
+    /// Gather side of a shuffle: destination bucket `b` receives rows
+    /// from every source partition, in source order. Records shuffle
+    /// statistics on the context.
+    fn gather(
+        &self,
+        ctx: &Context,
+        scattered: Vec<Vec<Vec<Value>>>,
+        partitions: usize,
+    ) -> Result<Vec<Vec<Value>>> {
+        let mut dest: Vec<Vec<Value>> = vec![Vec::new(); partitions];
+        let mut moved_rows = 0u64;
+        for src in scattered {
+            for (b, rows) in src.into_iter().enumerate() {
+                moved_rows += rows.len() as u64;
+                dest[b].extend(rows);
+            }
+        }
+        let bytes = crate::dataset::estimate_bytes(&dest);
+        ctx.stats().record_shuffle(moved_rows, bytes);
+        ctx.plan_note(format!(
+            "shuffle: {moved_rows} rows exchanged across {partitions} partitions"
+        ));
+        Ok(dest)
+    }
+}
+
+/// The default backend: fused tuple-at-a-time evaluation on the worker
+/// pool — exactly the engine the lazy-plan layer shipped with.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalExecutor;
+
+impl Executor for LocalExecutor {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            vectorized: false,
+            fused_shuffle_read: true,
+            union_in_place: true,
+        }
+    }
+
+    fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
+        plan::materialize(ctx, &plan.op, DriveMode::Tuple)
+    }
+
+    fn consume(
+        &self,
+        ctx: &Context,
+        plan: &PhysicalPlan,
+        label: &str,
+        task: &PartitionTask<'_>,
+    ) -> Result<Vec<Vec<Vec<Value>>>> {
+        plan::consume(ctx, &plan.op, label, DriveMode::Tuple, task)
+    }
+}
+
+/// The tiled backend: identical plans and stage structure, but rows move
+/// through fused chains **tile-at-a-time** — fixed-width batches pushed
+/// through each step with a tight inner loop, the execution shape of the
+/// §5 tiled-matrix runtime (`diablo_runtime::tile`), where one row carries
+/// a whole dense tile and per-row closure dispatch dominates.
+///
+/// The default tile width is 64 rows — one 8×8 [`TiledMatrix`] tile, the
+/// shape the §5 ablation benchmark packs — and can be tuned with the
+/// `DIABLO_TILE_BATCH` environment variable.
+///
+/// [`TiledMatrix`]: diablo_runtime::TiledMatrix
+#[derive(Debug, Clone, Copy)]
+pub struct TileExecutor {
+    batch: usize,
+}
+
+impl TileExecutor {
+    /// Default tile width: an 8×8 dense tile's worth of rows.
+    pub const DEFAULT_BATCH: usize = 64;
+
+    /// Creates a tile executor with the given batch width.
+    pub fn new(batch: usize) -> TileExecutor {
+        assert!(batch > 0, "tile batch must be positive");
+        TileExecutor { batch }
+    }
+
+    /// Creates a tile executor sized from `DIABLO_TILE_BATCH` (default
+    /// [`TileExecutor::DEFAULT_BATCH`]).
+    pub fn from_env() -> TileExecutor {
+        let batch = std::env::var("DIABLO_TILE_BATCH")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .filter(|&b| b > 0)
+            .unwrap_or(Self::DEFAULT_BATCH);
+        TileExecutor::new(batch)
+    }
+
+    /// The configured tile width.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl Default for TileExecutor {
+    fn default() -> TileExecutor {
+        TileExecutor::new(Self::DEFAULT_BATCH)
+    }
+}
+
+impl Executor for TileExecutor {
+    fn name(&self) -> &'static str {
+        "tile"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            vectorized: true,
+            fused_shuffle_read: true,
+            union_in_place: true,
+        }
+    }
+
+    fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
+        plan::materialize(ctx, &plan.op, DriveMode::Batch(self.batch))
+    }
+
+    fn consume(
+        &self,
+        ctx: &Context,
+        plan: &PhysicalPlan,
+        label: &str,
+        task: &PartitionTask<'_>,
+    ) -> Result<Vec<Vec<Vec<Value>>>> {
+        plan::consume(ctx, &plan.op, label, DriveMode::Batch(self.batch), task)
+    }
+}
+
+/// Resolves a backend by name (`local`, `tile`); `None` for unknown names.
+pub fn executor_named(name: &str) -> Option<Arc<dyn Executor>> {
+    match name {
+        "local" => Some(Arc::new(LocalExecutor)),
+        "tile" => Some(Arc::new(TileExecutor::from_env())),
+        _ => None,
+    }
+}
+
+/// The backend named by the `DIABLO_BACKEND` environment variable, or the
+/// default [`LocalExecutor`].
+///
+/// # Panics
+/// Panics on an unknown backend name so a typo in a CI matrix fails loudly
+/// instead of silently testing the default backend.
+pub(crate) fn executor_from_env() -> Arc<dyn Executor> {
+    match std::env::var("DIABLO_BACKEND") {
+        Ok(name) => executor_named(&name)
+            .unwrap_or_else(|| panic!("DIABLO_BACKEND={name}: unknown backend (try local, tile)")),
+        Err(_) => Arc::new(LocalExecutor),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_lookup_by_name() {
+        assert_eq!(executor_named("local").unwrap().name(), "local");
+        assert_eq!(executor_named("tile").unwrap().name(), "tile");
+        assert!(executor_named("spark").is_none());
+    }
+
+    #[test]
+    fn capabilities_distinguish_backends() {
+        assert!(!LocalExecutor.capabilities().vectorized);
+        assert!(TileExecutor::default().capabilities().vectorized);
+        assert!(LocalExecutor.capabilities().union_in_place);
+    }
+
+    #[test]
+    #[should_panic(expected = "tile batch must be positive")]
+    fn zero_batch_panics() {
+        let _ = TileExecutor::new(0);
+    }
+}

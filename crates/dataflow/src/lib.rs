@@ -6,7 +6,7 @@
 //! Spark's **lazy evaluation**: transformations build a plan; actions run
 //! it.
 //!
-//! ## Architecture: plan → fuse → execute
+//! ## Architecture: plan → fuse → execute (on a pluggable backend)
 //!
 //! * a [`Dataset`] is an immutable bag of rows split into hash partitions,
 //!   described by a lazy **physical plan** — a DAG of `PlanOp` nodes
@@ -14,6 +14,13 @@
 //!   by the operator methods without running anything;
 //! * *narrow* operations (`map`, `filter`, `flat_map`, `union`) append a
 //!   plan node and return immediately — no data moves, no threads run;
+//! * plan execution belongs to the context's [`Executor`] — a public
+//!   trait (`materialize`, `consume`, `shuffle`, `gather`, plus
+//!   name/capability introspection) with two built-ins:
+//!   [`LocalExecutor`] (tuple-at-a-time, default) and [`TileExecutor`]
+//!   (tile/batch-at-a-time inner loops for §5 tiled-matrix workloads).
+//!   Select one with [`Context::with_executor`], `DIABLO_BACKEND`, or
+//!   `diabloc --backend`; results are identical across backends;
 //! * at every **materialization point** — a shuffle (`group_by_key`,
 //!   `reduce_by_key`, `cogroup`, `join`, the array-merge `⊳`), `collect`,
 //!   `reduce`, or `broadcast` — the executor **fuses** the pending narrow
@@ -22,10 +29,10 @@
 //!   source rows and allocates no per-operator intermediate `Vec`;
 //! * *shuffle* operations physically re-bucket rows by key hash before the
 //!   next stage, exactly where Spark would exchange data across executors.
-//!   Their scatter pass fuses the pending chain too, so
-//!   `map → filter → reduce_by_key` is two physical stages: fused
-//!   chain + map-side combine + shuffle write, then the shuffle-read
-//!   reduction;
+//!   Their scatter pass fuses the pending chain too, and the
+//!   **shuffle-read side is lazy**: the post-shuffle reduce/group/combine
+//!   is a pending plan node that fuses with the next consumer, so
+//!   `reduce_by_key → map → shuffle` is two physical stages, not three;
 //! * `reduce_by_key` performs map-side combining (Spark's combiner), which
 //!   is what makes the Word-Count/Histogram/Group-By shapes of Figure 3
 //!   come out right;
@@ -49,11 +56,17 @@
 //! prints — and [`Dataset::explain`] renders a still-pending plan.
 
 mod dataset;
+mod executor;
 mod plan;
 mod pool;
 mod stats;
 
 pub use dataset::Dataset;
+pub use executor::{
+    executor_named, Capabilities, Executor, LocalExecutor, PartitionTask, PhysicalPlan,
+    TileExecutor,
+};
+pub use plan::{PartitionRows, Parts};
 pub use stats::{Stats, StatsSnapshot};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -61,9 +74,10 @@ use std::sync::{Arc, Mutex};
 
 use diablo_runtime::Value;
 
-/// Handle to the engine: worker count, partition count, and run statistics.
+/// Handle to the engine: worker count, partition count, the execution
+/// backend, and run statistics.
 ///
-/// Cheap to clone; all clones share the same statistics.
+/// Cheap to clone; all clones share the same statistics and backend.
 #[derive(Clone)]
 pub struct Context {
     inner: Arc<ContextInner>,
@@ -75,11 +89,15 @@ struct ContextInner {
     stats: Stats,
     op_counter: AtomicUsize,
     plan_trace: Mutex<Option<Vec<String>>>,
+    executor: Mutex<Arc<dyn Executor>>,
+    stmt_label: Mutex<Option<Arc<str>>>,
 }
 
 impl Context {
     /// Creates a context with `workers` threads and `partitions` hash
-    /// partitions per dataset.
+    /// partitions per dataset. The execution backend defaults to
+    /// [`LocalExecutor`], overridable with the `DIABLO_BACKEND`
+    /// environment variable (`local`, `tile`) or [`Context::with_executor`].
     pub fn new(workers: usize, partitions: usize) -> Context {
         assert!(workers > 0, "need at least one worker");
         assert!(partitions > 0, "need at least one partition");
@@ -90,6 +108,8 @@ impl Context {
                 stats: Stats::default(),
                 op_counter: AtomicUsize::new(0),
                 plan_trace: Mutex::new(None),
+                executor: Mutex::new(executor::executor_from_env()),
+                stmt_label: Mutex::new(None),
             }),
         }
     }
@@ -105,6 +125,37 @@ impl Context {
     /// parallelism in benchmarks).
     pub fn sequential() -> Context {
         Context::new(1, 1)
+    }
+
+    /// Swaps the execution backend (builder style). Affects every clone of
+    /// this context; call it before building datasets so all stages run on
+    /// one backend.
+    pub fn with_executor(self, executor: Arc<dyn Executor>) -> Context {
+        self.set_executor(executor);
+        self
+    }
+
+    /// Swaps the execution backend in place.
+    pub fn set_executor(&self, executor: Arc<dyn Executor>) {
+        *self.inner.executor.lock().expect("executor lock") = executor;
+    }
+
+    /// The execution backend.
+    pub fn executor(&self) -> Arc<dyn Executor> {
+        self.inner.executor.lock().expect("executor lock").clone()
+    }
+
+    /// Sets (or clears) the source-statement label attached to plan nodes
+    /// built from now on. Driver layers set this per statement so fused
+    /// stages spanning several statements can report all of them, and so
+    /// deferred operator errors name the statement they came from.
+    pub fn set_statement_label(&self, label: Option<&str>) {
+        *self.inner.stmt_label.lock().expect("label lock") = label.map(Arc::from);
+    }
+
+    /// The current source-statement label, if any.
+    pub(crate) fn statement_label(&self) -> Option<Arc<str>> {
+        self.inner.stmt_label.lock().expect("label lock").clone()
     }
 
     /// Number of worker threads.
@@ -128,8 +179,10 @@ impl Context {
         self.inner.stats.record_logical_op();
     }
 
-    /// Counts one physical per-partition pass run by the executor.
-    pub(crate) fn record_physical_stage(&self) {
+    /// Counts one physical per-partition pass. Public so [`Executor`]
+    /// implementations outside this crate can keep stage accounting
+    /// honest; not meant for application code.
+    pub fn record_physical_stage(&self) {
         self.inner.stats.record_physical_stage();
     }
 

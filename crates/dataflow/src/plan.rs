@@ -1,6 +1,7 @@
 //! The lazy physical plan: a DAG of [`PlanOp`] nodes built by [`Dataset`]
-//! operators, and the executor that fuses narrow chains into single
-//! per-partition passes.
+//! operators, plus the plan-walking machinery ([`collapse`], [`drive`],
+//! [`flatten_union`]) that the [`Executor`](crate::Executor)
+//! implementations share.
 //!
 //! Narrow operators (`map`, `filter`, `flat_map`, `union`,
 //! `map_partitions`) never run when called — they append a node to the
@@ -9,6 +10,20 @@
 //! chain of row-level nodes into one [`Step`] list and runs it as a single
 //! physical stage per partition, feeding each transformed row into a sink
 //! without materializing any per-operator intermediate `Vec<Value>`.
+//!
+//! Since the post-shuffle stages of `reduce_by_key`, `group_by_key`,
+//! `merge`, and `cogroup` became lazy [`PlanOp::MapPartitions`] nodes, the
+//! shuffle-*read* side fuses with the next narrow chain too:
+//! `reduce_by_key → map → shuffle` is two physical stages (combine +
+//! scatter, then reduce + map + scatter), not three.
+//!
+//! Every row-level node carries an optional **statement tag** — the source
+//! statement that built it, set by driver layers through
+//! [`Context::set_statement_label`](crate::Context::set_statement_label).
+//! Tags surface in two places: fused stages that span several source
+//! statements list all their tags in the plan trace, and an error raised
+//! inside a tagged step is prefixed with its statement, so laziness never
+//! loses error locality.
 //!
 //! The executor is directional in the Cranelift optimization-rules sense:
 //! a fused plan performs *at most* the work of the eager pipeline it
@@ -36,26 +51,32 @@ pub(crate) type RowFlatFn = Arc<dyn Fn(&Value) -> Result<Vec<Value>> + Send + Sy
 /// A partition-at-a-time transformation stored in the plan.
 pub(crate) type PartFn = Arc<dyn Fn(&[Value]) -> Result<Vec<Value>> + Send + Sync>;
 
+/// The source-statement tag of a plan node (`None` outside a driver
+/// session).
+pub(crate) type Tag = Option<Arc<str>>;
+
 /// One node of the lazy physical plan.
 pub(crate) enum PlanOp {
     /// Materialized partitions — the leaves of every plan.
     Scan(Arc<Vec<Vec<Value>>>),
     /// Row-wise `map`.
-    Map(Arc<PlanOp>, RowMapFn),
+    Map(Arc<PlanOp>, RowMapFn, Tag),
     /// Row-wise `filter`.
-    Filter(Arc<PlanOp>, RowPredFn),
+    Filter(Arc<PlanOp>, RowPredFn, Tag),
     /// Row-wise `flat_map`.
-    FlatMap(Arc<PlanOp>, RowFlatFn),
+    FlatMap(Arc<PlanOp>, RowFlatFn, Tag),
     /// Partition-wise transformation (a fusion barrier for row steps
-    /// below it, but itself fused with the steps above it).
-    MapPartitions(Arc<PlanOp>, PartFn),
+    /// below it, but itself fused with the steps above it). The `&'static
+    /// str` names the operator for plan traces (`map_partitions`,
+    /// `reduce_by_key (reduce)`, `merge ⊳ (combine)`, …).
+    MapPartitions(Arc<PlanOp>, PartFn, &'static str, Tag),
     /// Bag union; keeps the left side's partition count.
     Union(Arc<PlanOp>, Arc<PlanOp>),
 }
 
-/// One fused narrow step (the row-level ops of a collapsed chain).
+/// The operator of one fused narrow step.
 #[derive(Clone)]
-pub(crate) enum Step {
+pub(crate) enum StepOp {
     /// From [`PlanOp::Map`].
     Map(RowMapFn),
     /// From [`PlanOp::Filter`].
@@ -64,13 +85,34 @@ pub(crate) enum Step {
     FlatMap(RowFlatFn),
 }
 
+/// One fused narrow step (a row-level op of a collapsed chain) plus the
+/// source statement that built it.
+#[derive(Clone)]
+pub(crate) struct Step {
+    pub op: StepOp,
+    pub tag: Tag,
+}
+
 impl Step {
     fn label(&self) -> &'static str {
-        match self {
-            Step::Map(_) => "map",
-            Step::Filter(_) => "filter",
-            Step::FlatMap(_) => "flat_map",
+        match self.op {
+            StepOp::Map(_) => "map",
+            StepOp::Filter(_) => "filter",
+            StepOp::FlatMap(_) => "flat_map",
         }
+    }
+
+    /// Prefixes an error from this step with its source statement.
+    fn tag_err(&self, e: RuntimeError) -> RuntimeError {
+        tag_opt(e, &self.tag)
+    }
+}
+
+/// Prefixes an error with a source-statement tag, if one is present.
+fn tag_opt(e: RuntimeError, tag: &Tag) -> RuntimeError {
+    match tag {
+        Some(t) => e.with_context(t),
+        None => e,
     }
 }
 
@@ -85,15 +127,32 @@ pub(crate) fn drive(
 ) -> Result<()> {
     match steps.split_first() {
         None => sink(row.clone()),
-        Some((Step::Map(f), rest)) => drive_owned(f(row)?, rest, sink),
-        Some((Step::Filter(f), rest)) => {
-            if f(row)? {
+        Some((
+            s @ Step {
+                op: StepOp::Map(f), ..
+            },
+            rest,
+        )) => drive_owned(f(row).map_err(|e| s.tag_err(e))?, rest, sink),
+        Some((
+            s @ Step {
+                op: StepOp::Filter(f),
+                ..
+            },
+            rest,
+        )) => {
+            if f(row).map_err(|e| s.tag_err(e))? {
                 drive(row, rest, sink)?;
             }
             Ok(())
         }
-        Some((Step::FlatMap(f), rest)) => {
-            for v in f(row)? {
+        Some((
+            s @ Step {
+                op: StepOp::FlatMap(f),
+                ..
+            },
+            rest,
+        )) => {
+            for v in f(row).map_err(|e| s.tag_err(e))? {
                 drive_owned(v, rest, sink)?;
             }
             Ok(())
@@ -101,27 +160,153 @@ pub(crate) fn drive(
     }
 }
 
-fn drive_owned(
+pub(crate) fn drive_owned(
     row: Value,
     steps: &[Step],
     sink: &mut dyn FnMut(Value) -> Result<()>,
 ) -> Result<()> {
     match steps.split_first() {
         None => sink(row),
-        Some((Step::Map(f), rest)) => drive_owned(f(&row)?, rest, sink),
-        Some((Step::Filter(f), rest)) => {
-            if f(&row)? {
+        Some((
+            s @ Step {
+                op: StepOp::Map(f), ..
+            },
+            rest,
+        )) => drive_owned(f(&row).map_err(|e| s.tag_err(e))?, rest, sink),
+        Some((
+            s @ Step {
+                op: StepOp::Filter(f),
+                ..
+            },
+            rest,
+        )) => {
+            if f(&row).map_err(|e| s.tag_err(e))? {
                 drive_owned(row, rest, sink)?;
             }
             Ok(())
         }
-        Some((Step::FlatMap(f), rest)) => {
-            for v in f(&row)? {
+        Some((
+            s @ Step {
+                op: StepOp::FlatMap(f),
+                ..
+            },
+            rest,
+        )) => {
+            for v in f(&row).map_err(|e| s.tag_err(e))? {
                 drive_owned(v, rest, sink)?;
             }
             Ok(())
         }
     }
+}
+
+/// Drives a run of source rows through the chain **batch-at-a-time**: each
+/// tile of up to `batch` rows is pushed through one step at a time with a
+/// tight per-step inner loop, instead of recursing per row. Output rows,
+/// their order, and (for deterministic operators) the first error are
+/// identical to [`drive`]: when a batched step fails, the tile is replayed
+/// tuple-at-a-time so the error surfaces in canonical row order.
+pub(crate) fn drive_batch(
+    rows: &[Value],
+    steps: &[Step],
+    batch: usize,
+    sink: &mut dyn FnMut(Value) -> Result<()>,
+) -> Result<()> {
+    debug_assert!(batch > 0);
+    if steps.is_empty() {
+        for row in rows {
+            sink(row.clone())?;
+        }
+        return Ok(());
+    }
+    let (first, rest) = steps.split_first().expect("checked non-empty");
+    for tile in rows.chunks(batch) {
+        match seed_tile(tile, first).and_then(|buf| apply_steps_to_tile(buf, rest)) {
+            Ok(out) => {
+                for v in out {
+                    sink(v)?;
+                }
+            }
+            Err(batched) => {
+                // Replay this tile tuple-at-a-time into the REAL sink:
+                // nothing from a failed tile has been sunk yet, and the
+                // canonical first error may come from the consumer (the
+                // sink — e.g. a scatter's key check on an earlier row),
+                // not from the step that failed batched. Replaying for
+                // real reproduces exactly what tuple-at-a-time execution
+                // would have delivered and raised.
+                for row in tile {
+                    drive(row, steps, sink)?;
+                }
+                // Non-deterministic operator: the replay sailed through,
+                // so keep the batched error.
+                return Err(batched);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Builds the tile buffer by applying the FIRST step straight from the
+/// borrowed source rows — `map` allocates only its outputs, `filter`
+/// clones only survivors — so the batch path pays no upfront whole-tile
+/// clone (rows carrying dense tile payloads are exactly where that would
+/// hurt).
+fn seed_tile(tile: &[Value], first: &Step) -> Result<Vec<Value>> {
+    let mut buf = Vec::with_capacity(tile.len());
+    match &first.op {
+        StepOp::Map(f) => {
+            for v in tile {
+                buf.push(f(v).map_err(|e| first.tag_err(e))?);
+            }
+        }
+        StepOp::Filter(f) => {
+            for v in tile {
+                if f(v).map_err(|e| first.tag_err(e))? {
+                    buf.push(v.clone());
+                }
+            }
+        }
+        StepOp::FlatMap(f) => {
+            for v in tile {
+                buf.extend(f(v).map_err(|e| first.tag_err(e))?);
+            }
+        }
+    }
+    Ok(buf)
+}
+
+/// Applies every step to a whole tile with per-step inner loops.
+fn apply_steps_to_tile(mut buf: Vec<Value>, steps: &[Step]) -> Result<Vec<Value>> {
+    for s in steps {
+        match &s.op {
+            StepOp::Map(f) => {
+                for v in buf.iter_mut() {
+                    *v = f(v).map_err(|e| s.tag_err(e))?;
+                }
+            }
+            StepOp::Filter(f) => {
+                let mut kept = Vec::with_capacity(buf.len());
+                for v in buf {
+                    if f(&v).map_err(|e| s.tag_err(e))? {
+                        kept.push(v);
+                    }
+                }
+                buf = kept;
+            }
+            StepOp::FlatMap(f) => {
+                let mut expanded = Vec::with_capacity(buf.len());
+                for v in &buf {
+                    expanded.extend(f(v).map_err(|e| s.tag_err(e))?);
+                }
+                buf = expanded;
+            }
+        }
+        if buf.is_empty() {
+            break;
+        }
+    }
+    Ok(buf)
 }
 
 /// A plan collapsed to a base node plus the fused row steps above it.
@@ -138,19 +323,28 @@ pub(crate) fn collapse(plan: &Arc<PlanOp>) -> Collapsed {
     let mut cur = plan.clone();
     loop {
         let next = match cur.as_ref() {
-            PlanOp::Map(input, f) => {
-                steps.push(Step::Map(f.clone()));
+            PlanOp::Map(input, f, tag) => {
+                steps.push(Step {
+                    op: StepOp::Map(f.clone()),
+                    tag: tag.clone(),
+                });
                 input.clone()
             }
-            PlanOp::Filter(input, f) => {
-                steps.push(Step::Filter(f.clone()));
+            PlanOp::Filter(input, f, tag) => {
+                steps.push(Step {
+                    op: StepOp::Filter(f.clone()),
+                    tag: tag.clone(),
+                });
                 input.clone()
             }
-            PlanOp::FlatMap(input, f) => {
-                steps.push(Step::FlatMap(f.clone()));
+            PlanOp::FlatMap(input, f, tag) => {
+                steps.push(Step {
+                    op: StepOp::FlatMap(f.clone()),
+                    tag: tag.clone(),
+                });
                 input.clone()
             }
-            PlanOp::Scan(_) | PlanOp::MapPartitions(_, _) | PlanOp::Union(_, _) => break,
+            PlanOp::Scan(_) | PlanOp::MapPartitions(_, _, _, _) | PlanOp::Union(_, _) => break,
         };
         cur = next;
     }
@@ -159,7 +353,7 @@ pub(crate) fn collapse(plan: &Arc<PlanOp>) -> Collapsed {
 }
 
 /// Executor output: shared when no work was needed, owned otherwise.
-pub(crate) enum Parts {
+pub enum Parts {
     /// Untouched materialized partitions (zero-copy).
     Shared(Arc<Vec<Vec<Value>>>),
     /// Freshly computed partitions.
@@ -193,15 +387,48 @@ impl Parts {
     }
 }
 
+/// How an executor pushes rows through a fused step chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum DriveMode {
+    /// Tuple-at-a-time recursion ([`drive`]).
+    Tuple,
+    /// Tile-at-a-time inner loops of the given width ([`drive_batch`]).
+    Batch(usize),
+}
+
+impl DriveMode {
+    fn run(
+        self,
+        rows: &[Value],
+        steps: &[Step],
+        sink: &mut dyn FnMut(Value) -> Result<()>,
+    ) -> Result<()> {
+        match self {
+            DriveMode::Tuple => {
+                for row in rows {
+                    drive(row, steps, sink)?;
+                }
+                Ok(())
+            }
+            DriveMode::Batch(b) => drive_batch(rows, steps, b, sink),
+        }
+    }
+}
+
 /// Materializes a plan into partitions, fusing every narrow chain into one
-/// physical stage per `Scan`/`MapPartitions` segment.
-pub(crate) fn materialize(ctx: &Context, plan: &Arc<PlanOp>) -> Result<Parts> {
-    materialize_with(ctx, plan, &[])
+/// physical stage per `Scan`/`MapPartitions`/`Union` segment.
+pub(crate) fn materialize(ctx: &Context, plan: &Arc<PlanOp>, mode: DriveMode) -> Result<Parts> {
+    materialize_with(ctx, plan, &[], mode)
 }
 
 /// [`materialize`] with extra steps appended after the plan's own rows —
 /// how steps above a `Union` are pushed down into both branches.
-fn materialize_with(ctx: &Context, plan: &Arc<PlanOp>, extra: &[Step]) -> Result<Parts> {
+fn materialize_with(
+    ctx: &Context,
+    plan: &Arc<PlanOp>,
+    extra: &[Step],
+    mode: DriveMode,
+) -> Result<Parts> {
     let Collapsed { base, steps } = collapse(plan);
     let mut all = steps;
     all.extend(extra.iter().cloned());
@@ -210,40 +437,49 @@ fn materialize_with(ctx: &Context, plan: &Arc<PlanOp>, extra: &[Step]) -> Result
             if all.is_empty() {
                 return Ok(Parts::Shared(parts.clone()));
             }
-            let out = run_fused_stage(ctx, parts, None, &all, parts.len())?;
+            let out = run_fused_stage(ctx, parts, None, &all, parts.len(), "materialize", mode)?;
             Ok(Parts::Owned(out))
         }
-        PlanOp::MapPartitions(input, f) => {
-            let inp = materialize(ctx, input)?;
+        PlanOp::MapPartitions(input, f, label, tag) => {
+            let inp = materialize(ctx, input, mode)?;
             let out = run_fused_stage(
                 ctx,
                 inp.as_slice(),
-                Some(f.clone()),
+                Some((f.clone(), label, tag.clone())),
                 &all,
                 inp.as_slice().len(),
+                "materialize",
+                mode,
             )?;
             Ok(Parts::Owned(out))
         }
-        PlanOp::Union(left, right) => {
-            // Producing owned combined partitions requires owning the
-            // rows; a side that is still shared (a bare scan) is cloned
-            // here. The hot consumers — shuffles and reductions — never
-            // take this path: `run_partitionwise` reads union operands in
-            // place via segments.
-            let lp = materialize_with(ctx, left, &all)?;
-            let rp = materialize_with(ctx, right, &all)?;
-            let mut out = lp.into_owned();
-            let n = out.len().max(1);
-            for (i, bucket) in rp.into_owned().into_iter().enumerate() {
-                if out.is_empty() {
-                    out.push(bucket);
-                } else {
-                    out[i % n].extend(bucket);
-                }
-            }
+        PlanOp::Union(_, _) => {
+            // Read every operand in place through segments and build the
+            // owned output partitions in one fused stage: each surviving
+            // row is cloned exactly once, into its destination partition —
+            // no side is materialized into intermediate combined
+            // partitions first.
+            let mut sources: Vec<(Parts, Vec<Step>)> = Vec::new();
+            let mut virt: Vec<Vec<(usize, usize)>> = Vec::new();
+            flatten_union(ctx, &base, &all, &mut sources, &mut virt, mode)?;
+            ctx.record_physical_stage();
+            let stage = ctx.stats().snapshot().physical_stages;
             ctx.plan_note(format!(
-                "union: folded right side into {n} partitions (no stage)"
+                "stage {stage}: union[{} sources, {} partitions] ⇒ materialize (read in place)",
+                sources.len(),
+                virt.len()
             ));
+            let out = run_stage(ctx.workers(), &virt, |_, segs: &Vec<(usize, usize)>| {
+                let mut part = Vec::new();
+                let mut sink = |v: Value| {
+                    part.push(v);
+                    Ok(())
+                };
+                for &(src, p) in segs {
+                    mode.run(&sources[src].0.as_slice()[p], &sources[src].1, &mut sink)?;
+                }
+                Ok(part)
+            })?;
             Ok(Parts::Owned(out))
         }
         // collapse() never returns a row node as base.
@@ -253,21 +489,25 @@ fn materialize_with(ctx: &Context, plan: &Arc<PlanOp>, extra: &[Step]) -> Result
 
 /// Runs one fused physical stage: per partition, optionally apply a
 /// partition-level function, then drive every row through `steps`.
+#[allow(clippy::type_complexity)]
 fn run_fused_stage(
     ctx: &Context,
     input: &[Vec<Value>],
-    prelude: Option<PartFn>,
+    prelude: Option<(PartFn, &'static str, Tag)>,
     steps: &[Step],
     parts: usize,
+    label: &str,
+    mode: DriveMode,
 ) -> Result<Vec<Vec<Value>>> {
     ctx.record_physical_stage();
     ctx.plan_note(describe_stage(
         ctx,
         parts,
-        prelude.is_some(),
+        prelude.as_ref().map(|(_, l, t)| (*l, t.clone())),
         steps,
-        "materialize",
+        label,
     ));
+    let prelude = prelude.map(|(f, _, tag)| (f, tag));
     run_stage(ctx.workers(), input, |_, part: &Vec<Value>| {
         let mut out = Vec::with_capacity(part.len());
         let mut sink = |v: Value| {
@@ -275,63 +515,121 @@ fn run_fused_stage(
             Ok(())
         };
         match &prelude {
-            Some(f) => {
-                for row in f(part)? {
-                    drive_owned(row, steps, &mut sink)?;
-                }
+            Some((f, tag)) => {
+                let rows = f(part).map_err(|e| tag_opt(e, tag))?;
+                mode.run(&rows, steps, &mut sink)?;
             }
-            None => {
-                for row in part {
-                    drive(row, steps, &mut sink)?;
-                }
-            }
+            None => mode.run(part, steps, &mut sink)?,
         }
         Ok(out)
     })
 }
 
 /// Runs `task` once per partition over the plan's *transformed* rows, in
-/// one fused physical stage when the base is a `Scan` or a tree of
-/// `Union`s over scans. `task` receives the partition index and a
-/// [`PartitionRows`] cursor it can drain exactly once; this is how
-/// shuffles and reductions consume a pending chain without an
-/// intermediate materialization — for unions, without copying either
-/// operand.
-pub(crate) fn run_partitionwise<R, F>(
+/// one fused physical stage whenever the base permits: a `Scan`, a tree of
+/// `Union`s over scans, or a `MapPartitions` whose own input is a scan
+/// (the shuffle-read fusion — the post-shuffle reduce runs inside the
+/// consumer's stage). `task` receives the partition index and a
+/// [`PartitionRows`] cursor; this is how shuffles and reductions consume a
+/// pending chain without an intermediate materialization — for unions,
+/// without copying either operand.
+pub(crate) fn consume<R, F>(
     ctx: &Context,
     plan: &Arc<PlanOp>,
     label: &str,
+    mode: DriveMode,
     task: F,
 ) -> Result<Vec<R>>
 where
     R: Send,
-    F: Fn(usize, PartitionRows<'_>) -> Result<R> + Sync,
+    F: Fn(usize, &PartitionRows<'_>) -> Result<R> + Sync,
 {
     let Collapsed { base, steps } = collapse(plan);
     match base.as_ref() {
         PlanOp::Scan(parts) => {
             ctx.record_physical_stage();
-            ctx.plan_note(describe_stage(ctx, parts.len(), false, &steps, label));
+            ctx.plan_note(describe_stage(ctx, parts.len(), None, &steps, label));
             run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
                 task(
                     i,
-                    PartitionRows {
+                    &PartitionRows {
                         segments: vec![Segment {
                             rows: part,
                             steps: &steps,
                         }],
+                        mode,
+                    },
+                )
+            })
+        }
+        PlanOp::MapPartitions(input, f, plabel, tag) => {
+            // Shuffle-read fusion: when the prelude's input is already
+            // materialized (a scan — e.g. gathered shuffle buckets), the
+            // partition-level function, the fused chain above it, and the
+            // consumer all run in ONE stage.
+            let inner = collapse(input);
+            if let PlanOp::Scan(parts) = inner.base.as_ref() {
+                ctx.record_physical_stage();
+                ctx.plan_note(describe_stage(
+                    ctx,
+                    parts.len(),
+                    Some((*plabel, tag.clone())),
+                    &steps,
+                    label,
+                ));
+                let lower = &inner.steps;
+                return run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
+                    // Steps below the prelude feed it a materialized Vec.
+                    let fed: Vec<Value> = if lower.is_empty() {
+                        f(part).map_err(|e| tag_opt(e, tag))?
+                    } else {
+                        let mut buf = Vec::with_capacity(part.len());
+                        let mut sink = |v: Value| {
+                            buf.push(v);
+                            Ok(())
+                        };
+                        mode.run(part, lower, &mut sink)?;
+                        f(&buf).map_err(|e| tag_opt(e, tag))?
+                    };
+                    task(
+                        i,
+                        &PartitionRows {
+                            segments: vec![Segment {
+                                rows: &fed,
+                                steps: &steps,
+                            }],
+                            mode,
+                        },
+                    )
+                });
+            }
+            // Deep prelude (its input is itself unforced): materialize it
+            // (fusing inside), then run the consumer as one more stage.
+            let inp = materialize_with(ctx, &base, &steps, mode)?;
+            let parts = inp.as_slice();
+            ctx.record_physical_stage();
+            ctx.plan_note(describe_stage(ctx, parts.len(), None, &[], label));
+            run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
+                task(
+                    i,
+                    &PartitionRows {
+                        segments: vec![Segment {
+                            rows: part,
+                            steps: &[],
+                        }],
+                        mode,
                     },
                 )
             })
         }
         PlanOp::Union(_, _) => {
-            // Read both operands in place: each virtual partition is a
+            // Read all operands in place: each virtual partition is a
             // list of (source, partition) segments folded together with
             // the eager engine's `i % n` composition, each carrying its
             // own fused step chain. No operand is copied.
             let mut sources: Vec<(Parts, Vec<Step>)> = Vec::new();
             let mut virt: Vec<Vec<(usize, usize)>> = Vec::new();
-            flatten_union(ctx, &base, &steps, &mut sources, &mut virt)?;
+            flatten_union(ctx, &base, &steps, &mut sources, &mut virt, mode)?;
             ctx.record_physical_stage();
             let stage = ctx.stats().snapshot().physical_stages;
             ctx.plan_note(format!(
@@ -347,28 +645,11 @@ where
                         steps: &sources[src].1,
                     })
                     .collect();
-                task(i, PartitionRows { segments })
+                task(i, &PartitionRows { segments, mode })
             })
         }
-        _ => {
-            // MapPartitions base: materialize it (fusing inside), then
-            // run the consumer as one more stage with no row steps.
-            let inp = materialize_with(ctx, &base, &steps)?;
-            let parts = inp.as_slice();
-            ctx.record_physical_stage();
-            ctx.plan_note(describe_stage(ctx, parts.len(), false, &[], label));
-            run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
-                task(
-                    i,
-                    PartitionRows {
-                        segments: vec![Segment {
-                            rows: part,
-                            steps: &[],
-                        }],
-                    },
-                )
-            })
-        }
+        // collapse() never returns a row node as base.
+        _ => Err(RuntimeError::new("corrupt plan: row node as base")),
     }
 }
 
@@ -384,6 +665,7 @@ fn flatten_union(
     extra: &[Step],
     sources: &mut Vec<(Parts, Vec<Step>)>,
     virt: &mut Vec<Vec<(usize, usize)>>,
+    mode: DriveMode,
 ) -> Result<()> {
     let Collapsed { base, steps } = collapse(plan);
     let mut all = steps;
@@ -398,10 +680,10 @@ fn flatten_union(
         }
         PlanOp::Union(l, r) => {
             let start = virt.len();
-            flatten_union(ctx, l, &all, sources, virt)?;
+            flatten_union(ctx, l, &all, sources, virt, mode)?;
             let n = virt.len() - start;
             let mut rvirt: Vec<Vec<(usize, usize)>> = Vec::new();
-            flatten_union(ctx, r, &all, sources, &mut rvirt)?;
+            flatten_union(ctx, r, &all, sources, &mut rvirt, mode)?;
             if n == 0 {
                 virt.extend(rvirt);
             } else {
@@ -413,7 +695,7 @@ fn flatten_union(
         }
         _ => {
             // MapPartitions under a union: materialize just this branch.
-            let parts = materialize_with(ctx, &base, &all)?;
+            let parts = materialize_with(ctx, &base, &all, mode)?;
             let src = sources.len();
             let n = parts.as_slice().len();
             sources.push((parts, Vec::new()));
@@ -429,18 +711,18 @@ struct Segment<'a> {
     steps: &'a [Step],
 }
 
-/// The rows of one (possibly union-composed) partition.
-pub(crate) struct PartitionRows<'a> {
+/// The rows of one (possibly union-composed) partition, as presented to an
+/// executor's partition-wise consumer.
+pub struct PartitionRows<'a> {
     segments: Vec<Segment<'a>>,
+    mode: DriveMode,
 }
 
 impl PartitionRows<'_> {
     /// Feeds every transformed row to `sink`, segment by segment.
     pub fn for_each(&self, sink: &mut dyn FnMut(Value) -> Result<()>) -> Result<()> {
         for seg in &self.segments {
-            for row in seg.rows {
-                drive(row, seg.steps, sink)?;
-            }
+            self.mode.run(seg.rows, seg.steps, sink)?;
         }
         Ok(())
     }
@@ -449,25 +731,46 @@ impl PartitionRows<'_> {
 fn describe_stage(
     ctx: &Context,
     parts: usize,
-    prelude: bool,
+    prelude: Option<(&'static str, Tag)>,
     steps: &[Step],
     label: &str,
 ) -> String {
     let mut chain = String::new();
-    if prelude {
-        chain.push_str(" → map_partitions");
+    let mut tags: Vec<Arc<str>> = Vec::new();
+    let note_tag = |tags: &mut Vec<Arc<str>>, t: &Tag| {
+        if let Some(t) = t {
+            if !tags.iter().any(|x| x == t) {
+                tags.push(t.clone());
+            }
+        }
+    };
+    if let Some((plabel, ptag)) = &prelude {
+        chain.push_str(" → ");
+        chain.push_str(plabel);
+        note_tag(&mut tags, ptag);
     }
     for s in steps {
         chain.push_str(" → ");
         chain.push_str(s.label());
+        note_tag(&mut tags, &s.tag);
     }
-    let fused = steps.len() + usize::from(prelude);
+    let fused = steps.len() + usize::from(prelude.is_some());
     let stage = ctx.stats().snapshot().physical_stages;
-    if fused > 1 {
+    let mut out = if fused > 1 {
         format!("stage {stage}: scan[{parts}p]{chain} ⇒ {label} (fused {fused} narrow ops)")
     } else {
         format!("stage {stage}: scan[{parts}p]{chain} ⇒ {label}")
+    };
+    if tags.len() > 1 {
+        out.push_str(&format!(
+            " [spans stmts: {}]",
+            tags.iter()
+                .map(|t| t.as_ref())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
     }
+    out
 }
 
 /// Renders a pending (unforced) plan as an indented tree — the narrow
@@ -479,9 +782,10 @@ pub(crate) fn render(plan: &Arc<PlanOp>, indent: usize, out: &mut String) {
         PlanOp::Scan(parts) => {
             out.push_str(&format!("{pad}scan[{}p]", parts.len()));
         }
-        PlanOp::MapPartitions(input, _) => {
+        PlanOp::MapPartitions(input, _, label, _) => {
             render(input, indent, out);
-            out.push_str(" → map_partitions");
+            out.push_str(" → ");
+            out.push_str(label);
         }
         PlanOp::Union(l, r) => {
             out.push_str(&format!("{pad}union:\n"));
@@ -490,7 +794,7 @@ pub(crate) fn render(plan: &Arc<PlanOp>, indent: usize, out: &mut String) {
             render(r, indent + 1, out);
         }
         // collapse() never returns a row node as base.
-        PlanOp::Map(_, _) | PlanOp::Filter(_, _) | PlanOp::FlatMap(_, _) => {}
+        PlanOp::Map(_, _, _) | PlanOp::Filter(_, _, _) | PlanOp::FlatMap(_, _, _) => {}
     }
     for s in &steps {
         out.push_str(" → ");

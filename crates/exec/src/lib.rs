@@ -58,18 +58,60 @@ impl std::fmt::Debug for Binding {
 
 /// The driver session: engine context plus the state σ mapping program
 /// variables to scalars or datasets.
+///
+/// ## Laziness
+///
+/// By default the session is **lazy across statements**: a collection
+/// assignment whose result feeds at most one downstream statement (per
+/// [`diablo_core::lazy_assignments`]) binds its *plan* instead of forcing
+/// a materialization, so the producer's pending stage fuses into the
+/// consumer's — `X := …; Y := f(X)` runs the tail of `X` inside `Y`'s
+/// stage. Materialization happens only at reads: a multi-consumer or
+/// loop-involved assignment, [`Session::collect`]/[`Session::scalar`]
+/// after the run, [`Session::explain`], and the end of [`Session::run`],
+/// which forces every still-pending binding so deferred operator errors
+/// surface from `run` itself. Error locality is preserved by tagging plan
+/// nodes with their source statement (`s3:X`): an error raised inside a
+/// fused cross-statement stage names the statement that built the failing
+/// operator, and the executed-plan trace lists every statement a fused
+/// stage spans.
+///
+/// [`Session::eager`] disables cross-statement laziness (every assignment
+/// materializes, the pre-lazy behavior) — the reference the lazy mode's
+/// property tests compare against.
 pub struct Session {
     ctx: Context,
     state: HashMap<String, Binding>,
+    lazy: bool,
+    /// Lazily bound collection names awaiting their end-of-run forcing,
+    /// in binding order, with the statement tag that produced each.
+    pending: Vec<(String, String)>,
 }
 
 impl Session {
-    /// Creates a session on the given engine context.
+    /// Creates a session on the given engine context (lazy across
+    /// statements; see the type-level docs).
     pub fn new(ctx: Context) -> Session {
         Session {
             ctx,
             state: HashMap::new(),
+            lazy: true,
+            pending: Vec::new(),
         }
+    }
+
+    /// Creates a session that materializes at every assignment — the
+    /// eager per-statement reference semantics.
+    pub fn eager(ctx: Context) -> Session {
+        Session {
+            lazy: false,
+            ..Session::new(ctx)
+        }
+    }
+
+    /// True when the session fuses statements lazily.
+    pub fn is_lazy(&self) -> bool {
+        self.lazy
     }
 
     /// The engine context.
@@ -139,12 +181,17 @@ impl Session {
         let mut scratch = Session {
             ctx: self.ctx.clone(),
             state: self.state.clone(),
+            lazy: self.lazy,
+            pending: Vec::new(),
         };
         self.ctx.start_plan_trace();
         let run = scratch.run(program);
         let lines = self.ctx.take_plan_trace();
         run?;
-        let mut out = String::from("physical plan (executed, narrow chains fused):\n");
+        let mut out = format!(
+            "physical plan (executed on `{}` backend, narrow chains fused):\n",
+            self.ctx.executor().name()
+        );
         for l in &lines {
             if l.starts_with("==") {
                 out.push_str(l);
@@ -158,19 +205,83 @@ impl Session {
     }
 
     /// Runs a compiled program against the current state.
+    ///
+    /// Eligible assignments stay lazy during the run (see the type-level
+    /// docs); before returning, every still-pending binding is forced so
+    /// any deferred operator error surfaces here, tagged with the
+    /// statement that built the failing operator.
     pub fn run(&mut self, program: &CompiledProgram) -> Result<()> {
         for (name, _) in &program.inputs {
             if !self.state.contains_key(name) {
                 return Err(RuntimeError::new(format!("input `{name}` was not bound")));
             }
         }
+        let eligible = diablo_core::lazy_assignments(&program.stmts);
+        let mut slot = 0usize;
         for s in &program.stmts {
-            self.exec(s)?;
+            let r = self.exec(s, &eligible, &mut slot);
+            if r.is_err() {
+                self.ctx.set_statement_label(None);
+                // Settle lazy bindings even on a failed run: healthy plans
+                // materialize, broken ones are dropped, so later reads
+                // never panic on a deferred error. The run's own error
+                // wins over any settling error.
+                let _ = self.settle_pending();
+                return r;
+            }
+        }
+        match self.settle_pending() {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Forces every lazily bound collection, in binding order, tagging
+    /// errors with their source statement. A binding whose plan fails is
+    /// removed from the state (matching eager semantics, where a failed
+    /// assignment never binds); the first failure is returned, but every
+    /// binding is settled regardless.
+    /// Settles one still-pending binding (no-op if `name` is not
+    /// pending): forces it, dropping it and returning the tagged error if
+    /// its plan fails.
+    fn settle_one(&mut self, name: &str) -> Result<()> {
+        let Some(pos) = self.pending.iter().position(|(n, _)| n == name) else {
+            return Ok(());
+        };
+        let (name, tag) = self.pending.remove(pos);
+        if let Some(Binding::Data(d)) = self.state.get(&name) {
+            if let Err(e) = d.materialize() {
+                self.state.remove(&name);
+                return Err(e.with_context(&tag));
+            }
         }
         Ok(())
     }
 
-    fn exec(&mut self, s: &TStmt) -> Result<()> {
+    fn settle_pending(&mut self) -> Option<RuntimeError> {
+        let pending = std::mem::take(&mut self.pending);
+        if pending.is_empty() {
+            return None;
+        }
+        self.ctx
+            .plan_note("== (materialize lazy results)".to_string());
+        let mut first_err = None;
+        for (name, tag) in pending {
+            if let Some(Binding::Data(d)) = self.state.get(&name) {
+                if let Err(e) = d.materialize() {
+                    self.state.remove(&name);
+                    if first_err.is_none() {
+                        first_err = Some(e.with_context(&tag));
+                    }
+                }
+            }
+        }
+        first_err
+    }
+
+    fn exec(&mut self, s: &TStmt, eligible: &[bool], slot: &mut usize) -> Result<()> {
+        let my = *slot;
+        *slot += 1;
         match s {
             TStmt::Assign {
                 name,
@@ -178,21 +289,45 @@ impl Session {
                 collection,
             } => {
                 self.ctx.plan_note(format!(
-                    "== {name} := {} [{}]",
+                    "== s{my}: {name} := {} [{}]",
                     diablo_comp::pretty_cexpr(value),
                     if *collection { "array" } else { "scalar" }
                 ));
+                let tag = format!("s{my}:{name}");
                 if *collection {
-                    // Materialize here so operator errors surface from
-                    // `run` (the pending narrow chain — typically only the
-                    // statement's final projection — fuses into one stage).
-                    let data = self.eval_collection(value)?.materialize()?;
+                    // A dead store over a still-pending binding would
+                    // silently discard its deferred errors: if the new
+                    // value does not read the old one (so evaluation will
+                    // not consume its chain), settle just that binding
+                    // first, exactly as the eager reference would have
+                    // surfaced the error at the original assignment.
+                    if !value.free_vars().contains(name) {
+                        self.settle_one(name)?;
+                    }
+                    // Plan nodes built for this statement carry its tag,
+                    // so stages and errors stay attributable however far
+                    // fusion defers them.
+                    self.ctx.set_statement_label(Some(&tag));
+                    let data = self.eval_collection(value);
+                    self.ctx.set_statement_label(None);
+                    let data = data.map_err(|e| e.with_context(&tag))?;
+                    self.pending.retain(|(n, _)| n != name);
+                    let data = if self.lazy && eligible.get(my).copied().unwrap_or(false) {
+                        // Lazy binding: the plan stays pending and fuses
+                        // into its (single) consumer; `finalize` forces it
+                        // if nothing did.
+                        self.pending.push((name.clone(), tag));
+                        data
+                    } else {
+                        data.materialize().map_err(|e| e.with_context(&tag))?
+                    };
                     self.state.insert(name.clone(), Binding::Data(data));
                 } else {
                     // Scalar assignment: the value is a bag of at most one
                     // element; an empty bag leaves the variable unchanged
                     // (sparse missing-element semantics).
-                    let bag = eval_local(value, &HashMap::new(), self)?;
+                    let bag = eval_local(value, &HashMap::new(), self)
+                        .map_err(|e| e.with_context(&tag))?;
                     let items = bag
                         .as_bag()
                         .ok_or_else(|| {
@@ -222,6 +357,10 @@ impl Session {
             TStmt::While { cond, body } => {
                 self.ctx
                     .plan_note(format!("== while {}", diablo_comp::pretty_cexpr(cond)));
+                // Body statements keep stable pre-order slots across
+                // iterations (lazy_assignments marks them ineligible).
+                let body_start = *slot;
+                *slot += diablo_core::preorder_len(body);
                 loop {
                     let v = eval_local(cond, &HashMap::new(), self)?;
                     let items = v
@@ -237,8 +376,9 @@ impl Session {
                     if !go {
                         break;
                     }
+                    let mut body_slot = body_start;
                     for s in body {
-                        self.exec(s)?;
+                        self.exec(s, eligible, &mut body_slot)?;
                     }
                 }
                 Ok(())

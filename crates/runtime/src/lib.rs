@@ -48,6 +48,21 @@ impl RuntimeError {
             message: message.into(),
         }
     }
+
+    /// Prefixes the message with a source context (e.g. the statement a
+    /// deferred operator error came from). Idempotent for a given prefix,
+    /// so an error replayed through the same tagged step is not tagged
+    /// twice.
+    pub fn with_context(self, context: &str) -> Self {
+        let prefix = format!("[{context}] ");
+        if self.message.starts_with(&prefix) {
+            self
+        } else {
+            Self {
+                message: format!("{prefix}{}", self.message),
+            }
+        }
+    }
 }
 
 impl std::fmt::Display for RuntimeError {

@@ -7,7 +7,13 @@
 //! diabloc interp  <program.dbl> [bindings]  # execute with the sequential interpreter
 //! diabloc explain <program.dbl> [bindings]  # print the executed physical plan
 //! diabloc run --explain <program.dbl> ...   # same as `explain`
+//! diabloc run --backend tile <program.dbl>  # pick the execution backend
 //! ```
+//!
+//! `--backend <name>` (for `run` and `explain`) selects the engine's
+//! execution backend: `local` (tuple-at-a-time, the default) or `tile`
+//! (batch-at-a-time, tuned for tiled-matrix workloads). Results are
+//! identical across backends; only the execution strategy changes.
 //!
 //! Bindings are `name=value` for scalars (`n=100`, `a=0.5`, `x=hello`) and
 //! `name=@file.csv` for collections. A collection CSV has one element per
@@ -33,7 +39,14 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let explain_flag = args.iter().any(|a| a == "--explain");
     args.retain(|a| a != "--explain");
-    match run(&args, explain_flag) {
+    let backend = match extract_backend(&mut args) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("diabloc: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args, explain_flag, backend.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("diabloc: {msg}");
@@ -42,7 +55,41 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String], explain_flag: bool) -> Result<(), String> {
+/// Pulls `--backend <name>` / `--backend=<name>` out of the argument list.
+fn extract_backend(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let mut backend = None;
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--backend=") {
+            backend = Some(name.to_string());
+            args.remove(i);
+        } else if args[i] == "--backend" {
+            if i + 1 >= args.len() {
+                return Err("--backend requires a name (local, tile)".to_string());
+            }
+            backend = Some(args[i + 1].clone());
+            args.drain(i..=i + 1);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(backend)
+}
+
+/// Builds the engine context, honouring a `--backend` selection.
+fn engine_context(backend: Option<&str>) -> Result<Context, String> {
+    let ctx = Context::default_parallel();
+    match backend {
+        None => Ok(ctx),
+        Some(name) => {
+            let exec = diablo_dataflow::executor_named(name)
+                .ok_or_else(|| format!("unknown backend `{name}` (try local, tile)"))?;
+            Ok(ctx.with_executor(exec))
+        }
+    }
+}
+
+fn run(args: &[String], explain_flag: bool, backend: Option<&str>) -> Result<(), String> {
     let [cmd, path, rest @ ..] = args else {
         return Err(USAGE.to_string());
     };
@@ -55,6 +102,11 @@ fn run(args: &[String], explain_flag: bool) -> Result<(), String> {
             ))
         }
     };
+    if backend.is_some() && !matches!(cmd, "run" | "explain") {
+        return Err(format!(
+            "--backend only applies to `run` and `explain`, not `{cmd}`"
+        ));
+    }
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     match cmd {
         "check" => {
@@ -71,7 +123,7 @@ fn run(args: &[String], explain_flag: bool) -> Result<(), String> {
         }
         "run" => {
             let compiled = compile(&source).map_err(|e| e.to_string())?;
-            let mut session = Session::new(Context::default_parallel());
+            let mut session = Session::new(engine_context(backend)?);
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
                 match value {
@@ -85,7 +137,7 @@ fn run(args: &[String], explain_flag: bool) -> Result<(), String> {
         }
         "explain" => {
             let compiled = compile(&source).map_err(|e| e.to_string())?;
-            let mut session = Session::new(Context::default_parallel());
+            let mut session = Session::new(engine_context(backend)?);
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
                 match value {
@@ -127,7 +179,7 @@ fn run(args: &[String], explain_flag: bool) -> Result<(), String> {
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile>] <program.dbl> [name=value | name=@rows.csv ...]";
 
 /// Binds a small synthesized value for every input the user did not bind,
 /// so `explain` works on any program without data files.
@@ -236,7 +288,9 @@ fn parse_scalar(s: &str) -> Value {
     }
 }
 
-/// CSV rows: `key,value` (vector/map) or `i,j,value` (matrix).
+/// CSV rows: `key,value` (vector/map) or `i,j,value` (matrix). A value
+/// written `(a b c)` parses as a tuple of space-separated scalars, so
+/// tuple-element vectors (e.g. K-Means points) bind from files too.
 fn parse_rows(text: &str) -> Result<Vec<Value>, String> {
     let mut rows = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
@@ -246,10 +300,10 @@ fn parse_rows(text: &str) -> Result<Vec<Value>, String> {
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
         let row = match fields.as_slice() {
-            [k, v] => Value::pair(parse_scalar(k), parse_scalar(v)),
+            [k, v] => Value::pair(parse_scalar(k), parse_value(v)),
             [i, j, v] => Value::pair(
                 Value::pair(parse_scalar(i), parse_scalar(j)),
-                parse_scalar(v),
+                parse_value(v),
             ),
             _ => {
                 return Err(format!(
@@ -261,6 +315,14 @@ fn parse_rows(text: &str) -> Result<Vec<Value>, String> {
         rows.push(row);
     }
     Ok(rows)
+}
+
+/// A CSV cell: `(a b c)` is a tuple of scalars, anything else a scalar.
+fn parse_value(s: &str) -> Value {
+    match s.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
+        Some(inner) => Value::tuple(inner.split_whitespace().map(parse_scalar).collect()),
+        None => parse_scalar(s),
+    }
 }
 
 fn print_target(stmts: &[TStmt], indent: usize) {

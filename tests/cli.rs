@@ -186,3 +186,102 @@ fn usage_errors_are_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+#[test]
+fn backend_flag_selects_executor_and_outputs_match() {
+    let p = write_temp(
+        "wc_backend.dbl",
+        "input words: vector[string];
+         var C: map[string, long] = map();
+         for w in words do C[w] += 1;",
+    );
+    let csv = write_temp("wc_backend.csv", "0,a\n1,b\n2,a\n3,c\n4,a\n");
+    let run = |args: &[&str]| {
+        let mut cmd = diabloc();
+        for a in args {
+            cmd.arg(a);
+        }
+        let out = cmd
+            .arg(&p)
+            .arg(format!("words=@{}", csv.display()))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let local = run(&["run"]);
+    let tile = run(&["run", "--backend", "tile"]);
+    let tile_eq = run(&["run", "--backend=tile"]);
+    assert_eq!(local, tile, "backends must produce byte-identical output");
+    assert_eq!(tile, tile_eq);
+    // explain names the backend it executed on.
+    let out = diabloc()
+        .arg("explain")
+        .arg("--backend")
+        .arg("tile")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("`tile` backend"), "{text}");
+}
+
+#[test]
+fn backend_flag_rejects_unknown_names_and_wrong_commands() {
+    let p = write_temp("backend_err.dbl", "var k: long = 0;");
+    let out = diabloc()
+        .arg("run")
+        .arg("--backend")
+        .arg("spark")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown backend"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = diabloc()
+        .arg("check")
+        .arg("--backend")
+        .arg("tile")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--backend only applies"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn csv_tuple_values_bind_point_vectors() {
+    let p = write_temp(
+        "tuple_csv.dbl",
+        "input P: vector[(double, double)];
+         var sx: double = 0.0;
+         for p in P do sx += p._1;",
+    );
+    let csv = write_temp("points.csv", "0,(1.5 2.0)\n1,(2.5 3.0)\n");
+    let out = diabloc()
+        .arg("run")
+        .arg(&p)
+        .arg(format!("P=@{}", csv.display()))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sx = 4"), "{text}");
+}

@@ -1,0 +1,274 @@
+//! Executor trait conformance: every backend must be plan-faithful — same
+//! rows, same order, same shuffle counts, same first error for
+//! deterministic chains — so the whole suite runs against both built-in
+//! implementations and compares them pairwise.
+
+use std::sync::Arc;
+
+use diablo_dataflow::{executor_named, Context, Dataset, Executor, LocalExecutor, TileExecutor};
+use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
+
+/// The backends under test. The tile executor runs with a deliberately
+/// tiny batch so partition sizes exercise partial and multi-tile paths.
+fn backends() -> Vec<Arc<dyn Executor>> {
+    vec![
+        Arc::new(LocalExecutor),
+        Arc::new(TileExecutor::new(4)),
+        Arc::new(TileExecutor::default()),
+    ]
+}
+
+fn ctx_for(exec: Arc<dyn Executor>) -> Context {
+    Context::new(3, 5).with_executor(exec)
+}
+
+fn long_pairs(ctx: &Context, entries: &[(i64, i64)]) -> Dataset {
+    ctx.from_vec(
+        entries
+            .iter()
+            .map(|&(k, v)| Value::pair(Value::Long(k), Value::Long(v)))
+            .collect(),
+    )
+}
+
+/// A representative pipeline: narrow chain → keyed aggregation → map.
+fn pipeline(ctx: &Context) -> Vec<Value> {
+    let d = ctx.range(0, 199);
+    d.map(|v| BinOp::Mul.apply(v, &Value::Long(3)))
+        .unwrap()
+        .filter(|v| Ok(v.as_long().unwrap() % 2 == 0))
+        .unwrap()
+        .flat_map(|v| Ok(vec![v.clone(), v.clone()]))
+        .unwrap()
+        .map(|v| {
+            Ok(Value::pair(
+                Value::Long(v.as_long().unwrap() % 7),
+                v.clone(),
+            ))
+        })
+        .unwrap()
+        .reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+        .unwrap()
+        .map(|row| {
+            let (k, v) = key_value(row)?;
+            Ok(Value::pair(v, k))
+        })
+        .unwrap()
+        .collect()
+}
+
+#[test]
+fn backends_agree_on_a_full_pipeline() {
+    let reference = pipeline(&ctx_for(Arc::new(LocalExecutor)));
+    assert!(!reference.is_empty());
+    for exec in backends() {
+        let name = exec.name();
+        let got = pipeline(&ctx_for(exec));
+        assert_eq!(got, reference, "backend `{name}` diverged");
+    }
+}
+
+#[test]
+fn backends_agree_on_narrow_chain_order_and_stage_count() {
+    let mut outputs: Vec<(String, Vec<Value>)> = Vec::new();
+    for exec in backends() {
+        let name = exec.name().to_string();
+        let ctx = ctx_for(exec);
+        let d = ctx.from_vec((0..137).map(Value::Long).collect());
+        let chained = d
+            .map(|v| BinOp::Add.apply(v, &Value::Long(10)))
+            .unwrap()
+            .filter(|v| Ok(v.as_long().unwrap() % 3 != 0))
+            .unwrap()
+            .flat_map(|v| {
+                let x = v.as_long().unwrap();
+                Ok(vec![Value::Long(x), Value::Long(-x)])
+            })
+            .unwrap();
+        let before = ctx.stats().snapshot();
+        let rows = chained.collect();
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(
+            after.physical_stages, 1,
+            "backend `{name}` must fuse the chain into one stage"
+        );
+        outputs.push((name, rows));
+    }
+    for (name, rows) in &outputs[1..] {
+        assert_eq!(rows, &outputs[0].1, "backend `{name}` changed row order");
+    }
+}
+
+#[test]
+fn backends_agree_on_shuffle_volume() {
+    let mut volumes = Vec::new();
+    for exec in backends() {
+        let name = exec.name().to_string();
+        let ctx = ctx_for(exec);
+        let entries: Vec<(i64, i64)> = (0..600).map(|i| (i % 13, i)).collect();
+        let d = long_pairs(&ctx, &entries);
+        let before = ctx.stats().snapshot();
+        let r = d.reduce_by_key(|a, b| BinOp::Add.apply(a, b)).unwrap();
+        let _ = r.collect();
+        let after = ctx.stats().snapshot().since(&before);
+        volumes.push((name, after.shuffles, after.shuffled_records));
+    }
+    for (name, shuffles, records) in &volumes[1..] {
+        assert_eq!(
+            (shuffles, records),
+            (&volumes[0].1, &volumes[0].2),
+            "backend `{name}` moved a different number of rows"
+        );
+    }
+}
+
+type BackendRows = (String, Vec<Value>, Vec<Value>, Vec<Value>);
+
+#[test]
+fn backends_agree_on_union_merge_and_join() {
+    let mut outputs: Vec<BackendRows> = Vec::new();
+    for exec in backends() {
+        let name = exec.name().to_string();
+        let ctx = ctx_for(exec);
+        let a = long_pairs(&ctx, &[(1, 1), (2, 2), (3, 3), (4, 4)]);
+        let b = long_pairs(&ctx, &[(2, 20), (3, 30), (5, 50)]);
+        let union_rows = a.union(&b).try_collect().unwrap();
+        let merged = a
+            .merge(&b, Some(|x: &Value, y: &Value| BinOp::Add.apply(x, y)))
+            .unwrap()
+            .collect_sorted();
+        let joined = a.join(&b).unwrap().collect_sorted();
+        outputs.push((name, union_rows, merged, joined));
+    }
+    for (name, u, m, j) in &outputs[1..] {
+        assert_eq!(u, &outputs[0].1, "backend `{name}` union diverged");
+        assert_eq!(m, &outputs[0].2, "backend `{name}` merge diverged");
+        assert_eq!(j, &outputs[0].3, "backend `{name}` join diverged");
+    }
+}
+
+#[test]
+fn backends_surface_the_same_first_error() {
+    // Row 2 fails in the second step; row 7 fails in the first step.
+    // Tuple-at-a-time order reaches row 2's second-step error first, and
+    // the tile backend must replay to the same error.
+    let mut messages = Vec::new();
+    for exec in backends() {
+        let name = exec.name().to_string();
+        let ctx = ctx_for(exec);
+        let d = ctx.from_vec((0..10).map(Value::Long).collect());
+        let err = d
+            .map(|v| {
+                if v.as_long() == Some(7) {
+                    Err(RuntimeError::new("first-step error"))
+                } else {
+                    Ok(v.clone())
+                }
+            })
+            .unwrap()
+            .map(|v| {
+                if v.as_long() == Some(2) {
+                    Err(RuntimeError::new("second-step error"))
+                } else {
+                    Ok(v.clone())
+                }
+            })
+            .unwrap()
+            .try_collect()
+            .unwrap_err();
+        messages.push((name, err.message));
+    }
+    for (name, msg) in &messages {
+        assert_eq!(
+            msg, "second-step error",
+            "backend `{name}` surfaced the wrong first error"
+        );
+    }
+}
+
+#[test]
+fn backends_surface_the_same_first_error_from_the_consumer_sink() {
+    // The first error in canonical row order can come from the CONSUMER
+    // (here the shuffle's key check on row 0), not from a step (row 1's
+    // map error). The tile backend's batch replay must reproduce the
+    // sink's error, not short-circuit on the step's.
+    let mut messages = Vec::new();
+    for exec in backends() {
+        let name = exec.name().to_string();
+        // One partition, so both rows share a tile and the batch replay
+        // path is what decides which error surfaces.
+        let ctx = Context::new(2, 1).with_executor(exec);
+        let d = ctx.from_vec(vec![Value::Long(0), Value::Long(1)]);
+        let err = d
+            .map(|v| match v.as_long() {
+                // Row 0 becomes a non-pair value: the scatter rejects it.
+                Some(0) => Ok(Value::Long(99)),
+                // Row 1 fails inside the step itself.
+                Some(1) => Err(RuntimeError::new("step error on row 1")),
+                _ => Ok(v.clone()),
+            })
+            .unwrap()
+            .group_by_key()
+            .unwrap_err();
+        messages.push((name, err.message));
+    }
+    for (name, msg) in &messages[1..] {
+        assert_eq!(
+            msg, &messages[0].1,
+            "backend `{name}` surfaced a different first error"
+        );
+    }
+    assert!(
+        messages[0].1.contains("pair"),
+        "row 0's sink error comes first in tuple order: {}",
+        messages[0].1
+    );
+}
+
+#[test]
+fn backends_agree_under_reduce_and_group() {
+    for exec in backends() {
+        let name = exec.name().to_string();
+        let ctx = ctx_for(exec);
+        let d = ctx.range(1, 500);
+        let sum = d.reduce(|a, b| BinOp::Add.apply(a, b)).unwrap().unwrap();
+        assert_eq!(sum, Value::Long(125250), "backend `{name}`");
+        let entries: Vec<(i64, i64)> = (0..100).map(|i| (i % 4, i)).collect();
+        let g = long_pairs(&ctx, &entries).group_by_key().unwrap();
+        let rows = g.collect_sorted();
+        assert_eq!(rows.len(), 4, "backend `{name}`");
+        for row in rows {
+            let (_, bag) = key_value(&row).unwrap();
+            assert_eq!(bag.as_bag().unwrap().len(), 25, "backend `{name}`");
+        }
+    }
+}
+
+#[test]
+fn introspection_is_stable() {
+    let local = executor_named("local").unwrap();
+    assert_eq!(local.name(), "local");
+    assert!(!local.capabilities().vectorized);
+    assert!(local.capabilities().fused_shuffle_read);
+    assert!(local.capabilities().union_in_place);
+
+    let tile = executor_named("tile").unwrap();
+    assert_eq!(tile.name(), "tile");
+    assert!(tile.capabilities().vectorized);
+
+    assert!(executor_named("flink").is_none());
+}
+
+#[test]
+fn context_swaps_backends_in_place() {
+    let ctx = Context::new(2, 4);
+    let default_name = ctx.executor().name();
+    ctx.set_executor(Arc::new(TileExecutor::new(8)));
+    assert_eq!(ctx.executor().name(), "tile");
+    // Results stay correct after the swap.
+    let d = ctx.range(1, 50);
+    assert_eq!(d.count(), 50);
+    ctx.set_executor(executor_named("local").unwrap());
+    assert_eq!(ctx.executor().name(), "local");
+    let _ = default_name;
+}
