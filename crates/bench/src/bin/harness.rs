@@ -11,9 +11,11 @@
 //! ```
 //!
 //! Sizes are laptop-scale; see DESIGN.md for the scale substitution. Set
-//! `DIABLO_SCALE` (default 1) to grow every sweep, and `DIABLO_BACKEND`
-//! (`local`, `tile`) to pick the engine's execution backend — the JSON
-//! output records which backend produced every engine measurement.
+//! `DIABLO_SCALE` (default 1) to grow every sweep, `DIABLO_BACKEND`
+//! (`local`, `tile`, `spill`) to pick the engine's execution backend, and
+//! `DIABLO_MEMORY_BUDGET` to bound shuffle memory — the JSON output
+//! records which backend produced every engine measurement plus its spill
+//! counters (`spilled_records`, `spilled_bytes`, `spill_files`).
 
 use std::time::{Duration, Instant};
 
@@ -187,6 +189,9 @@ fn table2(json: bool) {
                     ("mb", &mb(w.input_bytes())),
                     ("par_secs", &secs(par)),
                     ("physical_stages", &stats.physical_stages.to_string()),
+                    ("spilled_records", &stats.spilled_records.to_string()),
+                    ("spilled_bytes", &stats.spilled_bytes.to_string()),
+                    ("spill_files", &stats.spill_files.to_string()),
                     ("seq_secs", &secs(seq)),
                 ])
             );
@@ -326,12 +331,18 @@ fn fig3(letter: &str, json: bool) {
             let mb_s = mb(w.input_bytes());
             let d_s = secs(diablo);
             let ds = d_stats.physical_stages.to_string();
+            let d_spill_rec = d_stats.spilled_records.to_string();
+            let d_spill_bytes = d_stats.spilled_bytes.to_string();
+            let d_spill_files = d_stats.spill_files.to_string();
             let h_s = secs(hand);
             let hs = h_stats.physical_stages.to_string();
             fields.extend([
                 ("mb", mb_s.as_str()),
                 ("diablo_secs", d_s.as_str()),
                 ("diablo_stages", ds.as_str()),
+                ("spilled_records", d_spill_rec.as_str()),
+                ("spilled_bytes", d_spill_bytes.as_str()),
+                ("spill_files", d_spill_files.as_str()),
                 ("handwritten_secs", h_s.as_str()),
                 ("handwritten_stages", hs.as_str()),
             ]);

@@ -42,6 +42,7 @@ use std::sync::{Arc, OnceLock};
 
 use diablo_runtime::{array::key_value, size::slice_size, RuntimeError, Value};
 
+use crate::exchange::{HashPartitioner, Partitioner};
 use crate::executor::PhysicalPlan;
 use crate::plan::{self, PartFn, PlanOp};
 use crate::pool::run_stage;
@@ -424,6 +425,22 @@ impl Dataset {
         Ok(Dataset::from_materialized(self.ctx.clone(), dest))
     }
 
+    /// Re-partitions `(key, value)` rows with a pluggable
+    /// [`Partitioner`](crate::Partitioner) — e.g. a
+    /// [`RangePartitioner`](crate::RangePartitioner) keeps ordered keys in
+    /// contiguous buckets so locally sorted partitions concatenate into
+    /// globally sorted output.
+    pub fn partition_by(&self, partitioner: &dyn crate::Partitioner) -> Result<Dataset> {
+        self.ctx.record_logical_op();
+        let dest = self.ctx.executor().shuffle_by(
+            &self.ctx,
+            &PhysicalPlan::new(self.effective_plan()),
+            "partition_by (scatter)",
+            partitioner,
+        )?;
+        Ok(Dataset::from_materialized(self.ctx.clone(), dest))
+    }
+
     /// `reduceByKey`: combines values of equal keys with `f`, using
     /// map-side combining before the shuffle. Rows must be `(key, value)`
     /// pairs; the output has one `(key, combined)` row per distinct key.
@@ -442,11 +459,14 @@ impl Dataset {
         let f = Arc::new(f);
         let exec = self.ctx.executor();
         let fc = &f;
-        let scattered = exec.consume(
+        // Map-side combine, then stream the combined pairs straight into
+        // the exchange sink: no all-partitions bucket matrix is ever
+        // built, and buckets past the memory budget spill to disk.
+        let dest = exec.exchange(
             &self.ctx,
             &PhysicalPlan::new(self.effective_plan()),
             "reduce_by_key (combine + scatter)",
-            &|_, rows| {
+            &|_, rows, sink| {
                 let mut acc: HashMap<Value, Value> = HashMap::new();
                 let mut order: Vec<Value> = Vec::new();
                 rows.for_each(&mut |row| {
@@ -460,16 +480,14 @@ impl Dataset {
                     }
                     Ok(())
                 })?;
-                let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
                 for k in order {
                     let v = acc.remove(&k).expect("combined");
-                    let b = (key_hash(&k) % p as u64) as usize;
-                    buckets[b].push(Value::pair(k, v));
+                    let b = HashPartitioner.partition(&k, p)?;
+                    sink.emit(b, Value::pair(k, v))?;
                 }
-                Ok(buckets)
+                Ok(())
             },
         )?;
-        let dest = exec.gather(&self.ctx, scattered, p)?;
         let reduce_fn: PartFn = Arc::new(move |bucket: &[Value]| {
             let mut acc: HashMap<Value, Value> = HashMap::new();
             let mut order: Vec<Value> = Vec::new();

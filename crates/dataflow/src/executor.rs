@@ -1,7 +1,9 @@
-//! The pluggable execution backend: the [`Executor`] trait plus the two
+//! The pluggable execution backend: the [`Executor`] trait plus the three
 //! built-in implementations, [`LocalExecutor`] (tuple-at-a-time, the
-//! default) and [`TileExecutor`] (tile/batch-at-a-time, tuned for the §5
-//! tiled-matrix workloads whose rows carry dense tile payloads).
+//! default), [`TileExecutor`] (tile/batch-at-a-time, tuned for the §5
+//! tiled-matrix workloads whose rows carry dense tile payloads), and
+//! [`SpillExecutor`] (tuple-at-a-time with always-budgeted spilling
+//! exchanges and adaptive stage re-chunking, for inputs larger than RAM).
 //!
 //! A [`Context`] owns one `Arc<dyn Executor>`; every [`Dataset`]
 //! materialization point routes through it, so a backend can be swapped
@@ -26,7 +28,8 @@ use std::sync::Arc;
 
 use diablo_runtime::Value;
 
-use crate::plan::{self, DriveMode, PartitionRows, Parts, PlanOp, Result};
+use crate::exchange::{Exchange, ExchangeWriter, HashPartitioner, Partitioner};
+use crate::plan::{self, ChunkPolicy, DriveMode, PartitionRows, Parts, PlanOp, Result};
 use crate::Context;
 
 /// An opaque handle to a dataset's physical plan, as passed to executors.
@@ -46,6 +49,14 @@ impl PhysicalPlan {
 pub type PartitionTask<'a> =
     dyn Fn(usize, &PartitionRows<'_>) -> Result<Vec<Vec<Value>>> + Sync + 'a;
 
+/// A scatter run by [`Executor::exchange`]: receives the partition index,
+/// a cursor over the partition's transformed rows, and the exchange
+/// writer it emits `(bucket, row)`s into. This is how keyed operators
+/// stream rows — optionally pre-combined — into a shuffle without ever
+/// materializing an all-partitions bucket matrix.
+pub type ScatterTask<'a> =
+    dyn Fn(usize, &PartitionRows<'_>, &mut ExchangeWriter<'_>) -> Result<()> + Sync + 'a;
+
 /// What an execution backend can do, for introspection (`explain`
 /// headers, the bench harness, tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +70,12 @@ pub struct Capabilities {
     /// Reads `union` operands in place through segments instead of
     /// copying them into combined partitions.
     pub union_in_place: bool,
+    /// Runs every exchange under a memory budget — buckets past it spill
+    /// to sorted run files — even when the context sets none.
+    pub spilling_exchange: bool,
+    /// Re-chunks stage work adaptively at stage boundaries (splits skewed
+    /// partitions, coalesces tiny ones) without changing recorded results.
+    pub adaptive_chunking: bool,
 }
 
 /// A pluggable execution backend for the [`PlanOp`] DAG.
@@ -67,8 +84,9 @@ pub struct Capabilities {
 /// serve many contexts; implementations must be stateless or internally
 /// synchronized.
 pub trait Executor: Send + Sync {
-    /// Short stable identifier (`local`, `tile`), used by
-    /// `diabloc --backend`, `DIABLO_BACKEND`, and the bench harness.
+    /// Short stable identifier (`local`, `tile`, `spill` — see
+    /// [`BACKEND_NAMES`]), used by `diabloc --backend`, `DIABLO_BACKEND`,
+    /// and the bench harness.
     fn name(&self) -> &'static str;
 
     /// What this backend can do.
@@ -91,48 +109,60 @@ pub trait Executor: Send + Sync {
         task: &PartitionTask<'_>,
     ) -> Result<Vec<Vec<Vec<Value>>>>;
 
-    /// Hash-partitions `(key, value)` rows by key: scatters each
-    /// partition's transformed rows into `ctx.partitions()` buckets, then
-    /// [`Executor::gather`]s them. The default implementation fuses the
-    /// pending narrow chain into the scatter pass.
+    /// Hash-partitions `(key, value)` rows by key — the current default
+    /// behavior, now a one-line special case of [`Executor::shuffle_by`].
     fn shuffle(&self, ctx: &Context, plan: &PhysicalPlan, label: &str) -> Result<Vec<Vec<Value>>> {
-        let p = ctx.partitions();
-        let scattered = self.consume(ctx, plan, label, &|_, rows| {
-            let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
-            rows.for_each(&mut |row| {
-                let (k, _) = diablo_runtime::array::key_value(&row)?;
-                let b = (crate::dataset::key_hash(&k) % p as u64) as usize;
-                buckets[b].push(row);
-                Ok(())
-            })?;
-            Ok(buckets)
-        })?;
-        self.gather(ctx, scattered, p)
+        self.shuffle_by(ctx, plan, label, &HashPartitioner)
     }
 
-    /// Gather side of a shuffle: destination bucket `b` receives rows
-    /// from every source partition, in source order. Records shuffle
-    /// statistics on the context.
-    fn gather(
+    /// Partitions `(key, value)` rows by key with a pluggable
+    /// [`Partitioner`]: the default implementation streams each source
+    /// partition's transformed rows into the exchange sink, bucket chosen
+    /// per key.
+    fn shuffle_by(
         &self,
         ctx: &Context,
-        scattered: Vec<Vec<Vec<Value>>>,
-        partitions: usize,
+        plan: &PhysicalPlan,
+        label: &str,
+        partitioner: &dyn Partitioner,
     ) -> Result<Vec<Vec<Value>>> {
-        let mut dest: Vec<Vec<Value>> = vec![Vec::new(); partitions];
-        let mut moved_rows = 0u64;
-        for src in scattered {
-            for (b, rows) in src.into_iter().enumerate() {
-                moved_rows += rows.len() as u64;
-                dest[b].extend(rows);
-            }
-        }
-        let bytes = crate::dataset::estimate_bytes(&dest);
-        ctx.stats().record_shuffle(moved_rows, bytes);
-        ctx.plan_note(format!(
-            "shuffle: {moved_rows} rows exchanged across {partitions} partitions"
-        ));
-        Ok(dest)
+        let p = ctx.partitions();
+        self.exchange(ctx, plan, label, &|_, rows, sink| {
+            rows.for_each(&mut |row| {
+                let (k, _) = diablo_runtime::array::key_value(&row)?;
+                sink.emit(partitioner.partition(&k, p)?, row)
+            })
+        })
+    }
+
+    /// The exchange primitive under every shuffle: runs `scatter` once
+    /// per source partition over the plan's *transformed* rows, streaming
+    /// emitted rows through an [`Exchange`] sink bounded by
+    /// [`Executor::exchange_budget`] (buckets past the budget spill to
+    /// sorted run files), and merge-reads the destination partitions back
+    /// in source order. Replaces the old collect-everything `gather`.
+    fn exchange(
+        &self,
+        ctx: &Context,
+        plan: &PhysicalPlan,
+        label: &str,
+        scatter: &ScatterTask<'_>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let ex = Exchange::new(ctx.partitions(), self.exchange_budget(ctx));
+        self.consume(ctx, plan, label, &|src, rows| {
+            let mut writer = ex.writer(src);
+            scatter(src, rows, &mut writer)?;
+            writer.close()?;
+            Ok(Vec::new())
+        })?;
+        ex.finish(ctx)
+    }
+
+    /// The memory budget this backend's exchanges buffer rows under. The
+    /// default honours the context's budget ([`Context::memory_budget`],
+    /// `DIABLO_MEMORY_BUDGET`); `None` means unbounded.
+    fn exchange_budget(&self, ctx: &Context) -> Option<u64> {
+        ctx.memory_budget()
     }
 }
 
@@ -151,11 +181,13 @@ impl Executor for LocalExecutor {
             vectorized: false,
             fused_shuffle_read: true,
             union_in_place: true,
+            spilling_exchange: false,
+            adaptive_chunking: false,
         }
     }
 
     fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
-        plan::materialize(ctx, &plan.op, DriveMode::Tuple)
+        plan::materialize(ctx, &plan.op, DriveMode::Tuple, ChunkPolicy::Fixed)
     }
 
     fn consume(
@@ -165,7 +197,14 @@ impl Executor for LocalExecutor {
         label: &str,
         task: &PartitionTask<'_>,
     ) -> Result<Vec<Vec<Vec<Value>>>> {
-        plan::consume(ctx, &plan.op, label, DriveMode::Tuple, task)
+        plan::consume(
+            ctx,
+            &plan.op,
+            label,
+            DriveMode::Tuple,
+            ChunkPolicy::Fixed,
+            task,
+        )
     }
 }
 
@@ -228,11 +267,18 @@ impl Executor for TileExecutor {
             vectorized: true,
             fused_shuffle_read: true,
             union_in_place: true,
+            spilling_exchange: false,
+            adaptive_chunking: false,
         }
     }
 
     fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
-        plan::materialize(ctx, &plan.op, DriveMode::Batch(self.batch))
+        plan::materialize(
+            ctx,
+            &plan.op,
+            DriveMode::Batch(self.batch),
+            ChunkPolicy::Fixed,
+        )
     }
 
     fn consume(
@@ -242,15 +288,105 @@ impl Executor for TileExecutor {
         label: &str,
         task: &PartitionTask<'_>,
     ) -> Result<Vec<Vec<Vec<Value>>>> {
-        plan::consume(ctx, &plan.op, label, DriveMode::Batch(self.batch), task)
+        plan::consume(
+            ctx,
+            &plan.op,
+            label,
+            DriveMode::Batch(self.batch),
+            ChunkPolicy::Fixed,
+            task,
+        )
     }
 }
 
-/// Resolves a backend by name (`local`, `tile`); `None` for unknown names.
+/// The out-of-core backend: tuple-at-a-time like [`LocalExecutor`], but
+/// every exchange runs under a memory budget even when the context sets
+/// none — buckets past the budget spill to sorted run files and merge-read
+/// back in source order — and stage work is re-chunked adaptively at stage
+/// boundaries (skewed partitions split across workers, tiny ones coalesced
+/// into one task), Spark-AQE style, without changing any recorded result.
+///
+/// The fallback budget (used when neither [`Context::memory_budget`] nor
+/// `DIABLO_MEMORY_BUDGET` is set) defaults to
+/// [`SpillExecutor::DEFAULT_BUDGET`].
+#[derive(Debug, Clone, Copy)]
+pub struct SpillExecutor {
+    fallback_budget: u64,
+}
+
+impl SpillExecutor {
+    /// Fallback exchange budget: 64 MiB of buffered exchange rows.
+    pub const DEFAULT_BUDGET: u64 = 64 << 20;
+
+    /// Creates a spill executor whose exchanges buffer at most
+    /// `fallback_budget` bytes when the context sets no budget of its own.
+    pub fn new(fallback_budget: u64) -> SpillExecutor {
+        SpillExecutor { fallback_budget }
+    }
+
+    /// The fallback budget in bytes.
+    pub fn fallback_budget(&self) -> u64 {
+        self.fallback_budget
+    }
+}
+
+impl Default for SpillExecutor {
+    fn default() -> SpillExecutor {
+        SpillExecutor::new(Self::DEFAULT_BUDGET)
+    }
+}
+
+impl Executor for SpillExecutor {
+    fn name(&self) -> &'static str {
+        "spill"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            vectorized: false,
+            fused_shuffle_read: true,
+            union_in_place: true,
+            spilling_exchange: true,
+            adaptive_chunking: true,
+        }
+    }
+
+    fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
+        plan::materialize(ctx, &plan.op, DriveMode::Tuple, ChunkPolicy::Adaptive)
+    }
+
+    fn consume(
+        &self,
+        ctx: &Context,
+        plan: &PhysicalPlan,
+        label: &str,
+        task: &PartitionTask<'_>,
+    ) -> Result<Vec<Vec<Vec<Value>>>> {
+        plan::consume(
+            ctx,
+            &plan.op,
+            label,
+            DriveMode::Tuple,
+            ChunkPolicy::Adaptive,
+            task,
+        )
+    }
+
+    fn exchange_budget(&self, ctx: &Context) -> Option<u64> {
+        Some(ctx.memory_budget().unwrap_or(self.fallback_budget))
+    }
+}
+
+/// The valid backend names, in the order help/error messages list them.
+pub const BACKEND_NAMES: &[&str] = &["local", "tile", "spill"];
+
+/// Resolves a backend by name (see [`BACKEND_NAMES`]); `None` for unknown
+/// names.
 pub fn executor_named(name: &str) -> Option<Arc<dyn Executor>> {
     match name {
         "local" => Some(Arc::new(LocalExecutor)),
         "tile" => Some(Arc::new(TileExecutor::from_env())),
+        "spill" => Some(Arc::new(SpillExecutor::default())),
         _ => None,
     }
 }
@@ -263,8 +399,12 @@ pub fn executor_named(name: &str) -> Option<Arc<dyn Executor>> {
 /// instead of silently testing the default backend.
 pub(crate) fn executor_from_env() -> Arc<dyn Executor> {
     match std::env::var("DIABLO_BACKEND") {
-        Ok(name) => executor_named(&name)
-            .unwrap_or_else(|| panic!("DIABLO_BACKEND={name}: unknown backend (try local, tile)")),
+        Ok(name) => executor_named(&name).unwrap_or_else(|| {
+            panic!(
+                "DIABLO_BACKEND={name}: unknown backend (try {})",
+                BACKEND_NAMES.join(", ")
+            )
+        }),
         Err(_) => Arc::new(LocalExecutor),
     }
 }
@@ -275,8 +415,9 @@ mod tests {
 
     #[test]
     fn executor_lookup_by_name() {
-        assert_eq!(executor_named("local").unwrap().name(), "local");
-        assert_eq!(executor_named("tile").unwrap().name(), "tile");
+        for &name in BACKEND_NAMES {
+            assert_eq!(executor_named(name).unwrap().name(), name);
+        }
         assert!(executor_named("spark").is_none());
     }
 
@@ -285,6 +426,27 @@ mod tests {
         assert!(!LocalExecutor.capabilities().vectorized);
         assert!(TileExecutor::default().capabilities().vectorized);
         assert!(LocalExecutor.capabilities().union_in_place);
+        assert!(!LocalExecutor.capabilities().spilling_exchange);
+        let spill = SpillExecutor::default().capabilities();
+        assert!(spill.spilling_exchange && spill.adaptive_chunking);
+    }
+
+    #[test]
+    fn spill_executor_always_has_an_exchange_budget() {
+        // Pin the context budget explicitly so the test is independent of
+        // any DIABLO_MEMORY_BUDGET the suite itself runs under.
+        let ctx = Context::new(1, 2);
+        let spill = SpillExecutor::new(1234);
+        ctx.set_memory_budget(None);
+        assert_eq!(LocalExecutor.exchange_budget(&ctx), None);
+        assert_eq!(spill.exchange_budget(&ctx), Some(1234), "fallback budget");
+        ctx.set_memory_budget(Some(99));
+        assert_eq!(LocalExecutor.exchange_budget(&ctx), Some(99));
+        assert_eq!(
+            spill.exchange_budget(&ctx),
+            Some(99),
+            "an explicit context budget wins over the fallback"
+        );
     }
 
     #[test]

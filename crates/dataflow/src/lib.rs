@@ -15,12 +15,20 @@
 //! * *narrow* operations (`map`, `filter`, `flat_map`, `union`) append a
 //!   plan node and return immediately — no data moves, no threads run;
 //! * plan execution belongs to the context's [`Executor`] — a public
-//!   trait (`materialize`, `consume`, `shuffle`, `gather`, plus
-//!   name/capability introspection) with two built-ins:
-//!   [`LocalExecutor`] (tuple-at-a-time, default) and [`TileExecutor`]
-//!   (tile/batch-at-a-time inner loops for §5 tiled-matrix workloads).
+//!   trait (`materialize`, `consume`, `shuffle`/`shuffle_by`, `exchange`,
+//!   plus name/capability introspection) with three built-ins:
+//!   [`LocalExecutor`] (tuple-at-a-time, default), [`TileExecutor`]
+//!   (tile/batch-at-a-time inner loops for §5 tiled-matrix workloads),
+//!   and [`SpillExecutor`] (always-budgeted spilling exchanges plus
+//!   adaptive stage re-chunking, for inputs larger than RAM).
 //!   Select one with [`Context::with_executor`], `DIABLO_BACKEND`, or
 //!   `diabloc --backend`; results are identical across backends;
+//! * data crosses partitions only through the **Exchange API**: a
+//!   pluggable [`Partitioner`] picks each key's destination bucket, and a
+//!   streaming [`Exchange`] sink/reader pair moves rows under a memory
+//!   budget ([`Context::with_memory_budget`], `DIABLO_MEMORY_BUDGET`) —
+//!   buckets past the budget spill to sorted run files and merge-read
+//!   back in source order, byte-identical to the in-memory exchange;
 //! * at every **materialization point** — a shuffle (`group_by_key`,
 //!   `reduce_by_key`, `cogroup`, `join`, the array-merge `⊳`), `collect`,
 //!   `reduce`, or `broadcast` — the executor **fuses** the pending narrow
@@ -56,20 +64,22 @@
 //! prints — and [`Dataset::explain`] renders a still-pending plan.
 
 mod dataset;
+mod exchange;
 mod executor;
 mod plan;
 mod pool;
 mod stats;
 
 pub use dataset::Dataset;
+pub use exchange::{Exchange, ExchangeWriter, HashPartitioner, Partitioner, RangePartitioner};
 pub use executor::{
     executor_named, Capabilities, Executor, LocalExecutor, PartitionTask, PhysicalPlan,
-    TileExecutor,
+    ScatterTask, SpillExecutor, TileExecutor, BACKEND_NAMES,
 };
 pub use plan::{PartitionRows, Parts};
 pub use stats::{Stats, StatsSnapshot};
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use diablo_runtime::Value;
@@ -91,13 +101,16 @@ struct ContextInner {
     plan_trace: Mutex<Option<Vec<String>>>,
     executor: Mutex<Arc<dyn Executor>>,
     stmt_label: Mutex<Option<Arc<str>>>,
+    /// Exchange memory budget in bytes; `u64::MAX` means unbounded.
+    memory_budget: AtomicU64,
 }
 
 impl Context {
     /// Creates a context with `workers` threads and `partitions` hash
     /// partitions per dataset. The execution backend defaults to
     /// [`LocalExecutor`], overridable with the `DIABLO_BACKEND`
-    /// environment variable (`local`, `tile`) or [`Context::with_executor`].
+    /// environment variable (`local`, `tile`, `spill`) or
+    /// [`Context::with_executor`].
     pub fn new(workers: usize, partitions: usize) -> Context {
         assert!(workers > 0, "need at least one worker");
         assert!(partitions > 0, "need at least one partition");
@@ -110,6 +123,7 @@ impl Context {
                 plan_trace: Mutex::new(None),
                 executor: Mutex::new(executor::executor_from_env()),
                 stmt_label: Mutex::new(None),
+                memory_budget: AtomicU64::new(memory_budget_from_env()),
             }),
         }
     }
@@ -117,8 +131,18 @@ impl Context {
     /// A context sized to the machine: one worker per available core and
     /// two partitions per worker.
     pub fn default_parallel() -> Context {
-        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
-        Context::new(workers, workers * 2)
+        Context::sized(None, None)
+    }
+
+    /// A context sized from optional worker/partition counts; whatever is
+    /// missing falls back to [`Context::default_parallel`]'s policy (one
+    /// worker per available core, two partitions per worker). This is the
+    /// single home of that policy — driver layers (`diabloc --workers/
+    /// --partitions`) build partially specified shapes through it.
+    pub fn sized(workers: Option<usize>, partitions: Option<usize>) -> Context {
+        let w =
+            workers.unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |n| n.get()));
+        Context::new(w, partitions.unwrap_or(w * 2))
     }
 
     /// A single-threaded context (used to isolate engine overhead from
@@ -143,6 +167,31 @@ impl Context {
     /// The execution backend.
     pub fn executor(&self) -> Arc<dyn Executor> {
         self.inner.executor.lock().expect("executor lock").clone()
+    }
+
+    /// Caps the bytes of exchanged rows a shuffle may buffer in memory
+    /// (builder style): buckets past the budget spill to sorted run files
+    /// and are merge-read back in source order, so results are identical
+    /// to an unbounded exchange. Defaults to the `DIABLO_MEMORY_BUDGET`
+    /// environment variable, else unbounded.
+    pub fn with_memory_budget(self, bytes: u64) -> Context {
+        self.set_memory_budget(Some(bytes));
+        self
+    }
+
+    /// Sets (or clears, with `None`) the exchange memory budget in place.
+    pub fn set_memory_budget(&self, bytes: Option<u64>) {
+        self.inner
+            .memory_budget
+            .store(bytes.unwrap_or(u64::MAX), Ordering::Relaxed);
+    }
+
+    /// The exchange memory budget in bytes, if one is set.
+    pub fn memory_budget(&self) -> Option<u64> {
+        match self.inner.memory_budget.load(Ordering::Relaxed) {
+            u64::MAX => None,
+            b => Some(b),
+        }
     }
 
     /// Sets (or clears) the source-statement label attached to plan nodes
@@ -228,6 +277,18 @@ impl Context {
     }
 }
 
+/// The exchange budget named by `DIABLO_MEMORY_BUDGET` (bytes), or
+/// unbounded. Panics on an unparseable value so a typo in a CI job fails
+/// loudly instead of silently testing the in-memory path.
+fn memory_budget_from_env() -> u64 {
+    match std::env::var("DIABLO_MEMORY_BUDGET") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("DIABLO_MEMORY_BUDGET={s}: not a byte count")),
+        Err(_) => u64::MAX,
+    }
+}
+
 impl std::fmt::Debug for Context {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Context")
@@ -252,6 +313,22 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         let _ = Context::new(0, 1);
+    }
+
+    #[test]
+    fn memory_budget_round_trips() {
+        let ctx = Context::new(1, 2);
+        ctx.set_memory_budget(Some(4096));
+        assert_eq!(ctx.memory_budget(), Some(4096));
+        assert_eq!(
+            ctx.clone().memory_budget(),
+            Some(4096),
+            "clones share the budget"
+        );
+        ctx.set_memory_budget(None);
+        assert_eq!(ctx.memory_budget(), None);
+        let built = Context::new(1, 2).with_memory_budget(0);
+        assert_eq!(built.memory_budget(), Some(0), "0 is a real budget");
     }
 
     #[test]

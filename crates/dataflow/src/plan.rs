@@ -387,6 +387,85 @@ impl Parts {
     }
 }
 
+/// How a stage's work maps onto pool tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ChunkPolicy {
+    /// One task per partition — the classic schedule.
+    Fixed,
+    /// Re-chunk at the stage boundary from observed per-partition row
+    /// counts, Spark-AQE style: split skewed partitions across several
+    /// tasks (narrow stages only — a partition-level function must see
+    /// its whole partition) and coalesce runs of tiny ones into a single
+    /// task. Scheduling only: partition boundaries, within-partition row
+    /// order, stage counts, and first errors are exactly those of
+    /// [`ChunkPolicy::Fixed`].
+    Adaptive,
+}
+
+/// One scheduling item: contiguous row spans `(partition, start, end)`,
+/// ordered by `(partition, start)`.
+type Spans = Vec<(usize, usize, usize)>;
+
+/// Plans adaptive work items over observed per-partition row counts.
+/// Returns `None` when the plan degenerates to one-task-per-partition
+/// (callers then keep the classic schedule and its zero overhead).
+fn chunk_plan(sizes: &[usize], workers: usize, splittable: bool) -> Option<Vec<Spans>> {
+    let total: usize = sizes.iter().sum();
+    // A single partition is the maximally skewed case — still worth
+    // splitting (when allowed); only an empty stage has nothing to plan.
+    if total == 0 {
+        return None;
+    }
+    // Aim for a few tasks per worker so self-scheduling can rebalance —
+    // but never chase chunks smaller than a floor: on tiny stages the
+    // per-task overhead (pool claim, result slot, output reassembly)
+    // would dwarf any balancing win, so small partitions coalesce and
+    // nothing splits.
+    const MIN_TARGET_ROWS: usize = 4096;
+    let target = (total / (workers * 4).max(1)).max(MIN_TARGET_ROWS);
+    let mut items: Vec<Spans> = Vec::new();
+    let mut group: Spans = Vec::new();
+    let mut group_rows = 0usize;
+    let mut changed = false;
+    let flush = |group: &mut Spans, items: &mut Vec<Spans>, changed: &mut bool| {
+        if !group.is_empty() {
+            *changed |= group.len() > 1;
+            items.push(std::mem::take(group));
+        }
+    };
+    for (p, &n) in sizes.iter().enumerate() {
+        if splittable && n > 2 * target {
+            // Skewed: split into ~target-row spans, each its own task.
+            flush(&mut group, &mut items, &mut changed);
+            group_rows = 0;
+            let pieces = n.div_ceil(target);
+            let chunk = n.div_ceil(pieces);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                items.push(vec![(p, start, end)]);
+                start = end;
+            }
+            changed = true;
+        } else if n >= target {
+            // Big enough to be its own task: never lump it into a
+            // coalesce group (that would serialize it behind the tinies).
+            flush(&mut group, &mut items, &mut changed);
+            group_rows = 0;
+            items.push(vec![(p, 0, n)]);
+        } else {
+            group.push((p, 0, n));
+            group_rows += n;
+            if group_rows >= target {
+                flush(&mut group, &mut items, &mut changed);
+                group_rows = 0;
+            }
+        }
+    }
+    flush(&mut group, &mut items, &mut changed);
+    changed.then_some(items)
+}
+
 /// How an executor pushes rows through a fused step chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum DriveMode {
@@ -417,8 +496,13 @@ impl DriveMode {
 
 /// Materializes a plan into partitions, fusing every narrow chain into one
 /// physical stage per `Scan`/`MapPartitions`/`Union` segment.
-pub(crate) fn materialize(ctx: &Context, plan: &Arc<PlanOp>, mode: DriveMode) -> Result<Parts> {
-    materialize_with(ctx, plan, &[], mode)
+pub(crate) fn materialize(
+    ctx: &Context,
+    plan: &Arc<PlanOp>,
+    mode: DriveMode,
+    policy: ChunkPolicy,
+) -> Result<Parts> {
+    materialize_with(ctx, plan, &[], mode, policy)
 }
 
 /// [`materialize`] with extra steps appended after the plan's own rows —
@@ -428,6 +512,7 @@ fn materialize_with(
     plan: &Arc<PlanOp>,
     extra: &[Step],
     mode: DriveMode,
+    policy: ChunkPolicy,
 ) -> Result<Parts> {
     let Collapsed { base, steps } = collapse(plan);
     let mut all = steps;
@@ -437,11 +522,20 @@ fn materialize_with(
             if all.is_empty() {
                 return Ok(Parts::Shared(parts.clone()));
             }
-            let out = run_fused_stage(ctx, parts, None, &all, parts.len(), "materialize", mode)?;
+            let out = run_fused_stage(
+                ctx,
+                parts,
+                None,
+                &all,
+                parts.len(),
+                "materialize",
+                mode,
+                policy,
+            )?;
             Ok(Parts::Owned(out))
         }
         PlanOp::MapPartitions(input, f, label, tag) => {
-            let inp = materialize(ctx, input, mode)?;
+            let inp = materialize(ctx, input, mode, policy)?;
             let out = run_fused_stage(
                 ctx,
                 inp.as_slice(),
@@ -450,6 +544,7 @@ fn materialize_with(
                 inp.as_slice().len(),
                 "materialize",
                 mode,
+                policy,
             )?;
             Ok(Parts::Owned(out))
         }
@@ -461,7 +556,7 @@ fn materialize_with(
             // partitions first.
             let mut sources: Vec<(Parts, Vec<Step>)> = Vec::new();
             let mut virt: Vec<Vec<(usize, usize)>> = Vec::new();
-            flatten_union(ctx, &base, &all, &mut sources, &mut virt, mode)?;
+            flatten_union(ctx, &base, &all, &mut sources, &mut virt, mode, policy)?;
             ctx.record_physical_stage();
             let stage = ctx.stats().snapshot().physical_stages;
             ctx.plan_note(format!(
@@ -489,7 +584,14 @@ fn materialize_with(
 
 /// Runs one fused physical stage: per partition, optionally apply a
 /// partition-level function, then drive every row through `steps`.
-#[allow(clippy::type_complexity)]
+///
+/// Under [`ChunkPolicy::Adaptive`] the stage's work is re-chunked from the
+/// observed partition sizes — skewed partitions split across tasks (only
+/// when there is no partition-level prelude, which must see its whole
+/// partition), tiny ones coalesced — and the outputs reassembled on the
+/// original partition boundaries, so results are byte-identical to the
+/// fixed schedule.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn run_fused_stage(
     ctx: &Context,
     input: &[Vec<Value>],
@@ -498,6 +600,7 @@ fn run_fused_stage(
     parts: usize,
     label: &str,
     mode: DriveMode,
+    policy: ChunkPolicy,
 ) -> Result<Vec<Vec<Value>>> {
     ctx.record_physical_stage();
     ctx.plan_note(describe_stage(
@@ -508,6 +611,44 @@ fn run_fused_stage(
         label,
     ));
     let prelude = prelude.map(|(f, _, tag)| (f, tag));
+    if policy == ChunkPolicy::Adaptive {
+        let sizes: Vec<usize> = input.iter().map(Vec::len).collect();
+        if let Some(items) = chunk_plan(&sizes, ctx.workers(), prelude.is_none()) {
+            ctx.plan_note(format!(
+                "adaptive: re-chunked {} partitions into {} tasks",
+                input.len(),
+                items.len()
+            ));
+            let outs = run_stage(ctx.workers(), &items, |_, spans: &Spans| {
+                let mut produced: Vec<(usize, Vec<Value>)> = Vec::with_capacity(spans.len());
+                for &(p, start, end) in spans {
+                    let mut out = Vec::new();
+                    let mut sink = |v: Value| {
+                        out.push(v);
+                        Ok(())
+                    };
+                    match &prelude {
+                        Some((f, tag)) => {
+                            let rows = f(&input[p]).map_err(|e| tag_opt(e, tag))?;
+                            mode.run(&rows, steps, &mut sink)?;
+                        }
+                        None => mode.run(&input[p][start..end], steps, &mut sink)?,
+                    }
+                    produced.push((p, out));
+                }
+                Ok(produced)
+            })?;
+            // Items are ordered by (partition, start), so extending in
+            // item order rebuilds each partition in source order.
+            let mut dest: Vec<Vec<Value>> = input.iter().map(|_| Vec::new()).collect();
+            for item in outs {
+                for (p, rows) in item {
+                    dest[p].extend(rows);
+                }
+            }
+            return Ok(dest);
+        }
+    }
     run_stage(ctx.workers(), input, |_, part: &Vec<Value>| {
         let mut out = Vec::with_capacity(part.len());
         let mut sink = |v: Value| {
@@ -525,6 +666,34 @@ fn run_fused_stage(
     })
 }
 
+/// Runs a consumer once per partition, on the classic
+/// one-task-per-partition schedule (`items` = `None`) or with runs of
+/// tiny partitions coalesced into shared tasks. Either way the results
+/// come back in partition order and the first error follows partition
+/// order (items are partition-ordered; within an item, sequential).
+fn run_consumer_stage<R: Send>(
+    ctx: &Context,
+    parts: usize,
+    items: Option<Vec<Spans>>,
+    run_one: impl Fn(usize) -> Result<R> + Sync,
+) -> Result<Vec<R>> {
+    match items {
+        Some(items) => {
+            let outs = run_stage(ctx.workers(), &items, |_, spans: &Spans| {
+                spans
+                    .iter()
+                    .map(|&(p, _, _)| run_one(p))
+                    .collect::<Result<Vec<R>>>()
+            })?;
+            Ok(outs.into_iter().flatten().collect())
+        }
+        None => {
+            let idx: Vec<usize> = (0..parts).collect();
+            run_stage(ctx.workers(), &idx, |_, &p| run_one(p))
+        }
+    }
+}
+
 /// Runs `task` once per partition over the plan's *transformed* rows, in
 /// one fused physical stage whenever the base permits: a `Scan`, a tree of
 /// `Union`s over scans, or a `MapPartitions` whose own input is a scan
@@ -538,23 +707,41 @@ pub(crate) fn consume<R, F>(
     plan: &Arc<PlanOp>,
     label: &str,
     mode: DriveMode,
+    policy: ChunkPolicy,
     task: F,
 ) -> Result<Vec<R>>
 where
     R: Send,
     F: Fn(usize, &PartitionRows<'_>) -> Result<R> + Sync,
 {
+    // Consumer tasks are atomic per partition (a scatter may carry
+    // partition-wide state, e.g. a combiner's hash map), so adaptive
+    // scheduling can only coalesce runs of tiny partitions into one task,
+    // never split — results and first errors are unchanged.
+    let coalesce = |parts_len: usize, sizes: &[usize]| -> Option<Vec<Spans>> {
+        if policy != ChunkPolicy::Adaptive {
+            return None;
+        }
+        let items = chunk_plan(sizes, ctx.workers(), false)?;
+        ctx.plan_note(format!(
+            "adaptive: coalesced {parts_len} partitions into {} tasks",
+            items.len()
+        ));
+        Some(items)
+    };
     let Collapsed { base, steps } = collapse(plan);
     match base.as_ref() {
         PlanOp::Scan(parts) => {
             ctx.record_physical_stage();
             ctx.plan_note(describe_stage(ctx, parts.len(), None, &steps, label));
-            run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
+            let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+            let items = coalesce(parts.len(), &sizes);
+            run_consumer_stage(ctx, parts.len(), items, |p| {
                 task(
-                    i,
+                    p,
                     &PartitionRows {
                         segments: vec![Segment {
-                            rows: part,
+                            rows: &parts[p],
                             steps: &steps,
                         }],
                         mode,
@@ -578,10 +765,10 @@ where
                     label,
                 ));
                 let lower = &inner.steps;
-                return run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
-                    // Steps below the prelude feed it a materialized Vec.
-                    let fed: Vec<Value> = if lower.is_empty() {
-                        f(part).map_err(|e| tag_opt(e, tag))?
+                // Steps below the prelude feed it a materialized Vec.
+                let feed = |part: &[Value]| -> Result<Vec<Value>> {
+                    if lower.is_empty() {
+                        f(part).map_err(|e| tag_opt(e, tag))
                     } else {
                         let mut buf = Vec::with_capacity(part.len());
                         let mut sink = |v: Value| {
@@ -589,10 +776,15 @@ where
                             Ok(())
                         };
                         mode.run(part, lower, &mut sink)?;
-                        f(&buf).map_err(|e| tag_opt(e, tag))?
-                    };
+                        f(&buf).map_err(|e| tag_opt(e, tag))
+                    }
+                };
+                let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+                let items = coalesce(parts.len(), &sizes);
+                return run_consumer_stage(ctx, parts.len(), items, |p| {
+                    let fed = feed(&parts[p])?;
                     task(
-                        i,
+                        p,
                         &PartitionRows {
                             segments: vec![Segment {
                                 rows: &fed,
@@ -605,7 +797,7 @@ where
             }
             // Deep prelude (its input is itself unforced): materialize it
             // (fusing inside), then run the consumer as one more stage.
-            let inp = materialize_with(ctx, &base, &steps, mode)?;
+            let inp = materialize_with(ctx, &base, &steps, mode, policy)?;
             let parts = inp.as_slice();
             ctx.record_physical_stage();
             ctx.plan_note(describe_stage(ctx, parts.len(), None, &[], label));
@@ -629,7 +821,7 @@ where
             // own fused step chain. No operand is copied.
             let mut sources: Vec<(Parts, Vec<Step>)> = Vec::new();
             let mut virt: Vec<Vec<(usize, usize)>> = Vec::new();
-            flatten_union(ctx, &base, &steps, &mut sources, &mut virt, mode)?;
+            flatten_union(ctx, &base, &steps, &mut sources, &mut virt, mode, policy)?;
             ctx.record_physical_stage();
             let stage = ctx.stats().snapshot().physical_stages;
             ctx.plan_note(format!(
@@ -659,6 +851,7 @@ where
 /// partitions fold into the left's by index modulo the left's partition
 /// count — the same composition the eager engine produced by extending
 /// partition vectors, but without moving a row.
+#[allow(clippy::too_many_arguments)]
 fn flatten_union(
     ctx: &Context,
     plan: &Arc<PlanOp>,
@@ -666,6 +859,7 @@ fn flatten_union(
     sources: &mut Vec<(Parts, Vec<Step>)>,
     virt: &mut Vec<Vec<(usize, usize)>>,
     mode: DriveMode,
+    policy: ChunkPolicy,
 ) -> Result<()> {
     let Collapsed { base, steps } = collapse(plan);
     let mut all = steps;
@@ -680,10 +874,10 @@ fn flatten_union(
         }
         PlanOp::Union(l, r) => {
             let start = virt.len();
-            flatten_union(ctx, l, &all, sources, virt, mode)?;
+            flatten_union(ctx, l, &all, sources, virt, mode, policy)?;
             let n = virt.len() - start;
             let mut rvirt: Vec<Vec<(usize, usize)>> = Vec::new();
-            flatten_union(ctx, r, &all, sources, &mut rvirt, mode)?;
+            flatten_union(ctx, r, &all, sources, &mut rvirt, mode, policy)?;
             if n == 0 {
                 virt.extend(rvirt);
             } else {
@@ -695,7 +889,7 @@ fn flatten_union(
         }
         _ => {
             // MapPartitions under a union: materialize just this branch.
-            let parts = materialize_with(ctx, &base, &all, mode)?;
+            let parts = materialize_with(ctx, &base, &all, mode, policy)?;
             let src = sources.len();
             let n = parts.as_slice().len();
             sources.push((parts, Vec::new()));
@@ -802,5 +996,81 @@ pub(crate) fn render(plan: &Arc<PlanOp>, indent: usize, out: &mut String) {
     }
     if steps.len() > 1 {
         out.push_str(&format!(" (1 fused stage, {} ops)", steps.len()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covered_rows(items: &[Spans], sizes: &[usize]) -> Vec<usize> {
+        // Rows covered per partition, also checking span contiguity/order.
+        let mut covered = vec![0usize; sizes.len()];
+        let mut last: Option<(usize, usize)> = None;
+        for item in items {
+            for &(p, start, end) in item {
+                if let Some((lp, lend)) = last {
+                    assert!(
+                        p > lp || (p == lp && start == lend),
+                        "spans ordered by (partition, start) and contiguous"
+                    );
+                }
+                covered[p] += end - start;
+                last = Some((p, end));
+            }
+        }
+        covered
+    }
+
+    #[test]
+    fn balanced_partitions_keep_the_fixed_schedule() {
+        assert!(chunk_plan(&[100_000, 100_000, 100_000, 100_000], 2, true).is_none());
+        assert!(chunk_plan(&[], 4, true).is_none());
+        assert!(chunk_plan(&[0, 0, 0], 4, true).is_none(), "nothing to do");
+    }
+
+    #[test]
+    fn tiny_stages_coalesce_instead_of_splitting() {
+        // Below the target floor nothing splits — per-task overhead would
+        // dwarf the work — and the tiny partitions share one task.
+        let sizes = [4, 4, 4, 4, 4];
+        let items = chunk_plan(&sizes, 3, true).expect("coalesces");
+        assert_eq!(items.len(), 1, "one task for a trivial stage");
+        for &(_, start, _) in &items[0] {
+            assert_eq!(start, 0, "no splits below the floor");
+        }
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
+    }
+
+    #[test]
+    fn skewed_partition_splits_into_ordered_spans() {
+        let sizes = [10_000, 10, 10];
+        let items = chunk_plan(&sizes, 2, true).expect("re-chunks");
+        assert!(items.len() > 3, "the skewed partition fans out");
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
+    }
+
+    #[test]
+    fn a_single_giant_partition_still_splits() {
+        // The maximally skewed case: one partition, many workers.
+        let sizes = [100_000];
+        let items = chunk_plan(&sizes, 8, true).expect("re-chunks");
+        assert!(items.len() >= 8, "all workers get a span: {}", items.len());
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
+        // Unsplittable (consumer/prelude) single partitions stay fixed.
+        assert!(chunk_plan(&sizes, 8, false).is_none());
+    }
+
+    #[test]
+    fn tiny_partitions_coalesce_without_splitting_when_forbidden() {
+        let sizes = [5, 5, 5, 5, 5, 5, 5, 5, 4000];
+        let items = chunk_plan(&sizes, 2, false).expect("re-chunks");
+        assert!(items.len() < sizes.len(), "tiny partitions coalesced");
+        for item in &items {
+            for &(p, start, end) in item {
+                assert_eq!((start, end), (0, sizes[p]), "whole partitions only");
+            }
+        }
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
     }
 }

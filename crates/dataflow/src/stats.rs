@@ -29,6 +29,9 @@ pub struct Stats {
     shuffles: AtomicU64,
     shuffled_records: AtomicU64,
     shuffled_bytes: AtomicU64,
+    spilled_records: AtomicU64,
+    spilled_bytes: AtomicU64,
+    spill_files: AtomicU64,
     broadcasts: AtomicU64,
     broadcast_records: AtomicU64,
 }
@@ -48,6 +51,12 @@ impl Stats {
         self.shuffled_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_spill(&self, records: u64, bytes: u64, files: u64) {
+        self.spilled_records.fetch_add(records, Ordering::Relaxed);
+        self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.spill_files.fetch_add(files, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_broadcast(&self, records: u64) {
         self.broadcasts.fetch_add(1, Ordering::Relaxed);
         self.broadcast_records.fetch_add(records, Ordering::Relaxed);
@@ -61,6 +70,9 @@ impl Stats {
             shuffles: self.shuffles.load(Ordering::Relaxed),
             shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
             shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
+            spilled_records: self.spilled_records.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            spill_files: self.spill_files.load(Ordering::Relaxed),
             broadcasts: self.broadcasts.load(Ordering::Relaxed),
             broadcast_records: self.broadcast_records.load(Ordering::Relaxed),
         }
@@ -73,6 +85,9 @@ impl Stats {
         self.shuffles.store(0, Ordering::Relaxed);
         self.shuffled_records.store(0, Ordering::Relaxed);
         self.shuffled_bytes.store(0, Ordering::Relaxed);
+        self.spilled_records.store(0, Ordering::Relaxed);
+        self.spilled_bytes.store(0, Ordering::Relaxed);
+        self.spill_files.store(0, Ordering::Relaxed);
         self.broadcasts.store(0, Ordering::Relaxed);
         self.broadcast_records.store(0, Ordering::Relaxed);
     }
@@ -94,6 +109,13 @@ pub struct StatsSnapshot {
     pub shuffled_records: u64,
     /// Estimated bytes moved by shuffles.
     pub shuffled_bytes: u64,
+    /// Rows written to spill runs by budget-bounded exchanges.
+    pub spilled_records: u64,
+    /// Encoded bytes written to spill runs.
+    pub spilled_bytes: u64,
+    /// Sorted spill runs written (each appended to its exchange's single
+    /// spill file, so one run ≠ one open descriptor).
+    pub spill_files: u64,
     /// Number of broadcasts.
     pub broadcasts: u64,
     /// Total rows broadcast.
@@ -109,6 +131,9 @@ impl StatsSnapshot {
             shuffles: self.shuffles - earlier.shuffles,
             shuffled_records: self.shuffled_records - earlier.shuffled_records,
             shuffled_bytes: self.shuffled_bytes - earlier.shuffled_bytes,
+            spilled_records: self.spilled_records - earlier.spilled_records,
+            spilled_bytes: self.spilled_bytes - earlier.spilled_bytes,
+            spill_files: self.spill_files - earlier.spill_files,
             broadcasts: self.broadcasts - earlier.broadcasts,
             broadcast_records: self.broadcast_records - earlier.broadcast_records,
         }
@@ -127,6 +152,7 @@ mod tests {
         s.record_physical_stage();
         s.record_shuffle(100, 800);
         s.record_shuffle(50, 400);
+        s.record_spill(40, 320, 2);
         s.record_broadcast(7);
         let snap = s.snapshot();
         assert_eq!(snap.stages, 1);
@@ -134,6 +160,9 @@ mod tests {
         assert_eq!(snap.shuffles, 2);
         assert_eq!(snap.shuffled_records, 150);
         assert_eq!(snap.shuffled_bytes, 1200);
+        assert_eq!(snap.spilled_records, 40);
+        assert_eq!(snap.spilled_bytes, 320);
+        assert_eq!(snap.spill_files, 2);
         assert_eq!(snap.broadcasts, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());

@@ -188,8 +188,12 @@ impl Session {
         let run = scratch.run(program);
         let lines = self.ctx.take_plan_trace();
         run?;
+        let budget = match self.ctx.memory_budget() {
+            Some(b) => format!(", memory budget {b} B"),
+            None => String::new(),
+        };
         let mut out = format!(
-            "physical plan (executed on `{}` backend, narrow chains fused):\n",
+            "physical plan (executed on `{}` backend, narrow chains fused{budget}):\n",
             self.ctx.executor().name()
         );
         for l in &lines {

@@ -7,13 +7,22 @@
 //! diabloc interp  <program.dbl> [bindings]  # execute with the sequential interpreter
 //! diabloc explain <program.dbl> [bindings]  # print the executed physical plan
 //! diabloc run --explain <program.dbl> ...   # same as `explain`
-//! diabloc run --backend tile <program.dbl>  # pick the execution backend
+//! diabloc run --backend spill <program.dbl> # pick the execution backend
+//! diabloc run --workers 8 --partitions 32 --memory-budget 1048576 ...
 //! ```
 //!
-//! `--backend <name>` (for `run` and `explain`) selects the engine's
-//! execution backend: `local` (tuple-at-a-time, the default) or `tile`
-//! (batch-at-a-time, tuned for tiled-matrix workloads). Results are
-//! identical across backends; only the execution strategy changes.
+//! Engine flags (for `run` and `explain` only):
+//!
+//! * `--backend <name>` selects the execution backend: `local`
+//!   (tuple-at-a-time, the default), `tile` (batch-at-a-time, tuned for
+//!   tiled-matrix workloads), or `spill` (budgeted exchanges that spill
+//!   to disk, plus adaptive stage re-chunking). Results are identical
+//!   across backends; only the execution strategy changes.
+//! * `--workers N` / `--partitions N` size the engine context (default:
+//!   one worker per core, two partitions per worker).
+//! * `--memory-budget BYTES` caps the bytes a shuffle buffers in memory;
+//!   buckets past the budget spill to sorted run files (equivalent to
+//!   `DIABLO_MEMORY_BUDGET`).
 //!
 //! Bindings are `name=value` for scalars (`n=100`, `a=0.5`, `x=hello`) and
 //! `name=@file.csv` for collections. A collection CSV has one element per
@@ -39,14 +48,14 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let explain_flag = args.iter().any(|a| a == "--explain");
     args.retain(|a| a != "--explain");
-    let backend = match extract_backend(&mut args) {
-        Ok(b) => b,
+    let engine = match EngineFlags::extract(&mut args) {
+        Ok(f) => f,
         Err(msg) => {
             eprintln!("diabloc: {msg}");
             return ExitCode::FAILURE;
         }
     };
-    match run(&args, explain_flag, backend.as_deref()) {
+    match run(&args, explain_flag, &engine) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("diabloc: {msg}");
@@ -55,41 +64,95 @@ fn main() -> ExitCode {
     }
 }
 
-/// Pulls `--backend <name>` / `--backend=<name>` out of the argument list.
-fn extract_backend(args: &mut Vec<String>) -> Result<Option<String>, String> {
-    let mut backend = None;
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(name) = args[i].strip_prefix("--backend=") {
-            backend = Some(name.to_string());
-            args.remove(i);
-        } else if args[i] == "--backend" {
-            if i + 1 >= args.len() {
-                return Err("--backend requires a name (local, tile)".to_string());
+/// The engine-shaping flags of `run` and `explain`.
+#[derive(Default)]
+struct EngineFlags {
+    backend: Option<String>,
+    workers: Option<usize>,
+    partitions: Option<usize>,
+    memory_budget: Option<u64>,
+}
+
+impl EngineFlags {
+    /// Pulls `--backend`, `--workers`, `--partitions`, and
+    /// `--memory-budget` (each as `--flag value` or `--flag=value`) out
+    /// of the argument list.
+    fn extract(args: &mut Vec<String>) -> Result<EngineFlags, String> {
+        let mut flags = EngineFlags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].clone();
+            let mut take_value = |flag: &str| -> Result<Option<String>, String> {
+                if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                    args.remove(i);
+                    return Ok(Some(v.to_string()));
+                }
+                if arg == flag {
+                    if i + 1 >= args.len() {
+                        return Err(format!("{flag} requires a value"));
+                    }
+                    let v = args[i + 1].clone();
+                    args.drain(i..=i + 1);
+                    return Ok(Some(v));
+                }
+                Ok(None)
+            };
+            if let Some(name) = take_value("--backend")? {
+                flags.backend = Some(name);
+            } else if let Some(n) = take_value("--workers")? {
+                flags.workers = Some(parse_count("--workers", &n)?);
+            } else if let Some(n) = take_value("--partitions")? {
+                flags.partitions = Some(parse_count("--partitions", &n)?);
+            } else if let Some(n) = take_value("--memory-budget")? {
+                flags.memory_budget = Some(
+                    n.parse()
+                        .map_err(|_| format!("--memory-budget: `{n}` is not a byte count"))?,
+                );
+            } else {
+                i += 1;
             }
-            backend = Some(args[i + 1].clone());
-            args.drain(i..=i + 1);
-        } else {
-            i += 1;
+        }
+        Ok(flags)
+    }
+
+    /// True when any engine flag was given (they only apply to commands
+    /// that build an engine context).
+    fn any(&self) -> bool {
+        self.backend.is_some()
+            || self.workers.is_some()
+            || self.partitions.is_some()
+            || self.memory_budget.is_some()
+    }
+
+    /// Builds the engine context these flags describe.
+    fn context(&self) -> Result<Context, String> {
+        let ctx = Context::sized(self.workers, self.partitions);
+        if let Some(budget) = self.memory_budget {
+            ctx.set_memory_budget(Some(budget));
+        }
+        match &self.backend {
+            None => Ok(ctx),
+            Some(name) => {
+                let exec = diablo_dataflow::executor_named(name).ok_or_else(|| {
+                    format!(
+                        "unknown backend `{name}` (try {})",
+                        diablo_dataflow::BACKEND_NAMES.join(", ")
+                    )
+                })?;
+                Ok(ctx.with_executor(exec))
+            }
         }
     }
-    Ok(backend)
 }
 
-/// Builds the engine context, honouring a `--backend` selection.
-fn engine_context(backend: Option<&str>) -> Result<Context, String> {
-    let ctx = Context::default_parallel();
-    match backend {
-        None => Ok(ctx),
-        Some(name) => {
-            let exec = diablo_dataflow::executor_named(name)
-                .ok_or_else(|| format!("unknown backend `{name}` (try local, tile)"))?;
-            Ok(ctx.with_executor(exec))
-        }
+fn parse_count(flag: &str, s: &str) -> Result<usize, String> {
+    match s.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag}: `{s}` is not a positive count")),
     }
 }
 
-fn run(args: &[String], explain_flag: bool, backend: Option<&str>) -> Result<(), String> {
+fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), String> {
     let [cmd, path, rest @ ..] = args else {
         return Err(USAGE.to_string());
     };
@@ -102,9 +165,9 @@ fn run(args: &[String], explain_flag: bool, backend: Option<&str>) -> Result<(),
             ))
         }
     };
-    if backend.is_some() && !matches!(cmd, "run" | "explain") {
+    if engine.any() && !matches!(cmd, "run" | "explain") {
         return Err(format!(
-            "--backend only applies to `run` and `explain`, not `{cmd}`"
+            "--backend/--workers/--partitions/--memory-budget only apply to `run` and `explain`, not `{cmd}`"
         ));
     }
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -123,7 +186,7 @@ fn run(args: &[String], explain_flag: bool, backend: Option<&str>) -> Result<(),
         }
         "run" => {
             let compiled = compile(&source).map_err(|e| e.to_string())?;
-            let mut session = Session::new(engine_context(backend)?);
+            let mut session = Session::new(engine.context()?);
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
                 match value {
@@ -137,7 +200,7 @@ fn run(args: &[String], explain_flag: bool, backend: Option<&str>) -> Result<(),
         }
         "explain" => {
             let compiled = compile(&source).map_err(|e| e.to_string())?;
-            let mut session = Session::new(engine_context(backend)?);
+            let mut session = Session::new(engine.context()?);
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
                 match value {
@@ -179,7 +242,7 @@ fn run(args: &[String], explain_flag: bool, backend: Option<&str>) -> Result<(),
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile>] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill>] [--workers N] [--partitions N] [--memory-budget BYTES] <program.dbl> [name=value | name=@rows.csv ...]";
 
 /// Binds a small synthesized value for every input the user did not bind,
 /// so `explain` works on any program without data files.

@@ -218,6 +218,11 @@ fn backend_flag_selects_executor_and_outputs_match() {
     let tile_eq = run(&["run", "--backend=tile"]);
     assert_eq!(local, tile, "backends must produce byte-identical output");
     assert_eq!(tile, tile_eq);
+    let spill = run(&["run", "--backend", "spill"]);
+    assert_eq!(local, spill, "spill backend must match local byte-for-byte");
+    // Even with a zero budget — every exchanged bucket through disk.
+    let spill0 = run(&["run", "--backend", "spill", "--memory-budget", "0"]);
+    assert_eq!(local, spill0, "fully spilled run must match local");
     // explain names the backend it executed on.
     let out = diabloc()
         .arg("explain")
@@ -242,10 +247,11 @@ fn backend_flag_rejects_unknown_names_and_wrong_commands() {
         .output()
         .unwrap();
     assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("unknown backend"), "{stderr}");
     assert!(
-        String::from_utf8_lossy(&out.stderr).contains("unknown backend"),
-        "{}",
-        String::from_utf8_lossy(&out.stderr)
+        stderr.contains("local, tile, spill"),
+        "the error must list every valid backend: {stderr}"
     );
     let out = diabloc()
         .arg("check")
@@ -256,7 +262,75 @@ fn backend_flag_rejects_unknown_names_and_wrong_commands() {
         .unwrap();
     assert!(!out.status.success());
     assert!(
-        String::from_utf8_lossy(&out.stderr).contains("--backend only applies"),
+        String::from_utf8_lossy(&out.stderr).contains("only apply to `run` and `explain`"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn engine_shape_flags_apply_to_run_and_are_rejected_elsewhere() {
+    let p = write_temp(
+        "shape.dbl",
+        "input V: vector[long];
+         var C: vector[long] = vector();
+         for i = 0, 9 do C[V[i]] += 1;",
+    );
+    let csv = write_temp("shape.csv", "0,5\n1,5\n2,7\n3,5\n4,7\n");
+    let run = |args: &[&str]| {
+        let mut cmd = diabloc();
+        for a in args {
+            cmd.arg(a);
+        }
+        cmd.arg(&p).arg(format!("V=@{}", csv.display()));
+        cmd.output().unwrap()
+    };
+    let base = run(&["run"]);
+    assert!(base.status.success());
+    let shaped = run(&[
+        "run",
+        "--workers",
+        "2",
+        "--partitions",
+        "3",
+        "--memory-budget=0",
+    ]);
+    assert!(
+        shaped.status.success(),
+        "{}",
+        String::from_utf8_lossy(&shaped.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&base.stdout),
+        String::from_utf8_lossy(&shaped.stdout),
+        "context shape and spilling must not change results"
+    );
+    // Engine flags are rejected for commands that run no engine, exactly
+    // like --backend.
+    for (cmd, flag) in [
+        ("check", "--workers=2"),
+        ("show", "--partitions=4"),
+        ("interp", "--memory-budget=1024"),
+    ] {
+        let out = diabloc().arg(cmd).arg(flag).arg(&p).output().unwrap();
+        assert!(!out.status.success(), "{cmd} must reject {flag}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("only apply to `run` and `explain`"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Invalid values fail loudly.
+    let out = diabloc()
+        .arg("run")
+        .arg("--workers")
+        .arg("0")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a positive count"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );

@@ -5,21 +5,33 @@
 
 use std::sync::Arc;
 
-use diablo_dataflow::{executor_named, Context, Dataset, Executor, LocalExecutor, TileExecutor};
+use diablo_dataflow::{
+    executor_named, Context, Dataset, Executor, LocalExecutor, SpillExecutor, TileExecutor,
+};
 use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 
 /// The backends under test. The tile executor runs with a deliberately
-/// tiny batch so partition sizes exercise partial and multi-tile paths.
+/// tiny batch so partition sizes exercise partial and multi-tile paths;
+/// the spill executor runs once with its default budget and once with a
+/// zero fallback budget so every exchanged bucket goes through disk runs
+/// (and adaptive re-chunking is active on both).
 fn backends() -> Vec<Arc<dyn Executor>> {
     vec![
         Arc::new(LocalExecutor),
         Arc::new(TileExecutor::new(4)),
         Arc::new(TileExecutor::default()),
+        Arc::new(SpillExecutor::default()),
+        Arc::new(SpillExecutor::new(0)),
     ]
 }
 
 fn ctx_for(exec: Arc<dyn Executor>) -> Context {
-    Context::new(3, 5).with_executor(exec)
+    // Clear any suite-wide DIABLO_MEMORY_BUDGET so each backend runs
+    // under exactly the budget its constructor chose: conformance must
+    // hold for the in-memory and the fully spilled exchange alike.
+    let ctx = Context::new(3, 5).with_executor(exec);
+    ctx.set_memory_budget(None);
+    ctx
 }
 
 fn long_pairs(ctx: &Context, entries: &[(i64, i64)]) -> Dataset {
@@ -255,8 +267,19 @@ fn introspection_is_stable() {
     let tile = executor_named("tile").unwrap();
     assert_eq!(tile.name(), "tile");
     assert!(tile.capabilities().vectorized);
+    assert!(!tile.capabilities().spilling_exchange);
+
+    let spill = executor_named("spill").unwrap();
+    assert_eq!(spill.name(), "spill");
+    assert!(spill.capabilities().spilling_exchange);
+    assert!(spill.capabilities().adaptive_chunking);
+    assert!(spill.capabilities().fused_shuffle_read);
 
     assert!(executor_named("flink").is_none());
+    assert!(
+        diablo_dataflow::BACKEND_NAMES.contains(&"spill"),
+        "the registry lists the spill backend"
+    );
 }
 
 #[test]
