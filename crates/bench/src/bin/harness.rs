@@ -5,6 +5,7 @@
 //! harness table2           # Table 2: parallel (engine) vs sequential (interpreter)
 //! harness fig3a .. fig3l   # Figure 3 panels: DIABLO vs hand-written (vs Casper) across sizes
 //! harness tiles            # §5 ablation: sparse vs tiled matrix multiplication
+//! harness ordered          # hash vs sort-based (key-ordered) aggregation
 //! harness all              # everything (used to fill EXPERIMENTS.md)
 //! harness --json <cmd>     # machine-readable: one JSON object per row,
 //!                          # each tagged with the execution backend
@@ -39,6 +40,7 @@ fn main() {
         "table1" => table1(json),
         "table2" => table2(json),
         "tiles" => tiles(json),
+        "ordered" => ordered(json),
         "all" => {
             table1(json);
             table2(json);
@@ -46,13 +48,16 @@ fn main() {
                 fig3(panel.0, json);
             }
             tiles(json);
+            ordered(json);
         }
         other if other.starts_with("fig3") => {
             let letter = other.trim_start_matches("fig3");
             fig3(letter, json);
         }
         other => {
-            eprintln!("unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, all");
+            eprintln!(
+                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, all"
+            );
             std::process::exit(2);
         }
     }
@@ -363,6 +368,68 @@ fn fig3(letter: &str, json: bool) {
                 line = format!("{line} {c:>12}");
             }
             println!("{line}");
+        }
+    }
+    if !json {
+        println!();
+    }
+}
+
+// --------------------------------------------------------- ordered shuffles
+
+/// Hash vs sort-based aggregation: the same workloads once through the
+/// hash shuffle and once through the key-ordered (range-scattered,
+/// merge-read) path, with the sorted-shuffle and spill counters that
+/// prove which path ran. JSON rows are tagged `mode` = `hash`/`sorted`.
+fn ordered(json: bool) {
+    if !json {
+        println!("== Ordered aggregation: hash vs sort-based shuffle (seconds) ===============");
+        println!(
+            "{:<24} {:>8} {:>10} {:>14} {:>12}",
+            "test program", "mode", "secs", "sorted_shufs", "spill_files"
+        );
+    }
+    let s = scale();
+    let workloads = || {
+        vec![
+            wl::word_count(20_000 * s, 31),
+            wl::histogram(20_000 * s, 32),
+            wl::group_by(20_000 * s, 33),
+        ]
+    };
+    for mode in ["hash", "sorted"] {
+        for w in workloads() {
+            let ctx = Context::default_parallel();
+            ctx.set_ordered(mode == "sorted");
+            let backend = ctx.executor().name();
+            let before = ctx.stats().snapshot();
+            let t = run_diablo(&w, &ctx);
+            let stats = ctx.stats().snapshot().since(&before);
+            if json {
+                println!(
+                    "{}",
+                    json_row(&[
+                        ("bench", "ordered"),
+                        ("program", w.name),
+                        ("backend", backend),
+                        ("mode", mode),
+                        ("secs", &secs(t)),
+                        ("sorted_shuffles", &stats.sorted_shuffles.to_string()),
+                        ("spilled_records", &stats.spilled_records.to_string()),
+                        ("spilled_bytes", &stats.spilled_bytes.to_string()),
+                        ("spill_files", &stats.spill_files.to_string()),
+                    ])
+                );
+            } else {
+                println!(
+                    "{:<24} {:>8} {:>10} {:>14} {:>12}",
+                    w.name,
+                    mode,
+                    secs(t),
+                    stats.sorted_shuffles,
+                    stats.spill_files
+                );
+            }
         }
     }
     if !json {

@@ -42,7 +42,7 @@ use std::sync::{Arc, OnceLock};
 
 use diablo_runtime::{array::key_value, size::slice_size, RuntimeError, Value};
 
-use crate::exchange::{HashPartitioner, Partitioner};
+use crate::exchange::{pair_key, HashPartitioner, Partitioner, RangePartitioner};
 use crate::executor::PhysicalPlan;
 use crate::plan::{self, PartFn, PlanOp};
 use crate::pool::run_stage;
@@ -50,6 +50,10 @@ use crate::Context;
 
 /// Result alias for engine operations.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// A borrowed map-side combiner, as threaded through the sorted-source
+/// pass (internal).
+type CombineRef<'a> = &'a (dyn Fn(&Value, &Value) -> Result<Value> + Sync);
 
 /// An immutable, partitioned bag of rows with a lazy physical plan.
 #[derive(Clone)]
@@ -454,6 +458,9 @@ impl Dataset {
     where
         F: Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
     {
+        if self.ctx.ordered() {
+            return self.sorted_reduce_by_key(f);
+        }
         self.ctx.record_logical_op();
         let p = self.ctx.partitions();
         let f = Arc::new(f);
@@ -516,6 +523,9 @@ impl Dataset {
     /// `(key, bag-of-values)` row per distinct key. The grouping stage is
     /// lazy and fuses with the next consumer.
     pub fn group_by_key(&self) -> Result<Dataset> {
+        if self.ctx.ordered() {
+            return self.sorted_group_by_key();
+        }
         self.ctx.record_logical_op();
         let dest = self.shuffle("group_by_key (scatter)")?;
         let group_fn: PartFn = Arc::new(|bucket: &[Value]| {
@@ -573,6 +583,9 @@ impl Dataset {
     /// how a `join`'s pair expansion and the map after it run in the
     /// grouping's stage).
     pub fn cogroup(&self, other: &Dataset) -> Result<Dataset> {
+        if self.ctx.ordered() {
+            return self.sorted_cogroup(other);
+        }
         self.ctx.record_logical_op();
         let left = self.shuffle("cogroup (scatter left)")?;
         let right = other.shuffle("cogroup (scatter right)")?;
@@ -652,6 +665,9 @@ impl Dataset {
     where
         F: Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
     {
+        if self.ctx.ordered() {
+            return self.sorted_merge(updates, combine);
+        }
         self.ctx.record_logical_op();
         let old = self.shuffle("merge (scatter old)")?;
         let new = updates.shuffle("merge (scatter updates)")?;
@@ -693,6 +709,293 @@ impl Dataset {
             Dataset::zip_buckets(old, new),
             merge_fn,
             "merge ⊳ (combine slots)",
+        ))
+    }
+
+    // -------------------------------------------------- sorted shuffles
+
+    /// Per-source key-sorted rows for a sort-based shuffle: one fused
+    /// stage runs the pending narrow chain, validates the `(key, value)`
+    /// shape in canonical row order (so first errors match the hash
+    /// path's scatter), applies the optional map-side combiner, and
+    /// stably sorts each source partition by key.
+    fn sorted_sources(
+        &self,
+        label: &str,
+        combine: Option<CombineRef<'_>>,
+    ) -> Result<Vec<Vec<Value>>> {
+        let groups = self.ctx.executor().consume(
+            &self.ctx,
+            &PhysicalPlan::new(self.effective_plan()),
+            label,
+            &|_, rows| {
+                let mut out: Vec<Value> = Vec::new();
+                match combine {
+                    Some(f) => {
+                        let mut acc: HashMap<Value, Value> = HashMap::new();
+                        rows.for_each(&mut |row| {
+                            let (k, v) = key_value(&row)?;
+                            match acc.get_mut(&k) {
+                                Some(cur) => *cur = f(cur, &v)?,
+                                None => {
+                                    acc.insert(k, v);
+                                }
+                            }
+                            Ok(())
+                        })?;
+                        // Combined keys are unique, so the key sort below
+                        // fully determines the order — no need to track
+                        // first-seen order like the hash-path combiner.
+                        out.extend(acc.into_iter().map(|(k, v)| Value::pair(k, v)));
+                    }
+                    None => {
+                        rows.for_each(&mut |row| {
+                            key_value(&row)?;
+                            out.push(row);
+                            Ok(())
+                        })?;
+                    }
+                }
+                out.sort_by(|a, b| pair_key(a).cmp(pair_key(b)));
+                Ok(vec![out])
+            },
+        )?;
+        Ok(groups
+            .into_iter()
+            .map(|g| g.into_iter().flatten().collect())
+            .collect())
+    }
+
+    /// Range bounds sampled from key-sorted sources: up to 64 evenly
+    /// spaced keys per source (quantile-ish, since the rows are sorted)
+    /// plus each source's maximum. Deterministic, so every backend and
+    /// budget derives identical bounds.
+    fn sample_partitioner<'a>(
+        sources: impl Iterator<Item = &'a Vec<Value>>,
+        partitions: usize,
+    ) -> RangePartitioner {
+        const KEYS_PER_SOURCE: usize = 64;
+        let mut sample: Vec<Value> = Vec::new();
+        for rows in sources {
+            let Some(last) = rows.last() else { continue };
+            let stride = rows.len().div_ceil(KEYS_PER_SOURCE).max(1);
+            sample.extend(rows.iter().step_by(stride).map(|r| pair_key(r).clone()));
+            sample.push(pair_key(last).clone());
+        }
+        RangePartitioner::from_sample(sample, partitions)
+    }
+
+    /// Range-scatters key-sorted sources through the executor's
+    /// key-ordered exchange; the merged buckets come back globally
+    /// key-sorted and contiguous, so concatenating them in partition
+    /// order yields totally key-ordered output.
+    fn sorted_shuffle(
+        &self,
+        sources: Vec<Vec<Value>>,
+        partitioner: &RangePartitioner,
+        label: &str,
+    ) -> Result<Vec<Vec<Value>>> {
+        self.ctx.plan_note(format!(
+            "sorted shuffle ({label}): {} partitioner, {} sampled bound(s) over {} buckets",
+            Partitioner::name(partitioner),
+            partitioner.bounds().len(),
+            self.ctx.partitions()
+        ));
+        self.ctx
+            .executor()
+            .exchange_sorted(&self.ctx, sources, label, partitioner)
+    }
+
+    /// Sort-based `reduceByKey`: combines values of equal keys like
+    /// [`Dataset::reduce_by_key`], but samples the combined keys, range-
+    /// scatters through a key-ordered exchange, and merge-reduces each
+    /// (already key-sorted) bucket in one linear scan — no hash map on
+    /// the read side. The output is **globally key-ordered**: partitions
+    /// hold contiguous key ranges in ascending order, and each partition
+    /// is sorted. Same `(key, combined)` multiset as the hash path.
+    ///
+    /// The combine+sort pass and the lazy merge-reduce are the only two
+    /// physical stages — shuffle-read fusion works exactly as on the hash
+    /// path, so `sorted_reduce_by_key → map → collect` is 2 stages.
+    pub fn sorted_reduce_by_key<F>(&self, f: F) -> Result<Dataset>
+    where
+        F: Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.ctx.record_logical_op();
+        let f = Arc::new(f);
+        let sources = self.sorted_sources(
+            "sorted_reduce_by_key (combine + sort)",
+            Some(&|a: &Value, b: &Value| f(a, b)),
+        )?;
+        let part = Dataset::sample_partitioner(sources.iter(), self.ctx.partitions());
+        let dest = self.sorted_shuffle(sources, &part, "sorted_reduce_by_key (range scatter)")?;
+        let reduce_fn: PartFn = Arc::new(move |bucket: &[Value]| {
+            let mut out: Vec<Value> = Vec::new();
+            Dataset::for_each_key_run(bucket, |k, vs| {
+                let mut it = vs.into_iter();
+                let mut acc = it.next().expect("non-empty key run");
+                for v in it {
+                    acc = f(&acc, &v)?;
+                }
+                out.push(Value::pair(k, acc));
+                Ok(())
+            })?;
+            Ok(out)
+        });
+        Ok(self.post_shuffle(
+            dest,
+            reduce_fn,
+            "sorted_reduce_by_key (merge-reduce, range)",
+        ))
+    }
+
+    /// Sort-based `groupByKey`: like [`Dataset::group_by_key`], but the
+    /// output is globally key-ordered and each bag keeps the hash path's
+    /// value order (source-partition order, then emission order) — equal
+    /// keys ride through the ordered exchange in `(source, sequence,
+    /// emission)` order. Grouping is one linear scan over each key-sorted
+    /// bucket, lazy and fused with the next consumer.
+    pub fn sorted_group_by_key(&self) -> Result<Dataset> {
+        self.ctx.record_logical_op();
+        let sources = self.sorted_sources("sorted_group_by_key (sort)", None)?;
+        let part = Dataset::sample_partitioner(sources.iter(), self.ctx.partitions());
+        let dest = self.sorted_shuffle(sources, &part, "sorted_group_by_key (range scatter)")?;
+        let group_fn: PartFn = Arc::new(|bucket: &[Value]| {
+            let mut out: Vec<Value> = Vec::new();
+            Dataset::for_each_key_run(bucket, |k, vs| {
+                out.push(Value::pair(k, Value::bag(vs)));
+                Ok(())
+            })?;
+            Ok(out)
+        });
+        Ok(self.post_shuffle(dest, group_fn, "sorted_group_by_key (merge-group, range)"))
+    }
+
+    /// Scans a key-sorted bucket as `(key, value-run)` groups, calling
+    /// `emit` once per distinct key with the values in bucket order —
+    /// the one state machine behind every sorted post-shuffle stage.
+    fn for_each_key_run(
+        rows: &[Value],
+        mut emit: impl FnMut(Value, Vec<Value>) -> Result<()>,
+    ) -> Result<()> {
+        let mut i = 0usize;
+        while i < rows.len() {
+            let (k, _) = key_value(&rows[i])?;
+            let mut vs = Vec::new();
+            Dataset::take_key_run(rows, &mut i, &k, &mut vs)?;
+            emit(k, vs)?;
+        }
+        Ok(())
+    }
+
+    /// Advances `rows[*i]` past every pair whose key equals `key`,
+    /// collecting the values — one group of a merge-join scan.
+    fn take_key_run(
+        rows: &[Value],
+        i: &mut usize,
+        key: &Value,
+        out: &mut Vec<Value>,
+    ) -> Result<()> {
+        while *i < rows.len() {
+            let (k, v) = key_value(&rows[*i])?;
+            if k != *key {
+                break;
+            }
+            out.push(v);
+            *i += 1;
+        }
+        Ok(())
+    }
+
+    /// The smaller of the two cursors' keys — the next key a merge-join
+    /// scan over two key-sorted sides emits.
+    fn next_merge_key(l: Option<&Value>, r: Option<&Value>) -> Result<Value> {
+        match (l, r) {
+            (Some(a), Some(b)) => {
+                let (ka, kb) = (pair_key(a), pair_key(b));
+                Ok(if ka <= kb { ka.clone() } else { kb.clone() })
+            }
+            (Some(a), None) => Ok(pair_key(a).clone()),
+            (None, Some(b)) => Ok(pair_key(b).clone()),
+            (None, None) => Err(RuntimeError::new("merge-join scan past both sides")),
+        }
+    }
+
+    /// Sort-based `cogroup`: same `(key, (left-bag, right-bag))` rows as
+    /// [`Dataset::cogroup`] (bags included, value-for-value), emitted in
+    /// global key order. Both sides range-scatter with **one shared**
+    /// sampled partitioner so their buckets align; the grouping stage is
+    /// a lazy merge-join over the two key-sorted sides.
+    pub fn sorted_cogroup(&self, other: &Dataset) -> Result<Dataset> {
+        self.ctx.record_logical_op();
+        let left = self.sorted_sources("sorted_cogroup (sort left)", None)?;
+        let right = other.sorted_sources("sorted_cogroup (sort right)", None)?;
+        let part =
+            Dataset::sample_partitioner(left.iter().chain(right.iter()), self.ctx.partitions());
+        let ldest = self.sorted_shuffle(left, &part, "sorted_cogroup (range scatter left)")?;
+        let rdest = self.sorted_shuffle(right, &part, "sorted_cogroup (range scatter right)")?;
+        let co_fn: PartFn = Arc::new(|part: &[Value]| {
+            let (l, r) = Dataset::unzip_bucket(part)?;
+            let mut out: Vec<Value> = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < l.len() || j < r.len() {
+                let k = Dataset::next_merge_key(l.get(i), r.get(j))?;
+                let mut lv = Vec::new();
+                Dataset::take_key_run(l, &mut i, &k, &mut lv)?;
+                let mut rv = Vec::new();
+                Dataset::take_key_run(r, &mut j, &k, &mut rv)?;
+                out.push(Value::pair(k, Value::pair(Value::bag(lv), Value::bag(rv))));
+            }
+            Ok(out)
+        });
+        Ok(self.post_shuffle(
+            Dataset::zip_buckets(ldest, rdest),
+            co_fn,
+            "sorted_cogroup (merge-join, range)",
+        ))
+    }
+
+    /// Sort-based array merge `self ⊳ updates`: the same per-key slot
+    /// values as [`Dataset::merge`] (replace on `None`, fold with `f` on
+    /// `Some` — duplicate update keys folded in emission order), emitted
+    /// in global key order via a merge-join over the two key-sorted,
+    /// range-aligned sides.
+    pub fn sorted_merge<F>(&self, updates: &Dataset, combine: Option<F>) -> Result<Dataset>
+    where
+        F: Fn(&Value, &Value) -> Result<Value> + Send + Sync + 'static,
+    {
+        self.ctx.record_logical_op();
+        let old = self.sorted_sources("sorted merge ⊳ (sort old)", None)?;
+        let new = updates.sorted_sources("sorted merge ⊳ (sort updates)", None)?;
+        let part = Dataset::sample_partitioner(old.iter().chain(new.iter()), self.ctx.partitions());
+        let odest = self.sorted_shuffle(old, &part, "sorted merge ⊳ (range scatter old)")?;
+        let ndest = self.sorted_shuffle(new, &part, "sorted merge ⊳ (range scatter updates)")?;
+        let merge_fn: PartFn = Arc::new(move |part: &[Value]| {
+            let (olds, news) = Dataset::unzip_bucket(part)?;
+            let mut out: Vec<Value> = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < olds.len() || j < news.len() {
+                let k = Dataset::next_merge_key(olds.get(i), news.get(j))?;
+                let mut ov = Vec::new();
+                Dataset::take_key_run(olds, &mut i, &k, &mut ov)?;
+                // Old side: arrays have unique keys; keep the last if not.
+                let mut slot = ov.pop();
+                let mut nv = Vec::new();
+                Dataset::take_key_run(news, &mut j, &k, &mut nv)?;
+                for v in nv {
+                    slot = Some(match (&slot, &combine) {
+                        (Some(cur), Some(f)) => f(cur, &v)?,
+                        _ => v,
+                    });
+                }
+                out.push(Value::pair(k, slot.expect("at least one side")));
+            }
+            Ok(out)
+        });
+        Ok(self.post_shuffle(
+            Dataset::zip_buckets(odest, ndest),
+            merge_fn,
+            "sorted merge ⊳ (merge-join slots, range)",
         ))
     }
 

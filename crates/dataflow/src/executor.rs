@@ -26,7 +26,7 @@
 
 use std::sync::Arc;
 
-use diablo_runtime::Value;
+use diablo_runtime::{RuntimeError, Value};
 
 use crate::exchange::{Exchange, ExchangeWriter, HashPartitioner, Partitioner};
 use crate::plan::{self, ChunkPolicy, DriveMode, PartitionRows, Parts, PlanOp, Result};
@@ -76,6 +76,10 @@ pub struct Capabilities {
     /// Re-chunks stage work adaptively at stage boundaries (splits skewed
     /// partitions, coalesces tiny ones) without changing recorded results.
     pub adaptive_chunking: bool,
+    /// Supports key-ordered (sort-based) exchanges: range-scattered
+    /// buckets whose pre-sorted chunks and spill runs merge back by key,
+    /// so sorted keyed operators emit globally key-ordered output.
+    pub ordered_exchange: bool,
 }
 
 /// A pluggable execution backend for the [`PlanOp`] DAG.
@@ -158,6 +162,51 @@ pub trait Executor: Send + Sync {
         ex.finish(ctx)
     }
 
+    /// The sort-based shuffle primitive: streams already key-sorted
+    /// source partitions through a **key-ordered** [`Exchange`] (same
+    /// budget rules as [`Executor::exchange`]; chunks past the budget
+    /// spill as sorted runs and are merged straight from disk), scattered
+    /// with `partitioner` — a [`RangePartitioner`](crate::RangePartitioner)
+    /// keeps ordered keys in contiguous buckets, so the merged buckets
+    /// concatenate into globally key-ordered output. Only backends whose
+    /// [`Capabilities::ordered_exchange`] is set support it; the default
+    /// implementation (used by all three built-ins) errors otherwise.
+    fn exchange_sorted(
+        &self,
+        ctx: &Context,
+        sources: Vec<Vec<Value>>,
+        label: &str,
+        partitioner: &dyn Partitioner,
+    ) -> Result<Vec<Vec<Value>>> {
+        if !self.capabilities().ordered_exchange {
+            return Err(RuntimeError::new(format!(
+                "backend `{}` does not support key-ordered exchanges ({label})",
+                self.name()
+            )));
+        }
+        let p = ctx.partitions();
+        let ex = Exchange::new_ordered(p, self.exchange_budget(ctx));
+        // Scatter sources in parallel like every other exchange: writers
+        // are independent, chunks are tagged (source, sequence), and the
+        // ordered merge breaks key ties by that tag, so the result is
+        // independent of worker interleaving. Each task owns exactly its
+        // source partition (taken out of the slot), so rows move into the
+        // sink without a clone.
+        let slots: Vec<std::sync::Mutex<Vec<Value>>> =
+            sources.into_iter().map(std::sync::Mutex::new).collect();
+        crate::pool::run_stage(ctx.workers(), &slots, |src, slot| {
+            let rows = std::mem::take(&mut *slot.lock().expect("source slot"));
+            let mut writer = ex.writer(src);
+            for row in rows {
+                let bucket = partitioner.partition(crate::exchange::pair_key(&row), p)?;
+                writer.emit(bucket, row)?;
+            }
+            writer.close()?;
+            Ok(())
+        })?;
+        ex.finish(ctx)
+    }
+
     /// The memory budget this backend's exchanges buffer rows under. The
     /// default honours the context's budget ([`Context::memory_budget`],
     /// `DIABLO_MEMORY_BUDGET`); `None` means unbounded.
@@ -183,6 +232,7 @@ impl Executor for LocalExecutor {
             union_in_place: true,
             spilling_exchange: false,
             adaptive_chunking: false,
+            ordered_exchange: true,
         }
     }
 
@@ -269,6 +319,7 @@ impl Executor for TileExecutor {
             union_in_place: true,
             spilling_exchange: false,
             adaptive_chunking: false,
+            ordered_exchange: true,
         }
     }
 
@@ -348,6 +399,7 @@ impl Executor for SpillExecutor {
             union_in_place: true,
             spilling_exchange: true,
             adaptive_chunking: true,
+            ordered_exchange: true,
         }
     }
 
@@ -429,6 +481,13 @@ mod tests {
         assert!(!LocalExecutor.capabilities().spilling_exchange);
         let spill = SpillExecutor::default().capabilities();
         assert!(spill.spilling_exchange && spill.adaptive_chunking);
+        for name in BACKEND_NAMES {
+            let exec = executor_named(name).unwrap();
+            assert!(
+                exec.capabilities().ordered_exchange,
+                "every built-in honours the ordered capability: {name}"
+            );
+        }
     }
 
     #[test]

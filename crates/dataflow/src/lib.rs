@@ -29,6 +29,14 @@
 //!   budget ([`Context::with_memory_budget`], `DIABLO_MEMORY_BUDGET`) —
 //!   buckets past the budget spill to sorted run files and merge-read
 //!   back in source order, byte-identical to the in-memory exchange;
+//! * the **sort-based shuffle path** (`Dataset::sorted_reduce_by_key`,
+//!   `sorted_group_by_key`, `sorted_merge`, `sorted_cogroup`; routed
+//!   under the plain keyed operators by [`Context::with_ordered`],
+//!   `DIABLO_ORDERED`, or `diabloc --ordered`) samples keys, scatters
+//!   through a [`RangePartitioner`] into a **key-ordered** exchange
+//!   whose pre-sorted chunks — spilled runs included — merge back by
+//!   key, and emits globally key-ordered output holding exactly the
+//!   hash path's row multiset;
 //! * at every **materialization point** — a shuffle (`group_by_key`,
 //!   `reduce_by_key`, `cogroup`, `join`, the array-merge `⊳`), `collect`,
 //!   `reduce`, or `broadcast` — the executor **fuses** the pending narrow
@@ -79,7 +87,7 @@ pub use executor::{
 pub use plan::{PartitionRows, Parts};
 pub use stats::{Stats, StatsSnapshot};
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use diablo_runtime::Value;
@@ -103,6 +111,8 @@ struct ContextInner {
     stmt_label: Mutex<Option<Arc<str>>>,
     /// Exchange memory budget in bytes; `u64::MAX` means unbounded.
     memory_budget: AtomicU64,
+    /// Route keyed operators through the sort-based shuffle path.
+    ordered: AtomicBool,
 }
 
 impl Context {
@@ -124,6 +134,7 @@ impl Context {
                 executor: Mutex::new(executor::executor_from_env()),
                 stmt_label: Mutex::new(None),
                 memory_budget: AtomicU64::new(memory_budget_from_env()),
+                ordered: AtomicBool::new(ordered_from_env()),
             }),
         }
     }
@@ -192,6 +203,28 @@ impl Context {
             u64::MAX => None,
             b => Some(b),
         }
+    }
+
+    /// Routes the keyed operators (`reduce_by_key`, `group_by_key`,
+    /// `merge`, `cogroup` — and `join`, which builds on `cogroup`)
+    /// through the **sort-based shuffle path** (builder style): keys are
+    /// sampled, rows range-scattered so ordered keys stay in contiguous
+    /// buckets, and every output is globally key-sorted. Same rows as the
+    /// hash path, in key order instead of arrival order. Defaults to the
+    /// `DIABLO_ORDERED` environment variable, else off.
+    pub fn with_ordered(self, on: bool) -> Context {
+        self.set_ordered(on);
+        self
+    }
+
+    /// Sets (or clears) the sort-based keyed-operator routing in place.
+    pub fn set_ordered(&self, on: bool) {
+        self.inner.ordered.store(on, Ordering::Relaxed);
+    }
+
+    /// True when keyed operators route through the sort-based shuffle.
+    pub fn ordered(&self) -> bool {
+        self.inner.ordered.load(Ordering::Relaxed)
     }
 
     /// Sets (or clears) the source-statement label attached to plan nodes
@@ -286,6 +319,20 @@ fn memory_budget_from_env() -> u64 {
             .parse()
             .unwrap_or_else(|_| panic!("DIABLO_MEMORY_BUDGET={s}: not a byte count")),
         Err(_) => u64::MAX,
+    }
+}
+
+/// Whether `DIABLO_ORDERED` asks for sort-based keyed operators (`1`,
+/// `true`, `yes`, case-insensitive). Panics on other values so a typo in
+/// a CI job fails loudly instead of silently testing the hash path.
+fn ordered_from_env() -> bool {
+    match std::env::var("DIABLO_ORDERED") {
+        Ok(s) => match s.to_ascii_lowercase().as_str() {
+            "1" | "true" | "yes" => true,
+            "0" | "false" | "no" | "" => false,
+            _ => panic!("DIABLO_ORDERED={s}: expected 1/0, true/false, or yes/no"),
+        },
+        Err(_) => false,
     }
 }
 

@@ -27,6 +27,7 @@ pub struct Stats {
     logical_ops: AtomicU64,
     physical_stages: AtomicU64,
     shuffles: AtomicU64,
+    sorted_shuffles: AtomicU64,
     shuffled_records: AtomicU64,
     shuffled_bytes: AtomicU64,
     spilled_records: AtomicU64,
@@ -51,6 +52,10 @@ impl Stats {
         self.shuffled_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_sorted_shuffle(&self) {
+        self.sorted_shuffles.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_spill(&self, records: u64, bytes: u64, files: u64) {
         self.spilled_records.fetch_add(records, Ordering::Relaxed);
         self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -68,6 +73,7 @@ impl Stats {
             stages: self.logical_ops.load(Ordering::Relaxed),
             physical_stages: self.physical_stages.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
+            sorted_shuffles: self.sorted_shuffles.load(Ordering::Relaxed),
             shuffled_records: self.shuffled_records.load(Ordering::Relaxed),
             shuffled_bytes: self.shuffled_bytes.load(Ordering::Relaxed),
             spilled_records: self.spilled_records.load(Ordering::Relaxed),
@@ -83,6 +89,7 @@ impl Stats {
         self.logical_ops.store(0, Ordering::Relaxed);
         self.physical_stages.store(0, Ordering::Relaxed);
         self.shuffles.store(0, Ordering::Relaxed);
+        self.sorted_shuffles.store(0, Ordering::Relaxed);
         self.shuffled_records.store(0, Ordering::Relaxed);
         self.shuffled_bytes.store(0, Ordering::Relaxed);
         self.spilled_records.store(0, Ordering::Relaxed);
@@ -105,6 +112,9 @@ pub struct StatsSnapshot {
     pub physical_stages: u64,
     /// Number of shuffle exchanges.
     pub shuffles: u64,
+    /// Number of those exchanges that were key-ordered (sort-based
+    /// shuffles whose buckets merge back globally key-sorted).
+    pub sorted_shuffles: u64,
     /// Total rows moved across partitions by shuffles.
     pub shuffled_records: u64,
     /// Estimated bytes moved by shuffles.
@@ -129,6 +139,7 @@ impl StatsSnapshot {
             stages: self.stages - earlier.stages,
             physical_stages: self.physical_stages - earlier.physical_stages,
             shuffles: self.shuffles - earlier.shuffles,
+            sorted_shuffles: self.sorted_shuffles - earlier.sorted_shuffles,
             shuffled_records: self.shuffled_records - earlier.shuffled_records,
             shuffled_bytes: self.shuffled_bytes - earlier.shuffled_bytes,
             spilled_records: self.spilled_records - earlier.spilled_records,
@@ -152,12 +163,14 @@ mod tests {
         s.record_physical_stage();
         s.record_shuffle(100, 800);
         s.record_shuffle(50, 400);
+        s.record_sorted_shuffle();
         s.record_spill(40, 320, 2);
         s.record_broadcast(7);
         let snap = s.snapshot();
         assert_eq!(snap.stages, 1);
         assert_eq!(snap.physical_stages, 2);
         assert_eq!(snap.shuffles, 2);
+        assert_eq!(snap.sorted_shuffles, 1);
         assert_eq!(snap.shuffled_records, 150);
         assert_eq!(snap.shuffled_bytes, 1200);
         assert_eq!(snap.spilled_records, 40);

@@ -9,6 +9,7 @@
 //! diabloc run --explain <program.dbl> ...   # same as `explain`
 //! diabloc run --backend spill <program.dbl> # pick the execution backend
 //! diabloc run --workers 8 --partitions 32 --memory-budget 1048576 ...
+//! diabloc run --ordered <program.dbl>       # sort-based (key-ordered) shuffles
 //! ```
 //!
 //! Engine flags (for `run` and `explain` only):
@@ -23,6 +24,9 @@
 //! * `--memory-budget BYTES` caps the bytes a shuffle buffers in memory;
 //!   buckets past the budget spill to sorted run files (equivalent to
 //!   `DIABLO_MEMORY_BUDGET`).
+//! * `--ordered` routes keyed operators through the sort-based shuffle
+//!   path (equivalent to `DIABLO_ORDERED=1`): outputs are globally
+//!   key-ordered — same rows as the hash path, in key order.
 //!
 //! Bindings are `name=value` for scalars (`n=100`, `a=0.5`, `x=hello`) and
 //! `name=@file.csv` for collections. A collection CSV has one element per
@@ -71,14 +75,20 @@ struct EngineFlags {
     workers: Option<usize>,
     partitions: Option<usize>,
     memory_budget: Option<u64>,
+    ordered: bool,
 }
 
 impl EngineFlags {
-    /// Pulls `--backend`, `--workers`, `--partitions`, and
-    /// `--memory-budget` (each as `--flag value` or `--flag=value`) out
-    /// of the argument list.
+    /// Pulls `--backend`, `--workers`, `--partitions`, `--memory-budget`
+    /// (each as `--flag value` or `--flag=value`), and the bare
+    /// `--ordered` out of the argument list.
     fn extract(args: &mut Vec<String>) -> Result<EngineFlags, String> {
         let mut flags = EngineFlags::default();
+        args.retain(|a| {
+            let hit = a == "--ordered";
+            flags.ordered |= hit;
+            !hit
+        });
         let mut i = 0;
         while i < args.len() {
             let arg = args[i].clone();
@@ -122,6 +132,7 @@ impl EngineFlags {
             || self.workers.is_some()
             || self.partitions.is_some()
             || self.memory_budget.is_some()
+            || self.ordered
     }
 
     /// Builds the engine context these flags describe.
@@ -129,6 +140,9 @@ impl EngineFlags {
         let ctx = Context::sized(self.workers, self.partitions);
         if let Some(budget) = self.memory_budget {
             ctx.set_memory_budget(Some(budget));
+        }
+        if self.ordered {
+            ctx.set_ordered(true);
         }
         match &self.backend {
             None => Ok(ctx),
@@ -167,7 +181,7 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     };
     if engine.any() && !matches!(cmd, "run" | "explain") {
         return Err(format!(
-            "--backend/--workers/--partitions/--memory-budget only apply to `run` and `explain`, not `{cmd}`"
+            "--backend/--workers/--partitions/--memory-budget/--ordered only apply to `run` and `explain`, not `{cmd}`"
         ));
     }
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -242,7 +256,7 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill>] [--workers N] [--partitions N] [--memory-budget BYTES] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill>] [--workers N] [--partitions N] [--memory-budget BYTES] [--ordered] <program.dbl> [name=value | name=@rows.csv ...]";
 
 /// Binds a small synthesized value for every input the user did not bind,
 /// so `explain` works on any program without data files.

@@ -237,6 +237,71 @@ fn backend_flag_selects_executor_and_outputs_match() {
 }
 
 #[test]
+fn ordered_flag_runs_sorted_shuffles() {
+    let p = write_temp(
+        "wc_ordered.dbl",
+        "input words: vector[string];
+         var C: map[string, long] = map();
+         for w in words do C[w] += 1;",
+    );
+    let csv = write_temp("wc_ordered.csv", "0,b\n1,a\n2,c\n3,a\n4,b\n5,a\n");
+    let run = |args: &[&str]| {
+        let mut cmd = diabloc();
+        for a in args {
+            cmd.arg(a);
+        }
+        let out = cmd
+            .arg(&p)
+            .arg(format!("words=@{}", csv.display()))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    // Same rows either way — the ordered run just emits them key-sorted.
+    let plain = run(&["run"]);
+    let ordered = run(&["run", "--ordered"]);
+    let sorted_lines = |s: &str| {
+        let mut v: Vec<&str> = s.lines().collect();
+        v.sort();
+        v.join("\n")
+    };
+    assert_eq!(
+        sorted_lines(&plain),
+        sorted_lines(&ordered),
+        "--ordered must not change the result multiset"
+    );
+    // The ordered explain shows the range-partitioned sorted exchange.
+    let out = diabloc()
+        .arg("explain")
+        .arg("--ordered")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sorted"), "{text}");
+    assert!(text.contains("range partitioner"), "{text}");
+    // Rejected for commands that run no engine, like the other flags.
+    let out = diabloc()
+        .arg("check")
+        .arg("--ordered")
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("only apply to `run` and `explain`"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn backend_flag_rejects_unknown_names_and_wrong_commands() {
     let p = write_temp("backend_err.dbl", "var k: long = 0;");
     let out = diabloc()

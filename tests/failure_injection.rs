@@ -1,12 +1,14 @@
 //! Failure-path tests: bad programs, bad inputs, and runtime faults must
 //! surface as errors (never panics), on both execution paths.
 
+use std::sync::Arc;
+
 use diablo_core::compile;
-use diablo_dataflow::Context;
+use diablo_dataflow::{Context, Executor, LocalExecutor, SpillExecutor, TileExecutor};
 use diablo_exec::Session;
 use diablo_interp::Interpreter;
 use diablo_lang::{parse, typecheck};
-use diablo_runtime::Value;
+use diablo_runtime::{BinOp, RuntimeError, Value};
 
 fn vec_rows(entries: &[(i64, i64)]) -> Vec<Value> {
     entries
@@ -150,6 +152,146 @@ fn while_loop_that_never_runs() {
     let mut session = Session::new(Context::new(1, 1));
     session.run(&compiled).unwrap();
     assert_eq!(session.scalar("body_ran"), Some(Value::Long(0)));
+}
+
+/// The three built-in backends (tile with a tiny batch so tile replay
+/// paths run; spill with a zero fallback budget so every exchanged chunk
+/// goes through disk runs).
+fn sorted_failure_backends() -> Vec<Arc<dyn Executor>> {
+    vec![
+        Arc::new(LocalExecutor),
+        Arc::new(TileExecutor::new(4)),
+        Arc::new(SpillExecutor::new(0)),
+    ]
+}
+
+#[test]
+fn sorted_path_surfaces_the_hash_paths_error_mid_sort() {
+    // A UDF that fails inside the fused chain feeding the keyed operator
+    // (the sort side of the sorted path) must surface the identical first
+    // error — message and statement tag — as the hash path's scatter, on
+    // every backend.
+    for exec in sorted_failure_backends() {
+        let name = exec.name();
+        let run = |sorted: bool| -> RuntimeError {
+            let ctx = Context::new(3, 6).with_executor(exec.clone());
+            ctx.set_memory_budget(None);
+            ctx.set_statement_label(Some("s4: C := poisoned map"));
+            let d = ctx
+                .from_vec((0..300).map(Value::Long).collect())
+                .map(|v| {
+                    if v.as_long() == Some(137) {
+                        Err(RuntimeError::new("boom mid-sort"))
+                    } else {
+                        Ok(Value::pair(v.clone(), Value::Long(1)))
+                    }
+                })
+                .unwrap();
+            ctx.set_statement_label(None);
+            let keyed = if sorted {
+                d.sorted_reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+            } else {
+                d.reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+            };
+            keyed.unwrap_err()
+        };
+        let hash = run(false);
+        let sorted = run(true);
+        assert_eq!(
+            sorted.message, hash.message,
+            "backend `{name}`: sorted path changed the first error"
+        );
+        assert!(sorted.message.contains("boom mid-sort"), "{sorted}");
+        assert!(
+            sorted.message.contains("s4: C := poisoned map"),
+            "backend `{name}`: statement tag lost on the sorted path: {sorted}"
+        );
+    }
+}
+
+#[test]
+fn sorted_path_surfaces_the_hash_paths_error_mid_merge() {
+    // A combiner that fails during the post-shuffle reduction (the merge
+    // side of the sorted path). The poisoned key appears once per source
+    // partition, so neither path's map-side combine ever touches it — the
+    // failure happens only while merging the shuffled bucket — and both
+    // paths must report the same tagged error on every backend.
+    for exec in sorted_failure_backends() {
+        let name = exec.name();
+        let run = |sorted: bool| -> RuntimeError {
+            let ctx = Context::new(3, 6).with_executor(exec.clone());
+            ctx.set_memory_budget(None);
+            // 60 rows chunk into 6 partitions of 10; key 5 sits at one
+            // index per partition (i % 10 == 0 → key 5).
+            let rows: Vec<Value> = (0..60)
+                .map(|i| {
+                    if i % 10 == 0 {
+                        Value::pair(Value::Long(5), Value::Long(-1))
+                    } else {
+                        Value::pair(Value::Long(i % 7 + 100), Value::Long(i))
+                    }
+                })
+                .collect();
+            ctx.set_statement_label(Some("s9: C := poisoned combine"));
+            let d = ctx.from_vec(rows);
+            let combiner = |a: &Value, b: &Value| {
+                if a.as_long() == Some(-1) || b.as_long() == Some(-1) {
+                    Err(RuntimeError::new("boom mid-merge"))
+                } else {
+                    BinOp::Add.apply(a, b)
+                }
+            };
+            let keyed = if sorted {
+                d.sorted_reduce_by_key(combiner)
+            } else {
+                d.reduce_by_key(combiner)
+            }
+            .unwrap();
+            ctx.set_statement_label(None);
+            keyed.try_collect().unwrap_err()
+        };
+        let hash = run(false);
+        let sorted = run(true);
+        assert_eq!(
+            sorted.message, hash.message,
+            "backend `{name}`: sorted merge changed the first error"
+        );
+        assert!(sorted.message.contains("boom mid-merge"), "{sorted}");
+        assert!(
+            sorted.message.contains("s9: C := poisoned combine"),
+            "backend `{name}`: statement tag lost in the sorted merge: {sorted}"
+        );
+    }
+}
+
+#[test]
+fn sorted_shuffle_rejects_non_pair_rows_like_the_hash_scatter() {
+    // The ordered exchange's pair check fires in canonical row order, so
+    // the sorted path reports the same malformed-row error the hash
+    // scatter does.
+    for exec in sorted_failure_backends() {
+        let name = exec.name();
+        let run = |sorted: bool| -> RuntimeError {
+            let ctx = Context::new(2, 4).with_executor(exec.clone());
+            ctx.set_memory_budget(None);
+            let d = ctx.from_vec(vec![
+                Value::pair(Value::Long(1), Value::Long(10)),
+                Value::Long(99), // not a (key, value) pair
+            ]);
+            if sorted {
+                d.sorted_group_by_key().unwrap_err()
+            } else {
+                d.group_by_key().unwrap_err()
+            }
+        };
+        let hash = run(false);
+        let sorted = run(true);
+        assert_eq!(
+            sorted.message, hash.message,
+            "backend `{name}`: malformed-row errors diverged"
+        );
+        assert!(sorted.message.contains("pair"), "{sorted}");
+    }
 }
 
 #[test]
