@@ -6,6 +6,8 @@
 //! harness fig3a .. fig3l   # Figure 3 panels: DIABLO vs hand-written (vs Casper) across sizes
 //! harness tiles            # §5 ablation: sparse vs tiled matrix multiplication
 //! harness ordered          # hash vs sort-based (key-ordered) aggregation
+//! harness scaling          # morsel work-stealing vs static pool on skewed input
+//!                          #   [--mode morsel|baseline] [--check]
 //! harness all              # everything (used to fill EXPERIMENTS.md)
 //! harness --json <cmd>     # machine-readable: one JSON object per row,
 //!                          # each tagged with the execution backend
@@ -18,16 +20,17 @@
 //! records which backend produced every engine measurement plus its spill
 //! counters (`spilled_records`, `spilled_bytes`, `spill_files`).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use diablo_baselines::casper_like::casper_translate_with_budget;
-use diablo_baselines::mold_translate;
+use diablo_baselines::{handwritten, mold_translate};
 use diablo_bench::{
     compile_time, json_row, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs,
     time_once,
 };
-use diablo_dataflow::Context;
-use diablo_runtime::TiledMatrix;
+use diablo_dataflow::{Context, Dataset, LocalExecutor, MorselExecutor};
+use diablo_runtime::{BinOp, RuntimeError, TiledMatrix, Value};
 use diablo_workloads as wl;
 use diablo_workloads::Workload;
 
@@ -41,6 +44,14 @@ fn main() {
         "table2" => table2(json),
         "tiles" => tiles(json),
         "ordered" => ordered(json),
+        "scaling" => {
+            let check = args.iter().any(|a| a == "--check");
+            let mode = args
+                .windows(2)
+                .find(|w| w[0] == "--mode")
+                .map(|w| w[1].clone());
+            scaling(json, check, mode.as_deref());
+        }
         "all" => {
             table1(json);
             table2(json);
@@ -49,6 +60,7 @@ fn main() {
             }
             tiles(json);
             ordered(json);
+            scaling(json, false, None);
         }
         other if other.starts_with("fig3") => {
             let letter = other.trim_start_matches("fig3");
@@ -56,7 +68,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, all"
+                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, all"
             );
             std::process::exit(2);
         }
@@ -434,6 +446,446 @@ fn ordered(json: bool) {
     }
     if !json {
         println!();
+    }
+}
+
+// ----------------------------------------------------------------- scaling
+
+/// The scaling trajectory behind the morsel scheduler: skewed inputs
+/// (partition 0 holds ~55% of the rows) run at several worker counts under
+/// two scheduler modes — `morsel` (the work-stealing pool, splitting
+/// oversized partitions into morsels) and `baseline` (the retained static
+/// pool scheduling whole partitions, i.e. `DIABLO_SCHEDULER=static`).
+/// Wall-clock shows the real speedup only on a many-core host, so every
+/// row also reports `sched_speedup`: the load-balance bound
+/// Σ(stage cost) / Σ(stage critical path) that the *schedule itself*
+/// guarantees on any machine — that is what the `--check` gates assert
+/// (`host_cpus` records how trustworthy the wall column is).
+const SCALING_PARTS: usize = 16;
+
+/// splitmix64 — deterministic input generation without a rand crate.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Packs rows into [`SCALING_PARTS`] partitions with ~55% in partition 0 —
+/// the skew the static pool cannot balance (one worker owns the whole
+/// partition) but the morsel scheduler can (it splits it into morsels).
+fn skewed(rows: Vec<Value>) -> Vec<Vec<Value>> {
+    let head = rows.len() * 55 / 100;
+    let mut it = rows.into_iter();
+    let mut parts: Vec<Vec<Value>> = vec![it.by_ref().take(head).collect()];
+    let rest: Vec<Value> = it.collect();
+    let per = rest.len().div_ceil(SCALING_PARTS - 1).max(1);
+    let mut rest = rest.into_iter();
+    for _ in 1..SCALING_PARTS {
+        parts.push(rest.by_ref().take(per).collect());
+    }
+    parts
+}
+
+fn scaling_workers() -> Vec<usize> {
+    let all = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut ws = vec![1, 2, 4, all];
+    ws.sort_unstable();
+    ws.dedup();
+    ws
+}
+
+/// An 8-operator fused chain over longs: compiles to a single splittable
+/// narrow stage, the best case for morsel balancing.
+fn scaling_fusion(d: &Dataset) {
+    let mut out = d.clone();
+    for step in 0..8u64 {
+        out = out
+            .map(move |v| {
+                let x = v
+                    .as_long()
+                    .ok_or_else(|| RuntimeError::new("expected a long"))?
+                    as u64;
+                let mixed = (x ^ (x >> 13)).wrapping_mul(0x9e37_79b9_7f4a_7c15 ^ step);
+                Ok(Value::Long((mixed >> 1) as i64))
+            })
+            .expect("map");
+    }
+    assert!(!out.collect().is_empty());
+}
+
+/// A deliberately small vocabulary (no stem ends in `e`, so stemming is
+/// exact): per-document combining then collapses each document to ≤10
+/// counted pairs, keeping the shuffle light — the stage under test is the
+/// splittable normalization pass, not the reduction.
+const WC_STEMS: &[&str] = &[
+    "market", "signal", "stream", "worker", "morsel", "vector", "kernel", "buffer", "column",
+    "record",
+];
+
+/// Documents of 250 space-separated tokens: a stem from [`WC_STEMS`] plus
+/// an inflection, sometimes capitalized so normalization has real work.
+fn wc_docs(n: usize) -> Vec<Value> {
+    let mut rng = SplitMix(11);
+    const SUFFIXES: [&str; 4] = ["", "s", "ed", "ing"];
+    (0..n)
+        .map(|_| {
+            let mut doc = String::with_capacity(2560);
+            for t in 0..250 {
+                if t > 0 {
+                    doc.push(' ');
+                }
+                let stem = WC_STEMS[rng.below(WC_STEMS.len())];
+                if rng.below(4) == 0 {
+                    let mut chars = stem.chars();
+                    let first = chars.next().unwrap().to_ascii_uppercase();
+                    doc.push(first);
+                    doc.push_str(chars.as_str());
+                } else {
+                    doc.push_str(stem);
+                }
+                doc.push_str(SUFFIXES[rng.below(4)]);
+            }
+            Value::str(doc)
+        })
+        .collect()
+}
+
+fn wc_stem(word: &str) -> &str {
+    for suf in ["ing", "ed", "es", "s"] {
+        if word.len() > suf.len() + 2 {
+            if let Some(base) = word.strip_suffix(suf) {
+                return base;
+            }
+        }
+    }
+    word
+}
+
+/// Word count with per-document normalization (lowercase + stemming) and
+/// in-mapper combining: the heavy tokenize stage is narrow and splittable
+/// (it runs as morsels), the residual shuffle moves only the combined
+/// per-document counts.
+fn scaling_word_count(d: &Dataset) {
+    let counted = d
+        .flat_map(|doc| {
+            let text = doc
+                .as_str()
+                .ok_or_else(|| RuntimeError::new("expected a document string"))?;
+            let mut counts: std::collections::BTreeMap<String, i64> = Default::default();
+            for tok in text.split_whitespace() {
+                let lower = tok.to_lowercase();
+                *counts.entry(wc_stem(&lower).to_string()).or_insert(0) += 1;
+            }
+            Ok(counts
+                .into_iter()
+                .map(|(w, c)| Value::pair(Value::str(w), Value::Long(c)))
+                .collect())
+        })
+        .expect("tokenize")
+        .materialize()
+        .expect("materialize")
+        .reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+        .expect("count")
+        .collect();
+    assert!(!counted.is_empty());
+}
+
+const KM_DIM: usize = 8;
+const KM_K: usize = 64;
+const KM_BLOCK: usize = 512;
+
+fn km_centroids() -> Vec<[f64; KM_DIM]> {
+    let mut rng = SplitMix(7);
+    (0..KM_K)
+        .map(|_| std::array::from_fn(|_| rng.below(1000) as f64 / 1000.0))
+        .collect()
+}
+
+/// Blocks of [`KM_BLOCK`] 8-dimensional points.
+fn km_blocks(blocks: usize) -> Vec<Value> {
+    let mut rng = SplitMix(13);
+    (0..blocks)
+        .map(|_| {
+            Value::bag(
+                (0..KM_BLOCK)
+                    .map(|_| {
+                        Value::tuple(
+                            (0..KM_DIM)
+                                .map(|_| Value::Double(rng.below(1000) as f64 / 1000.0))
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// One k-means step (assign + partial sums): the nearest-centroid search
+/// (64 centroids × 8 dims per point) runs in the narrow splittable stage
+/// with block-local aggregation; the shuffle carries at most `KM_K`
+/// partial sums per block.
+fn scaling_kmeans(d: &Dataset) {
+    let cents = km_centroids();
+    let new_centroids = d
+        .flat_map(move |block| {
+            let pts = block
+                .as_bag()
+                .ok_or_else(|| RuntimeError::new("expected a bag of points"))?;
+            let mut acc = vec![[0.0f64; KM_DIM + 1]; KM_K];
+            for p in pts {
+                let t = p
+                    .as_tuple()
+                    .ok_or_else(|| RuntimeError::new("expected a point tuple"))?;
+                let mut x = [0.0f64; KM_DIM];
+                for (i, xi) in x.iter_mut().enumerate() {
+                    *xi = t[i]
+                        .as_double()
+                        .ok_or_else(|| RuntimeError::new("expected a coordinate"))?;
+                }
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (k, c) in cents.iter().enumerate() {
+                    let mut s = 0.0;
+                    for i in 0..KM_DIM {
+                        let dx = x[i] - c[i];
+                        s += dx * dx;
+                    }
+                    if s < best_d {
+                        best_d = s;
+                        best = k;
+                    }
+                }
+                for i in 0..KM_DIM {
+                    acc[best][i] += x[i];
+                }
+                acc[best][KM_DIM] += 1.0;
+            }
+            Ok(acc
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a[KM_DIM] > 0.0)
+                .map(|(k, a)| {
+                    Value::pair(
+                        Value::Long(k as i64),
+                        Value::tuple(a.iter().map(|&f| Value::Double(f)).collect()),
+                    )
+                })
+                .collect())
+        })
+        .expect("assign")
+        .materialize()
+        .expect("materialize")
+        .reduce_by_key(|a, b| {
+            let (x, y) = (a.as_tuple().unwrap(), b.as_tuple().unwrap());
+            Ok(Value::tuple(
+                x.iter()
+                    .zip(y.iter())
+                    .map(|(p, q)| Value::Double(p.as_double().unwrap() + q.as_double().unwrap()))
+                    .collect(),
+            ))
+        })
+        .expect("recenter")
+        .collect();
+    assert!(new_centroids.len() <= KM_K);
+}
+
+const PR_VERTICES: usize = 20_000;
+
+/// Matrix-shaped edges `((i, j), 1)`; every vertex gets one guaranteed
+/// out-edge so no rank mass is stranded.
+fn pr_edges(extra: usize) -> Vec<Value> {
+    let mut rng = SplitMix(17);
+    let edge = |i: usize, j: usize| {
+        Value::pair(
+            Value::tuple(vec![Value::Long(i as i64), Value::Long(j as i64)]),
+            Value::Long(1),
+        )
+    };
+    let mut rows: Vec<Value> = (0..PR_VERTICES)
+        .map(|i| edge(i, (i + 1) % PR_VERTICES))
+        .collect();
+    rows.extend((0..extra).map(|_| edge(rng.below(PR_VERTICES), rng.below(PR_VERTICES))));
+    rows
+}
+
+fn scaling_pagerank(d: &Dataset) {
+    let ranks = handwritten::pagerank(d, PR_VERTICES as i64, 2).expect("pagerank");
+    assert!(!ranks.collect().is_empty());
+}
+
+type ScalingRunner = fn(&Dataset);
+type ScalingWorkload = (&'static str, Option<usize>, Vec<Vec<Value>>, ScalingRunner);
+
+fn scaling(json: bool, check: bool, mode_filter: Option<&str>) {
+    if !json {
+        println!("== Scaling: morsel work-stealing vs static pool on skewed input ============");
+        println!(
+            "{:<14} {:>9} {:>8} {:>10} {:>14} {:>9} {:>8}",
+            "workload", "mode", "workers", "secs", "sched_speedup", "morsels", "steals"
+        );
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // (name, morsel rows override, skewed input, pipeline). Morsel sizes
+    // follow row weight: documents and point blocks are ~100–256× heavier
+    // than a long, so their morsels hold proportionally fewer rows.
+    let workloads: Vec<ScalingWorkload> = vec![
+        (
+            "fusion-chain",
+            None,
+            skewed((0..300_000).map(Value::Long).collect()),
+            scaling_fusion as ScalingRunner,
+        ),
+        (
+            "word-count",
+            Some(256),
+            skewed(wc_docs(16_000)),
+            scaling_word_count,
+        ),
+        (
+            "k-means",
+            Some(64),
+            skewed(km_blocks(2_000)),
+            scaling_kmeans,
+        ),
+        (
+            "page-rank",
+            None,
+            skewed(pr_edges(150_000)),
+            scaling_pagerank,
+        ),
+    ];
+    let mut measured: Vec<(String, String, usize, f64)> = Vec::new();
+    for (name, morsel_rows, parts, run) in &workloads {
+        for mode in ["morsel", "baseline"] {
+            if mode_filter.is_some_and(|m| m != mode) {
+                continue;
+            }
+            for &workers in &scaling_workers() {
+                let ctx = match mode {
+                    "morsel" => {
+                        let c = Context::new(workers, SCALING_PARTS)
+                            .with_executor(Arc::new(MorselExecutor));
+                        if let Some(rows) = morsel_rows {
+                            c.set_morsel_size(*rows);
+                        }
+                        c
+                    }
+                    _ => {
+                        let c = Context::new(workers, SCALING_PARTS)
+                            .with_executor(Arc::new(LocalExecutor));
+                        c.set_static_scheduler(true);
+                        c
+                    }
+                };
+                ctx.set_memory_budget(None);
+                let d = ctx.from_partitions(parts.clone());
+                // Two repetitions, keeping the faster wall and the higher
+                // load-balance bound: the bound is a property of the
+                // schedule, and an OS hiccup during a short stage can only
+                // depress the measured value, never inflate it.
+                let mut t = Duration::MAX;
+                let mut speedup = 1.0f64;
+                let mut stats = ctx.stats().snapshot();
+                for _ in 0..2 {
+                    let before = ctx.stats().snapshot();
+                    let (_, rep_t) = time_once(|| run(&d));
+                    let rep = ctx.stats().snapshot().since(&before);
+                    let rep_speedup = rep.sched_speedup().unwrap_or(1.0);
+                    t = t.min(rep_t);
+                    if rep_speedup >= speedup {
+                        speedup = rep_speedup;
+                        stats = rep;
+                    }
+                }
+                measured.push((name.to_string(), mode.to_string(), workers, speedup));
+                if json {
+                    println!(
+                        "{}",
+                        json_row(&[
+                            ("section", "scaling"),
+                            ("workload", name),
+                            ("backend", ctx.executor().name()),
+                            ("mode", mode),
+                            ("workers", &workers.to_string()),
+                            ("secs", &secs(t)),
+                            ("sched_speedup", &format!("{speedup:.2}")),
+                            ("morsels", &stats.morsels.to_string()),
+                            ("steals", &stats.steals.to_string()),
+                            ("max_queue_depth", &stats.max_queue_depth.to_string()),
+                            ("host_cpus", &host_cpus.to_string()),
+                        ])
+                    );
+                } else {
+                    println!(
+                        "{:<14} {:>9} {:>8} {:>10} {:>14.2} {:>9} {:>8}",
+                        name,
+                        mode,
+                        workers,
+                        secs(t),
+                        speedup,
+                        stats.morsels,
+                        stats.steals
+                    );
+                }
+            }
+        }
+    }
+    if !json {
+        println!();
+    }
+    if check {
+        scaling_check(&measured);
+    }
+}
+
+/// The gates CI holds the scheduler to, all on the 4-worker load-balance
+/// bound (`sched_speedup`) so they are meaningful on any host: the morsel
+/// scheduler must reach ≥2× on the fusion chain and ≥3× on word count and
+/// k-means, while the static pool — pinned under the same 55% skew — must
+/// stay below 2×.
+fn scaling_check(measured: &[(String, String, usize, f64)]) {
+    let get = |wl: &str, mode: &str| {
+        measured
+            .iter()
+            .find(|(w, m, k, _)| w == wl && m == mode && *k == 4)
+            .map(|(_, _, _, s)| *s)
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let gates: [(&str, &str, f64, bool); 5] = [
+        ("fusion-chain", "morsel", 2.0, true),
+        ("word-count", "morsel", 3.0, true),
+        ("k-means", "morsel", 3.0, true),
+        ("word-count", "baseline", 2.0, false),
+        ("k-means", "baseline", 2.0, false),
+    ];
+    for (wl, mode, bound, at_least) in gates {
+        let Some(s) = get(wl, mode) else { continue };
+        let ok = if at_least { s >= bound } else { s < bound };
+        if !ok {
+            let rel = if at_least { "≥" } else { "<" };
+            failures.push(format!(
+                "{wl}/{mode} @4 workers: sched_speedup {s:.2} (need {rel} {bound})"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("scaling --check: all gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("scaling --check FAILED: {f}");
+        }
+        std::process::exit(1);
     }
 }
 

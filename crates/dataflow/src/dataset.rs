@@ -85,6 +85,15 @@ impl Dataset {
         Dataset::from_materialized(ctx, parts)
     }
 
+    /// Builds a dataset from explicit pre-built partitions, preserving
+    /// their number and sizes exactly — the way to construct deliberately
+    /// skewed inputs for scheduler benchmarks and tests. The partition
+    /// list must not be empty (an empty *partition* is fine).
+    pub fn from_partitions(ctx: Context, parts: Vec<Vec<Value>>) -> Dataset {
+        assert!(!parts.is_empty(), "need at least one partition");
+        Dataset::from_materialized(ctx, parts)
+    }
+
     /// Builds the dataset `{lo, ..., hi}` of longs, range-partitioned.
     pub fn range(ctx: Context, lo: i64, hi: i64) -> Dataset {
         let p = ctx.partitions() as i64;
@@ -1021,7 +1030,7 @@ impl Dataset {
             a.len()
         ));
         let pairs: Vec<(&Vec<Value>, &Vec<Value>)> = a.iter().zip(b.iter()).collect();
-        let parts = run_stage(self.ctx.workers(), &pairs, |_, (x, y)| f(x, y))?;
+        let parts = run_stage(&self.ctx, &pairs, |_, (x, y)| f(x, y))?;
         Ok(Dataset::from_materialized(self.ctx.clone(), parts))
     }
 }

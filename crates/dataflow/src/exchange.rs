@@ -313,6 +313,7 @@ impl Exchange {
             pending_rows: 0,
             pending_bytes: 0,
             buckets: vec![Vec::new(); self.partitions],
+            staged: Vec::new(),
         }
     }
 
@@ -693,6 +694,14 @@ pub struct ExchangeWriter<'a> {
     pending_rows: usize,
     pending_bytes: u64,
     buckets: Vec<Vec<Value>>,
+    /// Chunks staged writer-locally on unbounded exchanges (no spill
+    /// checks needed there): flushes append here instead of taking the
+    /// shared sink lock, and [`close`](ExchangeWriter::close) publishes
+    /// them all at once — one lock acquisition per writer per stage, so
+    /// concurrent scatter workers never contend on the sink. The chunk
+    /// tags `(bucket, source, sequence)` make the merge order independent
+    /// of which worker published first.
+    staged: Vec<Chunk>,
 }
 
 impl ExchangeWriter<'_> {
@@ -737,18 +746,41 @@ impl ExchangeWriter<'_> {
                 bucket.sort_by(|a, b| pair_key(a).cmp(pair_key(b)));
             }
         }
-        self.exchange
-            .accept(self.src, self.seq, &mut self.buckets, self.pending_bytes)?;
+        if self.exchange.budget.is_none() {
+            // Unbounded exchange: stage locally, publish once at close.
+            for (b, rows) in self.buckets.iter_mut().enumerate() {
+                if rows.is_empty() {
+                    continue;
+                }
+                self.staged.push(Chunk {
+                    bucket: b as u32,
+                    src: self.src,
+                    seq: self.seq,
+                    rows: std::mem::take(rows),
+                });
+            }
+        } else {
+            self.exchange
+                .accept(self.src, self.seq, &mut self.buckets, self.pending_bytes)?;
+        }
         self.seq += 1;
         self.pending_rows = 0;
         self.pending_bytes = 0;
         Ok(())
     }
 
-    /// Final flush. Dropping a writer without closing it discards its
-    /// un-flushed rows — which is exactly right on scatter error paths.
+    /// Final flush, plus the one-lock publish of any writer-staged
+    /// chunks. Dropping a writer without closing it discards its
+    /// un-published rows — which is exactly right on scatter error paths.
     pub fn close(mut self) -> Result<()> {
-        self.flush()
+        self.flush()?;
+        if !self.staged.is_empty() {
+            let rows: u64 = self.staged.iter().map(|c| c.rows.len() as u64).sum();
+            let mut state = self.exchange.state.lock().expect("exchange lock");
+            state.emitted_rows += rows;
+            state.chunks.append(&mut self.staged);
+        }
+        Ok(())
     }
 }
 

@@ -1,9 +1,11 @@
-//! The pluggable execution backend: the [`Executor`] trait plus the three
+//! The pluggable execution backend: the [`Executor`] trait plus the four
 //! built-in implementations, [`LocalExecutor`] (tuple-at-a-time, the
 //! default), [`TileExecutor`] (tile/batch-at-a-time, tuned for the §5
-//! tiled-matrix workloads whose rows carry dense tile payloads), and
+//! tiled-matrix workloads whose rows carry dense tile payloads),
 //! [`SpillExecutor`] (tuple-at-a-time with always-budgeted spilling
-//! exchanges and adaptive stage re-chunking, for inputs larger than RAM).
+//! exchanges and adaptive stage re-chunking, for inputs larger than RAM),
+//! and [`MorselExecutor`] (tuple-at-a-time with every narrow stage split
+//! into fixed-size morsels for the work-stealing pool).
 //!
 //! A [`Context`] owns one `Arc<dyn Executor>`; every [`Dataset`]
 //! materialization point routes through it, so a backend can be swapped
@@ -80,6 +82,10 @@ pub struct Capabilities {
     /// buckets whose pre-sorted chunks and spill runs merge back by key,
     /// so sorted keyed operators emit globally key-ordered output.
     pub ordered_exchange: bool,
+    /// Splits every oversized partition into fixed-size morsel spans
+    /// ([`Context::morsel_size`] rows) for the work-stealing pool,
+    /// regardless of skew, without changing recorded results.
+    pub morsel_scheduling: bool,
 }
 
 /// A pluggable execution backend for the [`PlanOp`] DAG.
@@ -194,7 +200,7 @@ pub trait Executor: Send + Sync {
         // sink without a clone.
         let slots: Vec<std::sync::Mutex<Vec<Value>>> =
             sources.into_iter().map(std::sync::Mutex::new).collect();
-        crate::pool::run_stage(ctx.workers(), &slots, |src, slot| {
+        crate::pool::run_stage(ctx, &slots, |src, slot| {
             let rows = std::mem::take(&mut *slot.lock().expect("source slot"));
             let mut writer = ex.writer(src);
             for row in rows {
@@ -233,6 +239,7 @@ impl Executor for LocalExecutor {
             spilling_exchange: false,
             adaptive_chunking: false,
             ordered_exchange: true,
+            morsel_scheduling: false,
         }
     }
 
@@ -320,6 +327,7 @@ impl Executor for TileExecutor {
             spilling_exchange: false,
             adaptive_chunking: false,
             ordered_exchange: true,
+            morsel_scheduling: false,
         }
     }
 
@@ -400,6 +408,7 @@ impl Executor for SpillExecutor {
             spilling_exchange: true,
             adaptive_chunking: true,
             ordered_exchange: true,
+            morsel_scheduling: false,
         }
     }
 
@@ -429,8 +438,59 @@ impl Executor for SpillExecutor {
     }
 }
 
+/// The morsel backend: tuple-at-a-time like [`LocalExecutor`], but every
+/// narrow stage is scheduled as fixed-size morsels
+/// ([`Context::morsel_size`] rows, default 16384) on the work-stealing
+/// pool — oversized and skewed partitions split automatically, idle
+/// workers steal the excess, and the outputs stitch back in canonical
+/// `(partition, span)` order, so results are byte-identical to
+/// [`LocalExecutor`] for every plan, worker count, and morsel size.
+/// Partition-atomic consumer stages (scatters with combiner state) are
+/// never split; runs of tiny partitions coalesce into shared items.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MorselExecutor;
+
+impl Executor for MorselExecutor {
+    fn name(&self) -> &'static str {
+        "morsel"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            vectorized: false,
+            fused_shuffle_read: true,
+            union_in_place: true,
+            spilling_exchange: false,
+            adaptive_chunking: true,
+            ordered_exchange: true,
+            morsel_scheduling: true,
+        }
+    }
+
+    fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
+        plan::materialize(ctx, &plan.op, DriveMode::Tuple, ChunkPolicy::Morsel)
+    }
+
+    fn consume(
+        &self,
+        ctx: &Context,
+        plan: &PhysicalPlan,
+        label: &str,
+        task: &PartitionTask<'_>,
+    ) -> Result<Vec<Vec<Vec<Value>>>> {
+        plan::consume(
+            ctx,
+            &plan.op,
+            label,
+            DriveMode::Tuple,
+            ChunkPolicy::Morsel,
+            task,
+        )
+    }
+}
+
 /// The valid backend names, in the order help/error messages list them.
-pub const BACKEND_NAMES: &[&str] = &["local", "tile", "spill"];
+pub const BACKEND_NAMES: &[&str] = &["local", "tile", "spill", "morsel"];
 
 /// Resolves a backend by name (see [`BACKEND_NAMES`]); `None` for unknown
 /// names.
@@ -439,6 +499,7 @@ pub fn executor_named(name: &str) -> Option<Arc<dyn Executor>> {
         "local" => Some(Arc::new(LocalExecutor)),
         "tile" => Some(Arc::new(TileExecutor::from_env())),
         "spill" => Some(Arc::new(SpillExecutor::default())),
+        "morsel" => Some(Arc::new(MorselExecutor)),
         _ => None,
     }
 }
@@ -481,6 +542,10 @@ mod tests {
         assert!(!LocalExecutor.capabilities().spilling_exchange);
         let spill = SpillExecutor::default().capabilities();
         assert!(spill.spilling_exchange && spill.adaptive_chunking);
+        let morsel = MorselExecutor.capabilities();
+        assert!(morsel.morsel_scheduling && morsel.adaptive_chunking);
+        assert!(!morsel.spilling_exchange);
+        assert!(!LocalExecutor.capabilities().morsel_scheduling);
         for name in BACKEND_NAMES {
             let exec = executor_named(name).unwrap();
             assert!(

@@ -81,14 +81,14 @@ mod stats;
 pub use dataset::Dataset;
 pub use exchange::{Exchange, ExchangeWriter, HashPartitioner, Partitioner, RangePartitioner};
 pub use executor::{
-    executor_named, Capabilities, Executor, LocalExecutor, PartitionTask, PhysicalPlan,
-    ScatterTask, SpillExecutor, TileExecutor, BACKEND_NAMES,
+    executor_named, Capabilities, Executor, LocalExecutor, MorselExecutor, PartitionTask,
+    PhysicalPlan, ScatterTask, SpillExecutor, TileExecutor, BACKEND_NAMES,
 };
 pub use plan::{PartitionRows, Parts};
 pub use stats::{Stats, StatsSnapshot};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use diablo_runtime::Value;
 
@@ -113,13 +113,19 @@ struct ContextInner {
     memory_budget: AtomicU64,
     /// Route keyed operators through the sort-based shuffle path.
     ordered: AtomicBool,
+    /// The persistent work-stealing pool, built on first stage.
+    pool: OnceLock<pool::WorkerPool>,
+    /// Rows per morsel when a stage splits oversized partitions.
+    morsel_size: AtomicUsize,
+    /// Run stages on the retained pre-morsel scheduler (baseline mode).
+    static_scheduler: AtomicBool,
 }
 
 impl Context {
     /// Creates a context with `workers` threads and `partitions` hash
     /// partitions per dataset. The execution backend defaults to
     /// [`LocalExecutor`], overridable with the `DIABLO_BACKEND`
-    /// environment variable (`local`, `tile`, `spill`) or
+    /// environment variable (`local`, `tile`, `spill`, `morsel`) or
     /// [`Context::with_executor`].
     pub fn new(workers: usize, partitions: usize) -> Context {
         assert!(workers > 0, "need at least one worker");
@@ -135,6 +141,9 @@ impl Context {
                 stmt_label: Mutex::new(None),
                 memory_budget: AtomicU64::new(memory_budget_from_env()),
                 ordered: AtomicBool::new(ordered_from_env()),
+                pool: OnceLock::new(),
+                morsel_size: AtomicUsize::new(morsel_size_from_env()),
+                static_scheduler: AtomicBool::new(static_scheduler_from_env()),
             }),
         }
     }
@@ -227,6 +236,52 @@ impl Context {
         self.inner.ordered.load(Ordering::Relaxed)
     }
 
+    /// Sets the morsel size (builder style): the maximum rows one
+    /// scheduling item covers when a stage splits oversized partitions.
+    /// Defaults to the `DIABLO_MORSEL_SIZE` environment variable, else
+    /// 16384 rows. Scheduling granularity only — results never change.
+    pub fn with_morsel_size(self, rows: usize) -> Context {
+        self.set_morsel_size(rows);
+        self
+    }
+
+    /// Sets the morsel size in place.
+    pub fn set_morsel_size(&self, rows: usize) {
+        assert!(rows > 0, "morsel size must be at least 1 row");
+        self.inner.morsel_size.store(rows, Ordering::Relaxed);
+    }
+
+    /// Rows per morsel when stages split oversized partitions.
+    pub fn morsel_size(&self) -> usize {
+        self.inner.morsel_size.load(Ordering::Relaxed)
+    }
+
+    /// Routes stages to the retained pre-morsel scheduler (one task per
+    /// partition, no splitting or stealing) — the benchmark baseline.
+    /// Defaults to the `DIABLO_SCHEDULER` environment variable
+    /// (`morsel` / `static`), else the work-stealing pool.
+    pub fn with_static_scheduler(self, on: bool) -> Context {
+        self.set_static_scheduler(on);
+        self
+    }
+
+    /// Sets (or clears) baseline-scheduler routing in place.
+    pub fn set_static_scheduler(&self, on: bool) {
+        self.inner.static_scheduler.store(on, Ordering::Relaxed);
+    }
+
+    /// True when stages run on the pre-morsel baseline scheduler.
+    pub fn static_scheduler(&self) -> bool {
+        self.inner.static_scheduler.load(Ordering::Relaxed)
+    }
+
+    /// The persistent work-stealing pool (built on first use).
+    pub(crate) fn pool(&self) -> &pool::WorkerPool {
+        self.inner
+            .pool
+            .get_or_init(|| pool::WorkerPool::new(self.inner.workers))
+    }
+
     /// Sets (or clears) the source-statement label attached to plan nodes
     /// built from now on. Driver layers set this per statement so fused
     /// stages spanning several statements can report all of them, and so
@@ -299,6 +354,14 @@ impl Context {
         Dataset::from_vec(self.clone(), rows)
     }
 
+    /// Creates a dataset from explicit pre-built partitions, preserving
+    /// their sizes exactly — the way to construct deliberately skewed
+    /// inputs (e.g. one partition holding half the rows) for scheduler
+    /// benchmarks and tests.
+    pub fn from_partitions(&self, parts: Vec<Vec<Value>>) -> Dataset {
+        Dataset::from_partitions(self.clone(), parts)
+    }
+
     /// Creates a dataset of longs `lo..=hi`, range-partitioned.
     pub fn range(&self, lo: i64, hi: i64) -> Dataset {
         Dataset::range(self.clone(), lo, hi)
@@ -331,6 +394,34 @@ fn ordered_from_env() -> bool {
             "1" | "true" | "yes" => true,
             "0" | "false" | "no" | "" => false,
             _ => panic!("DIABLO_ORDERED={s}: expected 1/0, true/false, or yes/no"),
+        },
+        Err(_) => false,
+    }
+}
+
+/// The morsel size named by `DIABLO_MORSEL_SIZE` (rows), or the 16384-row
+/// default. Panics on an unparseable or zero value so a typo in a CI job
+/// fails loudly instead of silently testing the default granularity.
+fn morsel_size_from_env() -> usize {
+    match std::env::var("DIABLO_MORSEL_SIZE") {
+        Ok(s) => match s.parse() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("DIABLO_MORSEL_SIZE={s}: expected a positive row count"),
+        },
+        Err(_) => 16384,
+    }
+}
+
+/// Whether `DIABLO_SCHEDULER` asks for the pre-morsel baseline scheduler
+/// (`static`) or the work-stealing pool (`morsel`, the default). Panics
+/// on other values so a typo in a CI job fails loudly instead of silently
+/// benchmarking the wrong scheduler.
+fn static_scheduler_from_env() -> bool {
+    match std::env::var("DIABLO_SCHEDULER") {
+        Ok(s) => match s.to_ascii_lowercase().as_str() {
+            "static" => true,
+            "morsel" | "" => false,
+            _ => panic!("DIABLO_SCHEDULER={s}: expected morsel or static"),
         },
         Err(_) => false,
     }
@@ -376,6 +467,25 @@ mod tests {
         assert_eq!(ctx.memory_budget(), None);
         let built = Context::new(1, 2).with_memory_budget(0);
         assert_eq!(built.memory_budget(), Some(0), "0 is a real budget");
+    }
+
+    #[test]
+    fn morsel_size_and_scheduler_round_trip() {
+        let ctx = Context::new(2, 4).with_morsel_size(64);
+        assert_eq!(ctx.morsel_size(), 64);
+        assert_eq!(ctx.clone().morsel_size(), 64, "clones share the size");
+        ctx.set_morsel_size(16384);
+        assert_eq!(ctx.morsel_size(), 16384);
+        let base = Context::new(2, 4).with_static_scheduler(true);
+        assert!(base.static_scheduler());
+        base.set_static_scheduler(false);
+        assert!(!base.static_scheduler());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 row")]
+    fn zero_morsel_size_panics() {
+        let _ = Context::new(1, 1).with_morsel_size(0);
     }
 
     #[test]

@@ -36,8 +36,32 @@ use std::sync::Arc;
 
 use diablo_runtime::{RuntimeError, Value};
 
-use crate::pool::run_stage;
+use crate::pool::{run_stage_weighted, Cancel};
 use crate::Context;
+
+/// How many rows a stage sink emits between cooperative-cancellation
+/// polls. Cheap enough to leave on everywhere; fine-grained enough that a
+/// long morsel notices a lower-indexed failure quickly.
+const CANCEL_POLL_ROWS: usize = 1024;
+
+/// Wraps a stage's output sink with a cooperative-cancellation poll: once
+/// a lower-indexed item has failed, this item's output can never surface,
+/// so the sink bails with a placeholder error (always discarded by the
+/// pool — the lower item's error is the one returned).
+fn cancellable_sink<'a>(
+    cancel: &'a Cancel<'_>,
+    mut push: impl FnMut(Value) + 'a,
+) -> impl FnMut(Value) -> Result<()> + 'a {
+    let mut emitted = 0usize;
+    move |v: Value| {
+        push(v);
+        emitted += 1;
+        if emitted.is_multiple_of(CANCEL_POLL_ROWS) && cancel.cancelled() {
+            return Err(RuntimeError::new("stage cancelled after earlier error"));
+        }
+        Ok(())
+    }
+}
 
 /// Result alias matching the engine's.
 pub type Result<T> = std::result::Result<T, RuntimeError>;
@@ -400,6 +424,13 @@ pub(crate) enum ChunkPolicy {
     /// order, stage counts, and first errors are exactly those of
     /// [`ChunkPolicy::Fixed`].
     Adaptive,
+    /// Split every partition larger than [`Context::morsel_size`] rows
+    /// into fixed-size morsel spans (narrow stages only), regardless of
+    /// skew — the work-stealing pool's preferred granularity. Consumers
+    /// (partition-atomic) coalesce tiny partitions like
+    /// [`ChunkPolicy::Adaptive`]. Scheduling only: results and first
+    /// errors are exactly those of [`ChunkPolicy::Fixed`].
+    Morsel,
 }
 
 /// One scheduling item: contiguous row spans `(partition, start, end)`,
@@ -464,6 +495,74 @@ fn chunk_plan(sizes: &[usize], workers: usize, splittable: bool) -> Option<Vec<S
     }
     flush(&mut group, &mut items, &mut changed);
     changed.then_some(items)
+}
+
+/// Plans morsel work items: every partition larger than `morsel` rows
+/// splits into even spans of at most `morsel` rows; smaller partitions
+/// stay whole (no coalescing — the work-stealing pool absorbs many small
+/// items cheaply). Returns `None` when nothing splits (or splitting is
+/// forbidden), so callers keep the classic zero-overhead schedule.
+fn morsel_plan(sizes: &[usize], morsel: usize, splittable: bool) -> Option<Vec<Spans>> {
+    debug_assert!(morsel > 0);
+    if !splittable || !sizes.iter().any(|&n| n > morsel) {
+        return None;
+    }
+    let mut items: Vec<Spans> = Vec::new();
+    for (p, &n) in sizes.iter().enumerate() {
+        if n > morsel {
+            // Even spans: div_ceil pieces, so no runt morsel at the end.
+            let pieces = n.div_ceil(morsel);
+            let chunk = n.div_ceil(pieces);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                items.push(vec![(p, start, end)]);
+                start = end;
+            }
+        } else {
+            items.push(vec![(p, 0, n)]);
+        }
+    }
+    Some(items)
+}
+
+/// Total rows one spans-item covers — its scheduling weight.
+fn item_rows(spans: &Spans) -> u64 {
+    spans.iter().map(|&(_, s, e)| (e - s) as u64).sum()
+}
+
+/// Plans the stage's scheduling items for a *splittable* (narrow) or
+/// partition-atomic stage under `policy`, emitting the matching explain
+/// note. `None` keeps the classic one-task-per-partition schedule.
+fn stage_items(
+    ctx: &Context,
+    sizes: &[usize],
+    splittable: bool,
+    policy: ChunkPolicy,
+) -> Option<Vec<Spans>> {
+    match policy {
+        ChunkPolicy::Fixed => None,
+        ChunkPolicy::Adaptive => {
+            let items = chunk_plan(sizes, ctx.workers(), splittable)?;
+            ctx.plan_note(format!(
+                "adaptive: re-chunked {} partitions into {} tasks",
+                sizes.len(),
+                items.len()
+            ));
+            Some(items)
+        }
+        ChunkPolicy::Morsel => {
+            let items = morsel_plan(sizes, ctx.morsel_size(), splittable)
+                .or_else(|| chunk_plan(sizes, ctx.workers(), false))?;
+            ctx.plan_note(format!(
+                "morsel: scheduled {} partitions as {} item(s) (≤{} rows each)",
+                sizes.len(),
+                items.len(),
+                ctx.morsel_size()
+            ));
+            Some(items)
+        }
+    }
 }
 
 /// How an executor pushes rows through a fused step chain.
@@ -564,17 +663,25 @@ fn materialize_with(
                 sources.len(),
                 virt.len()
             ));
-            let out = run_stage(ctx.workers(), &virt, |_, segs: &Vec<(usize, usize)>| {
-                let mut part = Vec::new();
-                let mut sink = |v: Value| {
-                    part.push(v);
-                    Ok(())
-                };
-                for &(src, p) in segs {
-                    mode.run(&sources[src].0.as_slice()[p], &sources[src].1, &mut sink)?;
-                }
-                Ok(part)
-            })?;
+            let out = run_stage_weighted(
+                ctx,
+                &virt,
+                |i| {
+                    virt[i]
+                        .iter()
+                        .map(|&(src, p)| sources[src].0.as_slice()[p].len() as u64)
+                        .sum()
+                },
+                |_, segs: &Vec<(usize, usize)>, cancel| {
+                    let mut part = Vec::new();
+                    let mut sink = cancellable_sink(cancel, |v| part.push(v));
+                    for &(src, p) in segs {
+                        mode.run(&sources[src].0.as_slice()[p], &sources[src].1, &mut sink)?;
+                    }
+                    drop(sink);
+                    Ok(part)
+                },
+            )?;
             Ok(Parts::Owned(out))
         }
         // collapse() never returns a row node as base.
@@ -611,22 +718,17 @@ fn run_fused_stage(
         label,
     ));
     let prelude = prelude.map(|(f, _, tag)| (f, tag));
-    if policy == ChunkPolicy::Adaptive {
-        let sizes: Vec<usize> = input.iter().map(Vec::len).collect();
-        if let Some(items) = chunk_plan(&sizes, ctx.workers(), prelude.is_none()) {
-            ctx.plan_note(format!(
-                "adaptive: re-chunked {} partitions into {} tasks",
-                input.len(),
-                items.len()
-            ));
-            let outs = run_stage(ctx.workers(), &items, |_, spans: &Spans| {
+    let sizes: Vec<usize> = input.iter().map(Vec::len).collect();
+    if let Some(items) = stage_items(ctx, &sizes, prelude.is_none(), policy) {
+        let outs = run_stage_weighted(
+            ctx,
+            &items,
+            |i| item_rows(&items[i]),
+            |_, spans: &Spans, cancel| {
                 let mut produced: Vec<(usize, Vec<Value>)> = Vec::with_capacity(spans.len());
                 for &(p, start, end) in spans {
                     let mut out = Vec::new();
-                    let mut sink = |v: Value| {
-                        out.push(v);
-                        Ok(())
-                    };
+                    let mut sink = cancellable_sink(cancel, |v| out.push(v));
                     match &prelude {
                         Some((f, tag)) => {
                             let rows = f(&input[p]).map_err(|e| tag_opt(e, tag))?;
@@ -634,36 +736,40 @@ fn run_fused_stage(
                         }
                         None => mode.run(&input[p][start..end], steps, &mut sink)?,
                     }
+                    drop(sink);
                     produced.push((p, out));
                 }
                 Ok(produced)
-            })?;
-            // Items are ordered by (partition, start), so extending in
-            // item order rebuilds each partition in source order.
-            let mut dest: Vec<Vec<Value>> = input.iter().map(|_| Vec::new()).collect();
-            for item in outs {
-                for (p, rows) in item {
-                    dest[p].extend(rows);
-                }
+            },
+        )?;
+        // Items are ordered by (partition, start), so extending in
+        // item order rebuilds each partition in source order.
+        let mut dest: Vec<Vec<Value>> = input.iter().map(|_| Vec::new()).collect();
+        for item in outs {
+            for (p, rows) in item {
+                dest[p].extend(rows);
             }
-            return Ok(dest);
         }
+        return Ok(dest);
     }
-    run_stage(ctx.workers(), input, |_, part: &Vec<Value>| {
-        let mut out = Vec::with_capacity(part.len());
-        let mut sink = |v: Value| {
-            out.push(v);
-            Ok(())
-        };
-        match &prelude {
-            Some((f, tag)) => {
-                let rows = f(part).map_err(|e| tag_opt(e, tag))?;
-                mode.run(&rows, steps, &mut sink)?;
+    run_stage_weighted(
+        ctx,
+        input,
+        |i| sizes[i] as u64,
+        |_, part: &Vec<Value>, cancel| {
+            let mut out = Vec::with_capacity(part.len());
+            let mut sink = cancellable_sink(cancel, |v| out.push(v));
+            match &prelude {
+                Some((f, tag)) => {
+                    let rows = f(part).map_err(|e| tag_opt(e, tag))?;
+                    mode.run(&rows, steps, &mut sink)?;
+                }
+                None => mode.run(part, steps, &mut sink)?,
             }
-            None => mode.run(part, steps, &mut sink)?,
-        }
-        Ok(out)
-    })
+            drop(sink);
+            Ok(out)
+        },
+    )
 }
 
 /// Runs a consumer once per partition, on the classic
@@ -673,23 +779,28 @@ fn run_fused_stage(
 /// order (items are partition-ordered; within an item, sequential).
 fn run_consumer_stage<R: Send>(
     ctx: &Context,
-    parts: usize,
+    sizes: &[usize],
     items: Option<Vec<Spans>>,
     run_one: impl Fn(usize) -> Result<R> + Sync,
 ) -> Result<Vec<R>> {
     match items {
         Some(items) => {
-            let outs = run_stage(ctx.workers(), &items, |_, spans: &Spans| {
-                spans
-                    .iter()
-                    .map(|&(p, _, _)| run_one(p))
-                    .collect::<Result<Vec<R>>>()
-            })?;
+            let outs = run_stage_weighted(
+                ctx,
+                &items,
+                |i| item_rows(&items[i]),
+                |_, spans: &Spans, _| {
+                    spans
+                        .iter()
+                        .map(|&(p, _, _)| run_one(p))
+                        .collect::<Result<Vec<R>>>()
+                },
+            )?;
             Ok(outs.into_iter().flatten().collect())
         }
         None => {
-            let idx: Vec<usize> = (0..parts).collect();
-            run_stage(ctx.workers(), &idx, |_, &p| run_one(p))
+            let idx: Vec<usize> = (0..sizes.len()).collect();
+            run_stage_weighted(ctx, &idx, |i| sizes[i] as u64, |_, &p, _| run_one(p))
         }
     }
 }
@@ -718,16 +829,8 @@ where
     // partition-wide state, e.g. a combiner's hash map), so adaptive
     // scheduling can only coalesce runs of tiny partitions into one task,
     // never split — results and first errors are unchanged.
-    let coalesce = |parts_len: usize, sizes: &[usize]| -> Option<Vec<Spans>> {
-        if policy != ChunkPolicy::Adaptive {
-            return None;
-        }
-        let items = chunk_plan(sizes, ctx.workers(), false)?;
-        ctx.plan_note(format!(
-            "adaptive: coalesced {parts_len} partitions into {} tasks",
-            items.len()
-        ));
-        Some(items)
+    let coalesce = |_parts_len: usize, sizes: &[usize]| -> Option<Vec<Spans>> {
+        stage_items(ctx, sizes, false, policy)
     };
     let Collapsed { base, steps } = collapse(plan);
     match base.as_ref() {
@@ -736,7 +839,7 @@ where
             ctx.plan_note(describe_stage(ctx, parts.len(), None, &steps, label));
             let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
             let items = coalesce(parts.len(), &sizes);
-            run_consumer_stage(ctx, parts.len(), items, |p| {
+            run_consumer_stage(ctx, &sizes, items, |p| {
                 task(
                     p,
                     &PartitionRows {
@@ -781,7 +884,7 @@ where
                 };
                 let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
                 let items = coalesce(parts.len(), &sizes);
-                return run_consumer_stage(ctx, parts.len(), items, |p| {
+                return run_consumer_stage(ctx, &sizes, items, |p| {
                     let fed = feed(&parts[p])?;
                     task(
                         p,
@@ -801,18 +904,23 @@ where
             let parts = inp.as_slice();
             ctx.record_physical_stage();
             ctx.plan_note(describe_stage(ctx, parts.len(), None, &[], label));
-            run_stage(ctx.workers(), parts, |i, part: &Vec<Value>| {
-                task(
-                    i,
-                    &PartitionRows {
-                        segments: vec![Segment {
-                            rows: part,
-                            steps: &[],
-                        }],
-                        mode,
-                    },
-                )
-            })
+            run_stage_weighted(
+                ctx,
+                parts,
+                |i| parts[i].len() as u64,
+                |i, part: &Vec<Value>, _| {
+                    task(
+                        i,
+                        &PartitionRows {
+                            segments: vec![Segment {
+                                rows: part,
+                                steps: &[],
+                            }],
+                            mode,
+                        },
+                    )
+                },
+            )
         }
         PlanOp::Union(_, _) => {
             // Read all operands in place: each virtual partition is a
@@ -829,16 +937,26 @@ where
                 sources.len(),
                 virt.len()
             ));
-            run_stage(ctx.workers(), &virt, |i, segs: &Vec<(usize, usize)>| {
-                let segments = segs
-                    .iter()
-                    .map(|&(src, part)| Segment {
-                        rows: &sources[src].0.as_slice()[part],
-                        steps: &sources[src].1,
-                    })
-                    .collect();
-                task(i, &PartitionRows { segments, mode })
-            })
+            run_stage_weighted(
+                ctx,
+                &virt,
+                |i| {
+                    virt[i]
+                        .iter()
+                        .map(|&(src, p)| sources[src].0.as_slice()[p].len() as u64)
+                        .sum()
+                },
+                |i, segs: &Vec<(usize, usize)>, _| {
+                    let segments = segs
+                        .iter()
+                        .map(|&(src, part)| Segment {
+                            rows: &sources[src].0.as_slice()[part],
+                            steps: &sources[src].1,
+                        })
+                        .collect();
+                    task(i, &PartitionRows { segments, mode })
+                },
+            )
         }
         // collapse() never returns a row node as base.
         _ => Err(RuntimeError::new("corrupt plan: row node as base")),
@@ -1059,6 +1177,44 @@ mod tests {
         assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
         // Unsplittable (consumer/prelude) single partitions stay fixed.
         assert!(chunk_plan(&sizes, 8, false).is_none());
+    }
+
+    #[test]
+    fn morsel_plan_splits_only_oversized_partitions() {
+        let sizes = [100, 10, 250];
+        let items = morsel_plan(&sizes, 100, true).expect("partition 2 splits");
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
+        // Partition 2 (250 rows, morsel 100) → 3 even spans of ≤ 100.
+        let p2: Vec<_> = items
+            .iter()
+            .flatten()
+            .filter(|&&(p, _, _)| p == 2)
+            .collect();
+        assert_eq!(p2.len(), 3);
+        assert!(p2.iter().all(|&&(_, s, e)| e - s <= 100));
+        // Partitions at or below the morsel size stay whole.
+        assert!(items
+            .iter()
+            .flatten()
+            .any(|&(p, s, e)| (p, s, e) == (0, 0, 100)));
+    }
+
+    #[test]
+    fn morsel_plan_is_none_when_nothing_splits() {
+        assert!(morsel_plan(&[10, 20, 30], 100, true).is_none());
+        assert!(morsel_plan(&[], 100, true).is_none());
+        assert!(
+            morsel_plan(&[1000], 100, false).is_none(),
+            "partition-atomic stages never split"
+        );
+    }
+
+    #[test]
+    fn morsel_size_one_isolates_every_row() {
+        let sizes = [3, 1];
+        let items = morsel_plan(&sizes, 1, true).expect("splits");
+        assert_eq!(items.len(), 4);
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct Stats {
     spill_files: AtomicU64,
     broadcasts: AtomicU64,
     broadcast_records: AtomicU64,
+    morsels: AtomicU64,
+    steals: AtomicU64,
+    max_queue_depth: AtomicU64,
+    sched_cost_us: AtomicU64,
+    sched_critical_us: AtomicU64,
 }
 
 impl Stats {
@@ -67,6 +72,26 @@ impl Stats {
         self.broadcast_records.fetch_add(records, Ordering::Relaxed);
     }
 
+    /// Records one scheduled stage: how many morsels ran, how many were
+    /// stolen, the deepest worker queue at submission, and the stage's
+    /// wall time split into total cost vs the critical (busiest-worker)
+    /// share — the pair behind [`StatsSnapshot::sched_speedup`].
+    pub(crate) fn record_stage_schedule(
+        &self,
+        morsels: u64,
+        steals: u64,
+        depth: u64,
+        cost_us: u64,
+        critical_us: u64,
+    ) {
+        self.morsels.fetch_add(morsels, Ordering::Relaxed);
+        self.steals.fetch_add(steals, Ordering::Relaxed);
+        self.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+        self.sched_cost_us.fetch_add(cost_us, Ordering::Relaxed);
+        self.sched_critical_us
+            .fetch_add(critical_us, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -81,6 +106,11 @@ impl Stats {
             spill_files: self.spill_files.load(Ordering::Relaxed),
             broadcasts: self.broadcasts.load(Ordering::Relaxed),
             broadcast_records: self.broadcast_records.load(Ordering::Relaxed),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            sched_cost_us: self.sched_cost_us.load(Ordering::Relaxed),
+            sched_critical_us: self.sched_critical_us.load(Ordering::Relaxed),
         }
     }
 
@@ -97,6 +127,11 @@ impl Stats {
         self.spill_files.store(0, Ordering::Relaxed);
         self.broadcasts.store(0, Ordering::Relaxed);
         self.broadcast_records.store(0, Ordering::Relaxed);
+        self.morsels.store(0, Ordering::Relaxed);
+        self.steals.store(0, Ordering::Relaxed);
+        self.max_queue_depth.store(0, Ordering::Relaxed);
+        self.sched_cost_us.store(0, Ordering::Relaxed);
+        self.sched_critical_us.store(0, Ordering::Relaxed);
     }
 }
 
@@ -130,10 +165,40 @@ pub struct StatsSnapshot {
     pub broadcasts: u64,
     /// Total rows broadcast.
     pub broadcast_records: u64,
+    /// Scheduled stage tasks (morsels) executed by the worker pool. A
+    /// stage that splits a partition into row spans counts one per span.
+    pub morsels: u64,
+    /// Morsels claimed from another worker's deque by an idle worker.
+    pub steals: u64,
+    /// High-water mark of a single worker deque's depth at stage
+    /// submission (a gauge, not a counter — see [`StatsSnapshot::since`]).
+    pub max_queue_depth: u64,
+    /// Total wall microseconds spent inside scheduled stages.
+    pub sched_cost_us: u64,
+    /// The critical-path share of that time: each stage's wall time
+    /// scaled by the busiest worker's fraction of the stage's scheduled
+    /// rows. `sched_cost_us / sched_critical_us` is the speedup bound the
+    /// schedule achieved (the load-balance limit, independent of how many
+    /// hardware cores the host can actually run in parallel).
+    pub sched_critical_us: u64,
 }
 
 impl StatsSnapshot {
-    /// Difference of two snapshots (self - earlier).
+    /// The speedup bound the schedule achieved over the counted window:
+    /// total scheduled-stage time divided by its busiest-worker share.
+    /// `1.0` when everything ran on one worker; approaches the worker
+    /// count as stages balance perfectly. Returns `None` when no stage
+    /// ran (nothing to bound).
+    pub fn sched_speedup(&self) -> Option<f64> {
+        if self.sched_critical_us == 0 {
+            return None;
+        }
+        Some(self.sched_cost_us as f64 / self.sched_critical_us as f64)
+    }
+
+    /// Difference of two snapshots (self - earlier). All counters
+    /// subtract; `max_queue_depth` is a gauge and keeps `self`'s
+    /// high-water value.
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             stages: self.stages - earlier.stages,
@@ -147,6 +212,11 @@ impl StatsSnapshot {
             spill_files: self.spill_files - earlier.spill_files,
             broadcasts: self.broadcasts - earlier.broadcasts,
             broadcast_records: self.broadcast_records - earlier.broadcast_records,
+            morsels: self.morsels - earlier.morsels,
+            steals: self.steals - earlier.steals,
+            max_queue_depth: self.max_queue_depth,
+            sched_cost_us: self.sched_cost_us - earlier.sched_cost_us,
+            sched_critical_us: self.sched_critical_us - earlier.sched_critical_us,
         }
     }
 }
@@ -179,6 +249,22 @@ mod tests {
         assert_eq!(snap.broadcasts, 1);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn schedule_counters_accumulate() {
+        let s = Stats::default();
+        s.record_stage_schedule(8, 2, 5, 1000, 400);
+        s.record_stage_schedule(4, 0, 3, 1000, 600);
+        let snap = s.snapshot();
+        assert_eq!(snap.morsels, 12);
+        assert_eq!(snap.steals, 2);
+        assert_eq!(snap.max_queue_depth, 5, "gauge keeps the high water");
+        assert_eq!(snap.sched_cost_us, 2000);
+        assert_eq!(snap.sched_critical_us, 1000);
+        assert_eq!(snap.sched_speedup(), Some(2.0));
+        s.reset();
+        assert_eq!(s.snapshot().sched_speedup(), None);
     }
 
     #[test]

@@ -16,14 +16,19 @@
 //!
 //! * `--backend <name>` selects the execution backend: `local`
 //!   (tuple-at-a-time, the default), `tile` (batch-at-a-time, tuned for
-//!   tiled-matrix workloads), or `spill` (budgeted exchanges that spill
-//!   to disk, plus adaptive stage re-chunking). Results are identical
-//!   across backends; only the execution strategy changes.
+//!   tiled-matrix workloads), `spill` (budgeted exchanges that spill
+//!   to disk, plus adaptive stage re-chunking), or `morsel` (narrow
+//!   stages split into fixed-size morsels for the work-stealing pool).
+//!   Results are identical across backends; only the execution strategy
+//!   changes.
 //! * `--workers N` / `--partitions N` size the engine context (default:
 //!   one worker per core, two partitions per worker).
 //! * `--memory-budget BYTES` caps the bytes a shuffle buffers in memory;
 //!   buckets past the budget spill to sorted run files (equivalent to
 //!   `DIABLO_MEMORY_BUDGET`).
+//! * `--morsel-size ROWS` sets the scheduling granularity stages split
+//!   oversized partitions into (equivalent to `DIABLO_MORSEL_SIZE`;
+//!   default 16384 rows). Scheduling only — results never change.
 //! * `--ordered` routes keyed operators through the sort-based shuffle
 //!   path (equivalent to `DIABLO_ORDERED=1`): outputs are globally
 //!   key-ordered — same rows as the hash path, in key order.
@@ -75,13 +80,14 @@ struct EngineFlags {
     workers: Option<usize>,
     partitions: Option<usize>,
     memory_budget: Option<u64>,
+    morsel_size: Option<usize>,
     ordered: bool,
 }
 
 impl EngineFlags {
-    /// Pulls `--backend`, `--workers`, `--partitions`, `--memory-budget`
-    /// (each as `--flag value` or `--flag=value`), and the bare
-    /// `--ordered` out of the argument list.
+    /// Pulls `--backend`, `--workers`, `--partitions`, `--memory-budget`,
+    /// `--morsel-size` (each as `--flag value` or `--flag=value`), and
+    /// the bare `--ordered` out of the argument list.
     fn extract(args: &mut Vec<String>) -> Result<EngineFlags, String> {
         let mut flags = EngineFlags::default();
         args.retain(|a| {
@@ -118,6 +124,8 @@ impl EngineFlags {
                     n.parse()
                         .map_err(|_| format!("--memory-budget: `{n}` is not a byte count"))?,
                 );
+            } else if let Some(n) = take_value("--morsel-size")? {
+                flags.morsel_size = Some(parse_count("--morsel-size", &n)?);
             } else {
                 i += 1;
             }
@@ -132,6 +140,7 @@ impl EngineFlags {
             || self.workers.is_some()
             || self.partitions.is_some()
             || self.memory_budget.is_some()
+            || self.morsel_size.is_some()
             || self.ordered
     }
 
@@ -140,6 +149,9 @@ impl EngineFlags {
         let ctx = Context::sized(self.workers, self.partitions);
         if let Some(budget) = self.memory_budget {
             ctx.set_memory_budget(Some(budget));
+        }
+        if let Some(rows) = self.morsel_size {
+            ctx.set_morsel_size(rows);
         }
         if self.ordered {
             ctx.set_ordered(true);
@@ -181,7 +193,7 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     };
     if engine.any() && !matches!(cmd, "run" | "explain") {
         return Err(format!(
-            "--backend/--workers/--partitions/--memory-budget/--ordered only apply to `run` and `explain`, not `{cmd}`"
+            "--backend/--workers/--partitions/--memory-budget/--morsel-size/--ordered only apply to `run` and `explain`, not `{cmd}`"
         ));
     }
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -256,7 +268,7 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill>] [--workers N] [--partitions N] [--memory-budget BYTES] [--ordered] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] <program.dbl> [name=value | name=@rows.csv ...]";
 
 /// Binds a small synthesized value for every input the user did not bind,
 /// so `explain` works on any program without data files.

@@ -6,7 +6,8 @@
 use std::sync::Arc;
 
 use diablo_dataflow::{
-    executor_named, Context, Dataset, Executor, LocalExecutor, SpillExecutor, TileExecutor,
+    executor_named, Context, Dataset, Executor, LocalExecutor, MorselExecutor, SpillExecutor,
+    TileExecutor,
 };
 use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 
@@ -14,7 +15,8 @@ use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 /// tiny batch so partition sizes exercise partial and multi-tile paths;
 /// the spill executor runs once with its default budget and once with a
 /// zero fallback budget so every exchanged bucket goes through disk runs
-/// (and adaptive re-chunking is active on both).
+/// (and adaptive re-chunking is active on both); the morsel executor
+/// splits narrow stages across the work-stealing pool.
 fn backends() -> Vec<Arc<dyn Executor>> {
     vec![
         Arc::new(LocalExecutor),
@@ -22,6 +24,7 @@ fn backends() -> Vec<Arc<dyn Executor>> {
         Arc::new(TileExecutor::default()),
         Arc::new(SpillExecutor::default()),
         Arc::new(SpillExecutor::new(0)),
+        Arc::new(MorselExecutor),
     ]
 }
 
@@ -29,7 +32,10 @@ fn ctx_for(exec: Arc<dyn Executor>) -> Context {
     // Clear any suite-wide DIABLO_MEMORY_BUDGET so each backend runs
     // under exactly the budget its constructor chose: conformance must
     // hold for the in-memory and the fully spilled exchange alike.
-    let ctx = Context::new(3, 5).with_executor(exec);
+    // A tiny morsel size keeps the work-stealing splitter active even on
+    // these small fixtures (the default 16K-row morsel would never split
+    // them) — conformance must hold at any granularity.
+    let ctx = Context::new(3, 5).with_executor(exec).with_morsel_size(16);
     ctx.set_memory_budget(None);
     ctx
 }

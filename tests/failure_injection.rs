@@ -4,7 +4,9 @@
 use std::sync::Arc;
 
 use diablo_core::compile;
-use diablo_dataflow::{Context, Executor, LocalExecutor, SpillExecutor, TileExecutor};
+use diablo_dataflow::{
+    Context, Executor, LocalExecutor, MorselExecutor, SpillExecutor, TileExecutor,
+};
 use diablo_exec::Session;
 use diablo_interp::Interpreter;
 use diablo_lang::{parse, typecheck};
@@ -154,14 +156,16 @@ fn while_loop_that_never_runs() {
     assert_eq!(session.scalar("body_ran"), Some(Value::Long(0)));
 }
 
-/// The three built-in backends (tile with a tiny batch so tile replay
-/// paths run; spill with a zero fallback budget so every exchanged chunk
-/// goes through disk runs).
+/// The built-in backends (tile with a tiny batch so tile replay paths
+/// run; spill with a zero fallback budget so every exchanged chunk goes
+/// through disk runs; morsel so injected failures also race the
+/// work-stealing splitter).
 fn sorted_failure_backends() -> Vec<Arc<dyn Executor>> {
     vec![
         Arc::new(LocalExecutor),
         Arc::new(TileExecutor::new(4)),
         Arc::new(SpillExecutor::new(0)),
+        Arc::new(MorselExecutor),
     ]
 }
 

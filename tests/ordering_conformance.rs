@@ -20,8 +20,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use diablo_dataflow::{
-    Context, Dataset, Executor, LocalExecutor, Partitioner, RangePartitioner, SpillExecutor,
-    TileExecutor,
+    Context, Dataset, Executor, LocalExecutor, MorselExecutor, Partitioner, RangePartitioner,
+    SpillExecutor, TileExecutor,
 };
 use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 
@@ -37,13 +37,16 @@ fn backends() -> Vec<Arc<dyn Executor>> {
         Arc::new(LocalExecutor),
         Arc::new(TileExecutor::new(4)),
         Arc::new(SpillExecutor::default()),
+        Arc::new(MorselExecutor),
     ]
 }
 
 const BUDGETS: [Option<u64>; 3] = [None, Some(64 << 20), Some(0)];
 
 fn ctx_for(exec: Arc<dyn Executor>, budget: Option<u64>) -> Context {
-    let ctx = Context::new(3, 5).with_executor(exec);
+    // Tiny morsels keep the work-stealing splitter active on these small
+    // fixtures; ordering invariants must hold at any granularity.
+    let ctx = Context::new(3, 5).with_executor(exec).with_morsel_size(16);
     ctx.set_memory_budget(budget);
     ctx
 }

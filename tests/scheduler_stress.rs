@@ -1,0 +1,232 @@
+//! Scheduler stress suite: the morsel-driven work-stealing scheduler must
+//! be invisible in results. Every Figure 3 workload is run under a grid of
+//! scheduler configurations — worker counts {1, 2, 7, all}, morsel sizes
+//! {1 row, 64 rows, default}, the static self-scheduling pool, and the
+//! local / spill / morsel backends — on both the hash and the `--ordered`
+//! keyed paths, and every output must be *byte-identical* (exact `Value`
+//! equality, not approximate) to a one-worker reference run. Separately,
+//! injected mid-morsel failures must surface the same first error and
+//! statement tag no matter how morsels were split, stolen, or cancelled.
+
+use std::sync::Arc;
+
+use diablo_dataflow::{executor_named, Context, MorselExecutor};
+use diablo_exec::Session;
+use diablo_runtime::{RuntimeError, Value};
+use diablo_workloads::Workload;
+
+/// Partition count is pinned across every configuration: partitioning is
+/// semantics (it decides chunk boundaries and shuffle fan-in), while
+/// workers, morsel size, and scheduler are pure execution policy and must
+/// not show through.
+const PARTITIONS: usize = 5;
+
+/// One scheduler configuration under test.
+struct Cfg {
+    label: String,
+    backend: &'static str,
+    workers: usize,
+    morsel_size: Option<usize>,
+    static_scheduler: bool,
+}
+
+impl Cfg {
+    fn context(&self, ordered: bool) -> Context {
+        let exec = executor_named(self.backend)
+            .unwrap_or_else(|| panic!("unknown backend `{}`", self.backend));
+        let ctx = Context::new(self.workers, PARTITIONS).with_executor(exec);
+        if let Some(rows) = self.morsel_size {
+            ctx.set_morsel_size(rows);
+        }
+        ctx.set_static_scheduler(self.static_scheduler);
+        ctx.set_memory_budget(None);
+        ctx.set_ordered(ordered);
+        ctx
+    }
+}
+
+fn all_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// The grid. Morsel sizes only matter on the morsel backend (the others
+/// never split), so the {1, 64, default} axis runs there; the local and
+/// spill backends cover the unsplit schedules, and one leg pins the
+/// retained static pool so both schedulers are compared on every workload.
+fn scheduler_grid() -> Vec<Cfg> {
+    let mut grid = vec![
+        Cfg {
+            label: "local w2".into(),
+            backend: "local",
+            workers: 2,
+            morsel_size: None,
+            static_scheduler: false,
+        },
+        Cfg {
+            label: "local w7".into(),
+            backend: "local",
+            workers: 7,
+            morsel_size: None,
+            static_scheduler: false,
+        },
+        Cfg {
+            label: "local w7 static-scheduler".into(),
+            backend: "local",
+            workers: 7,
+            morsel_size: None,
+            static_scheduler: true,
+        },
+        Cfg {
+            label: "spill w2".into(),
+            backend: "spill",
+            workers: 2,
+            morsel_size: None,
+            static_scheduler: false,
+        },
+    ];
+    for workers in [2, 7, all_workers()] {
+        for (tag, morsel) in [("m1", Some(1)), ("m64", Some(64)), ("mdefault", None)] {
+            grid.push(Cfg {
+                label: format!("morsel w{workers} {tag}"),
+                backend: "morsel",
+                workers,
+                morsel_size: morsel,
+                static_scheduler: false,
+            });
+        }
+    }
+    grid
+}
+
+/// Compiles and runs a workload on the given context, returning every
+/// declared output as `(name, scalar, rows)`.
+type Outputs = Vec<(String, Option<Value>, Option<Vec<Value>>)>;
+
+fn run_workload(w: &Workload, ctx: Context) -> Outputs {
+    let compiled =
+        diablo_core::compile(w.source).unwrap_or_else(|e| panic!("{}: compile: {e}", w.name));
+    let mut session = Session::new(ctx);
+    for (name, v) in &w.scalars {
+        session.bind_scalar(name, v.clone());
+    }
+    for (name, rows) in &w.collections {
+        session.bind_input(name, rows.clone());
+    }
+    session
+        .run(&compiled)
+        .unwrap_or_else(|e| panic!("{}: run: {e}", w.name));
+    w.outputs
+        .iter()
+        .map(|out| {
+            (
+                (*out).to_string(),
+                session.scalar(out),
+                session.collect(out),
+            )
+        })
+        .collect()
+}
+
+fn check_fig3_identity(ordered: bool) {
+    let mode = if ordered { "ordered" } else { "hash" };
+    let reference_cfg = Cfg {
+        label: "local w1 reference".into(),
+        backend: "local",
+        workers: 1,
+        morsel_size: None,
+        static_scheduler: false,
+    };
+    for w in diablo_workloads::figure3_workloads(1, 42) {
+        let reference = run_workload(&w, reference_cfg.context(ordered));
+        for cfg in scheduler_grid() {
+            let got = run_workload(&w, cfg.context(ordered));
+            assert_eq!(
+                got, reference,
+                "{}/{mode}: `{}` is not byte-identical to the one-worker reference",
+                w.name, cfg.label
+            );
+        }
+    }
+}
+
+#[test]
+fn fig3_outputs_are_byte_identical_across_scheduler_configs_hash() {
+    check_fig3_identity(false);
+}
+
+#[test]
+fn fig3_outputs_are_byte_identical_across_scheduler_configs_ordered() {
+    check_fig3_identity(true);
+}
+
+/// A heavily skewed three-partition input: the middle partition holds
+/// ~98% of the rows, so the morsel scheduler splits it into many spans
+/// that race across workers while the edges finish instantly.
+fn skewed_parts() -> Vec<Vec<Value>> {
+    vec![
+        (0..10).map(Value::Long).collect(),
+        (10_000..15_000).map(Value::Long).collect(),
+        (20_000..20_010).map(Value::Long).collect(),
+    ]
+}
+
+/// Runs a poisoned map over the skewed input and returns the surfaced
+/// error. Three rows fail — 11_000 and 14_000 deep inside the skewed
+/// partition (different morsels, so work stealing races them) and
+/// 20_005 in the last partition — and only the canonically-first one
+/// (row 11_000) may ever surface, with its statement tag intact.
+fn poisoned_run(ctx: Context) -> RuntimeError {
+    ctx.set_memory_budget(None);
+    ctx.set_statement_label(Some("s7: C := poisoned morsel map"));
+    let d = ctx
+        .from_partitions(skewed_parts())
+        .map(|v| match v.as_long() {
+            Some(11_000) => Err(RuntimeError::new("boom at the first poisoned row")),
+            Some(14_000) => Err(RuntimeError::new("boom at a later morsel")),
+            Some(20_005) => Err(RuntimeError::new("boom in the last partition")),
+            _ => Ok(v.clone()),
+        })
+        .unwrap();
+    ctx.set_statement_label(None);
+    d.try_collect().unwrap_err()
+}
+
+#[test]
+fn midmorsel_failures_surface_the_same_first_error_everywhere() {
+    let reference =
+        poisoned_run(Context::new(1, PARTITIONS).with_executor(executor_named("local").unwrap()));
+    assert!(
+        reference.message.contains("boom at the first poisoned row"),
+        "reference picked the wrong row: {reference}"
+    );
+    assert!(
+        reference.message.contains("s7: C := poisoned morsel map"),
+        "reference lost the statement tag: {reference}"
+    );
+    for cfg in scheduler_grid() {
+        let got = poisoned_run(cfg.context(false));
+        assert_eq!(
+            got.message, reference.message,
+            "`{}` surfaced a different first error",
+            cfg.label
+        );
+    }
+}
+
+#[test]
+fn statement_tags_survive_stolen_and_cancelled_morsels() {
+    // Single-row morsels on a wide pool maximize steal traffic and the
+    // number of in-flight morsels the poison flag must cancel; the tagged
+    // error must still come out whole every time.
+    for trial in 0..5 {
+        let ctx = Context::new(7, PARTITIONS)
+            .with_executor(Arc::new(MorselExecutor))
+            .with_morsel_size(1 + trial % 3);
+        let err = poisoned_run(ctx);
+        assert!(
+            err.message.contains("boom at the first poisoned row")
+                && err.message.contains("s7: C := poisoned morsel map"),
+            "trial {trial}: first error or tag lost under stealing: {err}"
+        );
+    }
+}
