@@ -8,6 +8,9 @@
 //! harness ordered          # hash vs sort-based (key-ordered) aggregation
 //! harness scaling          # morsel work-stealing vs static pool on skewed input
 //!                          #   [--mode morsel|baseline] [--check]
+//! harness serve            # closed-loop diablod driver: N clients × M programs,
+//!                          #   cold / cache-warm / 2× overload phases with
+//!                          #   throughput and p50/p99 latency [--check]
 //! harness all              # everything (used to fill EXPERIMENTS.md)
 //! harness --json <cmd>     # machine-readable: one JSON object per row,
 //!                          # each tagged with the execution backend
@@ -16,9 +19,10 @@
 //! Sizes are laptop-scale; see DESIGN.md for the scale substitution. Set
 //! `DIABLO_SCALE` (default 1) to grow every sweep, `DIABLO_BACKEND`
 //! (`local`, `tile`, `spill`) to pick the engine's execution backend, and
-//! `DIABLO_MEMORY_BUDGET` to bound shuffle memory — the JSON output
-//! records which backend produced every engine measurement plus its spill
-//! counters (`spilled_records`, `spilled_bytes`, `spill_files`).
+//! `DIABLO_MEMORY_BUDGET` to bound shuffle memory — every engine-backed
+//! JSON row carries the full effective settings (backend, workers,
+//! partitions, morsel size, memory budget, scheduler, ordered) plus the
+//! spill counters (`spilled_records`, `spilled_bytes`, `spill_files`).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,11 +30,12 @@ use std::time::{Duration, Instant};
 use diablo_baselines::casper_like::casper_translate_with_budget;
 use diablo_baselines::{handwritten, mold_translate};
 use diablo_bench::{
-    compile_time, json_row, mb, run_casper_program, run_diablo, run_handwritten, run_interp, secs,
-    time_once,
+    compile_time, json_row, mb, millis, percentile, run_casper_program, run_diablo,
+    run_handwritten, run_interp, secs, settings_fields, time_once,
 };
 use diablo_dataflow::{Context, Dataset, LocalExecutor, MorselExecutor};
 use diablo_runtime::{BinOp, RuntimeError, TiledMatrix, Value};
+use diablo_serve::{Client, ServeConfig, Server};
 use diablo_workloads as wl;
 use diablo_workloads::Workload;
 
@@ -52,6 +57,10 @@ fn main() {
                 .map(|w| w[1].clone());
             scaling(json, check, mode.as_deref());
         }
+        "serve" => {
+            let check = args.iter().any(|a| a == "--check");
+            serve_bench(json, check);
+        }
         "all" => {
             table1(json);
             table2(json);
@@ -68,7 +77,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, all"
+                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, serve, all"
             );
             std::process::exit(2);
         }
@@ -174,7 +183,7 @@ fn table2(json: bool) {
         );
     }
     let ctx = Context::default_parallel();
-    let backend = ctx.executor().name();
+    let settings = settings_fields(&ctx);
     let s = 20 * scale();
     let workloads = vec![
         wl::conditional_sum(50_000 * s, 1),
@@ -196,22 +205,27 @@ fn table2(json: bool) {
         let stats = ctx.stats().snapshot().since(&before);
         let seq = run_interp(&w);
         if json {
-            println!(
-                "{}",
-                json_row(&[
-                    ("bench", "table2"),
-                    ("program", w.name),
-                    ("backend", backend),
-                    ("rows", &w.input_rows().to_string()),
-                    ("mb", &mb(w.input_bytes())),
-                    ("par_secs", &secs(par)),
-                    ("physical_stages", &stats.physical_stages.to_string()),
-                    ("spilled_records", &stats.spilled_records.to_string()),
-                    ("spilled_bytes", &stats.spilled_bytes.to_string()),
-                    ("spill_files", &stats.spill_files.to_string()),
-                    ("seq_secs", &secs(seq)),
-                ])
-            );
+            let rows_s = w.input_rows().to_string();
+            let mb_s = mb(w.input_bytes());
+            let par_s = secs(par);
+            let stages = stats.physical_stages.to_string();
+            let spill_rec = stats.spilled_records.to_string();
+            let spill_bytes = stats.spilled_bytes.to_string();
+            let spill_files = stats.spill_files.to_string();
+            let seq_s = secs(seq);
+            let mut fields: Vec<(&str, &str)> = vec![("bench", "table2"), ("program", w.name)];
+            fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+            fields.extend([
+                ("rows", rows_s.as_str()),
+                ("mb", mb_s.as_str()),
+                ("par_secs", par_s.as_str()),
+                ("physical_stages", stages.as_str()),
+                ("spilled_records", spill_rec.as_str()),
+                ("spilled_bytes", spill_bytes.as_str()),
+                ("spill_files", spill_files.as_str()),
+                ("seq_secs", seq_s.as_str()),
+            ]);
+            println!("{}", json_row(&fields));
         } else {
             println!(
                 "{:<24} {:>10} {:>12} {:>10} {:>8} {:>10}",
@@ -321,7 +335,7 @@ fn fig3(letter: &str, json: bool) {
         println!("{header}");
     }
     let ctx = Context::default_parallel();
-    let backend = ctx.executor().name();
+    let settings = settings_fields(&ctx);
     let s = scale();
     // The Casper summary is synthesized once, on the smallest size.
     let casper_prog = if *casper {
@@ -343,8 +357,8 @@ fn fig3(letter: &str, json: bool) {
             .map(|prog| secs(run_casper_program(prog, &w, &ctx).expect("casper run")));
         if json {
             let bench = format!("fig3{letter}");
-            let mut fields: Vec<(&str, &str)> =
-                vec![("bench", &bench), ("program", title), ("backend", backend)];
+            let mut fields: Vec<(&str, &str)> = vec![("bench", &bench), ("program", title)];
+            fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
             let mb_s = mb(w.input_bytes());
             let d_s = secs(diablo);
             let ds = d_stats.physical_stages.to_string();
@@ -413,25 +427,27 @@ fn ordered(json: bool) {
         for w in workloads() {
             let ctx = Context::default_parallel();
             ctx.set_ordered(mode == "sorted");
-            let backend = ctx.executor().name();
+            let settings = settings_fields(&ctx);
             let before = ctx.stats().snapshot();
             let t = run_diablo(&w, &ctx);
             let stats = ctx.stats().snapshot().since(&before);
             if json {
-                println!(
-                    "{}",
-                    json_row(&[
-                        ("bench", "ordered"),
-                        ("program", w.name),
-                        ("backend", backend),
-                        ("mode", mode),
-                        ("secs", &secs(t)),
-                        ("sorted_shuffles", &stats.sorted_shuffles.to_string()),
-                        ("spilled_records", &stats.spilled_records.to_string()),
-                        ("spilled_bytes", &stats.spilled_bytes.to_string()),
-                        ("spill_files", &stats.spill_files.to_string()),
-                    ])
-                );
+                let secs_s = secs(t);
+                let sorted = stats.sorted_shuffles.to_string();
+                let spill_rec = stats.spilled_records.to_string();
+                let spill_bytes = stats.spilled_bytes.to_string();
+                let spill_files = stats.spill_files.to_string();
+                let mut fields: Vec<(&str, &str)> = vec![("bench", "ordered"), ("program", w.name)];
+                fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+                fields.extend([
+                    ("mode", mode),
+                    ("secs", secs_s.as_str()),
+                    ("sorted_shuffles", sorted.as_str()),
+                    ("spilled_records", spill_rec.as_str()),
+                    ("spilled_bytes", spill_bytes.as_str()),
+                    ("spill_files", spill_files.as_str()),
+                ]);
+                println!("{}", json_row(&fields));
             } else {
                 println!(
                     "{:<24} {:>8} {:>10} {:>14} {:>12}",
@@ -810,22 +826,26 @@ fn scaling(json: bool, check: bool, mode_filter: Option<&str>) {
                 }
                 measured.push((name.to_string(), mode.to_string(), workers, speedup));
                 if json {
-                    println!(
-                        "{}",
-                        json_row(&[
-                            ("section", "scaling"),
-                            ("workload", name),
-                            ("backend", ctx.executor().name()),
-                            ("mode", mode),
-                            ("workers", &workers.to_string()),
-                            ("secs", &secs(t)),
-                            ("sched_speedup", &format!("{speedup:.2}")),
-                            ("morsels", &stats.morsels.to_string()),
-                            ("steals", &stats.steals.to_string()),
-                            ("max_queue_depth", &stats.max_queue_depth.to_string()),
-                            ("host_cpus", &host_cpus.to_string()),
-                        ])
-                    );
+                    let settings = settings_fields(&ctx);
+                    let secs_s = secs(t);
+                    let speedup_s = format!("{speedup:.2}");
+                    let morsels = stats.morsels.to_string();
+                    let steals = stats.steals.to_string();
+                    let depth = stats.max_queue_depth.to_string();
+                    let cpus = host_cpus.to_string();
+                    let mut fields: Vec<(&str, &str)> =
+                        vec![("section", "scaling"), ("workload", name)];
+                    fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+                    fields.extend([
+                        ("mode", mode),
+                        ("secs", secs_s.as_str()),
+                        ("sched_speedup", speedup_s.as_str()),
+                        ("morsels", morsels.as_str()),
+                        ("steals", steals.as_str()),
+                        ("max_queue_depth", depth.as_str()),
+                        ("host_cpus", cpus.as_str()),
+                    ]);
+                    println!("{}", json_row(&fields));
                 } else {
                     println!(
                         "{:<14} {:>9} {:>8} {:>10} {:>14.2} {:>9} {:>8}",
@@ -889,6 +909,268 @@ fn scaling_check(measured: &[(String, String, usize, f64)]) {
     }
 }
 
+// ------------------------------------------------------------------- serve
+
+/// The serving workload mix: compute-heavy programs with small inputs and
+/// small outputs, so a request's wall-clock is dominated by engine work —
+/// what the cold/warm comparison is meant to expose — rather than by
+/// shipping rows over the socket.
+fn serve_workloads() -> Vec<wl::Workload> {
+    let s = scale();
+    vec![
+        wl::matrix_multiplication(28 * s, 71),
+        wl::matrix_multiplication(32 * s, 72),
+        wl::matrix_multiplication(36 * s, 73),
+        wl::pagerank(150 * s, 2, 74),
+        wl::pagerank(200 * s, 3, 75),
+        wl::matrix_factorization(24 * s, 2, 1, 76),
+    ]
+}
+
+/// What one closed-loop phase observed, aggregated over all clients.
+struct PhaseResult {
+    latencies: Vec<Duration>,
+    failures: u64,
+    hits: u64,
+    wall: Duration,
+}
+
+/// Drives the server with `clients` closed-loop threads, each running
+/// every workload `rounds` times (rotated per client so concurrent
+/// requests interleave distinct programs).
+fn serve_drive(
+    addr: &str,
+    clients: usize,
+    rounds: usize,
+    workloads: &[wl::Workload],
+    no_cache: bool,
+) -> PhaseResult {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let wls = workloads.to_vec();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect to diablod");
+                let mut latencies = Vec::with_capacity(rounds * wls.len());
+                let mut failures = 0u64;
+                let mut hits = 0u64;
+                for r in 0..rounds {
+                    for i in 0..wls.len() {
+                        let w = &wls[(i + c + r) % wls.len()];
+                        let scalars: Vec<(String, Value)> = w
+                            .scalars
+                            .iter()
+                            .map(|(n, v)| (n.to_string(), v.clone()))
+                            .collect();
+                        let rows: Vec<(String, Vec<Value>)> = w
+                            .collections
+                            .iter()
+                            .map(|(n, r)| (n.to_string(), r.clone()))
+                            .collect();
+                        let t0 = Instant::now();
+                        match client.run(w.source, scalars, rows, no_cache) {
+                            Ok(res) => {
+                                latencies.push(t0.elapsed());
+                                if res.stats.cache_hit {
+                                    hits += 1;
+                                }
+                            }
+                            Err(_) => failures += 1,
+                        }
+                    }
+                }
+                (latencies, failures, hits)
+            })
+        })
+        .collect();
+    let mut out = PhaseResult {
+        latencies: Vec::new(),
+        failures: 0,
+        hits: 0,
+        wall: Duration::ZERO,
+    };
+    for h in handles {
+        let (lats, failures, hits) = h.join().expect("client thread");
+        out.latencies.extend(lats);
+        out.failures += failures;
+        out.hits += hits;
+    }
+    out.wall = started.elapsed();
+    out
+}
+
+/// The closed-loop `diablod` serving benchmark: starts an in-process
+/// server on an ephemeral port and drives it through three phases —
+/// `cold` (every request executes, cache bypassed), `warm` (every
+/// request is answerable from the plan-hash result cache, primed by the
+/// cold phase since `no_cache` still stores results), and `overload`
+/// (2× `max_inflight` clients, where admission control must queue the
+/// excess rather than fail or OOM). `--check` gates: zero failed
+/// requests anywhere, every warm request a cache hit, and warm p50 at
+/// least 10× below cold p50.
+fn serve_bench(json: bool, check: bool) {
+    let ctx = Context::default_parallel();
+    let settings = settings_fields(&ctx);
+    let cfg = ServeConfig::default();
+    let max_inflight = cfg.max_inflight;
+    let max_inflight_s = max_inflight.to_string();
+    let deadline_ms = cfg.queue_deadline.as_millis().to_string();
+    let cache_budget = cfg.cache_budget.to_string();
+    let server = Server::start("127.0.0.1:0", ctx, cfg).expect("start diablod");
+    let addr = server.addr().to_string();
+    let workloads = serve_workloads();
+
+    if !json {
+        println!("== Serving: diablod closed-loop (clients × programs) =======================");
+        println!(
+            "{:<10} {:>8} {:>9} {:>9} {:>10} {:>10} {:>10} {:>6} {:>9}",
+            "phase",
+            "clients",
+            "requests",
+            "failures",
+            "rps",
+            "p50 (ms)",
+            "p99 (ms)",
+            "hits",
+            "wall (s)"
+        );
+    }
+
+    let phases: [(&str, usize, usize, bool); 3] = [
+        ("cold", max_inflight, 1, true),
+        ("warm", max_inflight, 20, false),
+        ("overload", 2 * max_inflight, 1, true),
+    ];
+    let mut results: Vec<(&str, usize, PhaseResult)> = Vec::new();
+    for (phase, clients, rounds, no_cache) in phases {
+        let res = serve_drive(&addr, clients, rounds, &workloads, no_cache);
+        results.push((phase, clients, res));
+    }
+
+    for (phase, clients, res) in &results {
+        let requests = res.latencies.len() as u64 + res.failures;
+        let rps = requests as f64 / res.wall.as_secs_f64().max(1e-9);
+        let p50 = percentile(&res.latencies, 50.0);
+        let p99 = percentile(&res.latencies, 99.0);
+        if json {
+            let clients_s = clients.to_string();
+            let programs = workloads.len().to_string();
+            let requests_s = requests.to_string();
+            let failures = res.failures.to_string();
+            let rps_s = format!("{rps:.1}");
+            let p50_s = millis(p50);
+            let p99_s = millis(p99);
+            let hits = res.hits.to_string();
+            let wall = secs(res.wall);
+            let mut fields: Vec<(&str, &str)> = vec![("bench", "serve"), ("phase", phase)];
+            fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+            fields.extend([
+                ("clients", clients_s.as_str()),
+                ("programs", programs.as_str()),
+                ("requests", requests_s.as_str()),
+                ("failures", failures.as_str()),
+                ("rps", rps_s.as_str()),
+                ("p50_ms", p50_s.as_str()),
+                ("p99_ms", p99_s.as_str()),
+                ("cache_hits", hits.as_str()),
+                ("wall_secs", wall.as_str()),
+                ("max_inflight", max_inflight_s.as_str()),
+                ("queue_deadline_ms", deadline_ms.as_str()),
+                ("cache_budget", cache_budget.as_str()),
+            ]);
+            println!("{}", json_row(&fields));
+        } else {
+            println!(
+                "{:<10} {:>8} {:>9} {:>9} {:>10.1} {:>10} {:>10} {:>6} {:>9}",
+                phase,
+                clients,
+                requests,
+                res.failures,
+                rps,
+                millis(p50),
+                millis(p99),
+                res.hits,
+                secs(res.wall)
+            );
+        }
+    }
+
+    // One counters row: the server's own view of the run.
+    let counters = Client::connect(&addr)
+        .expect("connect to diablod")
+        .stats()
+        .expect("server stats");
+    if json {
+        let mut fields: Vec<(&str, &str)> = vec![("bench", "serve"), ("phase", "counters")];
+        let owned: Vec<(String, String)> = counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        fields.extend(owned.iter().map(|(k, v)| (k.as_str(), v.as_str())));
+        println!("{}", json_row(&fields));
+    } else {
+        let line: Vec<String> = counters.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("counters   {}", line.join(" "));
+        println!();
+    }
+    let timeouts = counters
+        .iter()
+        .find(|(k, _)| k == "admission_timeouts")
+        .map_or(0, |(_, v)| *v);
+    server.stop();
+
+    if check {
+        serve_check(&results, timeouts);
+    }
+}
+
+/// The gates CI holds the serving layer to: no request may fail in any
+/// phase (overload queues, it does not shed), no admission timeout may
+/// fire, the warm phase must be answered entirely from the cache, and a
+/// cache hit must be at least 10× faster than a cold execution at the
+/// median.
+fn serve_check(results: &[(&str, usize, PhaseResult)], timeouts: u64) {
+    let get = |phase: &str| results.iter().find(|(p, _, _)| *p == phase).map(|r| &r.2);
+    let mut failures: Vec<String> = Vec::new();
+    for (phase, _, res) in results {
+        if res.failures > 0 {
+            failures.push(format!(
+                "{phase}: {} failed requests (need 0)",
+                res.failures
+            ));
+        }
+    }
+    if timeouts > 0 {
+        failures.push(format!("{timeouts} admission timeouts (need 0)"));
+    }
+    if let Some(warm) = get("warm") {
+        let misses = warm.latencies.len() as u64 - warm.hits;
+        if misses > 0 {
+            failures.push(format!("warm: {misses} cache misses (need 0)"));
+        }
+    }
+    if let (Some(cold), Some(warm)) = (get("cold"), get("warm")) {
+        let cold_p50 = percentile(&cold.latencies, 50.0);
+        let warm_p50 = percentile(&warm.latencies, 50.0);
+        if warm_p50 * 10 > cold_p50 {
+            failures.push(format!(
+                "warm p50 {} ms not ≥10× below cold p50 {} ms",
+                millis(warm_p50),
+                millis(cold_p50)
+            ));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("serve --check: all gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("serve --check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
 // ------------------------------------------------------------- §5 ablation
 
 /// §5 ablation: sparse matrix multiplication (the DIABLO plan) vs the
@@ -902,7 +1184,7 @@ fn tiles(json: bool) {
         );
     }
     let ctx = Context::default_parallel();
-    let backend = ctx.executor().name();
+    let settings = settings_fields(&ctx);
     let s = scale();
     for &d in &[20usize * s, 40 * s, 60 * s, 80 * s] {
         let w = wl::matrix_multiplication(d, 7);
@@ -921,17 +1203,19 @@ fn tiles(json: bool) {
         let _ = prod.unpack_values();
         let with_pack: Duration = start.elapsed();
         if json {
-            println!(
-                "{}",
-                json_row(&[
-                    ("bench", "tiles"),
-                    ("backend", backend),
-                    ("d", &d.to_string()),
-                    ("sparse_secs", &secs(sparse)),
-                    ("tiled_secs", &secs(tiled)),
-                    ("tiled_pack_secs", &secs(with_pack)),
-                ])
-            );
+            let d_s = d.to_string();
+            let sparse_s = secs(sparse);
+            let tiled_s = secs(tiled);
+            let pack_s = secs(with_pack);
+            let mut fields: Vec<(&str, &str)> = vec![("bench", "tiles")];
+            fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+            fields.extend([
+                ("d", d_s.as_str()),
+                ("sparse_secs", sparse_s.as_str()),
+                ("tiled_secs", tiled_s.as_str()),
+                ("tiled_pack_secs", pack_s.as_str()),
+            ]);
+            println!("{}", json_row(&fields));
         } else {
             println!(
                 "{:>6} {:>14} {:>14} {:>16}",

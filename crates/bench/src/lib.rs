@@ -264,6 +264,48 @@ pub fn mb(bytes: usize) -> String {
     format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// The effective engine settings of a context as owned `(key, value)`
+/// pairs for [`json_row`], so every `BENCH_*.json` row is
+/// self-describing: a timing without its backend, worker count, memory
+/// budget, and scheduler is unreproducible. Push these into each row's
+/// field list (they include the `backend` key — do not add it twice).
+pub fn settings_fields(ctx: &Context) -> Vec<(&'static str, String)> {
+    let snap = ctx.stats_snapshot();
+    vec![
+        ("backend", snap.backend),
+        ("workers", snap.workers.to_string()),
+        ("partitions", snap.partitions.to_string()),
+        ("morsel_size", snap.morsel_size.to_string()),
+        (
+            "memory_budget",
+            if snap.memory_budget == u64::MAX {
+                "unbounded".to_string()
+            } else {
+                snap.memory_budget.to_string()
+            },
+        ),
+        ("scheduler", snap.scheduler),
+        ("ordered", snap.ordered.to_string()),
+    ]
+}
+
+/// Nearest-rank percentile (`p` in 0..=100) of a latency sample. Sorts a
+/// copy; returns zero for an empty sample.
+pub fn percentile(samples: &[Duration], p: f64) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Formats a duration in milliseconds with 3 decimal places.
+pub fn millis(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

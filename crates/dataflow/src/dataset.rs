@@ -115,7 +115,16 @@ impl Dataset {
     /// Wraps already-materialized partitions (internal): the plan is a
     /// `Scan` and the cache is pre-filled, so forcing is free.
     fn from_materialized(ctx: Context, parts: Vec<Vec<Value>>) -> Dataset {
-        let parts = Arc::new(parts);
+        Dataset::from_shared_parts(ctx, Arc::new(parts))
+    }
+
+    /// Wraps **shared** already-materialized partitions without copying a
+    /// row. The serving layer holds each named dataset as one
+    /// `Arc<Vec<Vec<Value>>>` and hands every concurrent request a view
+    /// over the same allocation; requests never clone the base data, only
+    /// the `Arc`. The partition list must not be empty.
+    pub fn from_shared_parts(ctx: Context, parts: Arc<Vec<Vec<Value>>>) -> Dataset {
+        assert!(!parts.is_empty(), "need at least one partition");
         let cache = OnceLock::new();
         let _ = cache.set(parts.clone());
         Dataset {
@@ -123,6 +132,30 @@ impl Dataset {
             plan: Arc::new(PlanOp::Scan(parts)),
             cache: Arc::new(cache),
         }
+    }
+
+    /// A content fingerprint: FNV-1a 64 over the rows' canonical binary
+    /// encoding ([`crate::encode_value`]) in cross-partition iteration
+    /// order. Deliberately **partition-boundary independent** — the same
+    /// bag split 2 ways or 8 ways fingerprints equal, so a cache key built
+    /// on it survives repartitioning. Forces the dataset if still lazy;
+    /// any append/update yields a new fingerprint, which is how the serve
+    /// cache versions its inputs.
+    pub fn fingerprint(&self) -> Result<u64> {
+        let parts = self.force()?;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut buf = Vec::new();
+        for part in parts.iter() {
+            for row in part {
+                buf.clear();
+                crate::exchange::encode_value(row, &mut buf)?;
+                for b in &buf {
+                    hash ^= u64::from(*b);
+                    hash = hash.wrapping_mul(0x1_0000_01b3);
+                }
+            }
+        }
+        Ok(hash)
     }
 
     /// The plan downstream consumers should build on: once this dataset

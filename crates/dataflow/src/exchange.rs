@@ -791,7 +791,11 @@ impl ExchangeWriter<'_> {
 /// bit-identical. Lengths that do not fit the u32 wire format (a single
 /// string or container past 4 GiB / 2³² elements) are a loud error, not
 /// a silent truncation.
-fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<()> {
+///
+/// Public because the serve layer's wire protocol and the plan-hash
+/// cache key reuse the same canonical encoding — one codec, one notion
+/// of value identity across spill files, sockets, and cache keys.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<()> {
     fn put_len(out: &mut Vec<u8>, n: usize) -> Result<()> {
         let n = u32::try_from(n).map_err(|_| {
             RuntimeError::new("exchange spill: value length exceeds the u32 wire format")
@@ -845,7 +849,10 @@ fn encode_value(v: &Value, out: &mut Vec<u8>) -> Result<()> {
     Ok(())
 }
 
-fn decode_value(buf: &mut &[u8]) -> Result<Value> {
+/// Inverse of [`encode_value`]: decodes one value from the front of
+/// `buf`, advancing it past the consumed bytes. Any truncated or
+/// malformed input is a `corrupt` error, never a panic.
+pub fn decode_value(buf: &mut &[u8]) -> Result<Value> {
     fn corrupt() -> RuntimeError {
         RuntimeError::new("corrupt exchange spill file")
     }

@@ -79,7 +79,10 @@ mod pool;
 mod stats;
 
 pub use dataset::Dataset;
-pub use exchange::{Exchange, ExchangeWriter, HashPartitioner, Partitioner, RangePartitioner};
+pub use exchange::{
+    decode_value, encode_value, Exchange, ExchangeWriter, HashPartitioner, Partitioner,
+    RangePartitioner,
+};
 pub use executor::{
     executor_named, Capabilities, Executor, LocalExecutor, MorselExecutor, PartitionTask,
     PhysicalPlan, ScatterTask, SpillExecutor, TileExecutor, BACKEND_NAMES,
@@ -113,8 +116,9 @@ struct ContextInner {
     memory_budget: AtomicU64,
     /// Route keyed operators through the sort-based shuffle path.
     ordered: AtomicBool,
-    /// The persistent work-stealing pool, built on first stage.
-    pool: OnceLock<pool::WorkerPool>,
+    /// The persistent work-stealing pool, built on first stage. Held in an
+    /// `Arc` so [`Context::fork`]ed tenant contexts share one pool.
+    pool: OnceLock<Arc<pool::WorkerPool>>,
     /// Rows per morsel when a stage splits oversized partitions.
     morsel_size: AtomicUsize,
     /// Run stages on the retained pre-morsel scheduler (baseline mode).
@@ -279,7 +283,34 @@ impl Context {
     pub(crate) fn pool(&self) -> &pool::WorkerPool {
         self.inner
             .pool
-            .get_or_init(|| pool::WorkerPool::new(self.inner.workers))
+            .get_or_init(|| Arc::new(pool::WorkerPool::new(self.inner.workers)))
+    }
+
+    /// A **tenant context**: a new context that shares this context's
+    /// worker pool (and copies its shape and settings — workers,
+    /// partitions, executor, memory budget, ordered routing, morsel size,
+    /// scheduler) but owns fresh statistics, plan trace, and statement
+    /// labels. This is the multi-tenant serving primitive: each request
+    /// runs its session on a fork, so per-request statistics and
+    /// statement-label plan tagging never interleave across concurrent
+    /// requests, while every stage still schedules onto the one shared
+    /// morsel pool. (The pool itself already tolerates concurrent
+    /// submitters: a stage submitted while another is in flight runs
+    /// inline on the submitting thread.)
+    pub fn fork(&self) -> Context {
+        let child = Context::new(self.workers(), self.partitions());
+        child.set_executor(self.executor());
+        child.set_memory_budget(self.memory_budget());
+        child.set_ordered(self.ordered());
+        child.set_morsel_size(self.morsel_size());
+        child.set_static_scheduler(self.static_scheduler());
+        // Share the parent's pool (forcing its creation): the OnceLock is
+        // fresh on the child, so pre-filling it makes every child stage
+        // schedule onto the parent's workers.
+        let _ = self.pool();
+        let shared = self.inner.pool.get().expect("pool just built").clone();
+        let _ = child.inner.pool.set(shared);
+        child
     }
 
     /// Sets (or clears) the source-statement label attached to plan nodes
@@ -308,6 +339,29 @@ impl Context {
     /// The run statistics.
     pub fn stats(&self) -> &Stats {
         &self.inner.stats
+    }
+
+    /// A statistics snapshot with the **effective context settings**
+    /// (backend, workers, partitions, morsel size, memory budget,
+    /// scheduler, ordered routing) filled in alongside the counters, so
+    /// emitted benchmark rows are self-describing. [`Stats::snapshot`]
+    /// alone leaves the settings at their empty defaults — it cannot see
+    /// the context.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.inner.stats.snapshot();
+        snap.backend = self.executor().name().to_string();
+        snap.workers = self.workers() as u64;
+        snap.partitions = self.partitions() as u64;
+        snap.morsel_size = self.morsel_size() as u64;
+        snap.memory_budget = self.memory_budget().unwrap_or(u64::MAX);
+        snap.scheduler = if self.static_scheduler() {
+            "static"
+        } else {
+            "morsel"
+        }
+        .to_string();
+        snap.ordered = self.ordered();
+        snap
     }
 
     /// Counts one logical `Dataset` operator invocation.

@@ -95,6 +95,13 @@ impl Stats {
     /// Takes a point-in-time snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
+            backend: String::new(),
+            workers: 0,
+            partitions: 0,
+            morsel_size: 0,
+            memory_budget: 0,
+            scheduler: String::new(),
+            ordered: false,
             stages: self.logical_ops.load(Ordering::Relaxed),
             physical_stages: self.physical_stages.load(Ordering::Relaxed),
             shuffles: self.shuffles.load(Ordering::Relaxed),
@@ -135,9 +142,28 @@ impl Stats {
     }
 }
 
-/// A point-in-time copy of [`Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// A point-in-time copy of [`Stats`], plus the **effective context
+/// settings** that produced the counters. The settings fields default to
+/// empty here and are filled by `Context::stats_snapshot`, which can see
+/// the context; they make emitted `BENCH_*.json` rows self-describing
+/// (a number without its backend/budget/scheduler is unreproducible).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
+    /// Executor backend name (`local`, `tile`, `spill`, `morsel`); empty
+    /// when the snapshot came from bare [`Stats::snapshot`].
+    pub backend: String,
+    /// Worker-thread count of the owning context (0 when unknown).
+    pub workers: u64,
+    /// Partition count of the owning context (0 when unknown).
+    pub partitions: u64,
+    /// Morsel size in rows (0 when unknown).
+    pub morsel_size: u64,
+    /// Global memory budget in bytes; `u64::MAX` means unbounded.
+    pub memory_budget: u64,
+    /// Scheduler flavor (`morsel` or `static`); empty when unknown.
+    pub scheduler: String,
+    /// Whether ordered (key-sorted) shuffle routing was in force.
+    pub ordered: bool,
     /// Number of logical `Dataset` operator invocations (historically
     /// named `stages`; each operator call counts one regardless of how the
     /// executor fuses it).
@@ -198,9 +224,17 @@ impl StatsSnapshot {
 
     /// Difference of two snapshots (self - earlier). All counters
     /// subtract; `max_queue_depth` is a gauge and keeps `self`'s
-    /// high-water value.
+    /// high-water value, and the settings fields carry over from `self`
+    /// (a delta ran under the same effective configuration).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
+            backend: self.backend.clone(),
+            workers: self.workers,
+            partitions: self.partitions,
+            morsel_size: self.morsel_size,
+            memory_budget: self.memory_budget,
+            scheduler: self.scheduler.clone(),
+            ordered: self.ordered,
             stages: self.stages - earlier.stages,
             physical_stages: self.physical_stages - earlier.physical_stages,
             shuffles: self.shuffles - earlier.shuffles,

@@ -1,0 +1,225 @@
+//! The plan-hash-keyed LRU result cache.
+//!
+//! Keys are the 64-bit chain `fold(plan_hash, input fingerprints…)`
+//! built by the server (see [`crate::planhash`]); values are a complete
+//! response payload — every visible program variable of a finished run.
+//! Entries are charged their estimated payload size
+//! ([`diablo_runtime::size`]) against a byte budget; inserting past the
+//! budget evicts least-recently-used entries first, and an entry larger
+//! than the whole budget is simply not cached (the run still happened —
+//! caching is an optimization, never a correctness gate).
+//!
+//! Reads and writes take one mutex; the critical sections are hash-map
+//! lookups and `Arc` clones, never row copies, so the lock is invisible
+//! next to program execution. A hit returns the `Arc` — concurrent
+//! requests serving the same program share one allocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use diablo_runtime::size::{serialized_size, slice_size};
+
+use crate::proto::Output;
+
+/// A cached run result: the full output set of one program execution.
+#[derive(Debug)]
+pub struct CachedRun {
+    /// `(name, output)` per visible program variable, sorted by name.
+    pub outputs: Vec<(String, Output)>,
+}
+
+/// Estimated payload bytes of an output set (the eviction currency).
+fn outputs_size(outputs: &[(String, Output)]) -> u64 {
+    outputs
+        .iter()
+        .map(|(n, o)| {
+            n.len()
+                + match o {
+                    Output::Scalar(v) => serialized_size(v),
+                    Output::Rows(rows) => slice_size(rows),
+                }
+        })
+        .sum::<usize>() as u64
+}
+
+struct Entry {
+    run: Arc<CachedRun>,
+    bytes: u64,
+    /// Last-touch tick for LRU ordering.
+    touched: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    clock: u64,
+    bytes: u64,
+}
+
+/// A byte-budgeted LRU map from cache key to run result.
+pub struct ResultCache {
+    budget: u64,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `budget` estimated payload bytes.
+    /// A zero budget disables caching entirely (every insert is a no-op).
+    pub fn new(budget: u64) -> ResultCache {
+        ResultCache {
+            budget,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<CachedRun>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.map.get_mut(&key) {
+            Some(e) => {
+                e.touched = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.run.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a run under a key, evicting LRU entries until it fits.
+    /// Oversized results (bigger than the whole budget) are not cached.
+    pub fn put(&self, key: u64, outputs: Vec<(String, Output)>) -> Arc<CachedRun> {
+        let bytes = outputs_size(&outputs);
+        let run = Arc::new(CachedRun { outputs });
+        if bytes > self.budget {
+            return run;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + bytes > self.budget {
+            // O(n) LRU scan: entry counts are small (whole run results,
+            // not rows), so a scan beats maintaining an ordered list.
+            let Some((&victim, _)) = inner.map.iter().min_by_key(|(_, e)| e.touched) else {
+                break;
+            };
+            let e = inner.map.remove(&victim).expect("victim present");
+            inner.bytes -= e.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                run: run.clone(),
+                bytes,
+                touched: clock,
+            },
+        );
+        run
+    }
+
+    /// Cache hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the byte budget so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Current `(entries, bytes)` occupancy.
+    pub fn occupancy(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache lock");
+        (inner.map.len() as u64, inner.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_runtime::Value;
+
+    fn run_of(n: i64, rows: usize) -> Vec<(String, Output)> {
+        vec![(
+            format!("v{n}"),
+            Output::Rows(
+                (0..rows)
+                    .map(|i| Value::pair(Value::Long(i as i64), Value::Long(n)))
+                    .collect(),
+            ),
+        )]
+    }
+
+    #[test]
+    fn hit_returns_the_same_rows() {
+        let cache = ResultCache::new(1 << 20);
+        assert!(cache.get(7).is_none());
+        let put = cache.put(7, run_of(1, 4));
+        let got = cache.get(7).expect("hit");
+        assert_eq!(got.outputs, put.outputs);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used() {
+        // Each entry is ~ 2 + 10*(2+8+8) = 182 bytes; budget fits two.
+        let one = outputs_size(&run_of(0, 10));
+        let cache = ResultCache::new(2 * one + 1);
+        cache.put(1, run_of(1, 10));
+        cache.put(2, run_of(2, 10));
+        cache.get(1); // refresh 1: victim becomes 2
+        cache.put(3, run_of(3, 10));
+        assert!(cache.get(1).is_some());
+        assert!(cache.get(2).is_none(), "LRU entry evicted");
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.evictions(), 1);
+        let (entries, bytes) = cache.occupancy();
+        assert_eq!(entries, 2);
+        assert!(bytes <= 2 * one + 1);
+    }
+
+    #[test]
+    fn oversized_and_zero_budget_results_are_not_cached() {
+        let cache = ResultCache::new(8);
+        cache.put(1, run_of(1, 100));
+        assert!(cache.get(1).is_none());
+        let off = ResultCache::new(0);
+        off.put(2, run_of(2, 1));
+        assert!(off.get(2).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charge() {
+        let cache = ResultCache::new(1 << 20);
+        cache.put(5, run_of(1, 10));
+        cache.put(5, run_of(2, 10));
+        let (entries, bytes) = cache.occupancy();
+        assert_eq!(entries, 1);
+        assert_eq!(bytes, outputs_size(&run_of(2, 10)));
+    }
+}

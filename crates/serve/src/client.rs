@@ -1,0 +1,116 @@
+//! A blocking `diablod` client: one connection, request/response frames.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+use diablo_runtime::Value;
+
+use crate::proto::{read_frame, write_frame, Output, Request, RequestStats, Response};
+
+/// A connected client. One request is in flight at a time (the protocol
+/// is strictly request/response per connection); open several clients
+/// for concurrency.
+pub struct Client {
+    conn: Box<dyn ReadWrite>,
+}
+
+trait ReadWrite: Read + Write + Send {}
+impl ReadWrite for TcpStream {}
+impl ReadWrite for UnixStream {}
+
+/// A successful run as the client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// `(name, output)` per visible program variable, sorted by name.
+    pub outputs: Vec<(String, Output)>,
+    /// Per-request statistics.
+    pub stats: RequestStats,
+}
+
+impl Client {
+    /// Connects to `host:port` or `unix:/path` (the same scheme
+    /// [`crate::Server::start`] binds).
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let conn: Box<dyn ReadWrite> = match addr.strip_prefix("unix:") {
+            Some(path) => Box::new(UnixStream::connect(path)?),
+            None => {
+                let s = TcpStream::connect(addr)?;
+                let _ = s.set_nodelay(true);
+                Box::new(s)
+            }
+        };
+        Ok(Client { conn })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        let payload = req.encode().map_err(|e| e.to_string())?;
+        write_frame(&mut self.conn, &payload).map_err(|e| format!("send: {e}"))?;
+        let frame = read_frame(&mut self.conn)
+            .map_err(|e| format!("receive: {e}"))?
+            .ok_or_else(|| "server closed the connection".to_string())?;
+        Response::decode(&frame).map_err(|e| e.to_string())
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), String> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(format!("unexpected response to ping: {other:?}")),
+        }
+    }
+
+    /// Runs a program. `Err` carries the server's error message —
+    /// compile error, tagged runtime error, or admission timeout —
+    /// verbatim, exactly what a local `diabloc run` would print.
+    pub fn run(
+        &mut self,
+        program: &str,
+        scalars: Vec<(String, Value)>,
+        rows: Vec<(String, Vec<Value>)>,
+        no_cache: bool,
+    ) -> Result<RunResult, String> {
+        let req = Request::Run {
+            program: program.to_string(),
+            scalars,
+            rows,
+            no_cache,
+        };
+        match self.request(&req)? {
+            Response::RunOk { outputs, stats } => Ok(RunResult { outputs, stats }),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to run: {other:?}")),
+        }
+    }
+
+    /// Registers rows server-side under `name`; returns the content
+    /// fingerprint the server will use in cache keys.
+    pub fn bind_dataset(&mut self, name: &str, rows: Vec<Value>) -> Result<u64, String> {
+        let req = Request::BindDataset {
+            name: name.to_string(),
+            rows,
+        };
+        match self.request(&req)? {
+            Response::BoundOk { fingerprint } => Ok(fingerprint),
+            Response::Error { message } => Err(message),
+            other => Err(format!("unexpected response to bind: {other:?}")),
+        }
+    }
+
+    /// Fetches the server counters as `(name, value)` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, String> {
+        match self.request(&Request::Stats)? {
+            Response::StatsOk { counters } => Ok(counters),
+            other => Err(format!("unexpected response to stats: {other:?}")),
+        }
+    }
+
+    /// Asks the server to exit.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(format!("unexpected response to shutdown: {other:?}")),
+        }
+    }
+}

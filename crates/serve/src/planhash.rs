@@ -1,0 +1,422 @@
+//! Canonical plan hashing — the result cache's notion of program
+//! identity.
+//!
+//! The hash is taken over the **compiled** program (the typed target
+//! statements of [`CompiledProgram`]), not the source text, so every
+//! surface difference the compiler already erases — whitespace, comments,
+//! statement layout — vanishes before hashing: two texts that compile to
+//! the same target code hash equal by construction, and the compiler's
+//! fresh-name generator is deterministic, so its `v#N` temporaries never
+//! destabilize the hash.
+//!
+//! On top of that, declared **input names are alpha-renamed to their
+//! declaration position** (`in$0`, `in$1`, …): a program is the same
+//! query whether its input is spelled `A` or `Points`, and the cache key
+//! binds actual input *content* by fingerprint separately. Only inputs
+//! the program never reassigns are renamed — a reassigned input is also
+//! an output, and outputs are addressed by name in responses, so renaming
+//! one would let two programs with differently-named results collide.
+//!
+//! Everything else is semantic and must distinguish: operators, constants
+//! (hashed through the engine's canonical value encoding, so `0.0` and
+//! `-0.0` differ exactly when their bits do), comprehension structure,
+//! output variable names, and each input's **declared type** (same text
+//! against a `vector[long]` vs a `vector[double]` is a different plan).
+//!
+//! The hash itself is FNV-1a 64 over a tagged byte stream — fully
+//! deterministic across processes and platforms, unlike
+//! `DefaultHasher`, whose seeds the standard library does not pin.
+
+use std::collections::HashMap;
+
+use diablo_comp::{CExpr, Comprehension, Pattern, Qual};
+use diablo_core::{CompiledProgram, TStmt};
+use diablo_runtime::Value;
+
+/// Streaming FNV-1a 64 over a tagged byte stream.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x1_0000_01b3);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for b in bs {
+            self.byte(*b);
+        }
+    }
+
+    fn u64(&mut self, n: u64) {
+        self.bytes(&n.to_le_bytes());
+    }
+
+    /// A length-prefixed string, so `("ab","c")` and `("a","bc")` differ.
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Folds a new component into an existing hash (order-sensitive) — how
+/// the cache key chains the plan hash with input fingerprints.
+pub fn fold(hash: u64, component: u64) -> u64 {
+    let mut f = Fnv(hash);
+    f.u64(component);
+    f.0
+}
+
+/// FNV-1a 64 content hash of one value, via the same canonical shape the
+/// engine's binary codec uses (doubles as raw bits; containers tagged and
+/// length-prefixed). Infallible, unlike the wire codec: lengths are
+/// hashed as `u64`.
+pub fn value_hash(v: &Value) -> u64 {
+    let mut f = Fnv::new();
+    hash_value(&mut f, v);
+    f.0
+}
+
+/// FNV-1a 64 content hash of a row slice, in order.
+pub fn rows_hash(rows: &[Value]) -> u64 {
+    let mut f = Fnv::new();
+    f.u64(rows.len() as u64);
+    for r in rows {
+        hash_value(&mut f, r);
+    }
+    f.0
+}
+
+fn hash_value(f: &mut Fnv, v: &Value) {
+    match v {
+        Value::Unit => f.byte(0),
+        Value::Bool(b) => {
+            f.byte(1);
+            f.byte(u8::from(*b));
+        }
+        Value::Long(n) => {
+            f.byte(2);
+            f.u64(*n as u64);
+        }
+        Value::Double(x) => {
+            f.byte(3);
+            f.u64(x.to_bits());
+        }
+        Value::Str(s) => {
+            f.byte(4);
+            f.str(s);
+        }
+        Value::Tuple(fs) => {
+            f.byte(5);
+            f.u64(fs.len() as u64);
+            for x in fs.iter() {
+                hash_value(f, x);
+            }
+        }
+        Value::Record(fields) => {
+            f.byte(6);
+            f.u64(fields.len() as u64);
+            for (n, x) in fields.iter() {
+                f.str(n);
+                hash_value(f, x);
+            }
+        }
+        Value::Bag(items) => {
+            f.byte(7);
+            f.u64(items.len() as u64);
+            for x in items.iter() {
+                hash_value(f, x);
+            }
+        }
+    }
+}
+
+/// True when any statement (re)assigns `name`.
+fn writes(stmts: &[TStmt], name: &str) -> bool {
+    stmts.iter().any(|s| match s {
+        TStmt::Assign { name: n, .. } => n == name,
+        TStmt::While { body, .. } => writes(body, name),
+    })
+}
+
+/// The canonical plan hash of a compiled program. See the module docs
+/// for what it normalizes (input names, surface syntax) and what it
+/// distinguishes (everything semantic, including input types and output
+/// names).
+pub fn plan_hash(program: &CompiledProgram) -> u64 {
+    // Positional aliases for never-reassigned inputs.
+    let mut rename: HashMap<&str, String> = HashMap::new();
+    let mut f = Fnv::new();
+    f.u64(program.inputs.len() as u64);
+    for (idx, (name, ty)) in program.inputs.iter().enumerate() {
+        if !writes(&program.stmts, name) {
+            rename.insert(name.as_str(), format!("in${idx}"));
+        }
+        // The declared type is part of the plan: hashing the stable Debug
+        // rendering keeps this resilient to new Type variants.
+        f.str(&format!("{ty:?}"));
+    }
+    hash_stmts(&mut f, &program.stmts, &rename);
+    f.0
+}
+
+fn hash_stmts(f: &mut Fnv, stmts: &[TStmt], rename: &HashMap<&str, String>) {
+    f.u64(stmts.len() as u64);
+    for s in stmts {
+        match s {
+            TStmt::Assign {
+                name,
+                value,
+                collection,
+            } => {
+                f.byte(1);
+                f.str(name);
+                f.byte(u8::from(*collection));
+                hash_expr(f, value, rename);
+            }
+            TStmt::While { cond, body } => {
+                f.byte(2);
+                hash_expr(f, cond, rename);
+                hash_stmts(f, body, rename);
+            }
+        }
+    }
+}
+
+fn hash_var(f: &mut Fnv, name: &str, rename: &HashMap<&str, String>) {
+    match rename.get(name) {
+        Some(alias) => f.str(alias),
+        None => f.str(name),
+    }
+}
+
+fn hash_pattern(f: &mut Fnv, p: &Pattern) {
+    match p {
+        Pattern::Var(v) => {
+            f.byte(1);
+            f.str(v);
+        }
+        Pattern::Tuple(ps) => {
+            f.byte(2);
+            f.u64(ps.len() as u64);
+            for p in ps {
+                hash_pattern(f, p);
+            }
+        }
+        Pattern::Wild => f.byte(3),
+    }
+}
+
+fn hash_comp(f: &mut Fnv, c: &Comprehension, rename: &HashMap<&str, String>) {
+    // Pattern variables never collide with input names (inputs that a
+    // qualifier shadows would be surface-illegal), so one rename map
+    // serves the whole tree.
+    f.u64(c.quals.len() as u64);
+    for q in &c.quals {
+        match q {
+            Qual::Gen(p, e) => {
+                f.byte(1);
+                hash_pattern(f, p);
+                hash_expr(f, e, rename);
+            }
+            Qual::Let(p, e) => {
+                f.byte(2);
+                hash_pattern(f, p);
+                hash_expr(f, e, rename);
+            }
+            Qual::Pred(e) => {
+                f.byte(3);
+                hash_expr(f, e, rename);
+            }
+            Qual::GroupBy(p, e) => {
+                f.byte(4);
+                hash_pattern(f, p);
+                hash_expr(f, e, rename);
+            }
+        }
+    }
+    hash_expr(f, &c.head, rename);
+}
+
+fn hash_expr(f: &mut Fnv, e: &CExpr, rename: &HashMap<&str, String>) {
+    match e {
+        CExpr::Var(v) => {
+            f.byte(1);
+            hash_var(f, v, rename);
+        }
+        CExpr::Const(v) => {
+            f.byte(2);
+            hash_value(f, v);
+        }
+        CExpr::Bin(op, a, b) => {
+            f.byte(3);
+            f.str(&format!("{op:?}"));
+            hash_expr(f, a, rename);
+            hash_expr(f, b, rename);
+        }
+        CExpr::Un(op, a) => {
+            f.byte(4);
+            f.str(&format!("{op:?}"));
+            hash_expr(f, a, rename);
+        }
+        CExpr::Call(func, args) => {
+            f.byte(5);
+            f.str(&format!("{func:?}"));
+            f.u64(args.len() as u64);
+            for a in args {
+                hash_expr(f, a, rename);
+            }
+        }
+        CExpr::Tuple(fs) => {
+            f.byte(6);
+            f.u64(fs.len() as u64);
+            for x in fs {
+                hash_expr(f, x, rename);
+            }
+        }
+        CExpr::Record(fs) => {
+            f.byte(7);
+            f.u64(fs.len() as u64);
+            for (n, x) in fs {
+                f.str(n);
+                hash_expr(f, x, rename);
+            }
+        }
+        CExpr::Proj(x, field) => {
+            f.byte(8);
+            hash_expr(f, x, rename);
+            f.str(field);
+        }
+        CExpr::Comp(c) => {
+            f.byte(9);
+            hash_comp(f, c, rename);
+        }
+        CExpr::Agg(op, x) => {
+            f.byte(10);
+            f.str(&format!("{op:?}"));
+            hash_expr(f, x, rename);
+        }
+        CExpr::Merge {
+            left,
+            right,
+            combine,
+        } => {
+            f.byte(11);
+            match combine {
+                None => f.byte(0),
+                Some(op) => {
+                    f.byte(1);
+                    f.str(&format!("{op:?}"));
+                }
+            }
+            hash_expr(f, left, rename);
+            hash_expr(f, right, rename);
+        }
+        CExpr::Range(lo, hi) => {
+            f.byte(12);
+            hash_expr(f, lo, rename);
+            hash_expr(f, hi, rename);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_core::compile;
+
+    fn hash_of(src: &str) -> u64 {
+        plan_hash(&compile(src).expect("compiles"))
+    }
+
+    const SUM: &str = r#"
+        input V: vector[double];
+        var sum: double = 0.0;
+        for v in V do sum += v;
+    "#;
+
+    #[test]
+    fn identical_text_hashes_equal() {
+        assert_eq!(hash_of(SUM), hash_of(SUM));
+    }
+
+    #[test]
+    fn whitespace_and_comments_vanish() {
+        let noisy = r#"
+            // summation over a vector
+            input V: vector[double];
+
+            var sum: double /* running total */ = 0.0;
+            for v in V
+                do sum += v;
+        "#;
+        assert_eq!(hash_of(SUM), hash_of(noisy));
+    }
+
+    #[test]
+    fn renamed_input_hashes_equal() {
+        let renamed = r#"
+            input Readings: vector[double];
+            var sum: double = 0.0;
+            for v in Readings do sum += v;
+        "#;
+        assert_eq!(hash_of(SUM), hash_of(renamed));
+    }
+
+    #[test]
+    fn renamed_output_hashes_differently() {
+        let other = r#"
+            input V: vector[double];
+            var total: double = 0.0;
+            for v in V do total += v;
+        "#;
+        assert_ne!(hash_of(SUM), hash_of(other), "outputs are named results");
+    }
+
+    #[test]
+    fn different_constants_hash_differently() {
+        let shifted = r#"
+            input V: vector[double];
+            var sum: double = 1.0;
+            for v in V do sum += v;
+        "#;
+        assert_ne!(hash_of(SUM), hash_of(shifted));
+    }
+
+    #[test]
+    fn different_input_type_hashes_differently() {
+        let longs = r#"
+            input V: vector[long];
+            var sum: long = 0;
+            for v in V do sum += v;
+        "#;
+        assert_ne!(hash_of(SUM), hash_of(longs));
+    }
+
+    #[test]
+    fn value_hash_separates_double_bits() {
+        assert_ne!(
+            value_hash(&Value::Double(0.0)),
+            value_hash(&Value::Double(-0.0))
+        );
+        assert_eq!(value_hash(&Value::Long(1)), value_hash(&Value::Long(1)));
+        assert_ne!(value_hash(&Value::Long(1)), value_hash(&Value::Double(1.0)));
+    }
+
+    #[test]
+    fn rows_hash_is_order_sensitive() {
+        let a = vec![Value::Long(1), Value::Long(2)];
+        let b = vec![Value::Long(2), Value::Long(1)];
+        assert_ne!(rows_hash(&a), rows_hash(&b));
+        assert_eq!(rows_hash(&a), rows_hash(&a.clone()));
+    }
+
+    #[test]
+    fn fold_chains_are_order_sensitive() {
+        assert_ne!(fold(fold(1, 2), 3), fold(fold(1, 3), 2));
+    }
+}

@@ -1,0 +1,513 @@
+//! The `diablod` wire protocol.
+//!
+//! Both directions speak **length-prefixed frames**: a `u32` little-endian
+//! payload length followed by that many bytes. Payloads are a one-byte
+//! message tag followed by tag-specific fields; [`Value`]s travel in the
+//! engine's canonical binary codec ([`diablo_dataflow::encode_value`] —
+//! the same encoding spill files use, so doubles round-trip as raw bits
+//! and responses are byte-identical to local runs). Strings are
+//! `u32`-length-prefixed UTF-8; lists are a `u32` count followed by the
+//! elements.
+//!
+//! The protocol is deliberately version-tagged: every frame in either
+//! direction starts with [`MAGIC`] so a stray client speaking something
+//! else fails loudly instead of hanging on a bogus length.
+
+use std::io::{Read, Write};
+
+use diablo_dataflow::{decode_value, encode_value};
+use diablo_runtime::{RuntimeError, Value};
+
+/// Result alias for protocol operations.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Protocol magic, the first byte of every payload (bumped on
+/// incompatible changes).
+pub const MAGIC: u8 = 0xD1;
+
+/// Frames larger than this are rejected before allocation — a corrupt or
+/// hostile length prefix must not OOM the server.
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Compile and execute a program against the request's bindings plus
+    /// the server's named datasets.
+    Run {
+        /// DIABLO source text.
+        program: String,
+        /// Scalar bindings, in binding order.
+        scalars: Vec<(String, Value)>,
+        /// Inline collection bindings as `(key, value)` rows.
+        rows: Vec<(String, Vec<Value>)>,
+        /// Bypass the result cache (used by cold-latency benchmarking;
+        /// the run's result is still stored for later hits).
+        no_cache: bool,
+    },
+    /// Register rows server-side under a name: subsequent `Run` requests
+    /// see the dataset without re-shipping it, and every concurrent
+    /// request shares one in-memory copy.
+    BindDataset {
+        /// Dataset name, matched against programs' `input` declarations.
+        name: String,
+        /// `(key, value)` rows.
+        rows: Vec<Value>,
+    },
+    /// Server counters: cache hits/misses/evictions, admission gauges.
+    Stats,
+    /// Ask the server to stop accepting connections and exit.
+    Shutdown,
+}
+
+/// One program variable in a `Run` response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Output {
+    /// A scalar binding.
+    Scalar(Value),
+    /// A collection binding, collected to sorted `(key, value)` rows.
+    Rows(Vec<Value>),
+}
+
+/// Per-request execution statistics, returned with every successful run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestStats {
+    /// True when the response came from the plan-hash result cache.
+    pub cache_hit: bool,
+    /// Canonical plan hash of the compiled program (cache-key component).
+    pub plan_hash: u64,
+    /// Microseconds spent queued in admission control.
+    pub queue_us: u64,
+    /// Microseconds spent executing (0 on a cache hit).
+    pub exec_us: u64,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness acknowledgement.
+    Pong,
+    /// A successful run: program variables (sorted by name, compiler
+    /// temporaries hidden) plus per-request stats.
+    RunOk {
+        /// `(name, output)` per visible program variable.
+        outputs: Vec<(String, Output)>,
+        /// Per-request statistics.
+        stats: RequestStats,
+    },
+    /// Any failure: compile error, runtime error (message carries the
+    /// `[sN:var]` statement tag), admission timeout.
+    Error {
+        /// Human-readable message, identical to what `diabloc run` would
+        /// print locally for the same failure.
+        message: String,
+    },
+    /// Dataset registered; the value is its content fingerprint.
+    BoundOk {
+        /// FNV-1a 64 fingerprint of the registered rows.
+        fingerprint: u64,
+    },
+    /// Server counters as `(name, value)` pairs.
+    StatsOk {
+        /// Counter name/value pairs, in a stable order.
+        counters: Vec<(String, u64)>,
+    },
+    /// Shutdown acknowledged; the server exits after this frame.
+    ShuttingDown,
+}
+
+// ------------------------------------------------------------ primitives
+
+fn put_u32(out: &mut Vec<u8>, n: u32) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, n: u64) {
+    out.extend_from_slice(&n.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<()> {
+    let n = u32::try_from(s.len())
+        .map_err(|_| RuntimeError::new("serve protocol: string exceeds the u32 wire format"))?;
+    put_u32(out, n);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_count(out: &mut Vec<u8>, n: usize) -> Result<()> {
+    let n = u32::try_from(n)
+        .map_err(|_| RuntimeError::new("serve protocol: list exceeds the u32 wire format"))?;
+    put_u32(out, n);
+    Ok(())
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Value]) -> Result<()> {
+    put_count(out, rows.len())?;
+    for r in rows {
+        encode_value(r, out)?;
+    }
+    Ok(())
+}
+
+fn corrupt() -> RuntimeError {
+    RuntimeError::new("serve protocol: corrupt frame")
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(corrupt());
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32> {
+    Ok(u32::from_le_bytes(take(buf, 4)?.try_into().expect("4")))
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64> {
+    Ok(u64::from_le_bytes(take(buf, 8)?.try_into().expect("8")))
+}
+
+fn take_str(buf: &mut &[u8]) -> Result<String> {
+    let n = take_u32(buf)? as usize;
+    let bytes = take(buf, n)?;
+    Ok(std::str::from_utf8(bytes)
+        .map_err(|_| corrupt())?
+        .to_string())
+}
+
+fn take_rows(buf: &mut &[u8]) -> Result<Vec<Value>> {
+    let n = take_u32(buf)? as usize;
+    let mut rows = Vec::with_capacity(n.min(buf.len()));
+    for _ in 0..n {
+        rows.push(decode_value(buf)?);
+    }
+    Ok(rows)
+}
+
+// -------------------------------------------------------------- encoding
+
+impl Request {
+    /// Encodes the request payload (without the frame length).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = vec![MAGIC];
+        match self {
+            Request::Ping => out.push(0),
+            Request::Run {
+                program,
+                scalars,
+                rows,
+                no_cache,
+            } => {
+                out.push(1);
+                put_str(&mut out, program)?;
+                put_count(&mut out, scalars.len())?;
+                for (n, v) in scalars {
+                    put_str(&mut out, n)?;
+                    encode_value(v, &mut out)?;
+                }
+                put_count(&mut out, rows.len())?;
+                for (n, r) in rows {
+                    put_str(&mut out, n)?;
+                    put_rows(&mut out, r)?;
+                }
+                out.push(u8::from(*no_cache));
+            }
+            Request::BindDataset { name, rows } => {
+                out.push(2);
+                put_str(&mut out, name)?;
+                put_rows(&mut out, rows)?;
+            }
+            Request::Stats => out.push(3),
+            Request::Shutdown => out.push(4),
+        }
+        Ok(out)
+    }
+
+    /// Decodes a request payload.
+    pub fn decode(mut buf: &[u8]) -> Result<Request> {
+        let buf = &mut buf;
+        if *take(buf, 1)?.first().expect("1") != MAGIC {
+            return Err(RuntimeError::new(
+                "serve protocol: bad magic (client/server version mismatch?)",
+            ));
+        }
+        let tag = *take(buf, 1)?.first().expect("1");
+        Ok(match tag {
+            0 => Request::Ping,
+            1 => {
+                let program = take_str(buf)?;
+                let n = take_u32(buf)? as usize;
+                let mut scalars = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    let name = take_str(buf)?;
+                    scalars.push((name, decode_value(buf)?));
+                }
+                let n = take_u32(buf)? as usize;
+                let mut rows = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    let name = take_str(buf)?;
+                    rows.push((name, take_rows(buf)?));
+                }
+                let no_cache = take(buf, 1)?[0] != 0;
+                Request::Run {
+                    program,
+                    scalars,
+                    rows,
+                    no_cache,
+                }
+            }
+            2 => Request::BindDataset {
+                name: take_str(buf)?,
+                rows: take_rows(buf)?,
+            },
+            3 => Request::Stats,
+            4 => Request::Shutdown,
+            _ => return Err(corrupt()),
+        })
+    }
+}
+
+impl Response {
+    /// Encodes the response payload (without the frame length).
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let mut out = vec![MAGIC];
+        match self {
+            Response::Pong => out.push(0),
+            Response::RunOk { outputs, stats } => {
+                out.push(1);
+                put_count(&mut out, outputs.len())?;
+                for (name, o) in outputs {
+                    put_str(&mut out, name)?;
+                    match o {
+                        Output::Scalar(v) => {
+                            out.push(0);
+                            encode_value(v, &mut out)?;
+                        }
+                        Output::Rows(rows) => {
+                            out.push(1);
+                            put_rows(&mut out, rows)?;
+                        }
+                    }
+                }
+                out.push(u8::from(stats.cache_hit));
+                put_u64(&mut out, stats.plan_hash);
+                put_u64(&mut out, stats.queue_us);
+                put_u64(&mut out, stats.exec_us);
+            }
+            Response::Error { message } => {
+                out.push(2);
+                put_str(&mut out, message)?;
+            }
+            Response::BoundOk { fingerprint } => {
+                out.push(3);
+                put_u64(&mut out, *fingerprint);
+            }
+            Response::StatsOk { counters } => {
+                out.push(4);
+                put_count(&mut out, counters.len())?;
+                for (n, v) in counters {
+                    put_str(&mut out, n)?;
+                    put_u64(&mut out, *v);
+                }
+            }
+            Response::ShuttingDown => out.push(5),
+        }
+        Ok(out)
+    }
+
+    /// Decodes a response payload.
+    pub fn decode(mut buf: &[u8]) -> Result<Response> {
+        let buf = &mut buf;
+        if *take(buf, 1)?.first().expect("1") != MAGIC {
+            return Err(RuntimeError::new(
+                "serve protocol: bad magic (client/server version mismatch?)",
+            ));
+        }
+        let tag = *take(buf, 1)?.first().expect("1");
+        Ok(match tag {
+            0 => Response::Pong,
+            1 => {
+                let n = take_u32(buf)? as usize;
+                let mut outputs = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    let name = take_str(buf)?;
+                    let kind = take(buf, 1)?[0];
+                    let o = match kind {
+                        0 => Output::Scalar(decode_value(buf)?),
+                        1 => Output::Rows(take_rows(buf)?),
+                        _ => return Err(corrupt()),
+                    };
+                    outputs.push((name, o));
+                }
+                let cache_hit = take(buf, 1)?[0] != 0;
+                let stats = RequestStats {
+                    cache_hit,
+                    plan_hash: take_u64(buf)?,
+                    queue_us: take_u64(buf)?,
+                    exec_us: take_u64(buf)?,
+                };
+                Response::RunOk { outputs, stats }
+            }
+            2 => Response::Error {
+                message: take_str(buf)?,
+            },
+            3 => Response::BoundOk {
+                fingerprint: take_u64(buf)?,
+            },
+            4 => {
+                let n = take_u32(buf)? as usize;
+                let mut counters = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    let name = take_str(buf)?;
+                    counters.push((name, take_u64(buf)?));
+                }
+                Response::StatsOk { counters }
+            }
+            5 => Response::ShuttingDown,
+            _ => return Err(corrupt()),
+        })
+    }
+}
+
+// --------------------------------------------------------------- framing
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let n = u32::try_from(payload.len()).map_err(|_| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame exceeds u32 length")
+    })?;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on clean EOF
+/// (the peer closed between frames).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let n = u32::from_le_bytes(len);
+    if n > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; n as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_req(req: Request) {
+        let bytes = req.encode().unwrap();
+        assert_eq!(Request::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_resp(resp: Response) {
+        let bytes = resp.encode().unwrap();
+        assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::Shutdown);
+        roundtrip_req(Request::Run {
+            program: "var x: long = 1;".into(),
+            scalars: vec![("n".into(), Value::Long(7))],
+            rows: vec![(
+                "V".into(),
+                vec![Value::pair(Value::Long(0), Value::Double(0.5))],
+            )],
+            no_cache: true,
+        });
+        roundtrip_req(Request::BindDataset {
+            name: "points".into(),
+            rows: vec![Value::pair(
+                Value::Long(1),
+                Value::tuple(vec![Value::Double(1.0), Value::Double(2.0)]),
+            )],
+        });
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        roundtrip_resp(Response::Pong);
+        roundtrip_resp(Response::ShuttingDown);
+        roundtrip_resp(Response::Error {
+            message: "[s2:C] boom".into(),
+        });
+        roundtrip_resp(Response::BoundOk {
+            fingerprint: 0xDEAD_BEEF,
+        });
+        roundtrip_resp(Response::StatsOk {
+            counters: vec![("cache_hits".into(), 3), ("cache_misses".into(), 1)],
+        });
+        roundtrip_resp(Response::RunOk {
+            outputs: vec![
+                ("sum".into(), Output::Scalar(Value::Double(4950.0))),
+                (
+                    "C".into(),
+                    Output::Rows(vec![Value::pair(Value::str("a"), Value::Long(3))]),
+                ),
+            ],
+            stats: RequestStats {
+                cache_hit: true,
+                plan_hash: 42,
+                queue_us: 10,
+                exec_us: 0,
+            },
+        });
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = Request::Ping.encode().unwrap();
+        bytes[0] = 0x00;
+        let err = Request::decode(&bytes).unwrap_err();
+        assert!(err.message.contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean eof");
+    }
+
+    #[test]
+    fn oversized_frame_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut &buf[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -82,6 +82,9 @@ struct EngineFlags {
     memory_budget: Option<u64>,
     morsel_size: Option<usize>,
     ordered: bool,
+    /// `run` only: execute on a `diablod` server at this address
+    /// (`host:port` or `unix:/path`) instead of a local engine.
+    connect: Option<String>,
 }
 
 impl EngineFlags {
@@ -126,6 +129,8 @@ impl EngineFlags {
                 );
             } else if let Some(n) = take_value("--morsel-size")? {
                 flags.morsel_size = Some(parse_count("--morsel-size", &n)?);
+            } else if let Some(addr) = take_value("--connect")? {
+                flags.connect = Some(addr);
             } else {
                 i += 1;
             }
@@ -142,6 +147,7 @@ impl EngineFlags {
             || self.memory_budget.is_some()
             || self.morsel_size.is_some()
             || self.ordered
+            || self.connect.is_some()
     }
 
     /// Builds the engine context these flags describe.
@@ -193,8 +199,11 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     };
     if engine.any() && !matches!(cmd, "run" | "explain") {
         return Err(format!(
-            "--backend/--workers/--partitions/--memory-budget/--morsel-size/--ordered only apply to `run` and `explain`, not `{cmd}`"
+            "--backend/--workers/--partitions/--memory-budget/--morsel-size/--ordered/--connect only apply to `run` and `explain`, not `{cmd}`"
         ));
+    }
+    if engine.connect.is_some() && cmd == "explain" {
+        return Err("--connect only applies to `run`".to_string());
     }
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     match cmd {
@@ -211,6 +220,21 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
             Ok(())
         }
         "run" => {
+            if let Some(addr) = &engine.connect {
+                if engine.backend.is_some()
+                    || engine.workers.is_some()
+                    || engine.partitions.is_some()
+                    || engine.memory_budget.is_some()
+                    || engine.morsel_size.is_some()
+                    || engine.ordered
+                {
+                    return Err(
+                        "--connect runs on the server's engine; engine flags belong to diablod"
+                            .to_string(),
+                    );
+                }
+                return run_remote(addr, &source, rest);
+            }
             let compiled = compile(&source).map_err(|e| e.to_string())?;
             let mut session = Session::new(engine.context()?);
             for binding in rest {
@@ -268,7 +292,31 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
+
+/// `run --connect`: ship the program and bindings to a `diablod` server
+/// and print its outputs exactly as a local run would.
+fn run_remote(addr: &str, source: &str, bindings: &[String]) -> Result<(), String> {
+    let mut scalars = Vec::new();
+    let mut rows = Vec::new();
+    for binding in bindings {
+        let (name, value) = parse_binding(binding)?;
+        match value {
+            Bound::Scalar(v) => scalars.push((name, v)),
+            Bound::Rows(r) => rows.push((name, r)),
+        }
+    }
+    let mut client =
+        diablo_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let result = client.run(source, scalars, rows, false)?;
+    for (name, output) in &result.outputs {
+        match output {
+            diablo_serve::Output::Scalar(v) => println!("{name} = {v}"),
+            diablo_serve::Output::Rows(rows) => print_rows(name, rows),
+        }
+    }
+    Ok(())
+}
 
 /// Binds a small synthesized value for every input the user did not bind,
 /// so `explain` works on any program without data files.

@@ -1,0 +1,157 @@
+//! `diablod` — the DIABLO serving daemon.
+//!
+//! ```text
+//! diablod [--listen ADDR] [engine flags] [serving flags]
+//! ```
+//!
+//! Starts a long-lived server that accepts concurrent DIABLO programs
+//! over the length-prefixed socket protocol of `diablo-serve`, runs them
+//! on **one shared engine** (one morsel worker pool, one global memory
+//! budget), and serves repeat programs from a plan-hash result cache.
+//! Drive it with `diabloc run --connect ADDR program.dbl …` or the bench
+//! harness's `serve` command.
+//!
+//! * `--listen ADDR` — `host:port` (port 0 picks an ephemeral port) or
+//!   `unix:/path` for a Unix domain socket. Default `127.0.0.1:7716`,
+//!   or `DIABLO_SERVE_LISTEN`.
+//! * `--max-inflight N` — concurrent executions admitted; excess
+//!   requests queue (`DIABLO_SERVE_MAX_INFLIGHT`, default 4).
+//! * `--queue-deadline-ms MS` — how long a queued request may wait
+//!   before a clean admission error (`DIABLO_SERVE_QUEUE_DEADLINE_MS`,
+//!   default 10000).
+//! * `--cache-budget BYTES` — result-cache byte budget, 0 disables
+//!   caching (`DIABLO_SERVE_CACHE_BUDGET`, default 64 MiB).
+//!
+//! Engine flags mirror `diabloc run`: `--backend <local|tile|spill|morsel>`,
+//! `--workers N`, `--partitions N`, `--memory-budget BYTES`,
+//! `--morsel-size ROWS`, `--ordered` (each also honors its `DIABLO_*`
+//! env var through the engine's own defaults).
+//!
+//! On startup the daemon prints exactly one line to stdout —
+//! `diablod: listening on <resolved addr>` — so wrappers can wait for
+//! readiness; it exits cleanly when a client sends the shutdown request.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use diablo_dataflow::Context;
+use diablo_serve::{ServeConfig, Server};
+
+const USAGE: &str = "usage: diablod [--listen ADDR|unix:/path] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] [--max-inflight N] [--queue-deadline-ms MS] [--cache-budget BYTES]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match serve(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("diablod: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One `--flag value` / `--flag=value` extraction pass.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(v) = args[i].strip_prefix(&format!("{flag}=")) {
+            let v = v.to_string();
+            args.remove(i);
+            return Ok(Some(v));
+        }
+        if args[i] == flag {
+            if i + 1 >= args.len() {
+                return Err(format!("{flag} requires a value"));
+            }
+            let v = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            return Ok(Some(v));
+        }
+        i += 1;
+    }
+    Ok(None)
+}
+
+/// A flag value, falling back to its environment variable.
+fn flag_or_env(args: &mut Vec<String>, flag: &str, env: &str) -> Result<Option<String>, String> {
+    match take_flag(args, flag)? {
+        Some(v) => Ok(Some(v)),
+        None => Ok(std::env::var(env).ok().filter(|v| !v.is_empty())),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("{flag}: `{s}` is not a valid value"))
+}
+
+fn serve(mut args: Vec<String>) -> Result<(), String> {
+    let ordered = args.iter().any(|a| a == "--ordered");
+    args.retain(|a| a != "--ordered");
+
+    let listen = flag_or_env(&mut args, "--listen", "DIABLO_SERVE_LISTEN")?
+        .unwrap_or_else(|| "127.0.0.1:7716".to_string());
+    let backend = take_flag(&mut args, "--backend")?;
+    let workers = take_flag(&mut args, "--workers")?
+        .map(|v| parse_num::<usize>("--workers", &v))
+        .transpose()?;
+    let partitions = take_flag(&mut args, "--partitions")?
+        .map(|v| parse_num::<usize>("--partitions", &v))
+        .transpose()?;
+    let memory_budget = take_flag(&mut args, "--memory-budget")?
+        .map(|v| parse_num::<u64>("--memory-budget", &v))
+        .transpose()?;
+    let morsel_size = take_flag(&mut args, "--morsel-size")?
+        .map(|v| parse_num::<usize>("--morsel-size", &v))
+        .transpose()?;
+
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag_or_env(&mut args, "--max-inflight", "DIABLO_SERVE_MAX_INFLIGHT")? {
+        cfg.max_inflight = parse_num("--max-inflight", &v)?;
+    }
+    if let Some(v) = flag_or_env(
+        &mut args,
+        "--queue-deadline-ms",
+        "DIABLO_SERVE_QUEUE_DEADLINE_MS",
+    )? {
+        cfg.queue_deadline = Duration::from_millis(parse_num("--queue-deadline-ms", &v)?);
+    }
+    if let Some(v) = flag_or_env(&mut args, "--cache-budget", "DIABLO_SERVE_CACHE_BUDGET")? {
+        cfg.cache_budget = parse_num("--cache-budget", &v)?;
+    }
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected argument `{stray}`\n{USAGE}"));
+    }
+
+    let ctx = Context::sized(workers, partitions);
+    if let Some(b) = memory_budget {
+        ctx.set_memory_budget(Some(b));
+    }
+    if let Some(rows) = morsel_size {
+        ctx.set_morsel_size(rows);
+    }
+    if ordered {
+        ctx.set_ordered(true);
+    }
+    let ctx = match backend {
+        None => ctx,
+        Some(name) => {
+            let exec = diablo_dataflow::executor_named(&name).ok_or_else(|| {
+                format!(
+                    "unknown backend `{name}` (try {})",
+                    diablo_dataflow::BACKEND_NAMES.join(", ")
+                )
+            })?;
+            ctx.with_executor(exec)
+        }
+    };
+
+    let server = Server::start(&listen, ctx, cfg).map_err(|e| format!("{listen}: {e}"))?;
+    // The single readiness line wrappers wait for; flushed immediately
+    // so piped stdout sees it before the first request.
+    println!("diablod: listening on {}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    server.join();
+    Ok(())
+}

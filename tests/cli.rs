@@ -1,7 +1,8 @@
-//! Integration tests for the `diabloc` command-line compiler.
+//! Integration tests for the `diabloc` command-line compiler and the
+//! `diablod` serving daemon.
 
-use std::io::Write;
-use std::process::Command;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
 
 fn diabloc() -> Command {
     Command::new(env!("CARGO_BIN_EXE_diabloc"))
@@ -396,6 +397,139 @@ fn engine_shape_flags_apply_to_run_and_are_rejected_elsewhere() {
     assert!(!out.status.success());
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("not a positive count"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Spawns `diablod` on an ephemeral port and returns the child plus the
+/// resolved address parsed from its single readiness line.
+fn spawn_diablod(extra: &[&str]) -> (std::process::Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_diablod"))
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .args(extra)
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).unwrap();
+    let addr = line
+        .trim()
+        .strip_prefix("diablod: listening on ")
+        .unwrap_or_else(|| panic!("unexpected readiness line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn diablod_serves_runs_identical_to_local_diabloc() {
+    let program = write_temp(
+        "served.dbl",
+        "input V: vector[long];
+         var C: vector[long] = vector();
+         var total: long = 0;
+         for i = 0, 9 do C[V[i]] += 1;
+         for i = 0, 9 do total += V[i];",
+    );
+    let data = write_temp("served.csv", "0,5\n1,5\n2,7\n3,5\n4,7\n");
+    let (mut child, addr) = spawn_diablod(&[]);
+
+    let run = |args: &[&str]| {
+        let mut cmd = diabloc();
+        cmd.arg("run");
+        for a in args {
+            cmd.arg(a);
+        }
+        let out = cmd
+            .arg(&program)
+            .arg(format!("V=@{}", data.display()))
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let local = run(&[]);
+    let remote = run(&["--connect", &addr]);
+    assert_eq!(remote, local, "served output must match a local run");
+    // A repeat of the same request is a cache hit — still byte-identical.
+    let cached = run(&["--connect", &addr]);
+    assert_eq!(cached, local);
+
+    // Errors travel back verbatim, statement tags included.
+    let bad = write_temp(
+        "served_err.dbl",
+        "input V: vector[long];
+         var X: vector[long] = vector();
+         for i = 0, 9 do X[i] := 100 / (V[i] - 5);",
+    );
+    let run_err = |args: &[&str]| {
+        let mut cmd = diabloc();
+        cmd.arg("run");
+        for a in args {
+            cmd.arg(a);
+        }
+        let out = cmd
+            .arg(&bad)
+            .arg(format!("V=@{}", data.display()))
+            .output()
+            .unwrap();
+        assert!(!out.status.success());
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    let local_err = run_err(&[]);
+    let remote_err = run_err(&["--connect", &addr]);
+    assert_eq!(remote_err, local_err);
+    assert!(local_err.contains("division by zero"), "{local_err}");
+
+    // Engine flags belong to the daemon, not to a connected client.
+    let out = diabloc()
+        .arg("run")
+        .arg("--connect")
+        .arg(&addr)
+        .arg("--backend")
+        .arg("tile")
+        .arg(&program)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--connect"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+}
+
+#[test]
+fn diablod_rejects_bad_flags_before_binding() {
+    let out = Command::new(env!("CARGO_BIN_EXE_diablod"))
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--frobnicate")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("usage"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_diablod"))
+        .arg("--backend")
+        .arg("spark")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown backend"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );

@@ -1,0 +1,157 @@
+//! Plan-hash canonicalization and result-cache identity.
+//!
+//! The serving layer's cache key is `fold(plan_hash, input fingerprints)`
+//! over the *compiled* program, so everything the compiler erases —
+//! whitespace, comments, the spelling of never-reassigned input names —
+//! must vanish from the hash, while anything that changes semantics must
+//! change it. The final test closes the loop end to end: a cache hit
+//! served by `diablod` is byte-identical to the cold run that populated
+//! it.
+
+use diablo_core::compile;
+use diablo_dataflow::Context;
+use diablo_runtime::Value;
+use diablo_serve::{plan_hash, rows_hash, Client, ServeConfig, Server};
+
+fn hash(src: &str) -> u64 {
+    plan_hash(&compile(src).expect(src))
+}
+
+const SUM: &str = "
+    input V: vector[double];
+    var sum: double = 0.0;
+    for v in V do sum += v;
+";
+
+#[test]
+fn identical_programs_hash_equal() {
+    assert_eq!(hash(SUM), hash(SUM));
+}
+
+#[test]
+fn whitespace_and_comments_do_not_split_the_cache() {
+    let noisy = "
+        // accumulate every element
+        input V: vector[double];
+
+        var sum: double = 0.0;   /* running total */
+        for v in V
+            do sum += v;
+    ";
+    assert_eq!(hash(SUM), hash(noisy));
+}
+
+#[test]
+fn rebound_input_names_hash_equal() {
+    // The input is never reassigned, so its name is pure spelling: the
+    // same request against `V` or `measurements` must share a cache line.
+    let renamed = "
+        input measurements: vector[double];
+        var sum: double = 0.0;
+        for v in measurements do sum += v;
+    ";
+    assert_eq!(hash(SUM), hash(renamed));
+}
+
+#[test]
+fn reassigned_input_names_are_not_renamed() {
+    // An input that is also written is an output addressed by name in
+    // responses — renaming it would conflate observably different
+    // programs.
+    let a = "
+        input V: vector[double];
+        for i = 0, 4 do V[i] := 0.0;
+    ";
+    let b = "
+        input W: vector[double];
+        for i = 0, 4 do W[i] := 0.0;
+    ";
+    assert_ne!(hash(a), hash(b));
+}
+
+#[test]
+fn semantic_differences_change_the_hash() {
+    let doubled = "
+        input V: vector[double];
+        var sum: double = 0.0;
+        for v in V do sum += v * 2.0;
+    ";
+    let seeded = "
+        input V: vector[double];
+        var sum: double = 1.0;
+        for v in V do sum += v;
+    ";
+    let typed = "
+        input V: vector[long];
+        var sum: long = 0;
+        for v in V do sum += v;
+    ";
+    let renamed_output = "
+        input V: vector[double];
+        var total: double = 0.0;
+        for v in V do total += v;
+    ";
+    for (name, other) in [
+        ("loop body", doubled),
+        ("initializer", seeded),
+        ("input type", typed),
+        ("output name", renamed_output),
+    ] {
+        assert_ne!(hash(SUM), hash(other), "{name} must change the hash");
+    }
+}
+
+fn rows(n: i64, shift: i64) -> Vec<Value> {
+    (0..n)
+        .map(|i| Value::pair(Value::Long(i), Value::Double((i + shift) as f64)))
+        .collect()
+}
+
+#[test]
+fn input_content_versions_the_cache_key() {
+    // Same plan, different rows → different fingerprints; identical rows
+    // (independently built) → the same fingerprint.
+    assert_eq!(rows_hash(&rows(10, 0)), rows_hash(&rows(10, 0)));
+    assert_ne!(rows_hash(&rows(10, 0)), rows_hash(&rows(10, 1)));
+    assert_ne!(rows_hash(&rows(10, 0)), rows_hash(&rows(9, 0)));
+}
+
+#[test]
+fn cache_hit_is_byte_identical_to_the_cold_run() {
+    let server =
+        Server::start("127.0.0.1:0", Context::new(2, 4), ServeConfig::default()).expect("server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let bindings = || (vec![], vec![("V".to_string(), rows(100, 0))]);
+
+    let (s, r) = bindings();
+    let cold = client.run(SUM, s, r, false).expect("cold run");
+    assert!(!cold.stats.cache_hit);
+
+    // Same program, same rows, fresh request → served from the cache,
+    // outputs identical down to the encoded bytes.
+    let (s, r) = bindings();
+    let warm = client.run(SUM, s, r, false).expect("warm run");
+    assert!(warm.stats.cache_hit, "second identical run must hit");
+    assert_eq!(warm.outputs, cold.outputs);
+    assert_eq!(warm.stats.plan_hash, cold.stats.plan_hash);
+
+    // Whitespace/comment noise still hits the same entry…
+    let noisy = "
+        input V: vector[double]; // noise
+        var sum: double = 0.0;
+        for v in V do sum += v;
+    ";
+    let (s, r) = bindings();
+    let res = client.run(noisy, s, r, false).expect("noisy run");
+    assert!(res.stats.cache_hit, "formatting must not split the cache");
+    assert_eq!(res.outputs, cold.outputs);
+
+    // …while different input content misses and recomputes.
+    let res = client
+        .run(SUM, vec![], vec![("V".to_string(), rows(100, 7))], false)
+        .expect("shifted run");
+    assert!(!res.stats.cache_hit, "new input content must miss");
+    assert_ne!(res.outputs, cold.outputs);
+
+    server.stop();
+}

@@ -1,0 +1,232 @@
+//! Serving conformance: `diablod` vs a local single-shot session.
+//!
+//! The contract (see `diablo-serve`'s crate docs): a program served over
+//! the socket returns byte-identical outputs — and byte-identical error
+//! messages, statement tags included — to a local run of the same
+//! program, no matter how many clients are hammering the server or
+//! whether the response came from the result cache.
+
+use std::sync::Arc;
+use std::thread;
+
+use diablo_core::compile;
+use diablo_dataflow::Context;
+use diablo_exec::Session;
+use diablo_runtime::Value;
+use diablo_serve::{Client, Output, ServeConfig, Server};
+use diablo_workloads as wl;
+
+/// Runs a workload locally, producing outputs shaped exactly like a
+/// server response: `(name, output)` per visible variable, sorted by
+/// name — an independent reimplementation of the response assembly, so
+/// the test does not inherit a server-side bug.
+fn local_outputs(w: &wl::Workload) -> Result<Vec<(String, Output)>, String> {
+    let compiled = compile(w.source).map_err(|e| e.to_string())?;
+    let mut session = Session::new(Context::new(2, 4));
+    for (name, v) in &w.scalars {
+        session.bind_scalar(name, v.clone());
+    }
+    for (name, rows) in &w.collections {
+        session.bind_input(name, rows.clone());
+    }
+    session.run(&compiled).map_err(|e| e.to_string())?;
+    let mut names: Vec<(String, bool)> = compiled
+        .var_types
+        .iter()
+        .filter(|(n, _)| !n.contains('#'))
+        .map(|(n, t)| (n.clone(), t.is_collection()))
+        .collect();
+    names.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut outputs = Vec::new();
+    for (name, is_collection) in names {
+        if is_collection {
+            if let Some(rows) = session.collect(&name) {
+                outputs.push((name, Output::Rows(rows)));
+            }
+        } else if let Some(v) = session.scalar(&name) {
+            outputs.push((name, Output::Scalar(v)));
+        }
+    }
+    Ok(outputs)
+}
+
+type Scalars = Vec<(String, Value)>;
+type RowBindings = Vec<(String, Vec<Value>)>;
+
+fn remote_bindings(w: &wl::Workload) -> (Scalars, RowBindings) {
+    (
+        w.scalars
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect(),
+        w.collections
+            .iter()
+            .map(|(n, r)| (n.to_string(), r.clone()))
+            .collect(),
+    )
+}
+
+#[test]
+fn concurrent_clients_match_local_runs_byte_for_byte() {
+    let workloads = Arc::new(wl::figure3_workloads(1, 9));
+    let expected: Arc<Vec<_>> = Arc::new(
+        workloads
+            .iter()
+            .map(|w| local_outputs(w).expect(w.name))
+            .collect(),
+    );
+    let server =
+        Server::start("127.0.0.1:0", Context::new(2, 4), ServeConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+
+    const CLIENTS: usize = 4;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let addr = addr.clone();
+            let workloads = workloads.clone();
+            let expected = expected.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                // Two passes: the first mixes cold runs and stampeding
+                // concurrent misses, the second is mostly cache hits.
+                // Either way every response must equal the local run.
+                for pass in 0..2 {
+                    for i in 0..workloads.len() {
+                        let idx = (i + c + pass) % workloads.len();
+                        let w = &workloads[idx];
+                        let (scalars, rows) = remote_bindings(w);
+                        let res = client
+                            .run(w.source, scalars, rows, false)
+                            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                        assert_eq!(
+                            res.outputs, expected[idx],
+                            "{} (client {c}, pass {pass})",
+                            w.name
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.stop();
+}
+
+const DIV_BY_ZERO: &str = "
+    input V: vector[long];
+    var X: vector[long] = vector();
+    for i = 0, 9 do X[i] := 100 / V[i];
+";
+
+fn div_rows() -> Vec<Value> {
+    (0..10)
+        .map(|i| Value::pair(Value::Long(i), Value::Long(i - 4))) // V[4] = 0
+        .collect()
+}
+
+#[test]
+fn error_messages_and_statement_tags_match_local_runs() {
+    let server =
+        Server::start("127.0.0.1:0", Context::new(2, 4), ServeConfig::default()).expect("server");
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Runtime error: the message — statement tag included — must be
+    // exactly what the local session reports.
+    let compiled = compile(DIV_BY_ZERO).expect("compiles");
+    let mut session = Session::new(Context::new(2, 4));
+    session.bind_input("V", div_rows());
+    let local = session.run(&compiled).unwrap_err().to_string();
+    assert!(local.contains(":X"), "tagged locally: {local}");
+    let remote = client
+        .run(
+            DIV_BY_ZERO,
+            vec![],
+            vec![("V".to_string(), div_rows())],
+            false,
+        )
+        .unwrap_err();
+    assert_eq!(remote, local);
+
+    // Errors are never cached: the identical failing request reports the
+    // identical error again, not a stale cached success or blank hit.
+    let again = client
+        .run(
+            DIV_BY_ZERO,
+            vec![],
+            vec![("V".to_string(), div_rows())],
+            false,
+        )
+        .unwrap_err();
+    assert_eq!(again, local);
+
+    // Unbound input: same message as Session::run.
+    let mut unbound = Session::new(Context::new(2, 4));
+    let local_unbound = unbound.run(&compiled).unwrap_err().to_string();
+    let remote_unbound = client.run(DIV_BY_ZERO, vec![], vec![], false).unwrap_err();
+    assert_eq!(remote_unbound, local_unbound);
+
+    // Compile error: the server reports the compiler's message verbatim.
+    let bad = "input V: vector[long]; for i = 1, 8 do V[i] := V[i-1];";
+    let local_compile = compile(bad).unwrap_err().to_string();
+    let remote_compile = client.run(bad, vec![], vec![], false).unwrap_err();
+    assert_eq!(remote_compile, local_compile);
+
+    server.stop();
+}
+
+#[test]
+fn concurrent_failures_keep_their_own_statement_tags() {
+    // Two programs failing at different statements, hammered
+    // concurrently: each response must carry the tag of *its* failing
+    // statement. This is what Context::fork exists for — a shared
+    // statement label would interleave tags across tenants.
+    let later_failure = "
+        input V: vector[long];
+        var W: vector[long] = vector();
+        var Y: vector[long] = vector();
+        for i = 0, 9 do W[i] := V[i] + 1;
+        for i = 0, 9 do Y[i] := 100 / V[i];
+    ";
+    // The ground truth per program comes from a local session, tag and
+    // all — no hardcoded statement numbers.
+    let local_err = |src: &str| {
+        let compiled = compile(src).expect(src);
+        let mut s = Session::new(Context::new(2, 4));
+        s.bind_input("V", div_rows());
+        s.run(&compiled).unwrap_err().to_string()
+    };
+    let expect_x = local_err(DIV_BY_ZERO);
+    let expect_y = local_err(later_failure);
+    assert!(expect_x.contains(":X"), "{expect_x}");
+    assert!(expect_y.contains(":Y"), "{expect_y}");
+    assert_ne!(expect_x, expect_y);
+
+    let server =
+        Server::start("127.0.0.1:0", Context::new(2, 4), ServeConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let addr = addr.clone();
+            let (src, expected) = if c % 2 == 0 {
+                (DIV_BY_ZERO, expect_x.clone())
+            } else {
+                (later_failure, expect_y.clone())
+            };
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                for _ in 0..5 {
+                    let err = client
+                        .run(src, vec![], vec![("V".to_string(), div_rows())], true)
+                        .unwrap_err();
+                    assert_eq!(err, expected, "wrong error for client {c}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.stop();
+}
