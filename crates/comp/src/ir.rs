@@ -224,6 +224,35 @@ impl CExpr {
         }
     }
 
+    /// True if any comprehension anywhere in this expression still carries a
+    /// group-by qualifier after optimization — i.e. executing it performs a
+    /// key re-partitioning (shuffle). Rule (17) eliminates the group-by when
+    /// the key is the unique affine destination subscript; whatever survives
+    /// is a real shuffle, which the shuffle-forecast lint reports.
+    pub fn contains_group_by(&self) -> bool {
+        match self {
+            CExpr::Var(_) | CExpr::Const(_) => false,
+            CExpr::Bin(_, a, b) => a.contains_group_by() || b.contains_group_by(),
+            CExpr::Un(_, a) | CExpr::Agg(_, a) => a.contains_group_by(),
+            CExpr::Call(_, args) => args.iter().any(|a| a.contains_group_by()),
+            CExpr::Tuple(fs) => fs.iter().any(|a| a.contains_group_by()),
+            CExpr::Record(fs) => fs.iter().any(|(_, a)| a.contains_group_by()),
+            CExpr::Proj(a, _) => a.contains_group_by(),
+            CExpr::Comp(c) => {
+                c.has_group_by()
+                    || c.head.contains_group_by()
+                    || c.quals.iter().any(|q| match q {
+                        Qual::Gen(_, e) | Qual::Let(_, e) | Qual::Pred(e) => e.contains_group_by(),
+                        Qual::GroupBy(_, _) => true,
+                    })
+            }
+            CExpr::Merge { left, right, .. } => {
+                left.contains_group_by() || right.contains_group_by()
+            }
+            CExpr::Range(a, b) => a.contains_group_by() || b.contains_group_by(),
+        }
+    }
+
     /// Collects free variables (variables not bound by an enclosing
     /// comprehension qualifier within this expression).
     pub fn free_vars(&self) -> HashSet<String> {

@@ -23,8 +23,10 @@
 
 use std::collections::HashSet;
 
+use diablo_diag::{codes, Diagnostic, Diagnostics};
 use diablo_lang::ast::{Expr, Lhs, Stmt};
 use diablo_lang::lexer::Span;
+use diablo_lang::pretty::pretty_lhs;
 use diablo_lang::types::TypedProgram;
 use diablo_lang::LangError;
 use diablo_runtime::BinOp;
@@ -59,40 +61,59 @@ struct Event {
 
 /// Checks the whole program: every maximal for-loop must satisfy
 /// Definition 3.1. Returns `Ok(())` or the first violation.
+///
+/// This is the fail-fast wrapper around [`check_restrictions_multi`]; the
+/// error it returns is the first diagnostic the multi-error pass emits.
 pub fn check_restrictions(tp: &TypedProgram) -> Result<()> {
-    for s in &tp.program.body {
-        check_stmt(s, tp)?;
+    let mut diags = Diagnostics::new();
+    check_restrictions_multi(tp, &mut diags);
+    match diags.first_error() {
+        None => Ok(()),
+        Some(d) => Err(LangError::new(d.message.clone(), d.span)),
     }
-    Ok(())
 }
 
-fn check_stmt(s: &Stmt, tp: &TypedProgram) -> Result<()> {
+/// Checks the whole program, accumulating *every* §3.2 violation into
+/// `diags` — each conflicting statement pair is reported with both spans
+/// (the primary on the later statement, a secondary label on the earlier).
+pub fn check_restrictions_multi(tp: &TypedProgram, diags: &mut Diagnostics) {
+    for s in &tp.program.body {
+        check_stmt(s, tp, diags);
+    }
+}
+
+fn check_stmt(s: &Stmt, tp: &TypedProgram, diags: &mut Diagnostics) {
     match s {
-        Stmt::For { .. } | Stmt::ForIn { .. } => check_loop(s, tp),
-        Stmt::While { body, .. } => check_stmt(body, tp),
+        Stmt::For { .. } | Stmt::ForIn { .. } => check_loop(s, tp, diags),
+        Stmt::While { body, .. } => check_stmt(body, tp, diags),
         Stmt::If {
             then_branch,
             else_branch,
             ..
         } => {
-            check_stmt(then_branch, tp)?;
+            check_stmt(then_branch, tp, diags);
             if let Some(e) = else_branch {
-                check_stmt(e, tp)?;
+                check_stmt(e, tp, diags);
             }
-            Ok(())
         }
         Stmt::Block(ss) => {
             for s in ss {
-                check_stmt(s, tp)?;
+                check_stmt(s, tp, diags);
             }
-            Ok(())
         }
-        _ => Ok(()),
+        _ => {}
     }
 }
 
-/// Checks one maximal for-loop.
-fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram) -> Result<()> {
+fn kind_verb(kind: Kind) -> &'static str {
+    match kind {
+        Kind::Write => "written",
+        Kind::Aggregate(_) => "incremented",
+    }
+}
+
+/// Checks one maximal for-loop, emitting every violation.
+fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram, diags: &mut Diagnostics) {
     let mut events = Vec::new();
     let mut order = 0usize;
     collect_events(
@@ -102,25 +123,35 @@ fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram) -> Result<()> {
         &mut events,
         &mut order,
         tp,
-    )?;
+        diags,
+    );
 
     // Restriction 1: non-incremental destinations must be affine.
     for ev in &events {
         if ev.kind == Kind::Write && !affine(&ev.dest, &ev.context, tp) {
-            return Err(LangError::new(
-                format!(
-                    "destination `{}` of a non-incremental update is not affine: its indexes \
-                     must be affine expressions covering all enclosing loop indexes {:?} \
-                     (Definition 3.1, restriction 1)",
-                    diablo_lang::pretty::pretty_lhs(&ev.dest),
-                    ev.context
+            diags.emit(
+                Diagnostic::error(
+                    codes::NOT_AFFINE,
+                    format!(
+                        "destination `{}` of a non-incremental update is not affine: its indexes \
+                         must be affine expressions covering all enclosing loop indexes {:?} \
+                         (Definition 3.1, restriction 1)",
+                        pretty_lhs(&ev.dest),
+                        ev.context
+                    ),
+                    ev.span,
+                )
+                .with_help(
+                    "index the destination by every enclosing loop variable, or use an \
+                     incremental update (`+=`, `*=`, ...) which may target any location",
                 ),
-                ev.span,
-            ));
+            );
         }
     }
 
-    // Restriction 2: dependence pairs.
+    // Restriction 2: dependence pairs. Each conflicting (s1, s2) pair is
+    // reported once, on its first offending read.
+    let mut reported: HashSet<(usize, usize)> = HashSet::new();
     for s1 in &events {
         for s2 in &events {
             // (A ∪ W)(s1) × R(s2)
@@ -144,20 +175,24 @@ fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram) -> Result<()> {
                         same_loc && precedes && affine(d2, &s2.context, tp) && inter == idx
                     }
                 };
-                if !ok {
-                    return Err(LangError::new(
-                        format!(
-                            "loop-carried dependence: `{}` is {} and `{}` is read in the same \
-                             loop (Definition 3.1, restriction 2)",
-                            diablo_lang::pretty::pretty_lhs(&s1.dest),
-                            match s1.kind {
-                                Kind::Write => "written",
-                                Kind::Aggregate(_) => "incremented",
-                            },
-                            diablo_lang::pretty::pretty_lhs(d2),
+                if !ok && reported.insert((s1.order, s2.order)) {
+                    diags.emit(
+                        Diagnostic::error(
+                            codes::DEPENDENCE,
+                            format!(
+                                "loop-carried dependence: `{}` is {} and `{}` is read in the same \
+                                 loop (Definition 3.1, restriction 2)",
+                                pretty_lhs(&s1.dest),
+                                kind_verb(s1.kind),
+                                pretty_lhs(d2),
+                            ),
+                            s2.span,
+                        )
+                        .with_label(
+                            s1.span,
+                            format!("`{}` is {} here", pretty_lhs(&s1.dest), kind_verb(s1.kind)),
                         ),
-                        s2.span,
-                    ));
+                    );
                 }
             }
         }
@@ -165,55 +200,79 @@ fn check_loop(loop_stmt: &Stmt, tp: &TypedProgram) -> Result<()> {
 
     // Soundness patch: write/aggregate and mixed-operator aggregate pairs
     // on the same array must target the same location.
+    let mut reported: HashSet<(usize, usize)> = HashSet::new();
     for s1 in &events {
         for s2 in &events {
-            if s1.order >= s2.order || !overlap(&s1.dest, &s2.dest) {
+            if s1.order >= s2.order
+                || !overlap(&s1.dest, &s2.dest)
+                || reported.contains(&(s1.order, s2.order))
+            {
                 continue;
             }
-            match (s1.kind, s2.kind) {
+            let diag = match (s1.kind, s2.kind) {
                 (Kind::Write, Kind::Write) => {
                     // Both affine by restriction 1; distinct statements
                     // writing overlapping arrays at different locations
                     // would be order-dependent.
-                    if s1.dest != s2.dest {
-                        return Err(LangError::new(
+                    (s1.dest != s2.dest).then(|| {
+                        Diagnostic::error(
+                            codes::WRITE_WRITE,
                             format!(
                                 "two non-incremental updates write the array `{}` at \
                                  different locations in the same loop",
                                 s1.dest.base_var()
                             ),
                             s2.span,
-                        ));
-                    }
+                        )
+                        .with_label(
+                            s1.span,
+                            format!("`{}` is also written here", pretty_lhs(&s1.dest)),
+                        )
+                    })
                 }
                 (Kind::Write, Kind::Aggregate(_)) | (Kind::Aggregate(_), Kind::Write) => {
-                    if s1.dest != s2.dest {
-                        return Err(LangError::new(
+                    (s1.dest != s2.dest).then(|| {
+                        Diagnostic::error(
+                            codes::WRITE_AGGREGATE,
                             format!(
                                 "array `{}` is both written and incremented at different \
                                  locations in the same loop",
                                 s1.dest.base_var()
                             ),
                             s2.span,
-                        ));
-                    }
+                        )
+                        .with_label(
+                            s1.span,
+                            format!("`{}` is {} here", pretty_lhs(&s1.dest), kind_verb(s1.kind)),
+                        )
+                    })
                 }
-                (Kind::Aggregate(op1), Kind::Aggregate(op2)) => {
-                    if op1 != op2 && s1.dest != s2.dest {
-                        return Err(LangError::new(
+                (Kind::Aggregate(op1), Kind::Aggregate(op2)) => (op1 != op2 && s1.dest != s2.dest)
+                    .then(|| {
+                        Diagnostic::error(
+                            codes::AGGREGATE_AGGREGATE,
                             format!(
                                 "array `{}` is incremented with different operators at \
-                                 different locations in the same loop",
-                                s1.dest.base_var()
+                                 different locations in the same loop (first increment at \
+                                 {}:{})",
+                                s1.dest.base_var(),
+                                s1.span.line,
+                                s1.span.col
                             ),
                             s2.span,
-                        ));
-                    }
-                }
+                        )
+                        .with_label(
+                            s1.span,
+                            format!("`{}` is incremented here", pretty_lhs(&s1.dest)),
+                        )
+                    }),
+            };
+            if let Some(diag) = diag {
+                reported.insert((s1.order, s2.order));
+                diags.emit(diag);
             }
         }
     }
-    Ok(())
 }
 
 /// Collects leaf update events from a loop body.
@@ -228,7 +287,8 @@ fn collect_events(
     events: &mut Vec<Event>,
     order: &mut usize,
     tp: &TypedProgram,
-) -> Result<()> {
+    diags: &mut Diagnostics,
+) {
     match s {
         Stmt::Assign { dest, value, span }
         | Stmt::Incr {
@@ -255,9 +315,9 @@ fn collect_events(
                 span: *span,
             });
             *order += 1;
-            Ok(())
         }
-        Stmt::Decl { name, span, .. } => Err(LangError::new(
+        Stmt::Decl { name, span, .. } => diags.emit(Diagnostic::error(
+            codes::DECL_IN_LOOP,
             format!("`var {name}` declarations cannot appear inside for-loops"),
             *span,
         )),
@@ -279,10 +339,9 @@ fn collect_events(
             );
             conds.push(bound_reads);
             context.push(var.clone());
-            collect_events(body, context, conds, events, order, tp)?;
+            collect_events(body, context, conds, events, order, tp, diags);
             context.pop();
             conds.pop();
-            Ok(())
         }
         Stmt::ForIn {
             var,
@@ -298,12 +357,12 @@ fn collect_events(
             // for-in loops are rejected unless they do not depend on the
             // iteration at all.
             context.push(format!("{var}@pos"));
-            collect_events(body, context, conds, events, order, tp)?;
+            collect_events(body, context, conds, events, order, tp, diags);
             context.pop();
             conds.pop();
-            Ok(())
         }
-        Stmt::While { span, .. } => Err(LangError::new(
+        Stmt::While { span, .. } => diags.emit(Diagnostic::error(
+            codes::WHILE_IN_FOR,
             "while-loops inside for-loops make the loop sequential, which this \
              implementation does not support (the paper sequentializes such loops)",
             *span,
@@ -315,18 +374,16 @@ fn collect_events(
             ..
         } => {
             conds.push(cond.clone());
-            collect_events(then_branch, context, conds, events, order, tp)?;
+            collect_events(then_branch, context, conds, events, order, tp, diags);
             if let Some(e) = else_branch {
-                collect_events(e, context, conds, events, order, tp)?;
+                collect_events(e, context, conds, events, order, tp, diags);
             }
             conds.pop();
-            Ok(())
         }
         Stmt::Block(ss) => {
             for s in ss {
-                collect_events(s, context, conds, events, order, tp)?;
+                collect_events(s, context, conds, events, order, tp, diags);
             }
-            Ok(())
         }
     }
 }
@@ -662,6 +719,95 @@ mod tests {
             for v in V do W[v] += 1;
         "#;
         analyzed(src).unwrap();
+    }
+
+    #[test]
+    fn multi_reports_every_violation_with_pair_spans() {
+        // Three independent faults: a non-affine write (restriction 1), a
+        // stencil dependence (restriction 2), and a write/increment pair at
+        // different locations (soundness patch).
+        let src = r#"
+            input V: vector[double];
+            var s: double = 0.0;
+            var W: vector[double] = vector();
+            for i = 0, 9 do s := V[i];
+            for i = 0, 9 do V[i] := V[i-1];
+            for i = 0, 9 do {
+                W[i] := 0.0;
+                W[i+1] += 1.0;
+            };
+        "#;
+        let tp = typecheck(parse(src).unwrap()).unwrap();
+        let mut diags = diablo_diag::Diagnostics::new();
+        check_restrictions_multi(&tp, &mut diags);
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        assert!(codes.contains(&diablo_diag::codes::NOT_AFFINE), "{codes:?}");
+        assert!(codes.contains(&diablo_diag::codes::DEPENDENCE), "{codes:?}");
+        assert!(
+            codes.contains(&diablo_diag::codes::WRITE_AGGREGATE),
+            "{codes:?}"
+        );
+        assert_eq!(diags.error_count(), 3, "{:?}", diags.into_vec());
+    }
+
+    #[test]
+    fn multi_conflict_pairs_carry_both_spans() {
+        let src = r#"
+            var V: vector[long] = vector();
+            for i = 0, 9 do {
+                V[i] := 0;
+                V[i+1] += 1;
+            };
+        "#;
+        let tp = typecheck(parse(src).unwrap()).unwrap();
+        let mut diags = diablo_diag::Diagnostics::new();
+        check_restrictions_multi(&tp, &mut diags);
+        let d = diags
+            .iter()
+            .find(|d| d.code == diablo_diag::codes::WRITE_AGGREGATE)
+            .expect("write/aggregate conflict");
+        assert_eq!(d.span.line, 5, "primary on the later statement: {d:?}");
+        assert_eq!(
+            d.labels.len(),
+            1,
+            "secondary on the earlier statement: {d:?}"
+        );
+        assert_eq!(d.labels[0].0.line, 4, "{d:?}");
+    }
+
+    #[test]
+    fn multi_first_error_matches_fail_fast() {
+        let src = r#"
+            input V: vector[double];
+            var s: double = 0.0;
+            for i = 0, 9 do s := V[i];
+            for i = 0, 9 do V[i] := V[i-1];
+        "#;
+        let tp = typecheck(parse(src).unwrap()).unwrap();
+        let err = check_restrictions(&tp).unwrap_err();
+        let mut diags = diablo_diag::Diagnostics::new();
+        check_restrictions_multi(&tp, &mut diags);
+        let first = diags.first_error().unwrap();
+        assert_eq!(first.message, err.message);
+        assert_eq!(
+            (first.span.line, first.span.col),
+            (err.span.line, err.span.col)
+        );
+    }
+
+    #[test]
+    fn aggregate_aggregate_conflict_names_both_locations() {
+        let src = r#"
+            var V: vector[long] = vector();
+            for i = 0, 9 do {
+                V[i] += 1;
+                V[i+1] *= 2;
+            };
+        "#;
+        let tp = typecheck(parse(src).unwrap()).unwrap();
+        let err = check_restrictions(&tp).unwrap_err();
+        assert!(err.message.contains("different locations"), "{err}");
+        assert!(err.message.contains("first increment at 4:"), "{err}");
     }
 
     #[test]

@@ -18,14 +18,17 @@
 //! The one-call entry point is [`compile`].
 
 pub mod analysis;
+pub mod lint;
 pub mod target;
 pub mod translate;
 
-pub use analysis::check_restrictions;
+pub use analysis::{check_restrictions, check_restrictions_multi};
+pub use lint::lint_program;
 pub use target::{lazy_assignments, preorder_len, CompiledProgram, TStmt};
 pub use translate::translate;
 
-use diablo_lang::{parse, typecheck, LangError};
+use diablo_diag::{codes, Diagnostics};
+use diablo_lang::{parse, parse_multi, typecheck, typecheck_multi, LangError, TypedProgram};
 
 /// Compiles loop-based source text to target code: parse → type check →
 /// restriction check → translate → optimize.
@@ -52,6 +55,34 @@ pub fn compile(src: &str) -> Result<CompiledProgram, LangError> {
     let tp = typecheck(program)?;
     check_restrictions(&tp)?;
     translate(&tp)
+}
+
+/// Runs the whole front end, accumulating *every* error (syntax, type, and
+/// §3.2 restriction violations) into `diags` instead of stopping at the
+/// first. Later phases only run when the earlier ones succeeded: type
+/// errors are only reported for programs that parse, and restriction
+/// violations only for programs that type check.
+///
+/// Returns the typed program and its compiled form when the program is
+/// clean (warnings may still have been emitted by callers).
+pub fn compile_multi(
+    src: &str,
+    diags: &mut Diagnostics,
+) -> Option<(TypedProgram, CompiledProgram)> {
+    let program = parse_multi(src, diags)?;
+    let tp = typecheck_multi(program, diags)?;
+    let before = diags.error_count();
+    check_restrictions_multi(&tp, diags);
+    if diags.error_count() > before {
+        return None;
+    }
+    match translate(&tp) {
+        Ok(compiled) => Some((tp, compiled)),
+        Err(e) => {
+            diags.emit(e.into_diagnostic(codes::TYPE));
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -134,6 +134,20 @@ impl Dataset {
         }
     }
 
+    /// Test-only hook: a dataset over a deliberately **malformed plan** —
+    /// a zero-partition `Scan`, a shape the public constructors assert
+    /// away — so integration tests can prove the plan verifier catches
+    /// corrupt plans with a structured error instead of failing obscurely
+    /// downstream. Hidden from docs; never use outside tests.
+    #[doc(hidden)]
+    pub fn malformed_zero_partition_scan_for_tests(ctx: Context) -> Dataset {
+        Dataset {
+            ctx,
+            plan: Arc::new(PlanOp::Scan(Arc::new(Vec::new()))),
+            cache: Arc::new(OnceLock::new()),
+        }
+    }
+
     /// A content fingerprint: FNV-1a 64 over the rows' canonical binary
     /// encoding ([`crate::encode_value`]) in cross-partition iteration
     /// order. Deliberately **partition-boundary independent** — the same

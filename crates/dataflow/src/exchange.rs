@@ -377,6 +377,7 @@ impl Exchange {
         } else {
             (merge_read(state, self.partitions)?, 0)
         };
+        crate::verify::verify_exchange_output(&dest, self.partitions, emitted, self.ordered)?;
         let bytes = crate::dataset::estimate_bytes(&dest);
         ctx.stats().record_shuffle(emitted, bytes);
         ctx.plan_note(format!(

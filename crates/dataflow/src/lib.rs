@@ -71,12 +71,18 @@
 //! physical stage — the engine-level "explain" that `diabloc --explain`
 //! prints — and [`Dataset::explain`] renders a still-pending plan.
 
+// This crate holds the workspace's only unsafe code (the worker pool's
+// result slots and type-erased stage tasks); every unsafe block must say
+// why it is sound, and CI runs the pool's unit tests under Miri.
+#![warn(clippy::undocumented_unsafe_blocks)]
+
 mod dataset;
 mod exchange;
 mod executor;
 mod plan;
 mod pool;
 mod stats;
+mod verify;
 
 pub use dataset::Dataset;
 pub use exchange::{

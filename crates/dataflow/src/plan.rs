@@ -601,6 +601,7 @@ pub(crate) fn materialize(
     mode: DriveMode,
     policy: ChunkPolicy,
 ) -> Result<Parts> {
+    crate::verify::verify_plan(plan)?;
     materialize_with(ctx, plan, &[], mode, policy)
 }
 
@@ -825,6 +826,7 @@ where
     R: Send,
     F: Fn(usize, &PartitionRows<'_>) -> Result<R> + Sync,
 {
+    crate::verify::verify_plan(plan)?;
     // Consumer tasks are atomic per partition (a scatter may carry
     // partition-wide state, e.g. a combiner's hash map), so adaptive
     // scheduling can only coalesce runs of tiny partitions into one task,

@@ -48,6 +48,9 @@ use crate::Context;
 /// that slot; the submitter reads only after all items completed.
 struct Slots<X>(Vec<UnsafeCell<Option<X>>>);
 
+// SAFETY: the deque protocol hands each index to exactly one worker (the
+// sole writer of that `UnsafeCell`), and the submitter reads only after
+// the stage's completion barrier, so no slot is ever aliased mutably.
 unsafe impl<X: Send> Sync for Slots<X> {}
 
 impl<X> Slots<X> {
@@ -103,7 +106,13 @@ pub(crate) struct StageMetrics {
 /// borrow never outlives its stack frame.
 struct TaskPtr(*const (dyn Fn(usize, usize) + Sync));
 
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine)
+// and is only dereferenced while the submitting `run` frame — which owns
+// the closure — is blocked waiting for the stage to drain, so sending the
+// raw pointer across worker threads cannot outlive or alias the closure.
 unsafe impl Send for TaskPtr {}
+// SAFETY: same argument as `Send`; workers only ever call the closure
+// through a shared reference, which `dyn Fn + Sync` permits concurrently.
 unsafe impl Sync for TaskPtr {}
 
 /// One in-flight stage: the erased task, the per-worker deques of item
@@ -223,6 +232,9 @@ impl WorkerPool {
             }
             executed.fetch_add(1, Ordering::Relaxed);
             worker_weight[worker].fetch_add(weight(i), Ordering::Relaxed);
+            // SAFETY: item `i` was claimed from a deque exactly once, so
+            // this worker is its only writer, and the submitter reads the
+            // slot only after the stage's completion barrier.
             unsafe { slots.put(i, out) };
         };
 
@@ -245,6 +257,10 @@ impl WorkerPool {
         // the pointer while holding a claimed item, and `run` does not
         // return until every item completed, so the borrow outlives every
         // dereference even though the type says 'static.
+        //
+        // SAFETY: only the lifetime is transmuted (same wide-pointer
+        // layout); the resulting pointer never escapes this `run` frame,
+        // which outlives all dereferences per the drain barrier below.
         let erased: *const (dyn Fn(usize, usize) + Sync) = unsafe {
             std::mem::transmute::<
                 &(dyn Fn(usize, usize) + Sync + '_),
@@ -356,6 +372,9 @@ impl WorkerPool {
                     }
                     executed.fetch_add(1, Ordering::Relaxed);
                     thread_weight[t].fetch_add(weight(i), Ordering::Relaxed);
+                    // SAFETY: the `fetch_add` on `next` hands index `i`
+                    // to exactly one thread, and the scope join is the
+                    // completion barrier before any slot is read.
                     unsafe { slots.put(i, out) };
                 });
             }
@@ -474,6 +493,11 @@ fn work(shared: &PoolShared, stage: &ActiveStage, me: usize) {
         }
         // Catch panics so a failing task can't wedge the persistent pool;
         // the submitter re-raises after the stage drains.
+        //
+        // SAFETY: holding a claimed, not-yet-completed item keeps the
+        // submitting `run` frame — and therefore the erased closure the
+        // pointer borrows — alive until after this call returns (the
+        // `pending` decrement below is what releases the submitter).
         let run = unsafe { &*stage.task.0 };
         if let Err(p) = catch_unwind(AssertUnwindSafe(|| run(me, item))) {
             let mut slot = stage.panic.lock().expect("pool panic slot");

@@ -1,0 +1,212 @@
+//! The plan-invariant verifier: structural checks on the fused `PlanOp`
+//! DAG and on exchange output, run right before a plan executes.
+//!
+//! The optimizer and the operator layer are supposed to uphold a handful
+//! of invariants by construction — every dataset holds at least one
+//! partition, row nodes preserve their input's partition count, a
+//! key-ordered exchange hands back key-sorted buckets holding exactly the
+//! rows that were emitted into it. A bug that breaks one of them does not
+//! fail at the broken site: it surfaces partitions later as missing rows,
+//! mis-ordered merges, or a panic deep inside a fused stage. The verifier
+//! turns each violation into a structured [`RuntimeError`] naming the
+//! broken invariant at the point where it is still attributable.
+//!
+//! ## Gating
+//!
+//! Enabled by `DIABLO_VERIFY_PLAN=1`, disabled by `DIABLO_VERIFY_PLAN=0`;
+//! any other value panics (house style: a typo in a CI job must fail
+//! loudly, not silently skip verification). With the variable unset the
+//! verifier follows `debug-assertions`: on in debug builds (so the whole
+//! test suite runs verified), off in release builds (so benchmarks pay
+//! nothing). The gate is re-read per plan execution, never cached.
+//!
+//! ## What is checked
+//!
+//! * **Plan shape** ([`verify_plan`], called from `materialize` and
+//!   `consume`): every `Scan` leaf holds ≥ 1 partition (the public
+//!   constructors assert this, so a zero-partition scan means a corrupt
+//!   plan), and row nodes / unions sit over structurally valid inputs.
+//! * **Exchange conservation** (`Exchange::finish`): the merged
+//!   destination buckets hold exactly as many rows as the writers
+//!   emitted — a lost spill chunk or a dropped in-memory chunk is caught
+//!   here, not as silently missing output rows.
+//! * **Ordered-exchange sortedness** (`Exchange::finish`): every bucket
+//!   of a key-ordered exchange comes back globally key-sorted, the
+//!   contract the sorted keyed operators (`sorted_reduce_by_key`, …)
+//!   build on without re-sorting.
+//!
+//! Partitioner bucket range and ordered-exchange row shape are *always*
+//! checked at [`ExchangeWriter::emit`](crate::ExchangeWriter::emit) —
+//! those guard against arbitrary user `Partitioner` implementations, not
+//! against engine bugs, so they are not gated.
+
+use std::sync::Arc;
+
+use diablo_runtime::RuntimeError;
+
+use crate::plan::{PlanOp, Result};
+
+/// Whether the verifier is on: `DIABLO_VERIFY_PLAN` (`1` / `0`, panic on
+/// anything else), defaulting to `debug-assertions`. Re-read per call so
+/// tests can flip it at runtime.
+pub(crate) fn enabled() -> bool {
+    match std::env::var("DIABLO_VERIFY_PLAN") {
+        Ok(s) => match s.as_str() {
+            "1" => true,
+            "0" => false,
+            _ => panic!("DIABLO_VERIFY_PLAN={s}: expected 1 or 0"),
+        },
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+/// Verifies the structural invariants of a plan DAG, returning a
+/// structured error naming the first broken one. No-op when the verifier
+/// is disabled.
+pub(crate) fn verify_plan(plan: &Arc<PlanOp>) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    check(plan).map(|_| ())
+}
+
+/// Recursive walk: validates a node and returns its partition count.
+fn check(plan: &PlanOp) -> Result<usize> {
+    match plan {
+        PlanOp::Scan(parts) => {
+            if parts.is_empty() {
+                return Err(violation(
+                    "scan node has zero partitions — every dataset holds at least one \
+                     (possibly empty) partition",
+                ));
+            }
+            Ok(parts.len())
+        }
+        // Row nodes and partition-wise barriers preserve their input's
+        // partition count.
+        PlanOp::Map(input, _, _) | PlanOp::Filter(input, _, _) | PlanOp::FlatMap(input, _, _) => {
+            check(input)
+        }
+        PlanOp::MapPartitions(input, _, _, _) => check(input),
+        // Union keeps the left side's partition count; the right side
+        // folds in by index modulo the left's count, so both operands
+        // must be structurally valid.
+        PlanOp::Union(l, r) => {
+            let n = check(l)?;
+            check(r)?;
+            Ok(n)
+        }
+    }
+}
+
+/// Verifies what an exchange merge-read produced: `partitions` buckets
+/// holding exactly `emitted` rows, each bucket key-sorted when the
+/// exchange is ordered. No-op when the verifier is disabled.
+pub(crate) fn verify_exchange_output(
+    dest: &[Vec<diablo_runtime::Value>],
+    partitions: usize,
+    emitted: u64,
+    ordered: bool,
+) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    check_exchange_output(dest, partitions, emitted, ordered)
+}
+
+/// The ungated body of [`verify_exchange_output`].
+fn check_exchange_output(
+    dest: &[Vec<diablo_runtime::Value>],
+    partitions: usize,
+    emitted: u64,
+    ordered: bool,
+) -> Result<()> {
+    if dest.len() != partitions {
+        return Err(violation(format!(
+            "exchange produced {} destination buckets for {partitions} partitions",
+            dest.len()
+        )));
+    }
+    let arrived: u64 = dest.iter().map(|b| b.len() as u64).sum();
+    if arrived != emitted {
+        return Err(violation(format!(
+            "exchange emitted {emitted} rows but merged {arrived} back — rows were lost or \
+             duplicated between the writers and the merge-read"
+        )));
+    }
+    if ordered {
+        for (b, bucket) in dest.iter().enumerate() {
+            let sorted = bucket
+                .windows(2)
+                .all(|w| crate::exchange::pair_key(&w[0]) <= crate::exchange::pair_key(&w[1]));
+            if !sorted {
+                return Err(violation(format!(
+                    "ordered exchange bucket {b} is not key-sorted after the merge — a chunk \
+                     was flushed unsorted or the k-way merge mis-ordered its heads"
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A structured verifier error: every message leads with `plan verifier:`
+/// so callers and tests can tell an invariant violation from an ordinary
+/// runtime error.
+fn violation(msg: impl std::fmt::Display) -> RuntimeError {
+    RuntimeError::new(format!("plan verifier: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diablo_runtime::Value;
+
+    #[test]
+    fn zero_partition_scan_is_a_violation() {
+        let plan = Arc::new(PlanOp::Scan(Arc::new(Vec::new())));
+        let err = check(&plan).unwrap_err();
+        assert!(err.message.contains("plan verifier"), "{err}");
+        assert!(err.message.contains("zero partitions"), "{err}");
+    }
+
+    #[test]
+    fn healthy_scan_reports_its_partition_count() {
+        let plan = PlanOp::Scan(Arc::new(vec![vec![Value::Long(1)], vec![]]));
+        assert_eq!(check(&plan).unwrap(), 2);
+    }
+
+    #[test]
+    fn union_keeps_left_count_and_checks_both_sides() {
+        let l = Arc::new(PlanOp::Scan(Arc::new(vec![vec![], vec![], vec![]])));
+        let r = Arc::new(PlanOp::Scan(Arc::new(vec![vec![]])));
+        assert_eq!(check(&PlanOp::Union(l.clone(), r)).unwrap(), 3);
+        let bad = Arc::new(PlanOp::Scan(Arc::new(Vec::new())));
+        assert!(check(&PlanOp::Union(l, bad)).is_err());
+    }
+
+    #[test]
+    fn exchange_output_conservation_and_order() {
+        let ok = vec![
+            vec![Value::pair(Value::Long(1), Value::Unit)],
+            vec![
+                Value::pair(Value::Long(2), Value::Unit),
+                Value::pair(Value::Long(5), Value::Unit),
+            ],
+        ];
+        assert!(check_exchange_output(&ok, 2, 3, true).is_ok());
+        // Lost row.
+        let err = check_exchange_output(&ok, 2, 4, false).unwrap_err();
+        assert!(err.message.contains("lost or"), "{err}");
+        // Wrong bucket count.
+        let err = check_exchange_output(&ok, 3, 3, false).unwrap_err();
+        assert!(err.message.contains("destination buckets"), "{err}");
+        // Unsorted ordered bucket.
+        let unsorted = vec![vec![
+            Value::pair(Value::Long(9), Value::Unit),
+            Value::pair(Value::Long(2), Value::Unit),
+        ]];
+        let err = check_exchange_output(&unsorted, 1, 2, true).unwrap_err();
+        assert!(err.message.contains("not key-sorted"), "{err}");
+    }
+}

@@ -5,37 +5,7 @@
 
 use crate::{LangError, Result};
 
-/// A source location (1-based line and column).
-///
-/// Spans are diagnostic metadata, not syntax: two spans always compare
-/// equal, so AST nodes that differ only in source position are `==`.
-#[derive(Debug, Clone, Copy, Eq)]
-pub struct Span {
-    /// 1-based line number.
-    pub line: u32,
-    /// 1-based column number.
-    pub col: u32,
-}
-
-impl PartialEq for Span {
-    fn eq(&self, _other: &Self) -> bool {
-        true
-    }
-}
-
-impl std::hash::Hash for Span {
-    fn hash<H: std::hash::Hasher>(&self, _state: &mut H) {}
-}
-
-impl Span {
-    /// The dummy span used for synthesized nodes.
-    pub const SYNTH: Span = Span { line: 0, col: 0 };
-
-    /// Creates a span.
-    pub fn new(line: u32, col: u32) -> Span {
-        Span { line, col }
-    }
-}
+pub use diablo_diag::Span;
 
 /// The kind of a token.
 #[derive(Debug, Clone, PartialEq)]

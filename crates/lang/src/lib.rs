@@ -43,9 +43,9 @@ pub mod types;
 
 pub use ast::{Const, Expr, Lhs, Program, Stmt};
 pub use lexer::{Lexer, Span, Token, TokenKind};
-pub use parser::parse;
+pub use parser::{parse, parse_multi};
 pub use pretty::pretty_program;
-pub use types::{typecheck, Type, TypedProgram};
+pub use types::{typecheck, typecheck_multi, Type, TypedProgram};
 
 /// A front-end error (lexing, parsing, or type checking) with a source span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +54,10 @@ pub struct LangError {
     pub message: String,
     /// Where it went wrong.
     pub span: Span,
+    /// Stable diagnostic code override; `None` means the emitting
+    /// phase's default code (D001 for parse errors, D002 for type
+    /// errors) applies.
+    pub code: Option<&'static str>,
 }
 
 impl LangError {
@@ -62,7 +66,21 @@ impl LangError {
         Self {
             message: message.into(),
             span,
+            code: None,
         }
+    }
+
+    /// Pins the error to a specific stable diagnostic code instead of
+    /// the emitting phase's default.
+    pub fn with_code(mut self, code: &'static str) -> Self {
+        self.code = Some(code);
+        self
+    }
+
+    /// Converts the error into a structured diagnostic under `code`
+    /// (or the error's own pinned code, when it has one).
+    pub fn into_diagnostic(self, code: &'static str) -> diablo_diag::Diagnostic {
+        diablo_diag::Diagnostic::error(self.code.unwrap_or(code), self.message, self.span)
     }
 }
 

@@ -6,6 +6,7 @@
 //! the incremental update `d ⊕= e`. This is how programs written in the
 //! style of Appendix B (e.g. `eq := eq && v == x`) are admitted.
 
+use diablo_diag::{codes, Diagnostics};
 use diablo_runtime::{BinOp, Func, UnOp};
 
 use crate::ast::{Const, DeclInit, Expr, Lhs, Program, Stmt};
@@ -18,6 +19,27 @@ pub fn parse(src: &str) -> Result<Program> {
     let tokens = Lexer::new(src).tokenize()?;
     let mut p = Parser { tokens, pos: 0 };
     p.program()
+}
+
+/// Parses a whole program, accumulating *every* syntax error into `diags`
+/// instead of stopping at the first.
+///
+/// After an error the parser resynchronizes at the next top-level `;` and
+/// keeps going, so one run reports all independent faults. Returns `None`
+/// when any error was emitted — the partial AST is not suitable for later
+/// passes.
+pub fn parse_multi(src: &str, diags: &mut Diagnostics) -> Option<Program> {
+    let tokens = match Lexer::new(src).tokenize() {
+        Ok(tokens) => tokens,
+        Err(e) => {
+            diags.emit(e.into_diagnostic(codes::SYNTAX));
+            return None;
+        }
+    };
+    let mut p = Parser { tokens, pos: 0 };
+    let before = diags.error_count();
+    let program = p.program_recovering(diags);
+    (diags.error_count() == before).then_some(program)
 }
 
 /// Parses a single expression (used by tests and the REPL-style examples).
@@ -121,12 +143,7 @@ impl Parser {
     fn program(&mut self) -> Result<Program> {
         let mut inputs = Vec::new();
         while self.at_ident("input") {
-            self.bump();
-            let name = self.ident()?;
-            self.expect(&TokenKind::Colon)?;
-            let ty = self.ty()?;
-            self.expect(&TokenKind::Semi)?;
-            inputs.push((name, ty));
+            inputs.push(self.input_decl()?);
         }
         let mut body = Vec::new();
         while self.peek_kind() != &TokenKind::Eof {
@@ -136,6 +153,64 @@ impl Parser {
             body.push(self.stmt()?);
         }
         Ok(Program { inputs, body })
+    }
+
+    fn input_decl(&mut self) -> Result<(String, Type)> {
+        self.expect_ident("input")?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&TokenKind::Semi)?;
+        Ok((name, ty))
+    }
+
+    /// Like [`Parser::program`] but emits every error into `diags` and
+    /// resynchronizes after each one instead of bailing out.
+    fn program_recovering(&mut self, diags: &mut Diagnostics) -> Program {
+        let mut inputs = Vec::new();
+        while self.at_ident("input") {
+            let start = self.pos;
+            match self.input_decl() {
+                Ok(input) => inputs.push(input),
+                Err(e) => {
+                    diags.emit(e.into_diagnostic(codes::SYNTAX));
+                    self.recover(start);
+                }
+            }
+        }
+        let mut body = Vec::new();
+        while self.peek_kind() != &TokenKind::Eof {
+            if self.eat(&TokenKind::Semi) {
+                continue;
+            }
+            let start = self.pos;
+            match self.stmt() {
+                Ok(s) => body.push(s),
+                Err(e) => {
+                    diags.emit(e.into_diagnostic(codes::SYNTAX));
+                    self.recover(start);
+                }
+            }
+        }
+        Program { inputs, body }
+    }
+
+    /// Skips to just past the next `;` at brace depth zero (or Eof), making
+    /// sure at least one token is consumed so recovery always progresses.
+    fn recover(&mut self, start: usize) {
+        if self.pos == start {
+            self.bump();
+        }
+        let mut depth = 0i64;
+        while self.peek_kind() != &TokenKind::Eof {
+            let t = self.bump();
+            match t.kind {
+                TokenKind::LBrace => depth += 1,
+                TokenKind::RBrace => depth -= 1,
+                TokenKind::Semi if depth <= 0 => return,
+                _ => {}
+            }
+        }
     }
 
     // ---------------------------------------------------------- types
@@ -843,5 +918,44 @@ mod tests {
         let err = parse("var x long = 3;").unwrap_err();
         assert_eq!(err.span.line, 1);
         assert!(err.message.contains("expected `:`"), "{err}");
+    }
+
+    #[test]
+    fn parse_multi_reports_every_error() {
+        let src = "var x long = 3;\nvar y: long = 0;\ny := ;\ny += 1;\nz +* 2;\n";
+        let mut diags = Diagnostics::new();
+        assert!(parse_multi(src, &mut diags).is_none());
+        assert_eq!(diags.error_count(), 3, "{:?}", diags.into_vec());
+    }
+
+    #[test]
+    fn parse_multi_first_error_matches_parse() {
+        let src = "var x long = 3;\ny := ;\n";
+        let err = parse(src).unwrap_err();
+        let mut diags = Diagnostics::new();
+        parse_multi(src, &mut diags);
+        let first = diags.first_error().unwrap();
+        assert_eq!(first.message, err.message);
+        assert_eq!(
+            (first.span.line, first.span.col),
+            (err.span.line, err.span.col)
+        );
+    }
+
+    #[test]
+    fn parse_multi_recovers_across_blocks() {
+        // The error is inside a block; recovery must not get stuck.
+        let src = "input n: long;\nvar s: long = 0;\nfor i = 0, n do {\n  s += ;\n};\ns += 1;\n";
+        let mut diags = Diagnostics::new();
+        assert!(parse_multi(src, &mut diags).is_none());
+        assert!(diags.error_count() >= 1);
+    }
+
+    #[test]
+    fn parse_multi_clean_program_emits_nothing() {
+        let mut diags = Diagnostics::new();
+        let p = parse_multi("var x: long = 0; x += 1;", &mut diags).unwrap();
+        assert!(diags.is_empty());
+        assert_eq!(p.body.len(), 2);
     }
 }

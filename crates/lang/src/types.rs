@@ -14,6 +14,7 @@ use std::collections::{HashMap, HashSet};
 use crate::ast::{Const, DeclInit, Expr, Lhs, Program, Stmt};
 use crate::lexer::Span;
 use crate::{LangError, Result};
+use diablo_diag::{codes, Diagnostic, Diagnostics};
 use diablo_runtime::{BinOp, Func, UnOp};
 
 /// A type of the loop-based language.
@@ -403,12 +404,16 @@ impl Checker {
                 span,
             } => {
                 if loop_depth > 0 {
+                    // Structurally a restriction violation, not a type
+                    // mismatch, so it keeps its own stable code even
+                    // though the check lives in the type phase.
                     return Err(LangError::new(
                         format!(
                             "`var {name}` declarations cannot appear inside for-loops (Fig. 1)"
                         ),
                         span,
-                    ));
+                    )
+                    .with_code(codes::DECL_IN_LOOP));
                 }
                 match &init {
                     DeclInit::EmptyCollection => {
@@ -761,27 +766,68 @@ fn rename_expr(e: Expr, from: &str, to: &str) -> Expr {
 
 /// Type checks a parsed program and renames loop indexes to be distinct.
 pub fn typecheck(program: Program) -> Result<TypedProgram> {
+    let mut diags = Diagnostics::new();
+    match typecheck_multi(program, &mut diags) {
+        Some(tp) => Ok(tp),
+        None => {
+            let first = diags
+                .first_error()
+                .expect("typecheck_multi failed without errors");
+            Err(LangError::new(first.message.clone(), first.span))
+        }
+    }
+}
+
+/// Type checks a parsed program, accumulating *every* type error into
+/// `diags` at statement granularity instead of stopping at the first.
+///
+/// Returns `None` when any error was emitted. The first emitted error is
+/// identical to the error [`typecheck`] reports.
+pub fn typecheck_multi(program: Program, diags: &mut Diagnostics) -> Option<TypedProgram> {
     let mut checker = Checker {
         var_types: HashMap::new(),
         loop_vars: HashSet::new(),
         used: HashSet::new(),
     };
+    let before = diags.error_count();
     for (name, ty) in &program.inputs {
         if checker.used.contains(name) {
-            return Err(LangError::new(
+            diags.emit(Diagnostic::error(
+                codes::TYPE,
                 format!("input `{name}` declared twice"),
                 Span::SYNTH,
             ));
+            continue;
         }
         checker.used.insert(name.clone());
         checker.var_types.insert(name.clone(), ty.clone());
     }
-    let body = program
-        .body
-        .into_iter()
-        .map(|s| checker.check_stmt(s, 0))
-        .collect::<Result<Vec<_>>>()?;
-    Ok(TypedProgram {
+    let mut body = Vec::new();
+    for s in program.body {
+        let decl = match &s {
+            Stmt::Decl { name, ty, .. } => Some((name.clone(), ty.clone())),
+            _ => None,
+        };
+        match checker.check_stmt(s, 0) {
+            Ok(s) => body.push(s),
+            Err(e) => {
+                diags.emit(e.into_diagnostic(codes::TYPE));
+                // Register the declared variable anyway so later statements
+                // that read it don't cascade into spurious unknown-variable
+                // errors.
+                if let Some((name, ty)) = decl {
+                    if !checker.var_types.contains_key(&name) {
+                        checker.used.insert(name.clone());
+                        checker.var_types.insert(name, ty);
+                    }
+                }
+            }
+        }
+    }
+    if diags.error_count() > before {
+        return None;
+    }
+    Some(TypedProgram {
         program: Program {
             inputs: program.inputs,
             body,
@@ -798,6 +844,33 @@ mod tests {
 
     fn check(src: &str) -> Result<TypedProgram> {
         typecheck(parse(src)?)
+    }
+
+    #[test]
+    fn typecheck_multi_reports_every_error() {
+        let src = "var a: long = 0;\na := missing1;\na := missing2;\na += 1;\n";
+        let mut diags = Diagnostics::new();
+        assert!(typecheck_multi(parse(src).unwrap(), &mut diags).is_none());
+        assert_eq!(diags.error_count(), 2, "{:?}", diags.into_vec());
+    }
+
+    #[test]
+    fn typecheck_multi_registers_failed_decls() {
+        // The decl's initializer is bad, but `v` must still be registered so
+        // the next statement doesn't cascade an `undefined variable` error.
+        let src = "var v: vector[long] = bogus;\nv[0] := 1;\n";
+        let mut diags = Diagnostics::new();
+        assert!(typecheck_multi(parse(src).unwrap(), &mut diags).is_none());
+        assert_eq!(diags.error_count(), 1, "{:?}", diags.into_vec());
+    }
+
+    #[test]
+    fn typecheck_multi_first_error_matches_typecheck() {
+        let src = "var a: long = missing1;\na := missing2;\n";
+        let err = typecheck(parse(src).unwrap()).unwrap_err();
+        let mut diags = Diagnostics::new();
+        typecheck_multi(parse(src).unwrap(), &mut diags);
+        assert_eq!(diags.first_error().unwrap().message, err.message);
     }
 
     #[test]

@@ -26,6 +26,8 @@ pub struct RunResult {
     pub outputs: Vec<(String, Output)>,
     /// Per-request statistics.
     pub stats: RequestStats,
+    /// Advisory lint warnings (`warning[D0xx] line:col: …` one-liners).
+    pub warnings: Vec<String>,
 }
 
 impl Client {
@@ -78,7 +80,15 @@ impl Client {
             no_cache,
         };
         match self.request(&req)? {
-            Response::RunOk { outputs, stats } => Ok(RunResult { outputs, stats }),
+            Response::RunOk {
+                outputs,
+                stats,
+                warnings,
+            } => Ok(RunResult {
+                outputs,
+                stats,
+                warnings,
+            }),
             Response::Error { message } => Err(message),
             other => Err(format!("unexpected response to run: {other:?}")),
         }

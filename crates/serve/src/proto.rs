@@ -96,6 +96,10 @@ pub enum Response {
         outputs: Vec<(String, Output)>,
         /// Per-request statistics.
         stats: RequestStats,
+        /// Program lint warnings (compact `warning[D0xx] line:col: …`
+        /// one-liners), in emission order. Advisory only — the run
+        /// succeeded; clients print them to stderr.
+        warnings: Vec<String>,
     },
     /// Any failure: compile error, runtime error (message carries the
     /// `[sN:var]` statement tag), admission timeout.
@@ -278,7 +282,11 @@ impl Response {
         let mut out = vec![MAGIC];
         match self {
             Response::Pong => out.push(0),
-            Response::RunOk { outputs, stats } => {
+            Response::RunOk {
+                outputs,
+                stats,
+                warnings,
+            } => {
                 out.push(1);
                 put_count(&mut out, outputs.len())?;
                 for (name, o) in outputs {
@@ -298,6 +306,10 @@ impl Response {
                 put_u64(&mut out, stats.plan_hash);
                 put_u64(&mut out, stats.queue_us);
                 put_u64(&mut out, stats.exec_us);
+                put_count(&mut out, warnings.len())?;
+                for w in warnings {
+                    put_str(&mut out, w)?;
+                }
             }
             Response::Error { message } => {
                 out.push(2);
@@ -351,7 +363,16 @@ impl Response {
                     queue_us: take_u64(buf)?,
                     exec_us: take_u64(buf)?,
                 };
-                Response::RunOk { outputs, stats }
+                let n = take_u32(buf)? as usize;
+                let mut warnings = Vec::with_capacity(n.min(buf.len()));
+                for _ in 0..n {
+                    warnings.push(take_str(buf)?);
+                }
+                Response::RunOk {
+                    outputs,
+                    stats,
+                    warnings,
+                }
             }
             2 => Response::Error {
                 message: take_str(buf)?,
@@ -481,6 +502,9 @@ mod tests {
                 queue_us: 10,
                 exec_us: 0,
             },
+            warnings: vec![
+                "warning[D020] 3:14: update of `C` compiles to a group-by shuffle".into(),
+            ],
         });
     }
 

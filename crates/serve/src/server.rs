@@ -319,14 +319,28 @@ fn handle_run(
     no_cache: bool,
     shared: &Arc<Shared>,
 ) -> Response {
-    let compiled = match compile(program) {
-        Ok(c) => c,
-        Err(e) => {
+    // The multi-error front end: a clean program yields the typed form
+    // (needed for linting) alongside the compiled one; a faulty program
+    // reports the first error with the same message a local `diabloc run`
+    // prints for it.
+    let mut diags = diablo_diag::Diagnostics::new();
+    let (tp, compiled) = match diablo_core::compile_multi(program, &mut diags) {
+        Some(pair) => pair,
+        None => {
             return Response::Error {
-                message: e.to_string(),
+                message: match compile(program) {
+                    Err(e) => e.to_string(),
+                    Ok(_) => "compile failed".to_string(),
+                },
             }
         }
     };
+    // Advisory lints ride along with every successful run (cache hits
+    // included — they depend only on the program text, not the data).
+    let warnings: Vec<String> = diablo_core::lint_program(&tp, &compiled)
+        .iter()
+        .map(diablo_diag::Diagnostic::one_line)
+        .collect();
     let hash = plan_hash(&compiled);
 
     // Cache key: the plan hash chained with one fingerprint per declared
@@ -360,6 +374,7 @@ fn handle_run(
                     queue_us: 0,
                     exec_us: 0,
                 },
+                warnings,
             };
         }
     } else {
@@ -433,5 +448,6 @@ fn handle_run(
             queue_us,
             exec_us,
         },
+        warnings,
     }
 }

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! diabloc check   <program.dbl>             # parse + type check + restriction check
+//! diabloc check --json <program.dbl>        # same, diagnostics as stable JSON
+//! diabloc lint    <program.dbl>             # check + program lints (shuffle forecast, …)
+//! diabloc lint --json <program.dbl>         # lints as stable JSON
 //! diabloc show    <program.dbl>             # print the translated bulk statements
 //! diabloc run     <program.dbl> [bindings]  # execute on the dataflow engine
 //! diabloc interp  <program.dbl> [bindings]  # execute with the sequential interpreter
@@ -11,6 +14,17 @@
 //! diabloc run --workers 8 --partitions 32 --memory-budget 1048576 ...
 //! diabloc run --ordered <program.dbl>       # sort-based (key-ordered) shuffles
 //! ```
+//!
+//! Every source-consuming command runs the **multi-error front end**: a
+//! faulty program reports *all* of its syntax, type, and §3.2 restriction
+//! violations in one run, each as a rustc-style caret snippet with a
+//! stable `D0xx` code (see `diablo_diag::codes`). `--json` (for `check`
+//! and `lint`) emits the same diagnostics as one stable JSON document on
+//! stdout instead. `lint` additionally reports advisory warnings on
+//! *accepted* programs — updates that compile to a group-by shuffle
+//! (Rule (17) not eliminable), non-monoid accumulations, unused or dead
+//! stores, and provably out-of-bounds constant subscripts; warnings never
+//! fail the command.
 //!
 //! Engine flags (for `run` and `explain` only):
 //!
@@ -46,17 +60,20 @@
 
 use std::process::ExitCode;
 
-use diablo_core::{compile, CompiledProgram, TStmt};
+use diablo_core::{CompiledProgram, TStmt};
 use diablo_dataflow::Context;
+use diablo_diag::Diagnostics;
 use diablo_exec::Session;
 use diablo_interp::Interpreter;
-use diablo_lang::{parse, typecheck, Type};
+use diablo_lang::{parse_multi, typecheck_multi, Type, TypedProgram};
 use diablo_runtime::Value;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let explain_flag = args.iter().any(|a| a == "--explain");
     args.retain(|a| a != "--explain");
+    let json_flag = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
     let engine = match EngineFlags::extract(&mut args) {
         Ok(f) => f,
         Err(msg) => {
@@ -64,7 +81,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match run(&args, explain_flag, &engine) {
+    match run(&args, explain_flag, json_flag, &engine) {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("diabloc: {msg}");
@@ -184,7 +201,12 @@ fn parse_count(flag: &str, s: &str) -> Result<usize, String> {
     }
 }
 
-fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), String> {
+fn run(
+    args: &[String],
+    explain_flag: bool,
+    json_flag: bool,
+    engine: &EngineFlags,
+) -> Result<(), String> {
     let [cmd, path, rest @ ..] = args else {
         return Err(USAGE.to_string());
     };
@@ -202,20 +224,44 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
             "--backend/--workers/--partitions/--memory-budget/--morsel-size/--ordered/--connect only apply to `run` and `explain`, not `{cmd}`"
         ));
     }
+    if json_flag && !matches!(cmd, "check" | "lint") {
+        return Err("--json only applies to `check` and `lint`".to_string());
+    }
     if engine.connect.is_some() && cmd == "explain" {
         return Err("--connect only applies to `run`".to_string());
     }
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     match cmd {
         "check" => {
-            let tp =
-                typecheck(parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
-            diablo_core::check_restrictions(&tp).map_err(|e| e.to_string())?;
-            println!("{path}: ok — the program satisfies the Definition 3.1 restrictions");
+            let _ = front_end(&source, path, json_flag)?;
+            if json_flag {
+                println!("{}", diablo_diag::to_json(&Diagnostics::new()));
+            } else {
+                println!("{path}: ok — the program satisfies the Definition 3.1 restrictions");
+            }
+            Ok(())
+        }
+        "lint" => {
+            let (tp, compiled) = front_end(&source, path, json_flag)?;
+            let mut diags = Diagnostics::new();
+            diags.extend(diablo_core::lint_program(&tp, &compiled));
+            if json_flag {
+                println!("{}", diablo_diag::to_json(&diags));
+            } else if diags.is_empty() {
+                println!("{path}: ok — no lint warnings");
+            } else {
+                eprint!("{}", diablo_diag::render_all(&diags, &source, path));
+                let n = diags.len();
+                eprintln!(
+                    "{path}: {n} warning{} emitted",
+                    if n == 1 { "" } else { "s" }
+                );
+            }
+            // Warnings are advisory: lint fails only on front-end errors.
             Ok(())
         }
         "show" => {
-            let compiled = compile(&source).map_err(|e| e.to_string())?;
+            let (_, compiled) = front_end(&source, path, false)?;
             print_target(&compiled.stmts, 0);
             Ok(())
         }
@@ -235,7 +281,7 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
                 }
                 return run_remote(addr, &source, rest);
             }
-            let compiled = compile(&source).map_err(|e| e.to_string())?;
+            let (_, compiled) = front_end(&source, path, false)?;
             let mut session = Session::new(engine.context()?);
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
@@ -249,7 +295,7 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
             Ok(())
         }
         "explain" => {
-            let compiled = compile(&source).map_err(|e| e.to_string())?;
+            let (_, compiled) = front_end(&source, path, false)?;
             let mut session = Session::new(engine.context()?);
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
@@ -264,8 +310,13 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
             Ok(())
         }
         "interp" => {
-            let tp =
-                typecheck(parse(&source).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+            // The interpreter accepts programs the restriction check would
+            // reject (it runs them sequentially), so only parse and type
+            // check here — still multi-error.
+            let mut diags = Diagnostics::new();
+            let tp = parse_multi(&source, &mut diags)
+                .and_then(|p| typecheck_multi(p, &mut diags))
+                .ok_or_else(|| report_diagnostics(&diags, &source, path, false))?;
             let mut interp = Interpreter::new();
             for binding in rest {
                 let (name, value) = parse_binding(binding)?;
@@ -292,7 +343,33 @@ fn run(args: &[String], explain_flag: bool, engine: &EngineFlags) -> Result<(), 
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|show|run|interp|explain> [--explain] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|lint|show|run|interp|explain> [--explain] [--json] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
+
+/// Renders accumulated front-end diagnostics — rustc-style caret snippets
+/// on stderr, or the stable JSON document on stdout under `--json` — and
+/// returns the one-line summary the process exits with.
+fn report_diagnostics(diags: &Diagnostics, source: &str, path: &str, json: bool) -> String {
+    if json {
+        println!("{}", diablo_diag::to_json(diags));
+    } else {
+        eprint!("{}", diablo_diag::render_all(diags, source, path));
+    }
+    let n = diags.error_count();
+    format!("{path}: {n} error{} emitted", if n == 1 { "" } else { "s" })
+}
+
+/// The multi-error front end behind every source-consuming command: on
+/// any fault, every diagnostic is rendered (not just the first) and a
+/// one-line summary error is returned for the exit path.
+fn front_end(
+    source: &str,
+    path: &str,
+    json: bool,
+) -> Result<(TypedProgram, CompiledProgram), String> {
+    let mut diags = Diagnostics::new();
+    diablo_core::compile_multi(source, &mut diags)
+        .ok_or_else(|| report_diagnostics(&diags, source, path, json))
+}
 
 /// `run --connect`: ship the program and bindings to a `diablod` server
 /// and print its outputs exactly as a local run would.
@@ -309,6 +386,11 @@ fn run_remote(addr: &str, source: &str, bindings: &[String]) -> Result<(), Strin
     let mut client =
         diablo_serve::Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     let result = client.run(source, scalars, rows, false)?;
+    // Advisory lints computed server-side ride along with the response;
+    // stderr keeps stdout clean for the outputs.
+    for w in &result.warnings {
+        eprintln!("{w}");
+    }
     for (name, output) in &result.outputs {
         match output {
             diablo_serve::Output::Scalar(v) => println!("{name} = {v}"),

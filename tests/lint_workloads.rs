@@ -1,0 +1,59 @@
+//! Lint sweep over every Fig. 3 workload program.
+//!
+//! `diabloc lint` must stay quiet on the paper's own benchmark
+//! programs, except for the documented allow-list below: workloads
+//! that group by *data* (word counts, histograms, key join products)
+//! genuinely shuffle on every run, and the D020 shuffle forecast is
+//! supposed to say so. Anything else — a new warning code, or D020 on
+//! a workload that used to compile shuffle-free — fails this test so
+//! the change gets looked at instead of silently regressing the lints.
+
+use std::collections::BTreeSet;
+
+/// Workloads whose updates are keyed by data rather than by the loop
+/// indexes, so Rule (17) cannot eliminate their group-by: the D020
+/// shuffle forecast is correct and expected for them.
+const ALLOWED_D020: &[&str] = &[
+    "Equal Frequency",
+    "Word Count",
+    "Histogram",
+    "Matrix Multiplication",
+    "KMeans",
+    "PageRank",
+    "Matrix Factorization",
+    "Group By",
+];
+
+#[test]
+fn fig3_workloads_lint_clean_or_allow_listed() {
+    let mut violations = Vec::new();
+    let mut warned = BTreeSet::new();
+    for (name, src) in diablo_workloads::programs::all_programs() {
+        let mut diags = diablo_diag::Diagnostics::new();
+        let Some((tp, compiled)) = diablo_core::compile_multi(src, &mut diags) else {
+            violations.push(format!("{name}: failed to compile"));
+            continue;
+        };
+        for d in diablo_core::lint_program(&tp, &compiled) {
+            let allowed = d.code == diablo_diag::codes::SHUFFLE && ALLOWED_D020.contains(&name);
+            if allowed {
+                warned.insert(name);
+            } else {
+                violations.push(format!("{name}: unexpected {}", d.one_line()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "fig-3 lint sweep found unexpected diagnostics:\n  {}",
+        violations.join("\n  ")
+    );
+    // The allow-list must also stay honest: every entry still warns, so
+    // stale names can't accumulate after a workload is rewritten.
+    for name in ALLOWED_D020 {
+        assert!(
+            warned.contains(name),
+            "allow-list entry `{name}` no longer emits D020; remove it"
+        );
+    }
+}
