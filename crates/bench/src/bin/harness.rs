@@ -11,6 +11,9 @@
 //! harness serve            # closed-loop diablod driver: N clients × M programs,
 //!                          #   cold / cache-warm / 2× overload phases with
 //!                          #   throughput and p50/p99 latency [--check]
+//! harness out-of-core      # WC + PageRank with the dataset cache bounded to
+//!                          #   ~1/10 of the input, per backend, byte-checked
+//!                          #   against the unbounded run [--check]
 //! harness all              # everything (used to fill EXPERIMENTS.md)
 //! harness --json <cmd>     # machine-readable: one JSON object per row,
 //!                          # each tagged with the execution backend
@@ -31,9 +34,11 @@ use diablo_baselines::casper_like::casper_translate_with_budget;
 use diablo_baselines::{handwritten, mold_translate};
 use diablo_bench::{
     compile_time, json_row, mb, millis, percentile, run_casper_program, run_diablo,
-    run_handwritten, run_interp, secs, settings_fields, time_once,
+    run_diablo_outputs, run_handwritten, run_interp, secs, settings_fields, time_once,
 };
-use diablo_dataflow::{Context, Dataset, LocalExecutor, MorselExecutor};
+use diablo_dataflow::{
+    executor_named, Context, Dataset, LocalExecutor, MorselExecutor, BACKEND_NAMES,
+};
 use diablo_runtime::{BinOp, RuntimeError, TiledMatrix, Value};
 use diablo_serve::{Client, ServeConfig, Server};
 use diablo_workloads as wl;
@@ -61,6 +66,10 @@ fn main() {
             let check = args.iter().any(|a| a == "--check");
             serve_bench(json, check);
         }
+        "out-of-core" => {
+            let check = args.iter().any(|a| a == "--check");
+            out_of_core(json, check);
+        }
         "all" => {
             table1(json);
             table2(json);
@@ -77,7 +86,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, serve, all"
+                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, serve, out-of-core, all"
             );
             std::process::exit(2);
         }
@@ -904,6 +913,152 @@ fn scaling_check(measured: &[(String, String, usize, f64)]) {
     } else {
         for f in &failures {
             eprintln!("scaling --check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ------------------------------------------------------------- out-of-core
+
+/// One out-of-core measurement: did the budgeted run match the unbounded
+/// reference, and what did each side's cache counters say.
+struct OocRow {
+    workload: String,
+    backend: String,
+    identical: bool,
+    budgeted_spills: u64,
+    unbounded_spills: u64,
+    unbounded_evictions: u64,
+}
+
+/// Out-of-core execution: Word Count and PageRank with the dataset cache
+/// bounded to ~1/10 of the input bytes, on every backend, checked
+/// byte-identical (rows and order) against the unbounded run. The
+/// budgeted rows carry the cache counters (`dataset_spills`,
+/// `dataset_spilled_bytes`, `dataset_evictions`, `dataset_recomputes`)
+/// that prove the run actually went through disk rather than fitting in
+/// memory after all.
+fn out_of_core(json: bool, check: bool) {
+    if !json {
+        println!("== Out-of-core: dataset cache at ~1/10 of the input ========================");
+        println!(
+            "{:<12} {:>7} {:>12} {:>8} {:>10} {:>10} {:>7} {:>7} {:>7} {:>10}",
+            "workload",
+            "backend",
+            "input_bytes",
+            "budget",
+            "unbounded",
+            "budgeted",
+            "spills",
+            "evicts",
+            "recomp",
+            "identical"
+        );
+    }
+    let s = scale();
+    let workloads = vec![wl::word_count(6_000 * s, 7), wl::pagerank(120 * s, 3, 7)];
+    let mut rows: Vec<OocRow> = Vec::new();
+    for w in &workloads {
+        let input = w.input_bytes() as u64;
+        // At most a tenth of the input, capped at 4 KiB so even modest
+        // inputs overflow the memory tier many times over.
+        let budget = (input / 10).clamp(1, 4096);
+        for &backend in BACKEND_NAMES {
+            let exec = || executor_named(backend).expect(backend);
+            let free = Context::new(4, 8).with_executor(exec());
+            let before = free.stats().snapshot();
+            let (reference, free_t) = run_diablo_outputs(w, &free);
+            let base = free.stats().snapshot().since(&before);
+
+            let ctx = Context::new(4, 8)
+                .with_executor(exec())
+                .with_dataset_budget(budget);
+            let before = ctx.stats().snapshot();
+            let (got, t) = run_diablo_outputs(w, &ctx);
+            let stats = ctx.stats().snapshot().since(&before);
+            let identical = got == reference;
+            rows.push(OocRow {
+                workload: w.name.to_string(),
+                backend: backend.to_string(),
+                identical,
+                budgeted_spills: stats.dataset_spills,
+                unbounded_spills: base.dataset_spills,
+                unbounded_evictions: base.dataset_evictions,
+            });
+            if json {
+                let settings = settings_fields(&ctx);
+                let input_s = input.to_string();
+                let free_s = secs(free_t);
+                let secs_s = secs(t);
+                let spills = stats.dataset_spills.to_string();
+                let spilled = stats.dataset_spilled_bytes.to_string();
+                let evicts = stats.dataset_evictions.to_string();
+                let recomputes = stats.dataset_recomputes.to_string();
+                let identical_s = identical.to_string();
+                let mut fields: Vec<(&str, &str)> =
+                    vec![("section", "out_of_core"), ("workload", w.name)];
+                fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+                fields.extend([
+                    ("input_bytes", input_s.as_str()),
+                    ("secs_unbounded", free_s.as_str()),
+                    ("secs", secs_s.as_str()),
+                    ("dataset_spills", spills.as_str()),
+                    ("dataset_spilled_bytes", spilled.as_str()),
+                    ("dataset_evictions", evicts.as_str()),
+                    ("dataset_recomputes", recomputes.as_str()),
+                    ("identical", identical_s.as_str()),
+                ]);
+                println!("{}", json_row(&fields));
+            } else {
+                println!(
+                    "{:<12} {:>7} {:>12} {:>8} {:>10} {:>10} {:>7} {:>7} {:>7} {:>10}",
+                    w.name,
+                    backend,
+                    input,
+                    budget,
+                    secs(free_t),
+                    secs(t),
+                    stats.dataset_spills,
+                    stats.dataset_evictions,
+                    stats.dataset_recomputes,
+                    identical
+                );
+            }
+        }
+    }
+    if !json {
+        println!();
+    }
+    if check {
+        out_of_core_check(&rows);
+    }
+}
+
+/// The gates CI holds out-of-core execution to: every budgeted run is
+/// byte-identical to the unbounded reference, every budgeted run actually
+/// spilled (the budget was genuinely undersized), and the unbounded
+/// reference never touched the spill or eviction paths.
+fn out_of_core_check(rows: &[OocRow]) {
+    let mut failures: Vec<String> = Vec::new();
+    for r in rows {
+        let at = format!("{}/{}", r.workload, r.backend);
+        if !r.identical {
+            failures.push(format!("{at}: budgeted outputs diverged from unbounded"));
+        }
+        if r.budgeted_spills == 0 {
+            failures.push(format!(
+                "{at}: budgeted run never spilled — budget not exercised"
+            ));
+        }
+        if r.unbounded_spills != 0 || r.unbounded_evictions != 0 {
+            failures.push(format!("{at}: unbounded run spilled or evicted"));
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("out-of-core --check: all gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("out-of-core --check FAILED: {f}");
         }
         std::process::exit(1);
     }

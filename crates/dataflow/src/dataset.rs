@@ -27,7 +27,13 @@
 //! [`Dataset::materialize`]/`force` fills the shared cache). Pin a reused
 //! result with [`Dataset::materialize`] — the engine's equivalent of
 //! Spark's `cache()` — as the hand-written baselines do for loop-carried
-//! datasets.
+//! datasets. Pinned results live in the context's shared **dataset
+//! cache** (an LRU under `DIABLO_DATASET_BUDGET` /
+//! [`Context::with_dataset_budget`]): entries past the memory budget
+//! demote to disk files, entries past the disk ledger are dropped and
+//! transparently **recomputed from the plan** on the next read, and an
+//! entry is released as soon as its last referencing dataset or plan is
+//! dropped — or eagerly, with [`Dataset::unpersist`].
 //!
 //! Errors raised inside a fused chain surface at the materialization point
 //! (which is why shuffles and `reduce` return `Result`); the infallible
@@ -38,7 +44,7 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use diablo_runtime::{array::key_value, size::slice_size, RuntimeError, Value};
 
@@ -60,9 +66,13 @@ type CombineRef<'a> = &'a (dyn Fn(&Value, &Value) -> Result<Value> + Sync);
 pub struct Dataset {
     ctx: Context,
     plan: Arc<PlanOp>,
-    /// Materialization cache, shared by clones of this dataset so a plan
-    /// is executed at most once no matter how many readers force it.
-    cache: Arc<OnceLock<Arc<Vec<Vec<Value>>>>>,
+    /// This dataset's slot in the context's shared dataset cache: forcing
+    /// fills the slot's entry (so a plan executes at most once no matter
+    /// how many readers force it, while the entry stays resident), and
+    /// dropping the last clone — of the dataset or of a plan derived
+    /// from it — releases the entry. Unlike the old `Arc<OnceLock>` pin
+    /// this keeps nothing alive the cache cannot evict.
+    slot: Arc<crate::dscache::CacheSlot>,
 }
 
 pub(crate) fn key_hash(v: &Value) -> u64 {
@@ -113,7 +123,7 @@ impl Dataset {
     }
 
     /// Wraps already-materialized partitions (internal): the plan is a
-    /// `Scan` and the cache is pre-filled, so forcing is free.
+    /// `Scan`, so forcing is free.
     fn from_materialized(ctx: Context, parts: Vec<Vec<Value>>) -> Dataset {
         Dataset::from_shared_parts(ctx, Arc::new(parts))
     }
@@ -122,15 +132,16 @@ impl Dataset {
     /// row. The serving layer holds each named dataset as one
     /// `Arc<Vec<Vec<Value>>>` and hands every concurrent request a view
     /// over the same allocation; requests never clone the base data, only
-    /// the `Arc`. The partition list must not be empty.
+    /// the `Arc`. The partition list must not be empty. Base data is
+    /// never entered into the dataset cache — a `Scan` plan reads it
+    /// directly.
     pub fn from_shared_parts(ctx: Context, parts: Arc<Vec<Vec<Value>>>) -> Dataset {
         assert!(!parts.is_empty(), "need at least one partition");
-        let cache = OnceLock::new();
-        let _ = cache.set(parts.clone());
+        let slot = Arc::new(crate::dscache::CacheSlot::new(ctx.dataset_cache().clone()));
         Dataset {
             ctx,
             plan: Arc::new(PlanOp::Scan(parts)),
-            cache: Arc::new(cache),
+            slot,
         }
     }
 
@@ -141,10 +152,11 @@ impl Dataset {
     /// downstream. Hidden from docs; never use outside tests.
     #[doc(hidden)]
     pub fn malformed_zero_partition_scan_for_tests(ctx: Context) -> Dataset {
+        let slot = Arc::new(crate::dscache::CacheSlot::new(ctx.dataset_cache().clone()));
         Dataset {
             ctx,
             plan: Arc::new(PlanOp::Scan(Arc::new(Vec::new()))),
-            cache: Arc::new(OnceLock::new()),
+            slot,
         }
     }
 
@@ -173,25 +185,31 @@ impl Dataset {
     }
 
     /// The plan downstream consumers should build on: once this dataset
-    /// has been forced, its cached partitions stand in for the original
-    /// chain, so no operator ever re-executes an already-materialized
-    /// upstream (each plan runs at most once no matter how many readers
-    /// derive from it).
+    /// has been forced, a [`PlanOp::Cached`] barrier over its cache slot
+    /// stands in for the original chain, so no operator re-executes an
+    /// already-materialized upstream while the entry is resident — yet
+    /// the cache can still evict the entry (the barrier carries the
+    /// lineage to recompute it). An unforced dataset hands out its raw
+    /// plan so narrow chains keep fusing across the derivation.
     fn effective_plan(&self) -> Arc<PlanOp> {
-        match self.cache.get() {
-            Some(parts) if !matches!(self.plan.as_ref(), PlanOp::Scan(_)) => {
-                Arc::new(PlanOp::Scan(parts.clone()))
-            }
-            _ => self.plan.clone(),
+        if !matches!(self.plan.as_ref(), PlanOp::Scan(_))
+            && self.ctx.dataset_cache().contains(self.slot.id())
+        {
+            Arc::new(PlanOp::Cached(self.slot.clone(), self.plan.clone()))
+        } else {
+            self.plan.clone()
         }
     }
 
     /// A new dataset one plan node deeper (internal).
     fn derived(&self, op: PlanOp) -> Dataset {
+        let slot = Arc::new(crate::dscache::CacheSlot::new(
+            self.ctx.dataset_cache().clone(),
+        ));
         Dataset {
             ctx: self.ctx.clone(),
             plan: Arc::new(op),
-            cache: Arc::new(OnceLock::new()),
+            slot,
         }
     }
 
@@ -201,18 +219,30 @@ impl Dataset {
     }
 
     /// Executes the pending plan through the context's executor (fusing
-    /// the narrow chain into one physical stage per segment) and caches
-    /// the partitions.
+    /// the narrow chain into one physical stage per segment) and enters
+    /// the partitions into the context's dataset cache. A cache hit
+    /// skips execution; base data (`Scan` plans) bypasses the cache —
+    /// it is already materialized and the cache could only evict what
+    /// the plan holds anyway.
     pub(crate) fn force(&self) -> Result<Arc<Vec<Vec<Value>>>> {
-        if let Some(p) = self.cache.get() {
-            return Ok(p.clone());
+        if matches!(self.plan.as_ref(), PlanOp::Scan(_)) {
+            return Ok(self
+                .ctx
+                .executor()
+                .materialize(&self.ctx, &PhysicalPlan::new(self.plan.clone()))?
+                .into_arc());
+        }
+        let cache = self.ctx.dataset_cache().clone();
+        if let Some(p) = cache.get(self.slot.id(), &self.ctx)? {
+            return Ok(p);
         }
         let parts = self
             .ctx
             .executor()
             .materialize(&self.ctx, &PhysicalPlan::new(self.plan.clone()))?
             .into_arc();
-        Ok(self.cache.get_or_init(|| parts).clone())
+        cache.insert(self.slot.id(), parts.clone(), &self.ctx)?;
+        Ok(parts)
     }
 
     /// Forces the pending plan now, surfacing any deferred operator error,
@@ -220,6 +250,15 @@ impl Dataset {
     pub fn materialize(&self) -> Result<Dataset> {
         self.force()?;
         Ok(self.clone())
+    }
+
+    /// Eagerly releases this dataset's entry in the context's dataset
+    /// cache — memory or disk — the engine's equivalent of Spark's
+    /// `unpersist()`. The dataset stays usable: the next read recomputes
+    /// from its plan (and re-enters the cache). A no-op when nothing is
+    /// cached.
+    pub fn unpersist(&self) {
+        self.ctx.dataset_cache().remove(self.slot.id());
     }
 
     /// Renders the pending physical plan (the chains a materialization
@@ -239,7 +278,7 @@ impl Dataset {
     /// been materialized — the case where reads stream the operands in
     /// place instead of building combined partitions.
     fn union_pending(&self) -> bool {
-        self.cache.get().is_none()
+        !self.ctx.dataset_cache().contains(self.slot.id())
             && matches!(
                 plan::collapse(&self.plan).base.as_ref(),
                 PlanOp::Union(_, _)
@@ -1084,11 +1123,16 @@ impl Dataset {
 
 impl std::fmt::Debug for Dataset {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self.cache.get() {
-            Some(parts) => f
+        let shape = match self.plan.as_ref() {
+            // Base data is never cached; its shape is on the plan itself.
+            PlanOp::Scan(parts) => Some((parts.len(), parts.iter().map(Vec::len).sum::<usize>())),
+            _ => self.ctx.dataset_cache().shape(self.slot.id()),
+        };
+        match shape {
+            Some((partitions, rows)) => f
                 .debug_struct("Dataset")
-                .field("partitions", &parts.len())
-                .field("rows", &parts.iter().map(Vec::len).sum::<usize>())
+                .field("partitions", &partitions)
+                .field("rows", &rows)
                 .finish(),
             None => f
                 .debug_struct("Dataset")

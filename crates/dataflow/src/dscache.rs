@@ -1,0 +1,497 @@
+//! The shared, byte-budgeted dataset cache: where forced materializations
+//! live, instead of per-dataset `Arc<OnceLock>` pins that nothing could
+//! ever release.
+//!
+//! One [`DatasetCache`] is owned by a [`Context`](crate::Context) and
+//! shared by every [`fork`](crate::Context::fork)ed tenant context, so a
+//! multi-tenant server runs all sessions under **one** budget. Entries are
+//! keyed by a dataset's stable cache id (a [`CacheSlot`], shared by clones
+//! of the dataset and embedded in downstream plans through
+//! `PlanOp::Cached`) and live in two tiers:
+//!
+//! * **memory** — the materialized `Arc<Vec<Vec<Value>>>`, charged its
+//!   sampled in-memory byte estimate against the budget
+//!   (`DIABLO_DATASET_BUDGET` / [`Context::set_dataset_budget`]);
+//! * **disk** — the partitions encoded with the exchange's canonical
+//!   binary codec ([`crate::encode_value`]) into one file per entry, with
+//!   a per-partition `(offset, len, rows)` index so reads decode segment
+//!   by segment. Disk entries are charged their encoded size against a
+//!   ledger of [`DISK_BUDGET_FACTOR`] × the memory budget.
+//!
+//! Inserting past the memory budget **demotes** least-recently-used
+//! memory entries to disk (a dataset spill); past the disk ledger, LRU
+//! disk entries are **evicted** outright and marked, so the next read
+//! misses and the owner transparently **recomputes** the dataset from its
+//! plan lineage and reinserts it. A budget of `0` disables caching
+//! entirely (every insert is an immediate eviction; deterministic
+//! recompute keeps results byte-identical), and an unbounded budget (the
+//! default) keeps every entry in memory forever — the pre-cache behavior.
+//!
+//! Eviction, spill, and recompute events are counted on the **calling
+//! context's** statistics (the cache itself is shared across tenants, the
+//! counters are not), as `dataset_spills` / `dataset_spilled_bytes` /
+//! `dataset_evictions` / `dataset_recomputes`.
+//!
+//! Entry lifetime is tied to its [`CacheSlot`]: when the last dataset
+//! clone *and* the last plan referencing the slot drop, the slot's `Drop`
+//! removes the entry — a re-bound session variable frees its old
+//! materialization instead of pinning it for the life of the process.
+
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use diablo_runtime::{RuntimeError, Value};
+
+use crate::dataset::estimate_bytes;
+use crate::exchange::{decode_value, encode_value};
+use crate::plan::Result;
+use crate::Context;
+
+/// How many memory budgets' worth of **encoded** bytes the disk tier may
+/// hold before LRU disk entries are dropped outright. Disk is cheap but
+/// not free: without a cap, a long-lived session would fill the temp
+/// volume exactly the way the old pinned cache filled RAM.
+const DISK_BUDGET_FACTOR: u64 = 8;
+
+/// Process-wide counter behind every dataset cache id.
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counter naming each cache's temp directory.
+static CACHE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// A dataset's stable cache identity. Clones of a dataset share one slot;
+/// `PlanOp::Cached` nodes in downstream plans hold the slot too, so the
+/// entry outlives the dataset handle for exactly as long as some plan can
+/// still read it. Dropping the last reference removes the entry.
+pub(crate) struct CacheSlot {
+    id: u64,
+    cache: Arc<DatasetCache>,
+}
+
+impl CacheSlot {
+    pub(crate) fn new(cache: Arc<DatasetCache>) -> CacheSlot {
+        CacheSlot {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            cache,
+        }
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn cache(&self) -> &Arc<DatasetCache> {
+        &self.cache
+    }
+}
+
+impl Drop for CacheSlot {
+    fn drop(&mut self) {
+        // Nothing can read this entry again — not an eviction, so no
+        // counter and no evicted mark (a mark would count phantom
+        // recomputes for an id that can never be forced again).
+        self.cache.forget(self.id);
+    }
+}
+
+/// Where one entry's partitions live.
+/// One spilled partition inside an entry's file: byte offset, encoded
+/// length, and row count.
+type Segment = (u64, u64, usize);
+
+enum Tier {
+    /// In memory, charged its sampled byte estimate.
+    Mem(Arc<Vec<Vec<Value>>>),
+    /// On disk: one encoded file with a per-partition segment index.
+    Disk {
+        path: PathBuf,
+        /// `(offset, encoded len, rows)` per partition.
+        index: Vec<Segment>,
+    },
+}
+
+struct Entry {
+    tier: Tier,
+    /// Bytes charged against the tier's ledger.
+    bytes: u64,
+    /// LRU clock value of the last touch.
+    touched: u64,
+}
+
+struct Inner {
+    entries: HashMap<u64, Entry>,
+    /// Ids the cache dropped under pressure: a read of one of these is a
+    /// **recompute**, counted on the reader's stats.
+    evicted: HashSet<u64>,
+    clock: u64,
+    mem_bytes: u64,
+    disk_bytes: u64,
+    /// The cache's temp directory, created on first spill.
+    dir: Option<PathBuf>,
+}
+
+/// The shared dataset cache. See the module docs for the tiering and
+/// eviction contract.
+pub(crate) struct DatasetCache {
+    /// Memory budget in bytes; `u64::MAX` means unbounded.
+    budget: AtomicU64,
+    /// Names this cache's temp directory.
+    cache_id: u64,
+    inner: Mutex<Inner>,
+}
+
+impl DatasetCache {
+    pub(crate) fn new(budget: u64) -> DatasetCache {
+        DatasetCache {
+            budget: AtomicU64::new(budget),
+            cache_id: CACHE_ID.fetch_add(1, Ordering::Relaxed),
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                evicted: HashSet::new(),
+                clock: 0,
+                mem_bytes: 0,
+                disk_bytes: 0,
+                dir: None,
+            }),
+        }
+    }
+
+    /// Sets the memory budget; `u64::MAX` means unbounded. Applies to the
+    /// next insert — already-resident entries are not re-evaluated until
+    /// something new comes in.
+    pub(crate) fn set_budget(&self, bytes: u64) {
+        self.budget.store(bytes, Ordering::Relaxed);
+    }
+
+    /// The memory budget in bytes (`u64::MAX` = unbounded).
+    pub(crate) fn budget(&self) -> u64 {
+        self.budget.load(Ordering::Relaxed)
+    }
+
+    /// Whether the id currently has a readable entry (either tier).
+    pub(crate) fn contains(&self, id: u64) -> bool {
+        self.inner
+            .lock()
+            .expect("dataset cache lock")
+            .entries
+            .contains_key(&id)
+    }
+
+    /// `(partitions, total rows)` of a resident entry, without touching
+    /// the LRU clock or reading disk — for `Debug` rendering.
+    pub(crate) fn shape(&self, id: u64) -> Option<(usize, usize)> {
+        let inner = self.inner.lock().expect("dataset cache lock");
+        inner.entries.get(&id).map(|e| match &e.tier {
+            Tier::Mem(parts) => (parts.len(), parts.iter().map(Vec::len).sum()),
+            Tier::Disk { index, .. } => (index.len(), index.iter().map(|&(_, _, r)| r).sum()),
+        })
+    }
+
+    /// Reads an entry: a memory hit is a clone of the shared `Arc`, a
+    /// disk hit decodes the entry's file segment by segment. A miss on an
+    /// **evicted** id counts one recompute on `ctx`'s stats (the caller
+    /// is about to re-derive the dataset from its lineage).
+    pub(crate) fn get(&self, id: u64, ctx: &Context) -> Result<Option<Arc<Vec<Vec<Value>>>>> {
+        let mut inner = self.inner.lock().expect("dataset cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.entries.get_mut(&id) {
+            Some(entry) => {
+                entry.touched = clock;
+                match &entry.tier {
+                    Tier::Mem(parts) => Ok(Some(parts.clone())),
+                    Tier::Disk { path, index } => {
+                        let parts = read_entry(id, path, index)?;
+                        Ok(Some(Arc::new(parts)))
+                    }
+                }
+            }
+            None => {
+                if inner.evicted.contains(&id) {
+                    ctx.stats().record_dataset_recompute();
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Inserts a freshly materialized dataset, then enforces both
+    /// ledgers: memory overflow demotes LRU memory entries to disk
+    /// (counted as dataset spills), disk overflow drops LRU disk entries
+    /// outright (counted as evictions, marked for recompute accounting).
+    pub(crate) fn insert(&self, id: u64, parts: Arc<Vec<Vec<Value>>>, ctx: &Context) -> Result<()> {
+        let budget = self.budget();
+        let mut inner = self.inner.lock().expect("dataset cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.evicted.remove(&id);
+        remove_entry(&mut inner, id);
+        if budget == 0 {
+            // Caching is off: the insert itself is the eviction, and the
+            // mark makes the next read count a recompute.
+            inner.evicted.insert(id);
+            ctx.stats().record_dataset_eviction();
+            return Ok(());
+        }
+        let bytes = estimate_bytes(&parts);
+        if budget == u64::MAX || bytes <= budget {
+            inner.mem_bytes += bytes;
+            inner.entries.insert(
+                id,
+                Entry {
+                    tier: Tier::Mem(parts),
+                    bytes,
+                    touched: clock,
+                },
+            );
+        } else {
+            // Bigger than the whole memory budget: straight to disk.
+            let dir = self.dir(&mut inner)?;
+            let (path, index, encoded) = spill_entry(&dir, id, &parts)?;
+            ctx.stats().record_dataset_spill(encoded);
+            inner.disk_bytes += encoded;
+            inner.entries.insert(
+                id,
+                Entry {
+                    tier: Tier::Disk { path, index },
+                    bytes: encoded,
+                    touched: clock,
+                },
+            );
+        }
+        if budget == u64::MAX {
+            return Ok(());
+        }
+        // Demote LRU memory entries until memory fits the budget.
+        while inner.mem_bytes > budget {
+            let Some(victim) = lru_id(&inner, true) else {
+                break;
+            };
+            let entry = inner.entries.remove(&victim).expect("lru entry");
+            let Tier::Mem(vparts) = &entry.tier else {
+                unreachable!("lru_id(mem) returned a disk entry");
+            };
+            inner.mem_bytes -= entry.bytes;
+            let dir = self.dir(&mut inner)?;
+            let (path, index, encoded) = spill_entry(&dir, victim, vparts)?;
+            ctx.stats().record_dataset_spill(encoded);
+            inner.disk_bytes += encoded;
+            inner.entries.insert(
+                victim,
+                Entry {
+                    tier: Tier::Disk { path, index },
+                    bytes: encoded,
+                    touched: entry.touched,
+                },
+            );
+        }
+        // Drop LRU disk entries until the disk ledger fits its cap.
+        let disk_cap = budget.saturating_mul(DISK_BUDGET_FACTOR);
+        while inner.disk_bytes > disk_cap {
+            let Some(victim) = lru_id(&inner, false) else {
+                break;
+            };
+            remove_entry(&mut inner, victim);
+            inner.evicted.insert(victim);
+            ctx.stats().record_dataset_eviction();
+        }
+        Ok(())
+    }
+
+    /// Drops an entry and clears its evicted mark — the explicit
+    /// `unpersist`. A later force recomputes (uncounted) and may re-cache.
+    pub(crate) fn remove(&self, id: u64) {
+        let mut inner = self.inner.lock().expect("dataset cache lock");
+        remove_entry(&mut inner, id);
+        inner.evicted.remove(&id);
+    }
+
+    /// Slot-drop cleanup: same as [`DatasetCache::remove`] — the id can
+    /// never be read again, so the entry and any mark are dead weight.
+    fn forget(&self, id: u64) {
+        self.remove(id);
+    }
+
+    /// The cache's temp directory, created on first spill.
+    fn dir(&self, inner: &mut Inner) -> Result<PathBuf> {
+        if let Some(dir) = &inner.dir {
+            return Ok(dir.clone());
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "diablo-dataset-cache-{}-{}",
+            std::process::id(),
+            self.cache_id
+        ));
+        std::fs::create_dir_all(&dir).map_err(io_err)?;
+        inner.dir = Some(dir.clone());
+        Ok(dir)
+    }
+}
+
+impl Drop for DatasetCache {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.lock() {
+            if let Some(dir) = &inner.dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+}
+
+/// The least-recently-touched entry id in one tier (`mem` selects the
+/// memory tier). O(entries), like the serve result cache — entry counts
+/// are session-variable counts, not row counts.
+fn lru_id(inner: &Inner, mem: bool) -> Option<u64> {
+    inner
+        .entries
+        .iter()
+        .filter(|(_, e)| matches!(e.tier, Tier::Mem(_)) == mem)
+        .min_by_key(|(_, e)| e.touched)
+        .map(|(id, _)| *id)
+}
+
+/// Removes an entry, unwinding its ledger charge and deleting its file.
+fn remove_entry(inner: &mut Inner, id: u64) {
+    if let Some(entry) = inner.entries.remove(&id) {
+        match &entry.tier {
+            Tier::Mem(_) => inner.mem_bytes -= entry.bytes,
+            Tier::Disk { path, .. } => {
+                inner.disk_bytes -= entry.bytes;
+                let _ = std::fs::remove_file(path);
+            }
+        }
+    }
+}
+
+/// Encodes every partition of an entry into one file, returning the
+/// per-partition segment index and the encoded size.
+fn spill_entry(
+    dir: &Path,
+    id: u64,
+    parts: &[Vec<Value>],
+) -> Result<(PathBuf, Vec<Segment>, u64)> {
+    let mut buf = Vec::new();
+    let mut index = Vec::with_capacity(parts.len());
+    for part in parts {
+        let off = buf.len() as u64;
+        for row in part {
+            encode_value(row, &mut buf)?;
+        }
+        index.push((off, buf.len() as u64 - off, part.len()));
+    }
+    let path = dir.join(format!("ds-{id}.bin"));
+    std::fs::write(&path, &buf).map_err(io_err)?;
+    Ok((path, index, buf.len() as u64))
+}
+
+/// Decodes a disk entry back into partitions, segment by segment,
+/// verifying per-partition row conservation against the spilled index.
+fn read_entry(id: u64, path: &Path, index: &[Segment]) -> Result<Vec<Vec<Value>>> {
+    let data = std::fs::read(path).map_err(io_err)?;
+    let mut parts = Vec::with_capacity(index.len());
+    for (p, &(off, len, rows)) in index.iter().enumerate() {
+        let (start, end) = (off as usize, (off + len) as usize);
+        let seg = data
+            .get(start..end)
+            .ok_or_else(|| RuntimeError::new("corrupt dataset cache file: segment out of range"))?;
+        let mut cur = seg;
+        let mut out = Vec::with_capacity(rows);
+        while !cur.is_empty() {
+            out.push(decode_value(&mut cur)?);
+        }
+        crate::verify::verify_cached_partition(id, p, rows, out.len())?;
+        parts.push(out);
+    }
+    Ok(parts)
+}
+
+fn io_err(e: std::io::Error) -> RuntimeError {
+    RuntimeError::new(format!("dataset cache I/O: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> Context {
+        Context::new(2, 2)
+    }
+
+    fn rows(n: i64) -> Arc<Vec<Vec<Value>>> {
+        Arc::new(vec![(0..n).map(Value::Long).collect(), Vec::new()])
+    }
+
+    #[test]
+    fn unbounded_cache_keeps_everything_in_memory() {
+        let c = ctx();
+        let cache = DatasetCache::new(u64::MAX);
+        cache.insert(1, rows(100), &c).unwrap();
+        cache.insert(2, rows(100), &c).unwrap();
+        assert!(cache.contains(1) && cache.contains(2));
+        let got = cache.get(1, &c).unwrap().unwrap();
+        assert_eq!(got[0].len(), 100);
+        let snap = c.stats().snapshot();
+        assert_eq!(snap.dataset_spills, 0);
+        assert_eq!(snap.dataset_evictions, 0);
+    }
+
+    #[test]
+    fn memory_pressure_demotes_lru_to_disk_byte_identically() {
+        let c = ctx();
+        let parts = rows(64);
+        let budget = estimate_bytes(&parts) + 1;
+        let cache = DatasetCache::new(budget);
+        cache.insert(1, parts.clone(), &c).unwrap();
+        // The second insert pushes entry 1 (LRU) to disk.
+        cache.insert(2, rows(64), &c).unwrap();
+        let snap = c.stats().snapshot();
+        assert!(snap.dataset_spills >= 1, "{snap:?}");
+        assert!(snap.dataset_spilled_bytes > 0);
+        let got = cache.get(1, &c).unwrap().expect("still readable");
+        assert_eq!(got.as_ref(), parts.as_ref(), "disk round-trip is exact");
+    }
+
+    #[test]
+    fn disk_overflow_evicts_and_counts_recompute_on_next_read() {
+        let c = ctx();
+        // Budget so small everything demotes, disk cap 8× still tiny.
+        let cache = DatasetCache::new(1);
+        cache.insert(1, rows(64), &c).unwrap();
+        cache.insert(2, rows(64), &c).unwrap();
+        let snap = c.stats().snapshot();
+        assert!(snap.dataset_evictions >= 1, "{snap:?}");
+        // At least one id is gone; reading it counts one recompute.
+        let victim = if cache.contains(1) { 2 } else { 1 };
+        assert!(cache.get(victim, &c).unwrap().is_none());
+        assert_eq!(c.stats().snapshot().dataset_recomputes, 1);
+        // Reinserting clears the mark.
+        cache.insert(victim, rows(64), &c).unwrap();
+    }
+
+    #[test]
+    fn zero_budget_disables_caching() {
+        let c = ctx();
+        let cache = DatasetCache::new(0);
+        cache.insert(7, rows(10), &c).unwrap();
+        assert!(!cache.contains(7));
+        assert_eq!(c.stats().snapshot().dataset_evictions, 1);
+        assert!(cache.get(7, &c).unwrap().is_none());
+        assert_eq!(c.stats().snapshot().dataset_recomputes, 1);
+    }
+
+    #[test]
+    fn remove_clears_entry_and_mark() {
+        let c = ctx();
+        let cache = DatasetCache::new(0);
+        cache.insert(3, rows(4), &c).unwrap();
+        cache.remove(3);
+        assert!(cache.get(3, &c).unwrap().is_none());
+        assert_eq!(
+            c.stats().snapshot().dataset_recomputes,
+            0,
+            "an unpersisted id is not a cache-pressure recompute"
+        );
+    }
+}

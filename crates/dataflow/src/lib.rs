@@ -77,6 +77,7 @@
 #![warn(clippy::undocumented_unsafe_blocks)]
 
 mod dataset;
+mod dscache;
 mod exchange;
 mod executor;
 mod plan;
@@ -129,6 +130,10 @@ struct ContextInner {
     morsel_size: AtomicUsize,
     /// Run stages on the retained pre-morsel scheduler (baseline mode).
     static_scheduler: AtomicBool,
+    /// The shared dataset cache (built on first use). Held in an `Arc`
+    /// so [`Context::fork`]ed tenant contexts share one cache — and one
+    /// dataset budget — the way they share one worker pool.
+    dscache: OnceLock<Arc<dscache::DatasetCache>>,
 }
 
 impl Context {
@@ -154,6 +159,7 @@ impl Context {
                 pool: OnceLock::new(),
                 morsel_size: AtomicUsize::new(morsel_size_from_env()),
                 static_scheduler: AtomicBool::new(static_scheduler_from_env()),
+                dscache: OnceLock::new(),
             }),
         }
     }
@@ -222,6 +228,40 @@ impl Context {
             u64::MAX => None,
             b => Some(b),
         }
+    }
+
+    /// Caps the bytes of **materialized datasets** the context keeps
+    /// pinned in memory (builder style): forcing a dataset past the
+    /// budget demotes the least-recently-used entries to disk files
+    /// (re-read transparently), and entries past the disk ledger are
+    /// dropped entirely and **recomputed from lineage** on the next
+    /// read — so results are identical to an unbounded cache. A budget
+    /// of `0` disables dataset caching: every re-read recomputes.
+    /// Defaults to the `DIABLO_DATASET_BUDGET` environment variable,
+    /// else unbounded.
+    pub fn with_dataset_budget(self, bytes: u64) -> Context {
+        self.set_dataset_budget(Some(bytes));
+        self
+    }
+
+    /// Sets (or clears, with `None`) the dataset cache budget in place.
+    pub fn set_dataset_budget(&self, bytes: Option<u64>) {
+        self.dataset_cache().set_budget(bytes.unwrap_or(u64::MAX));
+    }
+
+    /// The dataset cache budget in bytes, if one is set.
+    pub fn dataset_budget(&self) -> Option<u64> {
+        match self.dataset_cache().budget() {
+            u64::MAX => None,
+            b => Some(b),
+        }
+    }
+
+    /// The shared dataset cache (built on first use).
+    pub(crate) fn dataset_cache(&self) -> &Arc<dscache::DatasetCache> {
+        self.inner
+            .dscache
+            .get_or_init(|| Arc::new(dscache::DatasetCache::new(dataset_budget_from_env())))
     }
 
     /// Routes the keyed operators (`reduce_by_key`, `group_by_key`,
@@ -316,6 +356,12 @@ impl Context {
         let _ = self.pool();
         let shared = self.inner.pool.get().expect("pool just built").clone();
         let _ = child.inner.pool.set(shared);
+        // Share the dataset cache too: all tenants cache under ONE
+        // dataset budget, so concurrent sessions cannot multiply pinned
+        // memory past it. (Cache-event counters still land on the
+        // calling tenant's stats — the cache records against the
+        // context passed into each operation.)
+        let _ = child.inner.dscache.set(self.dataset_cache().clone());
         child
     }
 
@@ -360,6 +406,7 @@ impl Context {
         snap.partitions = self.partitions() as u64;
         snap.morsel_size = self.morsel_size() as u64;
         snap.memory_budget = self.memory_budget().unwrap_or(u64::MAX);
+        snap.dataset_budget = self.dataset_budget().unwrap_or(u64::MAX);
         snap.scheduler = if self.static_scheduler() {
             "static"
         } else {
@@ -441,6 +488,18 @@ fn memory_budget_from_env() -> u64 {
         Ok(s) => s
             .parse()
             .unwrap_or_else(|_| panic!("DIABLO_MEMORY_BUDGET={s}: not a byte count")),
+        Err(_) => u64::MAX,
+    }
+}
+
+/// The dataset cache budget named by `DIABLO_DATASET_BUDGET` (bytes), or
+/// unbounded. Panics on an unparseable value so a typo in a CI job fails
+/// loudly instead of silently testing the unbounded cache.
+fn dataset_budget_from_env() -> u64 {
+    match std::env::var("DIABLO_DATASET_BUDGET") {
+        Ok(s) => s
+            .parse()
+            .unwrap_or_else(|_| panic!("DIABLO_DATASET_BUDGET={s}: not a byte count")),
         Err(_) => u64::MAX,
     }
 }
@@ -527,6 +586,30 @@ mod tests {
         assert_eq!(ctx.memory_budget(), None);
         let built = Context::new(1, 2).with_memory_budget(0);
         assert_eq!(built.memory_budget(), Some(0), "0 is a real budget");
+    }
+
+    #[test]
+    fn dataset_budget_round_trips() {
+        let ctx = Context::new(1, 2);
+        if std::env::var("DIABLO_DATASET_BUDGET").is_err() {
+            assert_eq!(ctx.dataset_budget(), None, "unbounded by default");
+        }
+        ctx.set_dataset_budget(Some(4096));
+        assert_eq!(ctx.dataset_budget(), Some(4096));
+        assert_eq!(
+            ctx.clone().dataset_budget(),
+            Some(4096),
+            "clones share the budget"
+        );
+        assert_eq!(
+            ctx.fork().dataset_budget(),
+            Some(4096),
+            "tenant forks share the cache and its budget"
+        );
+        ctx.set_dataset_budget(None);
+        assert_eq!(ctx.dataset_budget(), None);
+        let built = Context::new(1, 2).with_dataset_budget(0);
+        assert_eq!(built.dataset_budget(), Some(0), "0 disables caching");
     }
 
     #[test]

@@ -83,6 +83,14 @@ pub(crate) type Tag = Option<Arc<str>>;
 pub(crate) enum PlanOp {
     /// Materialized partitions — the leaves of every plan.
     Scan(Arc<Vec<Vec<Value>>>),
+    /// A forced dataset standing in for its lineage: resolved through the
+    /// shared dataset cache at execution time. A hit reads the cached
+    /// partitions (memory or disk tier) like a `Scan`; a miss — the entry
+    /// was evicted under budget pressure — transparently re-derives the
+    /// inner plan and reinserts it. Holding the [`CacheSlot`] (not a bare
+    /// id) keeps the entry's identity alive for exactly as long as some
+    /// plan can still read it.
+    Cached(Arc<crate::dscache::CacheSlot>, Arc<PlanOp>),
     /// Row-wise `map`.
     Map(Arc<PlanOp>, RowMapFn, Tag),
     /// Row-wise `filter`.
@@ -335,7 +343,8 @@ fn apply_steps_to_tile(mut buf: Vec<Value>, steps: &[Step]) -> Result<Vec<Value>
 
 /// A plan collapsed to a base node plus the fused row steps above it.
 pub(crate) struct Collapsed {
-    /// The deepest non-row node: `Scan`, `MapPartitions`, or `Union`.
+    /// The deepest non-row node: `Scan`, `Cached`, `MapPartitions`, or
+    /// `Union`.
     pub base: Arc<PlanOp>,
     /// Row steps to apply to the base's rows, in execution order.
     pub steps: Vec<Step>,
@@ -368,7 +377,10 @@ pub(crate) fn collapse(plan: &Arc<PlanOp>) -> Collapsed {
                 });
                 input.clone()
             }
-            PlanOp::Scan(_) | PlanOp::MapPartitions(_, _, _, _) | PlanOp::Union(_, _) => break,
+            PlanOp::Scan(_)
+            | PlanOp::Cached(_, _)
+            | PlanOp::MapPartitions(_, _, _, _)
+            | PlanOp::Union(_, _) => break,
         };
         cur = next;
     }
@@ -451,9 +463,14 @@ fn chunk_plan(sizes: &[usize], workers: usize, splittable: bool) -> Option<Vec<S
     // but never chase chunks smaller than a floor: on tiny stages the
     // per-task overhead (pool claim, result slot, output reassembly)
     // would dwarf any balancing win, so small partitions coalesce and
-    // nothing splits.
+    // nothing splits. The floor shrinks with the worker count: a flat
+    // 4096 kept stages of a few thousand rows on one core no matter how
+    // wide the pool was (the flat small-input PageRank rows in the
+    // scaling bench), while 4096/workers still keeps per-task overhead
+    // amortized over at least 64 rows.
     const MIN_TARGET_ROWS: usize = 4096;
-    let target = (total / (workers * 4).max(1)).max(MIN_TARGET_ROWS);
+    let floor = (MIN_TARGET_ROWS / workers.max(1)).max(64);
+    let target = (total / (workers * 4).max(1)).max(floor);
     let mut items: Vec<Spans> = Vec::new();
     let mut group: Spans = Vec::new();
     let mut group_rows = 0usize;
@@ -593,8 +610,28 @@ impl DriveMode {
     }
 }
 
+/// Resolves a `Cached` barrier to materialized partitions: a cache hit
+/// reads the entry (memory or disk tier); a miss re-derives the inner
+/// plan — the lineage replay — and reinserts it under the same slot, so
+/// one recompute serves every later reader until the next eviction.
+fn resolve_cached(
+    ctx: &Context,
+    slot: &Arc<crate::dscache::CacheSlot>,
+    inner: &Arc<PlanOp>,
+    mode: DriveMode,
+    policy: ChunkPolicy,
+) -> Result<Arc<Vec<Vec<Value>>>> {
+    let cache = slot.cache();
+    if let Some(parts) = cache.get(slot.id(), ctx)? {
+        return Ok(parts);
+    }
+    let parts = materialize_with(ctx, inner, &[], mode, policy)?.into_arc();
+    cache.insert(slot.id(), parts.clone(), ctx)?;
+    Ok(parts)
+}
+
 /// Materializes a plan into partitions, fusing every narrow chain into one
-/// physical stage per `Scan`/`MapPartitions`/`Union` segment.
+/// physical stage per `Scan`/`Cached`/`MapPartitions`/`Union` segment.
 pub(crate) fn materialize(
     ctx: &Context,
     plan: &Arc<PlanOp>,
@@ -625,6 +662,23 @@ fn materialize_with(
             let out = run_fused_stage(
                 ctx,
                 parts,
+                None,
+                &all,
+                parts.len(),
+                "materialize",
+                mode,
+                policy,
+            )?;
+            Ok(Parts::Owned(out))
+        }
+        PlanOp::Cached(slot, inner) => {
+            let parts = resolve_cached(ctx, slot, inner, mode, policy)?;
+            if all.is_empty() {
+                return Ok(Parts::Shared(parts));
+            }
+            let out = run_fused_stage(
+                ctx,
+                &parts,
                 None,
                 &all,
                 parts.len(),
@@ -854,13 +908,39 @@ where
                 )
             })
         }
+        PlanOp::Cached(slot, inner) => {
+            let parts = resolve_cached(ctx, slot, inner, mode, policy)?;
+            ctx.record_physical_stage();
+            ctx.plan_note(describe_stage(ctx, parts.len(), None, &steps, label));
+            let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+            let items = coalesce(parts.len(), &sizes);
+            run_consumer_stage(ctx, &sizes, items, |p| {
+                task(
+                    p,
+                    &PartitionRows {
+                        segments: vec![Segment {
+                            rows: &parts[p],
+                            steps: &steps,
+                        }],
+                        mode,
+                    },
+                )
+            })
+        }
         PlanOp::MapPartitions(input, f, plabel, tag) => {
             // Shuffle-read fusion: when the prelude's input is already
-            // materialized (a scan — e.g. gathered shuffle buckets), the
+            // materialized (a scan — e.g. gathered shuffle buckets — or a
+            // cached barrier, resolved through the dataset cache), the
             // partition-level function, the fused chain above it, and the
             // consumer all run in ONE stage.
             let inner = collapse(input);
-            if let PlanOp::Scan(parts) = inner.base.as_ref() {
+            let scanned: Option<Arc<Vec<Vec<Value>>>> = match inner.base.as_ref() {
+                PlanOp::Scan(parts) => Some(parts.clone()),
+                PlanOp::Cached(slot, ip) => Some(resolve_cached(ctx, slot, ip, mode, policy)?),
+                _ => None,
+            };
+            if let Some(parts) = scanned {
+                let parts = parts.as_ref();
                 ctx.record_physical_stage();
                 ctx.plan_note(describe_stage(
                     ctx,
@@ -992,6 +1072,15 @@ fn flatten_union(
             virt.extend((0..n).map(|p| vec![(src, p)]));
             Ok(())
         }
+        PlanOp::Cached(slot, inner) => {
+            // A cached operand reads in place like a scan once resolved.
+            let parts = resolve_cached(ctx, slot, inner, mode, policy)?;
+            let src = sources.len();
+            let n = parts.len();
+            sources.push((Parts::Shared(parts), all));
+            virt.extend((0..n).map(|p| vec![(src, p)]));
+            Ok(())
+        }
         PlanOp::Union(l, r) => {
             let start = virt.len();
             flatten_union(ctx, l, &all, sources, virt, mode, policy)?;
@@ -1096,6 +1185,13 @@ pub(crate) fn render(plan: &Arc<PlanOp>, indent: usize, out: &mut String) {
         PlanOp::Scan(parts) => {
             out.push_str(&format!("{pad}scan[{}p]", parts.len()));
         }
+        PlanOp::Cached(_, inner) => {
+            out.push_str(&format!("{pad}cached("));
+            let mut body = String::new();
+            render(inner, 0, &mut body);
+            out.push_str(&body);
+            out.push(')');
+        }
         PlanOp::MapPartitions(input, _, label, _) => {
             render(input, indent, out);
             out.push_str(" → ");
@@ -1179,6 +1275,22 @@ mod tests {
         assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
         // Unsplittable (consumer/prelude) single partitions stay fixed.
         assert!(chunk_plan(&sizes, 8, false).is_none());
+    }
+
+    #[test]
+    fn small_stage_still_splits_across_a_wide_pool() {
+        // 3000 rows is under the old flat 4096-row floor, which kept the
+        // whole stage on one core; with the floor scaled by worker count
+        // (4096/8 = 512) the stage fans out across the pool.
+        let sizes = [3000];
+        let items = chunk_plan(&sizes, 8, true).expect("re-chunks");
+        assert!(items.len() >= 4, "small stage fans out: {}", items.len());
+        assert_eq!(covered_rows(&items, &sizes), sizes.to_vec());
+        // The floor never chases sub-64-row chunks: a truly tiny stage
+        // still coalesces instead of splitting.
+        let tiny = [40, 40];
+        let items = chunk_plan(&tiny, 64, true).expect("coalesces");
+        assert_eq!(items.len(), 1);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct Stats {
     max_queue_depth: AtomicU64,
     sched_cost_us: AtomicU64,
     sched_critical_us: AtomicU64,
+    dataset_spills: AtomicU64,
+    dataset_spilled_bytes: AtomicU64,
+    dataset_evictions: AtomicU64,
+    dataset_recomputes: AtomicU64,
 }
 
 impl Stats {
@@ -92,6 +96,24 @@ impl Stats {
             .fetch_add(critical_us, Ordering::Relaxed);
     }
 
+    /// Records one dataset-cache demotion to disk of `bytes` encoded
+    /// bytes.
+    pub(crate) fn record_dataset_spill(&self, bytes: u64) {
+        self.dataset_spills.fetch_add(1, Ordering::Relaxed);
+        self.dataset_spilled_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one dataset-cache entry dropped outright under pressure.
+    pub(crate) fn record_dataset_eviction(&self) {
+        self.dataset_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one evicted dataset re-derived from its plan lineage.
+    pub(crate) fn record_dataset_recompute(&self) {
+        self.dataset_recomputes.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -100,6 +122,7 @@ impl Stats {
             partitions: 0,
             morsel_size: 0,
             memory_budget: 0,
+            dataset_budget: 0,
             scheduler: String::new(),
             ordered: false,
             stages: self.logical_ops.load(Ordering::Relaxed),
@@ -118,6 +141,10 @@ impl Stats {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             sched_cost_us: self.sched_cost_us.load(Ordering::Relaxed),
             sched_critical_us: self.sched_critical_us.load(Ordering::Relaxed),
+            dataset_spills: self.dataset_spills.load(Ordering::Relaxed),
+            dataset_spilled_bytes: self.dataset_spilled_bytes.load(Ordering::Relaxed),
+            dataset_evictions: self.dataset_evictions.load(Ordering::Relaxed),
+            dataset_recomputes: self.dataset_recomputes.load(Ordering::Relaxed),
         }
     }
 
@@ -139,6 +166,10 @@ impl Stats {
         self.max_queue_depth.store(0, Ordering::Relaxed);
         self.sched_cost_us.store(0, Ordering::Relaxed);
         self.sched_critical_us.store(0, Ordering::Relaxed);
+        self.dataset_spills.store(0, Ordering::Relaxed);
+        self.dataset_spilled_bytes.store(0, Ordering::Relaxed);
+        self.dataset_evictions.store(0, Ordering::Relaxed);
+        self.dataset_recomputes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -160,6 +191,8 @@ pub struct StatsSnapshot {
     pub morsel_size: u64,
     /// Global memory budget in bytes; `u64::MAX` means unbounded.
     pub memory_budget: u64,
+    /// Dataset-cache memory budget in bytes; `u64::MAX` means unbounded.
+    pub dataset_budget: u64,
     /// Scheduler flavor (`morsel` or `static`); empty when unknown.
     pub scheduler: String,
     /// Whether ordered (key-sorted) shuffle routing was in force.
@@ -207,6 +240,15 @@ pub struct StatsSnapshot {
     /// schedule achieved (the load-balance limit, independent of how many
     /// hardware cores the host can actually run in parallel).
     pub sched_critical_us: u64,
+    /// Dataset-cache entries demoted from memory to disk.
+    pub dataset_spills: u64,
+    /// Encoded bytes those demotions wrote.
+    pub dataset_spilled_bytes: u64,
+    /// Dataset-cache entries dropped outright under disk pressure (or a
+    /// zero budget).
+    pub dataset_evictions: u64,
+    /// Evicted datasets re-derived from their plan lineage on a miss.
+    pub dataset_recomputes: u64,
 }
 
 impl StatsSnapshot {
@@ -233,6 +275,7 @@ impl StatsSnapshot {
             partitions: self.partitions,
             morsel_size: self.morsel_size,
             memory_budget: self.memory_budget,
+            dataset_budget: self.dataset_budget,
             scheduler: self.scheduler.clone(),
             ordered: self.ordered,
             stages: self.stages - earlier.stages,
@@ -251,6 +294,10 @@ impl StatsSnapshot {
             max_queue_depth: self.max_queue_depth,
             sched_cost_us: self.sched_cost_us - earlier.sched_cost_us,
             sched_critical_us: self.sched_critical_us - earlier.sched_critical_us,
+            dataset_spills: self.dataset_spills - earlier.dataset_spills,
+            dataset_spilled_bytes: self.dataset_spilled_bytes - earlier.dataset_spilled_bytes,
+            dataset_evictions: self.dataset_evictions - earlier.dataset_evictions,
+            dataset_recomputes: self.dataset_recomputes - earlier.dataset_recomputes,
         }
     }
 }

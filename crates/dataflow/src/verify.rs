@@ -34,6 +34,10 @@
 //!   of a key-ordered exchange comes back globally key-sorted, the
 //!   contract the sorted keyed operators (`sorted_reduce_by_key`, …)
 //!   build on without re-sorting.
+//! * **Dataset-cache row conservation** ([`verify_cached_partition`],
+//!   called on every disk-tier read): each decoded partition of a
+//!   disk-backed cache entry holds exactly the rows recorded when the
+//!   entry spilled.
 //!
 //! Partitioner bucket range and ordered-exchange row shape are *always*
 //! checked at [`ExchangeWriter::emit`](crate::ExchangeWriter::emit) —
@@ -88,6 +92,9 @@ fn check(plan: &PlanOp) -> Result<usize> {
             check(input)
         }
         PlanOp::MapPartitions(input, _, _, _) => check(input),
+        // A cached barrier stands in for its (structurally equivalent)
+        // inner plan; on a cache miss that inner plan is what re-runs.
+        PlanOp::Cached(_, inner) => check(inner),
         // Union keeps the left side's partition count; the right side
         // folds in by index modulo the left's count, so both operands
         // must be structurally valid.
@@ -146,6 +153,27 @@ fn check_exchange_output(
                 )));
             }
         }
+    }
+    Ok(())
+}
+
+/// Verifies row conservation of one disk-backed dataset-cache partition:
+/// the decoded row count must match what was recorded when the entry
+/// spilled. No-op when the verifier is disabled.
+pub(crate) fn verify_cached_partition(
+    id: u64,
+    partition: usize,
+    expected: usize,
+    got: usize,
+) -> Result<()> {
+    if !enabled() {
+        return Ok(());
+    }
+    if got != expected {
+        return Err(violation(format!(
+            "disk-backed dataset {id} partition {partition} decoded {got} rows but {expected} \
+             were spilled — rows were lost or duplicated in the dataset cache"
+        )));
     }
     Ok(())
 }

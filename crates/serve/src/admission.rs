@@ -10,16 +10,26 @@
 //! `max_inflight × per-request budget`, regardless of offered load.
 //!
 //! Permits are RAII: dropping an [`AdmissionPermit`] releases the slot
-//! and wakes one waiter, so an execution that panics or errors still
+//! and wakes the waiters, so an execution that panics or errors still
 //! frees its slot.
+//!
+//! Dequeue is **FIFO by arrival**: each waiter takes a monotonically
+//! increasing ticket and only the holder of the oldest ticket may take a
+//! freed slot. A bare `notify_one` handoff let a late-arriving request
+//! race an earlier one for the slot and starve it past its deadline;
+//! with tickets, deadlines are missed oldest-last.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 struct State {
     in_flight: usize,
-    queued: usize,
+    /// Arrival-ordered tickets of the requests currently queued.
+    queue: VecDeque<u64>,
+    /// The next ticket to hand out.
+    next_ticket: u64,
 }
 
 struct Shared {
@@ -56,7 +66,10 @@ impl Drop for AdmissionPermit {
         let mut st = self.shared.state.lock().expect("admission lock");
         st.in_flight -= 1;
         drop(st);
-        self.shared.available.notify_one();
+        // Wake everyone: only the head-of-queue ticket may take the slot,
+        // and notify_one could wake a younger waiter that would just go
+        // back to sleep while the head slept on.
+        self.shared.available.notify_all();
     }
 }
 
@@ -70,7 +83,8 @@ impl Admission {
                 max_inflight: max_inflight.max(1),
                 state: Mutex::new(State {
                     in_flight: 0,
-                    queued: 0,
+                    queue: VecDeque::new(),
+                    next_ticket: 0,
                 }),
                 available: Condvar::new(),
                 admitted: AtomicU64::new(0),
@@ -86,21 +100,31 @@ impl Admission {
     pub fn acquire(&self, deadline: Duration) -> Result<AdmissionPermit, String> {
         let started = Instant::now();
         let mut st = self.shared.state.lock().expect("admission lock");
-        if st.in_flight >= self.shared.max_inflight {
-            st.queued += 1;
+        if st.in_flight >= self.shared.max_inflight || !st.queue.is_empty() {
+            // Queue behind everyone already waiting — even when a slot is
+            // technically free, jumping ahead of the queue would reorder
+            // admissions behind the arrival order.
+            let ticket = st.next_ticket;
+            st.next_ticket += 1;
+            st.queue.push_back(ticket);
             self.shared
                 .peak_queued
-                .fetch_max(st.queued as u64, Ordering::Relaxed);
-            while st.in_flight >= self.shared.max_inflight {
+                .fetch_max(st.queue.len() as u64, Ordering::Relaxed);
+            while st.in_flight >= self.shared.max_inflight || st.queue.front() != Some(&ticket) {
                 let elapsed = started.elapsed();
                 if elapsed >= deadline {
-                    st.queued -= 1;
+                    st.queue.retain(|&t| t != ticket);
                     self.shared.timed_out.fetch_add(1, Ordering::Relaxed);
-                    return Err(format!(
+                    let msg = format!(
                         "admission queue deadline exceeded ({} ms): {} executions in flight",
                         deadline.as_millis(),
                         st.in_flight
-                    ));
+                    );
+                    drop(st);
+                    // A timed-out head must pass the baton, or the queue
+                    // behind it waits for the next permit drop.
+                    self.shared.available.notify_all();
+                    return Err(msg);
                 }
                 let (next, _) = self
                     .shared
@@ -109,7 +133,11 @@ impl Admission {
                     .expect("admission lock");
                 st = next;
             }
-            st.queued -= 1;
+            st.queue.pop_front();
+            if st.in_flight + 1 < self.shared.max_inflight && !st.queue.is_empty() {
+                // More slots remain: let the next ticket holder run too.
+                self.shared.available.notify_all();
+            }
         }
         st.in_flight += 1;
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
@@ -190,5 +218,44 @@ mod tests {
         let gate = Admission::new(0);
         gate.acquire(Duration::from_millis(10))
             .expect("clamped to 1");
+    }
+
+    #[test]
+    fn queued_requests_admit_in_arrival_order() {
+        // Regression: with a bare notify_one handoff, a late-arriving
+        // request could take a freed slot ahead of an older waiter and
+        // starve it past its deadline. Queue several waiters in a known
+        // arrival order, release slots one at a time, and require
+        // admissions to come back in exactly that order.
+        let gate = Arc::new(Admission::new(1));
+        let held = gate.acquire(Duration::from_secs(5)).unwrap();
+        let (tx, rx) = mpsc::channel::<usize>();
+        let mut threads = Vec::new();
+        for i in 0..4 {
+            let g = gate.clone();
+            let tx = tx.clone();
+            threads.push(thread::spawn(move || {
+                let p = g.acquire(Duration::from_secs(30)).unwrap();
+                tx.send(i).unwrap();
+                // Hold briefly so admissions serialize through the gate.
+                thread::sleep(Duration::from_millis(5));
+                drop(p);
+            }));
+            // Wait until this waiter is visibly queued before spawning
+            // the next, pinning the arrival order.
+            let want = i as u64 + 1;
+            while gate.peak_queued() < want {
+                thread::sleep(Duration::from_millis(1));
+            }
+        }
+        drop(held);
+        let order: Vec<usize> = (0..4)
+            .map(|_| rx.recv_timeout(Duration::from_secs(30)).expect("admitted"))
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(order, vec![0, 1, 2, 3], "FIFO by arrival");
+        assert_eq!(gate.timed_out(), 0);
     }
 }

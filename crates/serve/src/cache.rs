@@ -100,6 +100,20 @@ impl ResultCache {
         }
     }
 
+    /// Looks up a key, refreshing recency but **not** the hit/miss
+    /// counters — for the server's coalescing double-check, which
+    /// re-probes right after the counted [`ResultCache::get`] and would
+    /// otherwise count every cold request as two misses.
+    pub fn peek(&self, key: u64) -> Option<Arc<CachedRun>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(&key).map(|e| {
+            e.touched = clock;
+            e.run.clone()
+        })
+    }
+
     /// Inserts a run under a key, evicting LRU entries until it fits.
     /// Oversized results (bigger than the whole budget) are not cached.
     pub fn put(&self, key: u64, outputs: Vec<(String, Output)>) -> Arc<CachedRun> {

@@ -17,12 +17,24 @@
 //!   │                            │
 //!   │                       hit? ──▶ respond from cache (no admission)
 //!   ▼                            ▼ miss
+//! coalesce (identical run already in flight? wait for its result) ──▶
 //! admission (bounded in-flight, deadline queue) ──▶ fork + run ──▶
 //!   cache the outputs ──▶ respond
 //! ```
 //!
 //! Cache hits bypass admission entirely — they do no engine work, so
 //! making them queue behind executions would be latency for nothing.
+//!
+//! **Request coalescing**: when several requests miss on the *same*
+//! cache key concurrently, only the first one (the leader) executes;
+//! the rest wait for the leader's result and serve it as a cache hit.
+//! Without this, a burst of identical requests — the thundering-herd
+//! shape of any cache in front of slow work — would run the same
+//! program once per request, occupying admission slots with duplicate
+//! work. A leader error propagates to every waiter (and is never
+//! cached); `no_cache` requests bypass coalescing like they bypass the
+//! cache.
+//!
 //! Compile errors, runtime errors (message identical to a local
 //! `diabloc run`, including the statement tag), and admission timeouts
 //! all travel back as [`Response::Error`]; a connection is never dropped
@@ -33,7 +45,7 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -43,7 +55,7 @@ use diablo_exec::Session;
 use diablo_runtime::Value;
 
 use crate::admission::Admission;
-use crate::cache::ResultCache;
+use crate::cache::{CachedRun, ResultCache};
 use crate::planhash::{fold, plan_hash, rows_hash, value_hash};
 use crate::proto::{read_frame, write_frame, Output, Request, RequestStats, Response};
 
@@ -75,6 +87,14 @@ struct NamedData {
     fingerprint: u64,
 }
 
+/// One in-flight execution of a cache key: the leader runs the program;
+/// identical concurrent misses wait on `cv` until `done` holds the
+/// leader's result — success or error — and share it.
+struct InflightRun {
+    done: Mutex<Option<std::result::Result<Arc<CachedRun>, String>>>,
+    cv: Condvar,
+}
+
 struct Shared {
     ctx: Context,
     /// The resolved listen address (used to self-nudge on shutdown).
@@ -83,6 +103,10 @@ struct Shared {
     cache: ResultCache,
     admission: Admission,
     datasets: RwLock<HashMap<String, NamedData>>,
+    /// Cache keys currently executing, for request coalescing.
+    inflight: Mutex<HashMap<u64, Arc<InflightRun>>>,
+    /// Requests served by waiting on an identical in-flight execution.
+    coalesced: AtomicU64,
     shutdown: AtomicBool,
     requests: AtomicU64,
 }
@@ -130,6 +154,8 @@ impl Server {
             ctx,
             addr: actual.clone(),
             datasets: RwLock::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            coalesced: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
         });
@@ -298,6 +324,7 @@ fn stat_counters(shared: &Arc<Shared>) -> Vec<(String, u64)> {
         ("cache_evictions".into(), shared.cache.evictions()),
         ("cache_entries".into(), entries),
         ("cache_bytes".into(), bytes),
+        ("coalesced".into(), shared.coalesced.load(Ordering::Relaxed)),
         ("admitted".into(), shared.admission.admitted()),
         ("admission_timeouts".into(), shared.admission.timed_out()),
         ("peak_queued".into(), shared.admission.peak_queued()),
@@ -383,9 +410,86 @@ fn handle_run(
         let _ = shared.cache.get(u64::MAX ^ key);
     }
 
+    // Request coalescing: if an identical run (same key) is already
+    // executing, wait for its result instead of executing a duplicate.
+    // The first miss registers itself as the leader; `no_cache` requests
+    // bypass coalescing the way they bypass the cache.
+    let leading = if no_cache {
+        None
+    } else {
+        let mut inflight = shared.inflight.lock().expect("inflight lock");
+        if let Some(run) = inflight.get(&key) {
+            let run = run.clone();
+            drop(inflight);
+            drop(datasets);
+            shared.coalesced.fetch_add(1, Ordering::Relaxed);
+            let waited = Instant::now();
+            let mut done = run.done.lock().expect("inflight result lock");
+            while done.is_none() {
+                done = run.cv.wait(done).expect("inflight result lock");
+            }
+            return match done.as_ref().expect("loop exits on Some") {
+                Ok(cached) => Response::RunOk {
+                    outputs: cached.outputs.clone(),
+                    stats: RequestStats {
+                        cache_hit: true,
+                        plan_hash: hash,
+                        queue_us: waited.elapsed().as_micros() as u64,
+                        exec_us: 0,
+                    },
+                    warnings,
+                },
+                // A leader error reaches every waiter — re-running the
+                // same program against the same inputs would fail the
+                // same way, at full execution cost per waiter.
+                Err(message) => Response::Error {
+                    message: message.clone(),
+                },
+            };
+        }
+        // Double-check the result cache under the inflight lock: a
+        // leader settles by caching its result and THEN deregistering,
+        // so "cache miss, then no inflight entry" can also mean the
+        // leader finished in between — its result is in the cache now.
+        // Without this re-probe, that interleaving would execute the
+        // identical request a second time.
+        if let Some(cached) = shared.cache.peek(key) {
+            return Response::RunOk {
+                outputs: cached.outputs.clone(),
+                stats: RequestStats {
+                    cache_hit: true,
+                    plan_hash: hash,
+                    queue_us: 0,
+                    exec_us: 0,
+                },
+                warnings,
+            };
+        }
+        let run = Arc::new(InflightRun {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        inflight.insert(key, run.clone());
+        Some(run)
+    };
+    // Publishes the leader's outcome: deregisters the key (later misses
+    // start fresh — on success they hit the result cache anyway) and
+    // wakes every waiter. Must run on EVERY exit path below, or waiters
+    // sleep forever.
+    let settle = |result: std::result::Result<Arc<CachedRun>, String>| {
+        if let Some(run) = &leading {
+            shared.inflight.lock().expect("inflight lock").remove(&key);
+            *run.done.lock().expect("inflight result lock") = Some(result);
+            run.cv.notify_all();
+        }
+    };
+
     let permit = match shared.admission.acquire(shared.queue_deadline) {
         Ok(p) => p,
-        Err(message) => return Response::Error { message },
+        Err(message) => {
+            settle(Err(message.clone()));
+            return Response::Error { message };
+        }
     };
 
     let started = Instant::now();
@@ -413,9 +517,9 @@ fn handle_run(
 
     if let Err(e) = session.run(&compiled) {
         drop(permit);
-        return Response::Error {
-            message: e.to_string(),
-        };
+        let message = e.to_string();
+        settle(Err(message.clone()));
+        return Response::Error { message };
     }
 
     let mut outputs = Vec::new();
@@ -440,6 +544,7 @@ fn handle_run(
     drop(permit);
 
     let cached = shared.cache.put(key, outputs);
+    settle(Ok(cached.clone()));
     Response::RunOk {
         outputs: cached.outputs.clone(),
         stats: RequestStats {

@@ -40,6 +40,11 @@
 //! * `--memory-budget BYTES` caps the bytes a shuffle buffers in memory;
 //!   buckets past the budget spill to sorted run files (equivalent to
 //!   `DIABLO_MEMORY_BUDGET`).
+//! * `--dataset-budget BYTES` caps the bytes of materialized datasets
+//!   held in memory; entries past the budget demote to disk and, past
+//!   the disk ledger, recompute from their plan on the next read
+//!   (equivalent to `DIABLO_DATASET_BUDGET`). `0` disables dataset
+//!   caching. Results never change.
 //! * `--morsel-size ROWS` sets the scheduling granularity stages split
 //!   oversized partitions into (equivalent to `DIABLO_MORSEL_SIZE`;
 //!   default 16384 rows). Scheduling only — results never change.
@@ -97,6 +102,7 @@ struct EngineFlags {
     workers: Option<usize>,
     partitions: Option<usize>,
     memory_budget: Option<u64>,
+    dataset_budget: Option<u64>,
     morsel_size: Option<usize>,
     ordered: bool,
     /// `run` only: execute on a `diablod` server at this address
@@ -106,8 +112,9 @@ struct EngineFlags {
 
 impl EngineFlags {
     /// Pulls `--backend`, `--workers`, `--partitions`, `--memory-budget`,
-    /// `--morsel-size` (each as `--flag value` or `--flag=value`), and
-    /// the bare `--ordered` out of the argument list.
+    /// `--dataset-budget`, `--morsel-size` (each as `--flag value` or
+    /// `--flag=value`), and the bare `--ordered` out of the argument
+    /// list.
     fn extract(args: &mut Vec<String>) -> Result<EngineFlags, String> {
         let mut flags = EngineFlags::default();
         args.retain(|a| {
@@ -144,6 +151,11 @@ impl EngineFlags {
                     n.parse()
                         .map_err(|_| format!("--memory-budget: `{n}` is not a byte count"))?,
                 );
+            } else if let Some(n) = take_value("--dataset-budget")? {
+                flags.dataset_budget = Some(
+                    n.parse()
+                        .map_err(|_| format!("--dataset-budget: `{n}` is not a byte count"))?,
+                );
             } else if let Some(n) = take_value("--morsel-size")? {
                 flags.morsel_size = Some(parse_count("--morsel-size", &n)?);
             } else if let Some(addr) = take_value("--connect")? {
@@ -162,6 +174,7 @@ impl EngineFlags {
             || self.workers.is_some()
             || self.partitions.is_some()
             || self.memory_budget.is_some()
+            || self.dataset_budget.is_some()
             || self.morsel_size.is_some()
             || self.ordered
             || self.connect.is_some()
@@ -172,6 +185,9 @@ impl EngineFlags {
         let ctx = Context::sized(self.workers, self.partitions);
         if let Some(budget) = self.memory_budget {
             ctx.set_memory_budget(Some(budget));
+        }
+        if let Some(budget) = self.dataset_budget {
+            ctx.set_dataset_budget(Some(budget));
         }
         if let Some(rows) = self.morsel_size {
             ctx.set_morsel_size(rows);
@@ -221,7 +237,7 @@ fn run(
     };
     if engine.any() && !matches!(cmd, "run" | "explain") {
         return Err(format!(
-            "--backend/--workers/--partitions/--memory-budget/--morsel-size/--ordered/--connect only apply to `run` and `explain`, not `{cmd}`"
+            "--backend/--workers/--partitions/--memory-budget/--dataset-budget/--morsel-size/--ordered/--connect only apply to `run` and `explain`, not `{cmd}`"
         ));
     }
     if json_flag && !matches!(cmd, "check" | "lint") {
@@ -271,6 +287,7 @@ fn run(
                     || engine.workers.is_some()
                     || engine.partitions.is_some()
                     || engine.memory_budget.is_some()
+                    || engine.dataset_budget.is_some()
                     || engine.morsel_size.is_some()
                     || engine.ordered
                 {
@@ -343,7 +360,7 @@ fn run(
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|lint|show|run|interp|explain> [--explain] [--json] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|lint|show|run|interp|explain> [--explain] [--json] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--dataset-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
 
 /// Renders accumulated front-end diagnostics — rustc-style caret snippets
 /// on stderr, or the stable JSON document on stdout under `--json` — and

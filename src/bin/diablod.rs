@@ -24,8 +24,11 @@
 //!
 //! Engine flags mirror `diabloc run`: `--backend <local|tile|spill|morsel>`,
 //! `--workers N`, `--partitions N`, `--memory-budget BYTES`,
-//! `--morsel-size ROWS`, `--ordered` (each also honors its `DIABLO_*`
-//! env var through the engine's own defaults).
+//! `--dataset-budget BYTES` (one shared dataset cache across all
+//! tenants — materialized datasets past the budget demote to disk and
+//! recompute when dropped), `--morsel-size ROWS`, `--ordered` (each
+//! also honors its `DIABLO_*` env var through the engine's own
+//! defaults).
 //!
 //! On startup the daemon prints exactly one line to stdout —
 //! `diablod: listening on <resolved addr>` — so wrappers can wait for
@@ -37,7 +40,7 @@ use std::time::Duration;
 use diablo_dataflow::Context;
 use diablo_serve::{ServeConfig, Server};
 
-const USAGE: &str = "usage: diablod [--listen ADDR|unix:/path] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--morsel-size ROWS] [--ordered] [--max-inflight N] [--queue-deadline-ms MS] [--cache-budget BYTES]";
+const USAGE: &str = "usage: diablod [--listen ADDR|unix:/path] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--dataset-budget BYTES] [--morsel-size ROWS] [--ordered] [--max-inflight N] [--queue-deadline-ms MS] [--cache-budget BYTES]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,6 +104,9 @@ fn serve(mut args: Vec<String>) -> Result<(), String> {
     let memory_budget = take_flag(&mut args, "--memory-budget")?
         .map(|v| parse_num::<u64>("--memory-budget", &v))
         .transpose()?;
+    let dataset_budget = take_flag(&mut args, "--dataset-budget")?
+        .map(|v| parse_num::<u64>("--dataset-budget", &v))
+        .transpose()?;
     let morsel_size = take_flag(&mut args, "--morsel-size")?
         .map(|v| parse_num::<usize>("--morsel-size", &v))
         .transpose()?;
@@ -126,6 +132,9 @@ fn serve(mut args: Vec<String>) -> Result<(), String> {
     let ctx = Context::sized(workers, partitions);
     if let Some(b) = memory_budget {
         ctx.set_memory_budget(Some(b));
+    }
+    if let Some(b) = dataset_budget {
+        ctx.set_dataset_budget(Some(b));
     }
     if let Some(rows) = morsel_size {
         ctx.set_morsel_size(rows);

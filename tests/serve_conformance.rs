@@ -230,3 +230,114 @@ fn concurrent_failures_keep_their_own_statement_tags() {
     }
     server.stop();
 }
+
+#[test]
+fn identical_concurrent_misses_coalesce_into_one_execution() {
+    // Request coalescing: a burst of identical cold requests must
+    // execute the program ONCE. Whatever the interleaving, every
+    // non-leader either waits on the in-flight leader (`coalesced`) or
+    // hits the result cache after it settles — it never occupies an
+    // admission slot with a duplicate execution. The `admitted` counter
+    // is the executed-run count, so it pins the invariant exactly.
+    let w = &wl::figure3_workloads(1, 9)[0];
+    let expected = local_outputs(w).expect(w.name);
+    let server =
+        Server::start("127.0.0.1:0", Context::new(2, 4), ServeConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+
+    const CLIENTS: usize = 8;
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = barrier.clone();
+            let (scalars, rows) = remote_bindings(w);
+            let name = w.name;
+            let source = w.source;
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                barrier.wait();
+                client
+                    .run(source, scalars, rows, false)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"))
+            })
+        })
+        .collect();
+    let results: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+    for res in &results {
+        assert_eq!(res.outputs, expected, "coalesced responses match local");
+    }
+    let leaders = results.iter().filter(|r| !r.stats.cache_hit).count();
+    assert_eq!(leaders, 1, "exactly one request executed");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let stats: std::collections::HashMap<String, u64> =
+        client.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["admitted"], 1, "duplicates never reached admission");
+    // Every non-leader was served by coalescing or by the result cache.
+    assert_eq!(
+        stats["coalesced"] + stats["cache_hits"],
+        (CLIENTS - 1) as u64,
+        "{stats:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn coalesced_waiters_share_the_leaders_error_uncached() {
+    // A leader that fails must propagate the SAME error to every waiter
+    // (re-running an identical failing program per waiter would cost a
+    // full execution each) — and never cache it: a fresh request after
+    // the burst re-executes.
+    let expected = {
+        let compiled = compile(DIV_BY_ZERO).expect("compiles");
+        let mut s = Session::new(Context::new(2, 4));
+        s.bind_input("V", div_rows());
+        s.run(&compiled).unwrap_err().to_string()
+    };
+    let server =
+        Server::start("127.0.0.1:0", Context::new(2, 4), ServeConfig::default()).expect("server");
+    let addr = server.addr().to_string();
+    const CLIENTS: usize = 6;
+    let barrier = Arc::new(std::sync::Barrier::new(CLIENTS));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let addr = addr.clone();
+            let barrier = barrier.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect");
+                barrier.wait();
+                client
+                    .run(
+                        DIV_BY_ZERO,
+                        vec![],
+                        vec![("V".to_string(), div_rows())],
+                        false,
+                    )
+                    .unwrap_err()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("client thread"), expected);
+    }
+    // Errors are never cached: the next identical request re-executes
+    // and fails with the same message again.
+    let mut client = Client::connect(&addr).expect("connect");
+    let again = client
+        .run(
+            DIV_BY_ZERO,
+            vec![],
+            vec![("V".to_string(), div_rows())],
+            false,
+        )
+        .unwrap_err();
+    assert_eq!(again, expected);
+    let stats: std::collections::HashMap<String, u64> =
+        client.stats().expect("stats").into_iter().collect();
+    assert_eq!(stats["cache_hits"], 0, "errors are never cached");
+    server.stop();
+}
