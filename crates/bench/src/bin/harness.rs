@@ -14,6 +14,9 @@
 //! harness out-of-core      # WC + PageRank with the dataset cache bounded to
 //!                          #   ~1/10 of the input, per backend, byte-checked
 //!                          #   against the unbounded run [--check]
+//! harness columnar         # columnar backend vs the row path on a scan-heavy
+//!                          #   fused expression chain, Word Count, and K-Means,
+//!                          #   byte- and error-identity checked [--check]
 //! harness all              # everything (used to fill EXPERIMENTS.md)
 //! harness --json <cmd>     # machine-readable: one JSON object per row,
 //!                          # each tagged with the execution backend
@@ -21,7 +24,8 @@
 //!
 //! Sizes are laptop-scale; see DESIGN.md for the scale substitution. Set
 //! `DIABLO_SCALE` (default 1) to grow every sweep, `DIABLO_BACKEND`
-//! (`local`, `tile`, `spill`) to pick the engine's execution backend, and
+//! (`local`, `tile`, `spill`, `morsel`, `columnar`) to pick the engine's
+//! execution backend, and
 //! `DIABLO_MEMORY_BUDGET` to bound shuffle memory — every engine-backed
 //! JSON row carries the full effective settings (backend, workers,
 //! partitions, morsel size, memory budget, scheduler, ordered) plus the
@@ -70,6 +74,10 @@ fn main() {
             let check = args.iter().any(|a| a == "--check");
             out_of_core(json, check);
         }
+        "columnar" => {
+            let check = args.iter().any(|a| a == "--check");
+            columnar(json, check);
+        }
         "all" => {
             table1(json);
             table2(json);
@@ -86,7 +94,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, serve, out-of-core, all"
+                "unknown command `{other}`; try table1, table2, fig3a..fig3l, tiles, ordered, scaling, serve, out-of-core, columnar, all"
             );
             std::process::exit(2);
         }
@@ -221,6 +229,8 @@ fn table2(json: bool) {
             let spill_rec = stats.spilled_records.to_string();
             let spill_bytes = stats.spilled_bytes.to_string();
             let spill_files = stats.spill_files.to_string();
+            let vec_batches = stats.vectorized_batches.to_string();
+            let row_fallbacks = stats.row_fallback_stages.to_string();
             let seq_s = secs(seq);
             let mut fields: Vec<(&str, &str)> = vec![("bench", "table2"), ("program", w.name)];
             fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
@@ -232,6 +242,8 @@ fn table2(json: bool) {
                 ("spilled_records", spill_rec.as_str()),
                 ("spilled_bytes", spill_bytes.as_str()),
                 ("spill_files", spill_files.as_str()),
+                ("vectorized_batches", vec_batches.as_str()),
+                ("row_fallback_stages", row_fallbacks.as_str()),
                 ("seq_secs", seq_s.as_str()),
             ]);
             println!("{}", json_row(&fields));
@@ -374,6 +386,8 @@ fn fig3(letter: &str, json: bool) {
             let d_spill_rec = d_stats.spilled_records.to_string();
             let d_spill_bytes = d_stats.spilled_bytes.to_string();
             let d_spill_files = d_stats.spill_files.to_string();
+            let d_vec_batches = d_stats.vectorized_batches.to_string();
+            let d_row_fallbacks = d_stats.row_fallback_stages.to_string();
             let h_s = secs(hand);
             let hs = h_stats.physical_stages.to_string();
             fields.extend([
@@ -383,6 +397,8 @@ fn fig3(letter: &str, json: bool) {
                 ("spilled_records", d_spill_rec.as_str()),
                 ("spilled_bytes", d_spill_bytes.as_str()),
                 ("spill_files", d_spill_files.as_str()),
+                ("vectorized_batches", d_vec_batches.as_str()),
+                ("row_fallback_stages", d_row_fallbacks.as_str()),
                 ("handwritten_secs", h_s.as_str()),
                 ("handwritten_stages", hs.as_str()),
             ]);
@@ -446,6 +462,8 @@ fn ordered(json: bool) {
                 let spill_rec = stats.spilled_records.to_string();
                 let spill_bytes = stats.spilled_bytes.to_string();
                 let spill_files = stats.spill_files.to_string();
+                let vec_batches = stats.vectorized_batches.to_string();
+                let row_fallbacks = stats.row_fallback_stages.to_string();
                 let mut fields: Vec<(&str, &str)> = vec![("bench", "ordered"), ("program", w.name)];
                 fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
                 fields.extend([
@@ -455,6 +473,8 @@ fn ordered(json: bool) {
                     ("spilled_records", spill_rec.as_str()),
                     ("spilled_bytes", spill_bytes.as_str()),
                     ("spill_files", spill_files.as_str()),
+                    ("vectorized_batches", vec_batches.as_str()),
+                    ("row_fallback_stages", row_fallbacks.as_str()),
                 ]);
                 println!("{}", json_row(&fields));
             } else {
@@ -841,6 +861,8 @@ fn scaling(json: bool, check: bool, mode_filter: Option<&str>) {
                     let morsels = stats.morsels.to_string();
                     let steals = stats.steals.to_string();
                     let depth = stats.max_queue_depth.to_string();
+                    let vec_batches = stats.vectorized_batches.to_string();
+                    let row_fallbacks = stats.row_fallback_stages.to_string();
                     let cpus = host_cpus.to_string();
                     let mut fields: Vec<(&str, &str)> =
                         vec![("section", "scaling"), ("workload", name)];
@@ -852,6 +874,8 @@ fn scaling(json: bool, check: bool, mode_filter: Option<&str>) {
                         ("morsels", morsels.as_str()),
                         ("steals", steals.as_str()),
                         ("max_queue_depth", depth.as_str()),
+                        ("vectorized_batches", vec_batches.as_str()),
+                        ("row_fallback_stages", row_fallbacks.as_str()),
                         ("host_cpus", cpus.as_str()),
                     ]);
                     println!("{}", json_row(&fields));
@@ -994,6 +1018,8 @@ fn out_of_core(json: bool, check: bool) {
                 let spilled = stats.dataset_spilled_bytes.to_string();
                 let evicts = stats.dataset_evictions.to_string();
                 let recomputes = stats.dataset_recomputes.to_string();
+                let vec_batches = stats.vectorized_batches.to_string();
+                let row_fallbacks = stats.row_fallback_stages.to_string();
                 let identical_s = identical.to_string();
                 let mut fields: Vec<(&str, &str)> =
                     vec![("section", "out_of_core"), ("workload", w.name)];
@@ -1006,6 +1032,8 @@ fn out_of_core(json: bool, check: bool) {
                     ("dataset_spilled_bytes", spilled.as_str()),
                     ("dataset_evictions", evicts.as_str()),
                     ("dataset_recomputes", recomputes.as_str()),
+                    ("vectorized_batches", vec_batches.as_str()),
+                    ("row_fallback_stages", row_fallbacks.as_str()),
                     ("identical", identical_s.as_str()),
                 ]);
                 println!("{}", json_row(&fields));
@@ -1059,6 +1087,304 @@ fn out_of_core_check(rows: &[OocRow]) {
     } else {
         for f in &failures {
             eprintln!("out-of-core --check FAILED: {f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+// ---------------------------------------------------------------- columnar
+
+const COLUMNAR_WORKERS: usize = 4;
+const COLUMNAR_PARTS: usize = 8;
+
+/// A scan-heavy fused chain built entirely from transparent expressions
+/// (`map_expr`/`filter_expr` carrying `RowExpr` IR): ~20 scalar ops per
+/// row across ten maps and two selective filters, so the stage compiler
+/// lowers the whole stage to per-column loops and the output stays small.
+fn columnar_chain(d: &Dataset) -> Dataset {
+    use diablo_dataflow::RowExpr as E;
+    let lit = |n: i64| Box::new(E::Const(Value::Long(n)));
+    let input = || Box::new(E::Input);
+    let bin = |op: BinOp, a: Box<E>, b: Box<E>| Box::new(E::Bin(op, a, b));
+    let steps: Vec<E> = vec![
+        E::Bin(BinOp::Add, bin(BinOp::Mul, input(), lit(3)), lit(7)),
+        E::Bin(BinOp::Mul, input(), input()),
+        E::Bin(BinOp::Mod, input(), lit(1_000_003)),
+        E::Bin(BinOp::Sub, bin(BinOp::Mul, input(), lit(5)), lit(11)),
+        E::Bin(BinOp::Eq, bin(BinOp::Mod, input(), lit(2)), lit(0)),
+        E::Bin(BinOp::Add, input(), bin(BinOp::Mod, input(), lit(97))),
+        E::Bin(BinOp::Mul, input(), lit(13)),
+        E::Bin(BinOp::Mod, input(), lit(999_983)),
+        E::Bin(BinOp::Lt, input(), lit(250_000)),
+        E::Bin(BinOp::Add, bin(BinOp::Mul, input(), lit(31)), lit(17)),
+        E::Bin(BinOp::Mod, input(), lit(101_117)),
+        E::Bin(BinOp::Sub, input(), lit(1)),
+    ];
+    let mut out = d.clone();
+    for (i, e) in steps.into_iter().enumerate() {
+        out = if matches!(i, 4 | 8) {
+            out.filter_expr(e).expect("filter_expr")
+        } else {
+            out.map_expr(e).expect("map_expr")
+        };
+    }
+    out
+}
+
+/// One columnar-vs-row comparison the table, JSON, and `--check` gates
+/// all read from.
+struct ColumnarRow {
+    workload: String,
+    speedup: f64,
+    identical: bool,
+    errors_identical: bool,
+    vectorized_batches: u64,
+    row_fallback_stages: u64,
+}
+
+/// Columnar execution: the scan-heavy fused chain plus Word Count and
+/// K-Means, each run once on the row path (`local`) and once on the
+/// `columnar` backend, byte-checked (rows and order) against each other.
+/// A poisoned division mid-chain additionally checks that both backends
+/// surface the identical first error with its statement tag. `--check`
+/// gates: everything identical, the chain actually vectorized, and the
+/// columnar chain at least 3× faster than the row path.
+fn columnar(json: bool, check: bool) {
+    if !json {
+        println!("== Columnar: vectorized batches vs the tuple-at-a-time row path ===========");
+        println!(
+            "{:<14} {:>9} {:>10} {:>9} {:>12} {:>10} {:>10} {:>8}",
+            "workload",
+            "backend",
+            "secs",
+            "speedup",
+            "vec_batches",
+            "fallbacks",
+            "identical",
+            "errors"
+        );
+    }
+    let s = scale();
+    let mut rows: Vec<ColumnarRow> = Vec::new();
+
+    // -- the fused expression chain -------------------------------------
+    let base: Vec<Value> = (0..1_500_000 * s as i64).map(Value::Long).collect();
+    let timed = |backend: &str| {
+        let ctx = Context::new(COLUMNAR_WORKERS, COLUMNAR_PARTS)
+            .with_executor(executor_named(backend).expect(backend));
+        ctx.set_memory_budget(None);
+        let settings = settings_fields(&ctx);
+        let d = ctx.from_vec(base.clone());
+        let before = ctx.stats().snapshot();
+        let mut out: Vec<Value> = Vec::new();
+        let t = diablo_bench::time_median(2, || out = columnar_chain(&d).collect());
+        let stats = ctx.stats().snapshot().since(&before);
+        (t, out, stats, settings)
+    };
+    // The same chain with a division poisoned to hit zero on one mid-tile
+    // row; both backends must surface the identical tagged first error.
+    let poisoned_err = |backend: &str| -> String {
+        use diablo_dataflow::RowExpr as E;
+        let ctx = Context::new(COLUMNAR_WORKERS, COLUMNAR_PARTS)
+            .with_executor(executor_named(backend).expect(backend));
+        ctx.set_memory_budget(None);
+        ctx.set_statement_label(Some("s1: F := 1000 / (V[i] - 123457)"));
+        let d = ctx
+            .from_vec((0..300_000).map(Value::Long).collect())
+            .map_expr(E::Bin(
+                BinOp::Div,
+                Box::new(E::Const(Value::Long(1000))),
+                Box::new(E::Bin(
+                    BinOp::Sub,
+                    Box::new(E::Input),
+                    Box::new(E::Const(Value::Long(123_457))),
+                )),
+            ))
+            .expect("map_expr");
+        ctx.set_statement_label(None);
+        d.try_collect()
+            .expect_err("poisoned chain must fail")
+            .message
+    };
+    let (row_t, row_rows, row_stats, row_settings) = timed("local");
+    let (col_t, col_rows, col_stats, col_settings) = timed("columnar");
+    let identical = row_rows == col_rows;
+    let err_row = poisoned_err("local");
+    let err_col = poisoned_err("columnar");
+    let errors_identical = err_row == err_col && err_col.contains("zero");
+    let speedup = row_t.as_secs_f64() / col_t.as_secs_f64().max(1e-9);
+    rows.push(ColumnarRow {
+        workload: "fusion-chain".into(),
+        speedup,
+        identical,
+        errors_identical,
+        vectorized_batches: col_stats.vectorized_batches,
+        row_fallback_stages: col_stats.row_fallback_stages,
+    });
+    let emit = |workload: &str,
+                backend_secs: Duration,
+                speedup: f64,
+                stats_vec: u64,
+                stats_fallback: u64,
+                settings: &[(&'static str, String)],
+                identical: bool,
+                errors_identical: Option<bool>| {
+        if json {
+            let secs_s = secs(backend_secs);
+            let speedup_s = format!("{speedup:.2}");
+            let vecb = stats_vec.to_string();
+            let fallb = stats_fallback.to_string();
+            let ident = identical.to_string();
+            let mut fields: Vec<(&str, &str)> = vec![("bench", "columnar"), ("workload", workload)];
+            fields.extend(settings.iter().map(|(k, v)| (*k, v.as_str())));
+            fields.extend([
+                ("secs", secs_s.as_str()),
+                ("speedup_vs_row", speedup_s.as_str()),
+                ("vectorized_batches", vecb.as_str()),
+                ("row_fallback_stages", fallb.as_str()),
+                ("identical", ident.as_str()),
+            ]);
+            let err_s;
+            if let Some(e) = errors_identical {
+                err_s = e.to_string();
+                fields.push(("errors_identical", err_s.as_str()));
+            }
+            println!("{}", json_row(&fields));
+        } else {
+            let backend = settings
+                .iter()
+                .find(|(k, _)| *k == "backend")
+                .map(|(_, v)| v.as_str())
+                .unwrap_or("?");
+            println!(
+                "{:<14} {:>9} {:>10} {:>9.2} {:>12} {:>10} {:>10} {:>8}",
+                workload,
+                backend,
+                secs(backend_secs),
+                speedup,
+                stats_vec,
+                stats_fallback,
+                identical,
+                errors_identical.map_or("-".to_string(), |e| e.to_string()),
+            );
+        }
+    };
+    emit(
+        "fusion-chain",
+        row_t,
+        1.0,
+        row_stats.vectorized_batches,
+        row_stats.row_fallback_stages,
+        &row_settings,
+        identical,
+        Some(errors_identical),
+    );
+    emit(
+        "fusion-chain",
+        col_t,
+        speedup,
+        col_stats.vectorized_batches,
+        col_stats.row_fallback_stages,
+        &col_settings,
+        identical,
+        Some(errors_identical),
+    );
+
+    // -- full compiled workloads ----------------------------------------
+    for w in [
+        wl::word_count(20_000 * s, 91),
+        wl::kmeans(2_000 * s, 3, 1, 92),
+    ] {
+        let run = |backend: &str| {
+            let ctx = Context::new(COLUMNAR_WORKERS, COLUMNAR_PARTS)
+                .with_executor(executor_named(backend).expect(backend));
+            ctx.set_memory_budget(None);
+            let settings = settings_fields(&ctx);
+            let before = ctx.stats().snapshot();
+            let (outs, t) = run_diablo_outputs(&w, &ctx);
+            let stats = ctx.stats().snapshot().since(&before);
+            (outs, t, stats, settings)
+        };
+        let (row_outs, row_t, row_stats, row_settings) = run("local");
+        let (col_outs, col_t, col_stats, col_settings) = run("columnar");
+        let identical = row_outs == col_outs;
+        let speedup = row_t.as_secs_f64() / col_t.as_secs_f64().max(1e-9);
+        rows.push(ColumnarRow {
+            workload: w.name.to_string(),
+            speedup,
+            identical,
+            errors_identical: true,
+            vectorized_batches: col_stats.vectorized_batches,
+            row_fallback_stages: col_stats.row_fallback_stages,
+        });
+        emit(
+            w.name,
+            row_t,
+            1.0,
+            row_stats.vectorized_batches,
+            row_stats.row_fallback_stages,
+            &row_settings,
+            identical,
+            None,
+        );
+        emit(
+            w.name,
+            col_t,
+            speedup,
+            col_stats.vectorized_batches,
+            col_stats.row_fallback_stages,
+            &col_settings,
+            identical,
+            None,
+        );
+    }
+    if !json {
+        println!();
+    }
+    if check {
+        columnar_check(&rows);
+    }
+}
+
+/// The gates CI holds columnar execution to: every workload byte-identical
+/// to the row path, the poisoned chain's first error identical too, the
+/// fused chain genuinely vectorized end to end (batches counted, zero
+/// fallbacks), and at least 3× faster than tuple-at-a-time.
+fn columnar_check(rows: &[ColumnarRow]) {
+    let mut failures: Vec<String> = Vec::new();
+    for r in rows {
+        if !r.identical {
+            failures.push(format!(
+                "{}: columnar rows diverged from the row path",
+                r.workload
+            ));
+        }
+        if !r.errors_identical {
+            failures.push(format!("{}: columnar first error diverged", r.workload));
+        }
+        if r.workload == "fusion-chain" {
+            if r.speedup < 3.0 {
+                failures.push(format!(
+                    "fusion-chain: columnar speedup {:.2} (need ≥ 3.0)",
+                    r.speedup
+                ));
+            }
+            if r.vectorized_batches == 0 {
+                failures.push("fusion-chain: no vectorized batches counted".into());
+            }
+            if r.row_fallback_stages != 0 {
+                failures.push(format!(
+                    "fusion-chain: {} row-path fallbacks on a transparent chain",
+                    r.row_fallback_stages
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("columnar --check: all gates passed");
+    } else {
+        for f in &failures {
+            eprintln!("columnar --check FAILED: {f}");
         }
         std::process::exit(1);
     }

@@ -17,6 +17,10 @@
 //!   the value is ever read.
 //! * **D024 bounds** — an affine subscript over a constant-range loop that
 //!   provably goes negative.
+//! * **D025 row fallback** — a fused chain that is columnar-eligible
+//!   except for one opaque expression (a record constructor, bag
+//!   aggregation, nested comprehension, …), so the columnar backend
+//!   demotes the whole stage to tuple-at-a-time.
 //!
 //! Lints only run on programs that already passed the restriction checks,
 //! so patterns the analysis rejects (e.g. non-monoid updates *inside*
@@ -24,6 +28,7 @@
 
 use std::collections::HashSet;
 
+use diablo_comp::ir::{CExpr, Comprehension, Qual};
 use diablo_diag::{codes, Diagnostic, Span};
 use diablo_lang::ast::{Const, DeclInit, Expr, Lhs, Stmt};
 use diablo_lang::pretty::{pretty_expr, pretty_lhs};
@@ -34,7 +39,8 @@ use crate::target::{CompiledProgram, TStmt};
 
 /// Runs every lint pass over an accepted program. `compiled` must be the
 /// result of translating `tp`. Diagnostics come back ordered by pass
-/// (shuffle forecast, non-monoid, unused, dead store, bounds).
+/// (shuffle forecast, non-monoid, unused, dead store, bounds, row
+/// fallback).
 pub fn lint_program(tp: &TypedProgram, compiled: &CompiledProgram) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     shuffle_forecast(tp, compiled, &mut out);
@@ -42,6 +48,7 @@ pub fn lint_program(tp: &TypedProgram, compiled: &CompiledProgram) -> Vec<Diagno
     unused(tp, &mut out);
     dead_stores(tp, &mut out);
     bounds(tp, &mut out);
+    row_fallback(tp, compiled, &mut out);
     out
 }
 
@@ -472,6 +479,206 @@ fn interval_of(e: &Expr, ranges: &[(String, Interval)]) -> Option<Interval> {
     }
 }
 
+// ------------------------------------------------------------- D025
+
+/// True when a comprehension-calculus expression lowers to the engine's
+/// transparent `RowExpr` IR (mirrors the exec crate's `to_row_expr`):
+/// arithmetic, comparisons, builtin calls, tuples, and projections over
+/// variables and constants. Record construction, bag aggregations, nested
+/// comprehensions, merges, and ranges stay opaque closures.
+fn columnar_convertible(e: &CExpr) -> bool {
+    match e {
+        CExpr::Var(_) | CExpr::Const(_) => true,
+        CExpr::Bin(_, a, b) => columnar_convertible(a) && columnar_convertible(b),
+        CExpr::Un(_, a) | CExpr::Proj(a, _) => columnar_convertible(a),
+        CExpr::Call(_, args) | CExpr::Tuple(args) => args.iter().all(columnar_convertible),
+        CExpr::Record(_)
+        | CExpr::Agg(_, _)
+        | CExpr::Comp(_)
+        | CExpr::Merge { .. }
+        | CExpr::Range(_, _) => false,
+    }
+}
+
+/// Names the first opaque construct inside a non-convertible expression,
+/// for the warning text.
+fn opaque_kind(e: &CExpr) -> &'static str {
+    match e {
+        CExpr::Record(_) => "a record constructor",
+        CExpr::Agg(_, _) => "a bag aggregation",
+        CExpr::Comp(_) => "a nested comprehension",
+        CExpr::Merge { .. } => "an array merge",
+        CExpr::Range(_, _) => "a range expression",
+        CExpr::Bin(_, a, b) => {
+            if columnar_convertible(a) {
+                opaque_kind(b)
+            } else {
+                opaque_kind(a)
+            }
+        }
+        CExpr::Un(_, a) | CExpr::Proj(a, _) => opaque_kind(a),
+        CExpr::Call(_, args) | CExpr::Tuple(args) => args
+            .iter()
+            .find(|a| !columnar_convertible(a))
+            .map(opaque_kind)
+            .unwrap_or("an opaque expression"),
+        CExpr::Var(_) | CExpr::Const(_) => "an opaque expression",
+    }
+}
+
+/// The row-position stages of a comprehension, as the pipeline builder
+/// fuses them: conditions, let bindings, and — when no group-by ends the
+/// narrow chain — the head map. Aggregation heads behind a group-by are
+/// pushed down to a reduce, not run as row stages, so they are excluded.
+fn comp_row_stages(c: &Comprehension) -> Vec<(&CExpr, &'static str)> {
+    let mut stages = Vec::new();
+    for q in &c.quals {
+        match q {
+            Qual::Pred(e) => stages.push((e, "a condition")),
+            Qual::Let(_, e) => stages.push((e, "a let binding")),
+            Qual::GroupBy(_, _) => return stages,
+            Qual::Gen(_, _) => {}
+        }
+    }
+    stages.push((&*c.head, "the head"));
+    stages
+}
+
+/// Visits every comprehension inside an expression, outermost first.
+fn visit_comps(e: &CExpr, f: &mut dyn FnMut(&Comprehension)) {
+    match e {
+        CExpr::Comp(c) => {
+            f(c);
+            for q in &c.quals {
+                match q {
+                    Qual::Gen(_, d) | Qual::Let(_, d) | Qual::Pred(d) | Qual::GroupBy(_, d) => {
+                        visit_comps(d, f)
+                    }
+                }
+            }
+            visit_comps(&c.head, f);
+        }
+        CExpr::Bin(_, a, b) | CExpr::Range(a, b) => {
+            visit_comps(a, f);
+            visit_comps(b, f);
+        }
+        CExpr::Un(_, a) | CExpr::Proj(a, _) | CExpr::Agg(_, a) => visit_comps(a, f),
+        CExpr::Call(_, args) | CExpr::Tuple(args) => {
+            for a in args {
+                visit_comps(a, f);
+            }
+        }
+        CExpr::Record(fs) => {
+            for (_, a) in fs {
+                visit_comps(a, f);
+            }
+        }
+        CExpr::Merge { left, right, .. } => {
+            visit_comps(left, f);
+            visit_comps(right, f);
+        }
+        CExpr::Var(_) | CExpr::Const(_) => {}
+    }
+}
+
+/// Finds the span of the first source statement writing `name`, so the
+/// warning lands on the assignment whose chain falls back.
+fn find_write(stmts: &[Stmt], name: &str) -> Option<Span> {
+    for s in stmts {
+        let found = match s {
+            Stmt::Assign { dest, span, .. } | Stmt::Incr { dest, span, .. }
+                if dest.base_var() == name =>
+            {
+                Some(*span)
+            }
+            Stmt::For { body, .. } | Stmt::ForIn { body, .. } | Stmt::While { body, .. } => {
+                find_write(std::slice::from_ref(body), name)
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => find_write(std::slice::from_ref(then_branch), name).or_else(|| {
+                else_branch
+                    .as_deref()
+                    .and_then(|e| find_write(std::slice::from_ref(e), name))
+            }),
+            Stmt::Block(ss) => find_write(ss, name),
+            _ => None,
+        };
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+fn row_fallback(tp: &TypedProgram, compiled: &CompiledProgram, out: &mut Vec<Diagnostic>) {
+    let mut assigns: Vec<(&String, &CExpr)> = Vec::new();
+    collect_assign_values(&compiled.stmts, &mut assigns);
+    let mut warned: HashSet<&String> = HashSet::new();
+    for (name, value) in assigns {
+        if warned.contains(name) {
+            continue;
+        }
+        let mut hit: Option<(&'static str, &'static str)> = None;
+        visit_comps(value, &mut |c| {
+            if hit.is_some() {
+                return;
+            }
+            // Only comprehensions that scan a collection become engine
+            // stages; driver-side wrappers around scalars always contain
+            // nested comps and would drown the lint in noise.
+            let scans_collection = c
+                .quals
+                .iter()
+                .any(|q| matches!(q, Qual::Gen(_, CExpr::Var(v)) if compiled.is_collection(v)));
+            if !scans_collection {
+                return;
+            }
+            let stages = comp_row_stages(c);
+            let opaque = stages.iter().find(|(e, _)| !columnar_convertible(e));
+            let any_convertible = stages.iter().any(|(e, _)| columnar_convertible(e));
+            if let Some((e, what)) = opaque {
+                if any_convertible {
+                    hit = Some((opaque_kind(e), *what));
+                }
+            }
+        });
+        let Some((kind, what)) = hit else { continue };
+        warned.insert(name);
+        let span = find_write(&tp.program.body, name).unwrap_or(Span::SYNTH);
+        out.push(
+            Diagnostic::warning(
+                codes::ROW_FALLBACK,
+                format!(
+                    "under the columnar backend, the fused chain computing `{name}` falls \
+                     back to tuple-at-a-time: {what} contains {kind}, which has no columnar \
+                     form, while the rest of the chain is vectorizable"
+                ),
+                span,
+            )
+            .with_help(
+                "the stage still runs (row path; reported as `row_fallback_stages` in the \
+                 run stats and as `layout: row` in the plan trace); rewrite the opaque \
+                 expression with arithmetic/tuple/projection forms if scan performance \
+                 matters",
+            ),
+        );
+    }
+}
+
+/// Collects `(name, value)` for every assignment, recursing into while
+/// bodies.
+fn collect_assign_values<'a>(stmts: &'a [TStmt], out: &mut Vec<(&'a String, &'a CExpr)>) {
+    for s in stmts {
+        match s {
+            TStmt::Assign { name, value, .. } => out.push((name, value)),
+            TStmt::While { body, .. } => collect_assign_values(body, out),
+        }
+    }
+}
+
 // ------------------------------------------------------------- traversal
 
 fn visit_stmts(stmts: &[Stmt], f: &mut dyn FnMut(&Stmt)) {
@@ -676,6 +883,63 @@ mod tests {
         let diags = lints(src);
         let d = diags.iter().find(|d| d.code == codes::BOUNDS).unwrap();
         assert!(d.message.contains("can be negative"), "{}", d.message);
+    }
+
+    #[test]
+    fn row_fallback_fires_on_record_head_in_vectorizable_chain() {
+        // The head builds a record — opaque to the columnar engine — while
+        // the rest of the chain (scan + join conditions) is transparent.
+        let src = r#"
+            input V: vector[double];
+            var W: vector[<|a: double|>] = vector();
+            for i = 0, 99 do W[i] := <| a = V[i] * 2.0 |>;
+        "#;
+        let diags = lints(src);
+        let d = diags
+            .iter()
+            .find(|d| d.code == codes::ROW_FALLBACK)
+            .unwrap_or_else(|| panic!("{diags:?}"));
+        assert!(d.message.contains("`W`"), "{}", d.message);
+        assert!(d.message.contains("record constructor"), "{}", d.message);
+        assert!(d.span.line > 0, "span must point at the assignment");
+        assert!(
+            d.help
+                .as_deref()
+                .unwrap_or("")
+                .contains("row_fallback_stages"),
+            "{:?}",
+            d.help
+        );
+    }
+
+    #[test]
+    fn row_fallback_silent_on_fully_transparent_chain() {
+        let src = r#"
+            input V: vector[double];
+            var W: vector[double] = vector();
+            for i = 0, 99 do W[i] := V[i] * 2.0 + 1.0;
+        "#;
+        let diags = lints(src);
+        assert!(
+            !codes_of(&diags).contains(&codes::ROW_FALLBACK),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn row_fallback_silent_on_group_by_aggregation() {
+        // Word-count-style: the aggregation head sits behind a group-by and
+        // is pushed down to a reduce, not run as a row stage.
+        let src = r#"
+            input V: vector[long];
+            var C: vector[long] = vector();
+            for i = 0, 99 do C[V[i]] += 1;
+        "#;
+        let diags = lints(src);
+        assert!(
+            !codes_of(&diags).contains(&codes::ROW_FALLBACK),
+            "{diags:?}"
+        );
     }
 
     #[test]

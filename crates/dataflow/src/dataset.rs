@@ -402,7 +402,32 @@ impl Dataset {
         F: Fn(&Value) -> Result<Value> + Send + Sync + 'static,
     {
         self.ctx.record_logical_op();
-        Ok(self.derived(PlanOp::Map(self.effective_plan(), Arc::new(f), self.tag())))
+        Ok(self.derived(PlanOp::Map(
+            self.effective_plan(),
+            Arc::new(f),
+            self.tag(),
+            None,
+        )))
+    }
+
+    /// Applies a **transparent** row expression to every row (lazy). The
+    /// closure the engine runs is derived from `expr`, and the expression
+    /// itself rides the plan node — so the columnar backend can lower
+    /// this step to per-column inner loops while every other backend
+    /// executes it exactly like [`Dataset::map`].
+    pub fn map_expr(&self, expr: crate::RowExpr) -> Result<Dataset> {
+        self.ctx.record_logical_op();
+        let expr = Arc::new(expr);
+        let f = {
+            let expr = expr.clone();
+            move |row: &Value| expr.eval(row)
+        };
+        Ok(self.derived(PlanOp::Map(
+            self.effective_plan(),
+            Arc::new(f),
+            self.tag(),
+            Some(expr),
+        )))
     }
 
     /// Applies `f` to every row, flattening the results (lazy).
@@ -428,6 +453,29 @@ impl Dataset {
             self.effective_plan(),
             Arc::new(f),
             self.tag(),
+            None,
+        )))
+    }
+
+    /// Keeps the rows satisfying a **transparent** predicate expression
+    /// (lazy) — the filter counterpart of [`Dataset::map_expr`]. The
+    /// expression must evaluate to a boolean per row; anything else is
+    /// the usual `condition must be boolean` error.
+    pub fn filter_expr(&self, expr: crate::RowExpr) -> Result<Dataset> {
+        self.ctx.record_logical_op();
+        let expr = Arc::new(expr);
+        let f = {
+            let expr = expr.clone();
+            move |row: &Value| match expr.eval(row)? {
+                Value::Bool(b) => Ok(b),
+                _ => Err(RuntimeError::new("condition must be boolean")),
+            }
+        };
+        Ok(self.derived(PlanOp::Filter(
+            self.effective_plan(),
+            Arc::new(f),
+            self.tag(),
+            Some(expr),
         )))
     }
 

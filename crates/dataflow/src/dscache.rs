@@ -367,11 +367,7 @@ fn remove_entry(inner: &mut Inner, id: u64) {
 
 /// Encodes every partition of an entry into one file, returning the
 /// per-partition segment index and the encoded size.
-fn spill_entry(
-    dir: &Path,
-    id: u64,
-    parts: &[Vec<Value>],
-) -> Result<(PathBuf, Vec<Segment>, u64)> {
+fn spill_entry(dir: &Path, id: u64, parts: &[Vec<Value>]) -> Result<(PathBuf, Vec<Segment>, u64)> {
     let mut buf = Vec::new();
     let mut index = Vec::with_capacity(parts.len());
     for part in parts {

@@ -1,11 +1,14 @@
-//! The pluggable execution backend: the [`Executor`] trait plus the four
+//! The pluggable execution backend: the [`Executor`] trait plus the five
 //! built-in implementations, [`LocalExecutor`] (tuple-at-a-time, the
 //! default), [`TileExecutor`] (tile/batch-at-a-time, tuned for the §5
 //! tiled-matrix workloads whose rows carry dense tile payloads),
 //! [`SpillExecutor`] (tuple-at-a-time with always-budgeted spilling
 //! exchanges and adaptive stage re-chunking, for inputs larger than RAM),
-//! and [`MorselExecutor`] (tuple-at-a-time with every narrow stage split
-//! into fixed-size morsels for the work-stealing pool).
+//! [`MorselExecutor`] (tuple-at-a-time with every narrow stage split
+//! into fixed-size morsels for the work-stealing pool), and
+//! [`ColumnarExecutor`](crate::ColumnarExecutor) (typed column chunks
+//! with per-column inner loops for transparent fused chains, row-path
+//! fallback per stage for opaque UDFs — defined in `columnar.rs`).
 //!
 //! A [`Context`] owns one `Arc<dyn Executor>`; every [`Dataset`]
 //! materialization point routes through it, so a backend can be swapped
@@ -244,7 +247,7 @@ impl Executor for LocalExecutor {
     }
 
     fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
-        plan::materialize(ctx, &plan.op, DriveMode::Tuple, ChunkPolicy::Fixed)
+        plan::materialize(ctx, &plan.op, &DriveMode::Tuple, ChunkPolicy::Fixed)
     }
 
     fn consume(
@@ -258,7 +261,7 @@ impl Executor for LocalExecutor {
             ctx,
             &plan.op,
             label,
-            DriveMode::Tuple,
+            &DriveMode::Tuple,
             ChunkPolicy::Fixed,
             task,
         )
@@ -335,7 +338,7 @@ impl Executor for TileExecutor {
         plan::materialize(
             ctx,
             &plan.op,
-            DriveMode::Batch(self.batch),
+            &DriveMode::Batch(self.batch),
             ChunkPolicy::Fixed,
         )
     }
@@ -351,7 +354,7 @@ impl Executor for TileExecutor {
             ctx,
             &plan.op,
             label,
-            DriveMode::Batch(self.batch),
+            &DriveMode::Batch(self.batch),
             ChunkPolicy::Fixed,
             task,
         )
@@ -413,7 +416,7 @@ impl Executor for SpillExecutor {
     }
 
     fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
-        plan::materialize(ctx, &plan.op, DriveMode::Tuple, ChunkPolicy::Adaptive)
+        plan::materialize(ctx, &plan.op, &DriveMode::Tuple, ChunkPolicy::Adaptive)
     }
 
     fn consume(
@@ -427,7 +430,7 @@ impl Executor for SpillExecutor {
             ctx,
             &plan.op,
             label,
-            DriveMode::Tuple,
+            &DriveMode::Tuple,
             ChunkPolicy::Adaptive,
             task,
         )
@@ -468,7 +471,7 @@ impl Executor for MorselExecutor {
     }
 
     fn materialize(&self, ctx: &Context, plan: &PhysicalPlan) -> Result<Parts> {
-        plan::materialize(ctx, &plan.op, DriveMode::Tuple, ChunkPolicy::Morsel)
+        plan::materialize(ctx, &plan.op, &DriveMode::Tuple, ChunkPolicy::Morsel)
     }
 
     fn consume(
@@ -482,7 +485,7 @@ impl Executor for MorselExecutor {
             ctx,
             &plan.op,
             label,
-            DriveMode::Tuple,
+            &DriveMode::Tuple,
             ChunkPolicy::Morsel,
             task,
         )
@@ -490,7 +493,7 @@ impl Executor for MorselExecutor {
 }
 
 /// The valid backend names, in the order help/error messages list them.
-pub const BACKEND_NAMES: &[&str] = &["local", "tile", "spill", "morsel"];
+pub const BACKEND_NAMES: &[&str] = &["local", "tile", "spill", "morsel", "columnar"];
 
 /// Resolves a backend by name (see [`BACKEND_NAMES`]); `None` for unknown
 /// names.
@@ -500,6 +503,7 @@ pub fn executor_named(name: &str) -> Option<Arc<dyn Executor>> {
         "tile" => Some(Arc::new(TileExecutor::from_env())),
         "spill" => Some(Arc::new(SpillExecutor::default())),
         "morsel" => Some(Arc::new(MorselExecutor)),
+        "columnar" => Some(Arc::new(crate::columnar::ColumnarExecutor::from_env())),
         _ => None,
     }
 }
@@ -546,6 +550,9 @@ mod tests {
         assert!(morsel.morsel_scheduling && morsel.adaptive_chunking);
         assert!(!morsel.spilling_exchange);
         assert!(!LocalExecutor.capabilities().morsel_scheduling);
+        let columnar = crate::columnar::ColumnarExecutor::default().capabilities();
+        assert!(columnar.vectorized && columnar.fused_shuffle_read);
+        assert!(!columnar.spilling_exchange && !columnar.morsel_scheduling);
         for name in BACKEND_NAMES {
             let exec = executor_named(name).unwrap();
             assert!(

@@ -19,8 +19,11 @@
 //!   plus name/capability introspection) with three built-ins:
 //!   [`LocalExecutor`] (tuple-at-a-time, default), [`TileExecutor`]
 //!   (tile/batch-at-a-time inner loops for §5 tiled-matrix workloads),
-//!   and [`SpillExecutor`] (always-budgeted spilling exchanges plus
-//!   adaptive stage re-chunking, for inputs larger than RAM).
+//!   [`SpillExecutor`] (always-budgeted spilling exchanges plus
+//!   adaptive stage re-chunking, for inputs larger than RAM), and
+//!   [`ColumnarExecutor`] (typed column chunks with per-column inner
+//!   loops for transparent fused chains, row-path fallback per stage for
+//!   opaque UDFs — see `columnar.rs`).
 //!   Select one with [`Context::with_executor`], `DIABLO_BACKEND`, or
 //!   `diabloc --backend`; results are identical across backends;
 //! * data crosses partitions only through the **Exchange API**: a
@@ -76,6 +79,7 @@
 // why it is sound, and CI runs the pool's unit tests under Miri.
 #![warn(clippy::undocumented_unsafe_blocks)]
 
+mod columnar;
 mod dataset;
 mod dscache;
 mod exchange;
@@ -85,6 +89,7 @@ mod pool;
 mod stats;
 mod verify;
 
+pub use columnar::{ColumnarExecutor, RowExpr};
 pub use dataset::Dataset;
 pub use exchange::{
     decode_value, encode_value, Exchange, ExchangeWriter, HashPartitioner, Partitioner,
@@ -114,7 +119,9 @@ pub struct Context {
 struct ContextInner {
     workers: usize,
     partitions: usize,
-    stats: Stats,
+    /// Shared so long-lived handles (e.g. a columnar `DriveMode` carried
+    /// inside plan partitions) can record without holding the context.
+    stats: Arc<Stats>,
     op_counter: AtomicUsize,
     plan_trace: Mutex<Option<Vec<String>>>,
     executor: Mutex<Arc<dyn Executor>>,
@@ -140,8 +147,8 @@ impl Context {
     /// Creates a context with `workers` threads and `partitions` hash
     /// partitions per dataset. The execution backend defaults to
     /// [`LocalExecutor`], overridable with the `DIABLO_BACKEND`
-    /// environment variable (`local`, `tile`, `spill`, `morsel`) or
-    /// [`Context::with_executor`].
+    /// environment variable (`local`, `tile`, `spill`, `morsel`,
+    /// `columnar`) or [`Context::with_executor`].
     pub fn new(workers: usize, partitions: usize) -> Context {
         assert!(workers > 0, "need at least one worker");
         assert!(partitions > 0, "need at least one partition");
@@ -149,7 +156,7 @@ impl Context {
             inner: Arc::new(ContextInner {
                 workers,
                 partitions,
-                stats: Stats::default(),
+                stats: Arc::new(Stats::default()),
                 op_counter: AtomicUsize::new(0),
                 plan_trace: Mutex::new(None),
                 executor: Mutex::new(executor::executor_from_env()),
@@ -391,6 +398,13 @@ impl Context {
     /// The run statistics.
     pub fn stats(&self) -> &Stats {
         &self.inner.stats
+    }
+
+    /// A shared handle to the run statistics — what the columnar drive
+    /// mode carries so vectorized-batch counts land on this context even
+    /// when recorded deep inside plan execution.
+    pub(crate) fn stats_arc(&self) -> Arc<Stats> {
+        self.inner.stats.clone()
     }
 
     /// A statistics snapshot with the **effective context settings**

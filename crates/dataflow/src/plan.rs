@@ -36,7 +36,9 @@ use std::sync::Arc;
 
 use diablo_runtime::{RuntimeError, Value};
 
+use crate::columnar::RowExpr;
 use crate::pool::{run_stage_weighted, Cancel};
+use crate::stats::Stats;
 use crate::Context;
 
 /// How many rows a stage sink emits between cooperative-cancellation
@@ -91,10 +93,14 @@ pub(crate) enum PlanOp {
     /// id) keeps the entry's identity alive for exactly as long as some
     /// plan can still read it.
     Cached(Arc<crate::dscache::CacheSlot>, Arc<PlanOp>),
-    /// Row-wise `map`.
-    Map(Arc<PlanOp>, RowMapFn, Tag),
-    /// Row-wise `filter`.
-    Filter(Arc<PlanOp>, RowPredFn, Tag),
+    /// Row-wise `map`. The optional [`RowExpr`] is the transparent column
+    /// expression the closure was derived from, when the transformation
+    /// is engine-visible (`map_expr`, lowered loop steps); `None` marks
+    /// an opaque UDF.
+    Map(Arc<PlanOp>, RowMapFn, Tag, Option<Arc<RowExpr>>),
+    /// Row-wise `filter`, with its transparent predicate expression when
+    /// engine-visible.
+    Filter(Arc<PlanOp>, RowPredFn, Tag, Option<Arc<RowExpr>>),
     /// Row-wise `flat_map`.
     FlatMap(Arc<PlanOp>, RowFlatFn, Tag),
     /// Partition-wise transformation (a fusion barrier for row steps
@@ -123,6 +129,10 @@ pub(crate) enum StepOp {
 pub(crate) struct Step {
     pub op: StepOp,
     pub tag: Tag,
+    /// The transparent column expression, when the step is
+    /// columnar-eligible; `None` marks an opaque UDF the columnar
+    /// backend demotes to the row path.
+    pub expr: Option<Arc<RowExpr>>,
 }
 
 impl Step {
@@ -135,7 +145,7 @@ impl Step {
     }
 
     /// Prefixes an error from this step with its source statement.
-    fn tag_err(&self, e: RuntimeError) -> RuntimeError {
+    pub(crate) fn tag_err(&self, e: RuntimeError) -> RuntimeError {
         tag_opt(e, &self.tag)
     }
 }
@@ -356,17 +366,19 @@ pub(crate) fn collapse(plan: &Arc<PlanOp>) -> Collapsed {
     let mut cur = plan.clone();
     loop {
         let next = match cur.as_ref() {
-            PlanOp::Map(input, f, tag) => {
+            PlanOp::Map(input, f, tag, expr) => {
                 steps.push(Step {
                     op: StepOp::Map(f.clone()),
                     tag: tag.clone(),
+                    expr: expr.clone(),
                 });
                 input.clone()
             }
-            PlanOp::Filter(input, f, tag) => {
+            PlanOp::Filter(input, f, tag, expr) => {
                 steps.push(Step {
                     op: StepOp::Filter(f.clone()),
                     tag: tag.clone(),
+                    expr: expr.clone(),
                 });
                 input.clone()
             }
@@ -374,6 +386,7 @@ pub(crate) fn collapse(plan: &Arc<PlanOp>) -> Collapsed {
                 steps.push(Step {
                     op: StepOp::FlatMap(f.clone()),
                     tag: tag.clone(),
+                    expr: None,
                 });
                 input.clone()
             }
@@ -583,17 +596,23 @@ fn stage_items(
 }
 
 /// How an executor pushes rows through a fused step chain.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub(crate) enum DriveMode {
     /// Tuple-at-a-time recursion ([`drive`]).
     Tuple,
     /// Tile-at-a-time inner loops of the given width ([`drive_batch`]).
     Batch(usize),
+    /// Columnar tiles of the given width: eligible chains (every step
+    /// carries a [`RowExpr`]) run through typed per-column loops
+    /// ([`crate::columnar::drive_columnar`], counting batches on the
+    /// carried [`Stats`]); chains with an opaque step fall back to
+    /// tuple-at-a-time, per stage.
+    Columnar(usize, Arc<Stats>),
 }
 
 impl DriveMode {
     fn run(
-        self,
+        &self,
         rows: &[Value],
         steps: &[Step],
         sink: &mut dyn FnMut(Value) -> Result<()>,
@@ -605,7 +624,41 @@ impl DriveMode {
                 }
                 Ok(())
             }
-            DriveMode::Batch(b) => drive_batch(rows, steps, b, sink),
+            DriveMode::Batch(b) => drive_batch(rows, steps, *b, sink),
+            DriveMode::Columnar(b, stats) => {
+                if crate::columnar::eligible(steps) {
+                    crate::columnar::drive_columnar(rows, steps, *b, stats, sink)
+                } else {
+                    for row in rows {
+                        drive(row, steps, sink)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// Notes a fused stage's execution layout in the plan trace when the
+/// engine runs columnar, and counts stages demoted to the row path. Only
+/// chains with row steps are classified — a bare scan or consumer stage
+/// has nothing to vectorize.
+fn note_layout(ctx: &Context, mode: &DriveMode, steps: &[Step]) {
+    let DriveMode::Columnar(_, stats) = mode else {
+        return;
+    };
+    if steps.is_empty() {
+        return;
+    }
+    match steps.iter().find(|s| s.expr.is_none()) {
+        None => ctx.plan_note("  layout: columnar".to_string()),
+        Some(opaque) => {
+            stats.record_row_fallback_stage();
+            let why = match &opaque.tag {
+                Some(t) => format!("opaque {} from {t}", opaque.label()),
+                None => format!("opaque {}", opaque.label()),
+            };
+            ctx.plan_note(format!("  layout: row ({why})"));
         }
     }
 }
@@ -618,7 +671,7 @@ fn resolve_cached(
     ctx: &Context,
     slot: &Arc<crate::dscache::CacheSlot>,
     inner: &Arc<PlanOp>,
-    mode: DriveMode,
+    mode: &DriveMode,
     policy: ChunkPolicy,
 ) -> Result<Arc<Vec<Vec<Value>>>> {
     let cache = slot.cache();
@@ -635,7 +688,7 @@ fn resolve_cached(
 pub(crate) fn materialize(
     ctx: &Context,
     plan: &Arc<PlanOp>,
-    mode: DriveMode,
+    mode: &DriveMode,
     policy: ChunkPolicy,
 ) -> Result<Parts> {
     crate::verify::verify_plan(plan)?;
@@ -648,7 +701,7 @@ fn materialize_with(
     ctx: &Context,
     plan: &Arc<PlanOp>,
     extra: &[Step],
-    mode: DriveMode,
+    mode: &DriveMode,
     policy: ChunkPolicy,
 ) -> Result<Parts> {
     let Collapsed { base, steps } = collapse(plan);
@@ -761,7 +814,7 @@ fn run_fused_stage(
     steps: &[Step],
     parts: usize,
     label: &str,
-    mode: DriveMode,
+    mode: &DriveMode,
     policy: ChunkPolicy,
 ) -> Result<Vec<Vec<Value>>> {
     ctx.record_physical_stage();
@@ -772,6 +825,7 @@ fn run_fused_stage(
         steps,
         label,
     ));
+    note_layout(ctx, mode, steps);
     let prelude = prelude.map(|(f, _, tag)| (f, tag));
     let sizes: Vec<usize> = input.iter().map(Vec::len).collect();
     if let Some(items) = stage_items(ctx, &sizes, prelude.is_none(), policy) {
@@ -872,7 +926,7 @@ pub(crate) fn consume<R, F>(
     ctx: &Context,
     plan: &Arc<PlanOp>,
     label: &str,
-    mode: DriveMode,
+    mode: &DriveMode,
     policy: ChunkPolicy,
     task: F,
 ) -> Result<Vec<R>>
@@ -893,6 +947,7 @@ where
         PlanOp::Scan(parts) => {
             ctx.record_physical_stage();
             ctx.plan_note(describe_stage(ctx, parts.len(), None, &steps, label));
+            note_layout(ctx, mode, &steps);
             let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
             let items = coalesce(parts.len(), &sizes);
             run_consumer_stage(ctx, &sizes, items, |p| {
@@ -903,7 +958,7 @@ where
                             rows: &parts[p],
                             steps: &steps,
                         }],
-                        mode,
+                        mode: mode.clone(),
                     },
                 )
             })
@@ -912,6 +967,7 @@ where
             let parts = resolve_cached(ctx, slot, inner, mode, policy)?;
             ctx.record_physical_stage();
             ctx.plan_note(describe_stage(ctx, parts.len(), None, &steps, label));
+            note_layout(ctx, mode, &steps);
             let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
             let items = coalesce(parts.len(), &sizes);
             run_consumer_stage(ctx, &sizes, items, |p| {
@@ -922,7 +978,7 @@ where
                             rows: &parts[p],
                             steps: &steps,
                         }],
-                        mode,
+                        mode: mode.clone(),
                     },
                 )
             })
@@ -949,6 +1005,10 @@ where
                     &steps,
                     label,
                 ));
+                // Both fused chains of this stage get a layout verdict:
+                // the one feeding the prelude and the one above it.
+                note_layout(ctx, mode, &inner.steps);
+                note_layout(ctx, mode, &steps);
                 let lower = &inner.steps;
                 // Steps below the prelude feed it a materialized Vec.
                 let feed = |part: &[Value]| -> Result<Vec<Value>> {
@@ -975,7 +1035,7 @@ where
                                 rows: &fed,
                                 steps: &steps,
                             }],
-                            mode,
+                            mode: mode.clone(),
                         },
                     )
                 });
@@ -998,7 +1058,7 @@ where
                                 rows: part,
                                 steps: &[],
                             }],
-                            mode,
+                            mode: mode.clone(),
                         },
                     )
                 },
@@ -1036,7 +1096,13 @@ where
                             steps: &sources[src].1,
                         })
                         .collect();
-                    task(i, &PartitionRows { segments, mode })
+                    task(
+                        i,
+                        &PartitionRows {
+                            segments,
+                            mode: mode.clone(),
+                        },
+                    )
                 },
             )
         }
@@ -1058,7 +1124,7 @@ fn flatten_union(
     extra: &[Step],
     sources: &mut Vec<(Parts, Vec<Step>)>,
     virt: &mut Vec<Vec<(usize, usize)>>,
-    mode: DriveMode,
+    mode: &DriveMode,
     policy: ChunkPolicy,
 ) -> Result<()> {
     let Collapsed { base, steps } = collapse(plan);
@@ -1204,7 +1270,7 @@ pub(crate) fn render(plan: &Arc<PlanOp>, indent: usize, out: &mut String) {
             render(r, indent + 1, out);
         }
         // collapse() never returns a row node as base.
-        PlanOp::Map(_, _, _) | PlanOp::Filter(_, _, _) | PlanOp::FlatMap(_, _, _) => {}
+        PlanOp::Map(_, _, _, _) | PlanOp::Filter(_, _, _, _) | PlanOp::FlatMap(_, _, _) => {}
     }
     for s in &steps {
         out.push_str(" → ");

@@ -44,6 +44,8 @@ pub struct Stats {
     dataset_spilled_bytes: AtomicU64,
     dataset_evictions: AtomicU64,
     dataset_recomputes: AtomicU64,
+    vectorized_batches: AtomicU64,
+    row_fallback_stages: AtomicU64,
 }
 
 impl Stats {
@@ -114,6 +116,18 @@ impl Stats {
         self.dataset_recomputes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one column batch executed through the vectorized per-column
+    /// loops (columnar backend only).
+    pub(crate) fn record_vectorized_batch(&self) {
+        self.vectorized_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one fused stage the columnar backend had to run on the
+    /// tuple-at-a-time row path because a step was opaque.
+    pub(crate) fn record_row_fallback_stage(&self) {
+        self.row_fallback_stages.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Takes a point-in-time snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -145,6 +159,8 @@ impl Stats {
             dataset_spilled_bytes: self.dataset_spilled_bytes.load(Ordering::Relaxed),
             dataset_evictions: self.dataset_evictions.load(Ordering::Relaxed),
             dataset_recomputes: self.dataset_recomputes.load(Ordering::Relaxed),
+            vectorized_batches: self.vectorized_batches.load(Ordering::Relaxed),
+            row_fallback_stages: self.row_fallback_stages.load(Ordering::Relaxed),
         }
     }
 
@@ -170,6 +186,8 @@ impl Stats {
         self.dataset_spilled_bytes.store(0, Ordering::Relaxed);
         self.dataset_evictions.store(0, Ordering::Relaxed);
         self.dataset_recomputes.store(0, Ordering::Relaxed);
+        self.vectorized_batches.store(0, Ordering::Relaxed);
+        self.row_fallback_stages.store(0, Ordering::Relaxed);
     }
 }
 
@@ -249,6 +267,12 @@ pub struct StatsSnapshot {
     pub dataset_evictions: u64,
     /// Evicted datasets re-derived from their plan lineage on a miss.
     pub dataset_recomputes: u64,
+    /// Column batches executed through the vectorized per-column loops
+    /// (the `columnar` backend; other backends leave this at zero).
+    pub vectorized_batches: u64,
+    /// Fused stages the columnar backend demoted to the tuple-at-a-time
+    /// row path because a step carried no column expression (opaque UDF).
+    pub row_fallback_stages: u64,
 }
 
 impl StatsSnapshot {
@@ -298,6 +322,8 @@ impl StatsSnapshot {
             dataset_spilled_bytes: self.dataset_spilled_bytes - earlier.dataset_spilled_bytes,
             dataset_evictions: self.dataset_evictions - earlier.dataset_evictions,
             dataset_recomputes: self.dataset_recomputes - earlier.dataset_recomputes,
+            vectorized_batches: self.vectorized_batches - earlier.vectorized_batches,
+            row_fallback_stages: self.row_fallback_stages - earlier.row_fallback_stages,
         }
     }
 }

@@ -86,6 +86,9 @@ pub mod codes {
     pub const DEAD_STORE: &str = "D023";
     /// Lint: affine subscript provably out of bounds for a constant range.
     pub const BOUNDS: &str = "D024";
+    /// Lint: an opaque expression forces a columnar-eligible fused chain
+    /// back to tuple-at-a-time execution under the columnar backend.
+    pub const ROW_FALLBACK: &str = "D025";
 }
 
 /// How severe a diagnostic is.

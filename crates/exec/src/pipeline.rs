@@ -25,11 +25,11 @@ use std::sync::Arc;
 
 use diablo_comp::ir::{CExpr, Comprehension, Pattern, Qual};
 use diablo_comp::Env;
-use diablo_dataflow::Dataset;
+use diablo_dataflow::{Dataset, RowExpr};
 use diablo_runtime::{BinOp, RuntimeError, Value};
 
 use crate::local::{eval_local, local_comp};
-use crate::rexpr::{agg_col_name, compile, rewrite_aggs, Layout, RExpr};
+use crate::rexpr::{agg_col_name, compile, rewrite_aggs, to_row_expr, Layout, RExpr};
 use crate::{Result, Session};
 
 /// Runs a comprehension, producing a dataset of its head values.
@@ -330,15 +330,21 @@ impl Pipe {
         // Fast path: one driver environment with no extra columns — one
         // output row per input row, no per-row Vec-of-Vecs.
         let rows = if local_rows.len() == 1 && local_rows[0].is_empty() {
-            data.map(move |raw| {
-                let mut row = Vec::with_capacity(4);
-                if !p.bind_values(raw, &mut row) {
-                    return Err(RuntimeError::new(format!(
-                        "pattern {p:?} does not match source row {raw}"
-                    )));
-                }
-                Ok(Value::tuple(row))
-            })?
+            if matches!(p, Pattern::Var(_)) {
+                // `v ← A` wraps each source row as a 1-tuple: transparent
+                // to the engine, so the scan stage stays columnar-eligible.
+                data.map_expr(RowExpr::Tuple(vec![RowExpr::Input]))?
+            } else {
+                data.map(move |raw| {
+                    let mut row = Vec::with_capacity(4);
+                    if !p.bind_values(raw, &mut row) {
+                        return Err(RuntimeError::new(format!(
+                            "pattern {p:?} does not match source row {raw}"
+                        )));
+                    }
+                    Ok(Value::tuple(row))
+                })?
+            }
         } else {
             data.flat_map(move |raw| {
                 let mut out = Vec::with_capacity(local_rows.len());
@@ -362,6 +368,21 @@ impl Pipe {
     /// `let p = e` as a map stage.
     fn extend_let(&mut self, p: &Pattern, e: &CExpr, globals: &Arc<Env>) -> Result<()> {
         let r = compile(e, &self.layout, globals)?;
+        // A single-variable let over a structural expression extends the
+        // row tuple as one transparent expression the engine can vectorize:
+        // `(c0, …, cn-1, e)`.
+        if matches!(p, Pattern::Var(_)) {
+            if let Some(rx) = to_row_expr(&r) {
+                let mut fields: Vec<RowExpr> =
+                    (0..self.layout.cols.len()).map(RowExpr::Col).collect();
+                fields.push(rx);
+                self.data = self.data.map_expr(RowExpr::Tuple(fields))?;
+                for v in p_vars(p.clone()) {
+                    self.layout.push(v);
+                }
+                return Ok(());
+            }
+        }
         let p_owned = p.clone();
         let new_data = self.data.map(move |row| {
             let fields = row.as_tuple().expect("env row");
@@ -384,6 +405,10 @@ impl Pipe {
     /// A condition as a filter stage.
     fn filter(&mut self, e: &CExpr, globals: &Arc<Env>) -> Result<()> {
         let r = compile(e, &self.layout, globals)?;
+        if let Some(rx) = to_row_expr(&r) {
+            self.data = self.data.filter_expr(rx)?;
+            return Ok(());
+        }
         self.data = self.data.filter(move |row| {
             let fields = row.as_tuple().expect("env row");
             match r.eval(fields)?.as_bool() {
@@ -684,6 +709,9 @@ impl Pipe {
     /// The final head map.
     fn finish(self, head: &CExpr, globals: &Arc<Env>) -> Result<Dataset> {
         let r = compile(head, &self.layout, globals)?;
+        if let Some(rx) = to_row_expr(&r) {
+            return self.data.map_expr(rx);
+        }
         self.data
             .map(move |row| r.eval(row.as_tuple().expect("env row")))
     }

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use diablo_comp::ir::CExpr;
 use diablo_comp::Env;
+use diablo_dataflow::RowExpr;
 use diablo_runtime::{AggOp, BinOp, Func, RuntimeError, UnOp, Value};
 
 use crate::Result;
@@ -266,6 +267,39 @@ pub fn agg_col_name(idx: usize) -> String {
     format!("$agg{idx}")
 }
 
+/// Converts a compiled row expression into the engine's transparent
+/// [`RowExpr`] IR when it is purely structural — arithmetic, comparisons,
+/// builtin calls, tuples, and field projections over row columns. Pipeline
+/// rows are tuples, so `Col(i)` maps to the engine's tuple-field access
+/// with identical evaluation order and error messages (both sides bottom
+/// out in the same runtime `apply` functions).
+///
+/// `Record` construction, bag aggregations, and the slow
+/// nested-comprehension path have no columnar interpretation and return
+/// `None` — the stage keeps its opaque closure and the columnar backend
+/// demotes it to tuple-at-a-time.
+pub fn to_row_expr(r: &RExpr) -> Option<RowExpr> {
+    match r {
+        RExpr::Col(i) => Some(RowExpr::Col(*i)),
+        RExpr::Const(v) => Some(RowExpr::Const(v.clone())),
+        RExpr::Bin(op, a, b) => Some(RowExpr::Bin(
+            *op,
+            Box::new(to_row_expr(a)?),
+            Box::new(to_row_expr(b)?),
+        )),
+        RExpr::Un(op, a) => Some(RowExpr::Un(*op, Box::new(to_row_expr(a)?))),
+        RExpr::Call(f, args) => Some(RowExpr::Call(
+            *f,
+            args.iter().map(to_row_expr).collect::<Option<Vec<_>>>()?,
+        )),
+        RExpr::Tuple(fs) => Some(RowExpr::Tuple(
+            fs.iter().map(to_row_expr).collect::<Option<Vec<_>>>()?,
+        )),
+        RExpr::Proj(inner, f) => Some(RowExpr::Field(Box::new(to_row_expr(inner)?), f.clone())),
+        RExpr::Record(_) | RExpr::Agg(_, _) | RExpr::Slow { .. } => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,6 +378,43 @@ mod tests {
                 Box::new(CExpr::var(agg_col_name(0)))
             )
         );
+    }
+
+    #[test]
+    fn structural_expressions_convert_to_row_exprs() {
+        let layout = Layout::new(vec!["x".into(), "y".into()]);
+        let e = CExpr::Bin(
+            BinOp::Mul,
+            Box::new(CExpr::Bin(
+                BinOp::Add,
+                Box::new(CExpr::var("x")),
+                Box::new(CExpr::var("n")),
+            )),
+            Box::new(CExpr::var("y")),
+        );
+        let r = compile(&e, &layout, &globals()).unwrap();
+        let rx = to_row_expr(&r).expect("structural");
+        // The RowExpr path over the whole row tuple agrees with the RExpr
+        // path over the field slice.
+        let fields = vec![Value::Long(5), Value::Long(3)];
+        let row = Value::tuple(fields.clone());
+        assert_eq!(rx.eval(&row).unwrap(), r.eval(&fields).unwrap());
+        assert_eq!(rx.eval(&row).unwrap(), Value::Long(45));
+    }
+
+    #[test]
+    fn records_aggs_and_slow_paths_do_not_convert() {
+        let layout = Layout::new(vec!["vs".into()]);
+        let agg = CExpr::Agg(AggOp::new(BinOp::Add).unwrap(), Box::new(CExpr::var("vs")));
+        let r = compile(&agg, &layout, &globals()).unwrap();
+        assert!(to_row_expr(&r).is_none());
+        let rec = CExpr::Record(vec![("a".into(), CExpr::var("vs"))]);
+        let r = compile(&rec, &layout, &globals()).unwrap();
+        assert!(to_row_expr(&r).is_none());
+        // But an agg buried in a tuple poisons only that conversion.
+        let t = CExpr::Tuple(vec![CExpr::var("vs"), agg]);
+        let r = compile(&t, &layout, &globals()).unwrap();
+        assert!(to_row_expr(&r).is_none());
     }
 
     #[test]

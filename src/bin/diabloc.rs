@@ -31,8 +31,11 @@
 //! * `--backend <name>` selects the execution backend: `local`
 //!   (tuple-at-a-time, the default), `tile` (batch-at-a-time, tuned for
 //!   tiled-matrix workloads), `spill` (budgeted exchanges that spill
-//!   to disk, plus adaptive stage re-chunking), or `morsel` (narrow
-//!   stages split into fixed-size morsels for the work-stealing pool).
+//!   to disk, plus adaptive stage re-chunking), `morsel` (narrow
+//!   stages split into fixed-size morsels for the work-stealing pool),
+//!   or `columnar` (transparent fused chains lowered to typed column
+//!   chunks and run batch-at-a-time, with per-stage row fallback for
+//!   opaque UDFs; `DIABLO_COLUMNAR_BATCH` sizes the batch).
 //!   Results are identical across backends; only the execution strategy
 //!   changes.
 //! * `--workers N` / `--partitions N` size the engine context (default:
@@ -360,7 +363,7 @@ fn run(
     }
 }
 
-const USAGE: &str = "usage: diabloc <check|lint|show|run|interp|explain> [--explain] [--json] [--backend <local|tile|spill|morsel>] [--workers N] [--partitions N] [--memory-budget BYTES] [--dataset-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
+const USAGE: &str = "usage: diabloc <check|lint|show|run|interp|explain> [--explain] [--json] [--backend <local|tile|spill|morsel|columnar>] [--workers N] [--partitions N] [--memory-budget BYTES] [--dataset-budget BYTES] [--morsel-size ROWS] [--ordered] [--connect ADDR] <program.dbl> [name=value | name=@rows.csv ...]";
 
 /// Renders accumulated front-end diagnostics — rustc-style caret snippets
 /// on stderr, or the stable JSON document on stdout under `--json` — and

@@ -6,8 +6,8 @@
 use std::sync::Arc;
 
 use diablo_dataflow::{
-    executor_named, Context, Dataset, Executor, LocalExecutor, MorselExecutor, SpillExecutor,
-    TileExecutor,
+    executor_named, ColumnarExecutor, Context, Dataset, Executor, LocalExecutor, MorselExecutor,
+    RowExpr, SpillExecutor, TileExecutor,
 };
 use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 
@@ -16,7 +16,10 @@ use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 /// the spill executor runs once with its default budget and once with a
 /// zero fallback budget so every exchanged bucket goes through disk runs
 /// (and adaptive re-chunking is active on both); the morsel executor
-/// splits narrow stages across the work-stealing pool.
+/// splits narrow stages across the work-stealing pool; the columnar
+/// executor runs with a tiny batch so fixtures span many tiles (opaque
+/// closures here exercise its per-stage row fallback, transparent
+/// expressions its vectorized path).
 fn backends() -> Vec<Arc<dyn Executor>> {
     vec![
         Arc::new(LocalExecutor),
@@ -25,6 +28,8 @@ fn backends() -> Vec<Arc<dyn Executor>> {
         Arc::new(SpillExecutor::default()),
         Arc::new(SpillExecutor::new(0)),
         Arc::new(MorselExecutor),
+        Arc::new(ColumnarExecutor::new(16)),
+        Arc::new(ColumnarExecutor::default()),
     ]
 }
 
@@ -281,11 +286,101 @@ fn introspection_is_stable() {
     assert!(spill.capabilities().adaptive_chunking);
     assert!(spill.capabilities().fused_shuffle_read);
 
+    let columnar = executor_named("columnar").unwrap();
+    assert_eq!(columnar.name(), "columnar");
+    assert!(columnar.capabilities().vectorized);
+    assert!(columnar.capabilities().fused_shuffle_read);
+    assert!(!columnar.capabilities().spilling_exchange);
+
     assert!(executor_named("flink").is_none());
     assert!(
         diablo_dataflow::BACKEND_NAMES.contains(&"spill"),
         "the registry lists the spill backend"
     );
+    assert!(
+        diablo_dataflow::BACKEND_NAMES.contains(&"columnar"),
+        "the registry lists the columnar backend"
+    );
+}
+
+/// A transparent chain (built via `map_expr` / `filter_expr`) must return
+/// the same rows in the same order on every backend — and actually engage
+/// the columnar driver's vectorized path on the columnar backend.
+#[test]
+fn backends_agree_on_a_transparent_expression_chain() {
+    fn chain(ctx: &Context) -> Vec<Value> {
+        let d = ctx.range(0, 499);
+        d.map_expr(RowExpr::Bin(
+            BinOp::Mul,
+            Box::new(RowExpr::Input),
+            Box::new(RowExpr::Const(Value::Long(3))),
+        ))
+        .unwrap()
+        .filter_expr(RowExpr::Bin(
+            BinOp::Lt,
+            Box::new(RowExpr::Bin(
+                BinOp::Mod,
+                Box::new(RowExpr::Input),
+                Box::new(RowExpr::Const(Value::Long(7))),
+            )),
+            Box::new(RowExpr::Const(Value::Long(4))),
+        ))
+        .unwrap()
+        .map_expr(RowExpr::Tuple(vec![
+            RowExpr::Input,
+            RowExpr::Bin(
+                BinOp::Add,
+                Box::new(RowExpr::Input),
+                Box::new(RowExpr::Const(Value::Long(1))),
+            ),
+        ]))
+        .unwrap()
+        .collect()
+    }
+    let reference = chain(&ctx_for(Arc::new(LocalExecutor)));
+    assert!(!reference.is_empty());
+    for exec in backends() {
+        let name = exec.name();
+        let ctx = ctx_for(exec);
+        let before = ctx.stats().snapshot();
+        let got = chain(&ctx);
+        let after = ctx.stats().snapshot().since(&before);
+        assert_eq!(got, reference, "backend `{name}` diverged");
+        if name == "columnar" {
+            assert!(
+                after.vectorized_batches > 0,
+                "columnar backend must vectorize a fully transparent chain"
+            );
+            assert_eq!(after.row_fallback_stages, 0, "no fallback expected");
+        }
+    }
+}
+
+/// An opaque closure in an otherwise transparent chain demotes the stage
+/// to the row path — counted, and still row- and error-identical.
+#[test]
+fn columnar_falls_back_per_stage_on_opaque_steps() {
+    let reference = {
+        let ctx = ctx_for(Arc::new(LocalExecutor));
+        let d = ctx.from_vec((0..200).map(Value::Long).collect());
+        d.map(|v| BinOp::Add.apply(v, &Value::Long(5)))
+            .unwrap()
+            .collect()
+    };
+    let ctx = ctx_for(Arc::new(ColumnarExecutor::new(32)));
+    let d = ctx.from_vec((0..200).map(Value::Long).collect());
+    let before = ctx.stats().snapshot();
+    let got = d
+        .map(|v| BinOp::Add.apply(v, &Value::Long(5)))
+        .unwrap()
+        .collect();
+    let after = ctx.stats().snapshot().since(&before);
+    assert_eq!(got, reference);
+    assert!(
+        after.row_fallback_stages > 0,
+        "opaque closure must be counted as a row fallback: {after:?}"
+    );
+    assert_eq!(after.vectorized_batches, 0, "{after:?}");
 }
 
 #[test]

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use diablo_core::compile;
 use diablo_dataflow::{
-    Context, Executor, LocalExecutor, MorselExecutor, SpillExecutor, TileExecutor,
+    ColumnarExecutor, Context, Executor, LocalExecutor, MorselExecutor, RowExpr, SpillExecutor,
+    TileExecutor,
 };
 use diablo_exec::Session;
 use diablo_interp::Interpreter;
@@ -159,13 +160,15 @@ fn while_loop_that_never_runs() {
 /// The built-in backends (tile with a tiny batch so tile replay paths
 /// run; spill with a zero fallback budget so every exchanged chunk goes
 /// through disk runs; morsel so injected failures also race the
-/// work-stealing splitter).
+/// work-stealing splitter; columnar with a tiny batch so the opaque
+/// closures here exercise its per-stage row fallback).
 fn sorted_failure_backends() -> Vec<Arc<dyn Executor>> {
     vec![
         Arc::new(LocalExecutor),
         Arc::new(TileExecutor::new(4)),
         Arc::new(SpillExecutor::new(0)),
         Arc::new(MorselExecutor),
+        Arc::new(ColumnarExecutor::new(16)),
     ]
 }
 
@@ -295,6 +298,69 @@ fn sorted_shuffle_rejects_non_pair_rows_like_the_hash_scatter() {
             "backend `{name}`: malformed-row errors diverged"
         );
         assert!(sorted.message.contains("pair"), "{sorted}");
+    }
+}
+
+#[test]
+fn columnar_mid_batch_failures_match_the_row_path_byte_for_byte() {
+    // A fully transparent (vectorizable) fused chain whose 137th row
+    // divides by zero. Under the columnar backend the failure strikes in
+    // the middle of a 64-row tile; the tile is replayed tuple-at-a-time,
+    // so the surfaced first error — message and statement tag — must be
+    // byte-identical to `LocalExecutor`'s, on both keyed paths and under
+    // every exchange budget.
+    let expr = || {
+        RowExpr::Tuple(vec![
+            RowExpr::Bin(
+                BinOp::Mod,
+                Box::new(RowExpr::Input),
+                Box::new(RowExpr::Const(Value::Long(7))),
+            ),
+            RowExpr::Bin(
+                BinOp::Div,
+                Box::new(RowExpr::Const(Value::Long(1000))),
+                Box::new(RowExpr::Bin(
+                    BinOp::Sub,
+                    Box::new(RowExpr::Input),
+                    Box::new(RowExpr::Const(Value::Long(137))),
+                )),
+            ),
+        ])
+    };
+    for budget in [None, Some(4096), Some(0)] {
+        for sorted in [false, true] {
+            let run = |exec: Arc<dyn Executor>| -> RuntimeError {
+                let ctx = Context::new(3, 6).with_executor(exec);
+                ctx.set_memory_budget(budget);
+                ctx.set_statement_label(Some("s3: C := 1000 / (V[i] - 137)"));
+                let d = ctx
+                    .from_vec((0..300).map(Value::Long).collect())
+                    .map_expr(expr())
+                    .unwrap();
+                ctx.set_statement_label(None);
+                let keyed = if sorted {
+                    d.sorted_reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+                } else {
+                    d.reduce_by_key(|a, b| BinOp::Add.apply(a, b))
+                };
+                match keyed {
+                    Err(e) => e,
+                    Ok(k) => k.try_collect().unwrap_err(),
+                }
+            };
+            let row_path = run(Arc::new(LocalExecutor));
+            let columnar = run(Arc::new(ColumnarExecutor::new(64)));
+            let mode = if sorted { "ordered" } else { "hash" };
+            assert_eq!(
+                columnar.message, row_path.message,
+                "{mode}/budget {budget:?}: columnar changed the first error"
+            );
+            assert!(columnar.message.contains("zero"), "{columnar}");
+            assert!(
+                columnar.message.contains("s3: C := 1000 / (V[i] - 137)"),
+                "{mode}/budget {budget:?}: statement tag lost mid-batch: {columnar}"
+            );
+        }
     }
 }
 

@@ -20,8 +20,8 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use diablo_dataflow::{
-    Context, Dataset, Executor, LocalExecutor, MorselExecutor, Partitioner, RangePartitioner,
-    SpillExecutor, TileExecutor,
+    ColumnarExecutor, Context, Dataset, Executor, LocalExecutor, MorselExecutor, Partitioner,
+    RangePartitioner, SpillExecutor, TileExecutor,
 };
 use diablo_runtime::{array::key_value, BinOp, RuntimeError, Value};
 
@@ -31,13 +31,16 @@ type RtResult = std::result::Result<Value, RuntimeError>;
 /// The backend × budget grid every invariant runs over. The tile backend
 /// uses a deliberately tiny batch so multi-tile paths are exercised; the
 /// spill backend always budgets its exchanges (context budget wins when
-/// set, so the `Some(0)` leg forces every chunk through disk there too).
+/// set, so the `Some(0)` leg forces every chunk through disk there too);
+/// the columnar backend runs with a tiny batch so its per-stage layout
+/// decision happens many times per partition.
 fn backends() -> Vec<Arc<dyn Executor>> {
     vec![
         Arc::new(LocalExecutor),
         Arc::new(TileExecutor::new(4)),
         Arc::new(SpillExecutor::default()),
         Arc::new(MorselExecutor),
+        Arc::new(ColumnarExecutor::new(16)),
     ]
 }
 

@@ -261,6 +261,42 @@ fn session_explain_renders_fused_plan() {
 }
 
 #[test]
+fn plan_trace_notes_the_layout_per_stage_under_the_columnar_backend() {
+    // Satellite of the columnar engine: the executed-plan trace (the same
+    // lines `Session::explain` renders) carries a per-stage layout note —
+    // `layout: columnar` for a transparent chain, `layout: row (…)`
+    // naming the opaque step when a UDF forces the tuple path.
+    use diablo_dataflow::{ColumnarExecutor, RowExpr};
+    use std::sync::Arc;
+
+    let ctx = Context::new(2, 4).with_executor(Arc::new(ColumnarExecutor::new(64)));
+    let d = ctx.from_vec((0..200).map(Value::Long).collect());
+
+    ctx.start_plan_trace();
+    let _ = d
+        .map_expr(RowExpr::Bin(
+            diablo_runtime::BinOp::Mul,
+            Box::new(RowExpr::Input),
+            Box::new(RowExpr::Const(Value::Long(3))),
+        ))
+        .expect("map_expr")
+        .collect();
+    let trace = ctx.take_plan_trace().join("\n");
+    assert!(
+        trace.contains("layout: columnar"),
+        "transparent chain must be noted columnar: {trace}"
+    );
+
+    ctx.start_plan_trace();
+    let _ = d.map(|v| Ok(v.clone())).expect("map").collect();
+    let trace = ctx.take_plan_trace().join("\n");
+    assert!(
+        trace.contains("layout: row ("),
+        "opaque chain must name its row-path reason: {trace}"
+    );
+}
+
+#[test]
 fn stage_counts_grow_with_program_complexity() {
     let ctx = Context::new(2, 4);
     let simple = stats_of(&wl::sum(1_000, 1), &ctx);

@@ -2,7 +2,7 @@
 //! be invisible in results. Every Figure 3 workload is run under a grid of
 //! scheduler configurations — worker counts {1, 2, 7, all}, morsel sizes
 //! {1 row, 64 rows, default}, the static self-scheduling pool, and the
-//! local / spill / morsel backends — on both the hash and the `--ordered`
+//! local / spill / morsel / columnar backends — on both the hash and the `--ordered`
 //! keyed paths, and every output must be *byte-identical* (exact `Value`
 //! equality, not approximate) to a one-worker reference run. Separately,
 //! injected mid-morsel failures must surface the same first error and
@@ -80,6 +80,20 @@ fn scheduler_grid() -> Vec<Cfg> {
             label: "spill w2".into(),
             backend: "spill",
             workers: 2,
+            morsel_size: None,
+            static_scheduler: false,
+        },
+        Cfg {
+            label: "columnar w2".into(),
+            backend: "columnar",
+            workers: 2,
+            morsel_size: None,
+            static_scheduler: false,
+        },
+        Cfg {
+            label: "columnar w7".into(),
+            backend: "columnar",
+            workers: 7,
             morsel_size: None,
             static_scheduler: false,
         },
